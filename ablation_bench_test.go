@@ -1,0 +1,146 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out:
+// the prefix sorter's adder construction, the fish sorter's group count k,
+// the sort/merge work distribution of Section III-A's reader exercise, and
+// the clocked hardware model vs the behavioral fish sorter.
+package absort_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"absort/internal/bitvec"
+	"absort/internal/cmpnet"
+	"absort/internal/core"
+	"absort/internal/fishhw"
+	"absort/internal/prefixadd"
+	"absort/internal/wordsort"
+
+	"absort/internal/concentrator"
+)
+
+// BenchmarkAblationPrefixAdderKind compares Network 1 built with a
+// ripple-carry vs a parallel-prefix ones counter: same cost order, but the
+// ripple version's depth loses the 2 lg n lg lg n term's advantage.
+func BenchmarkAblationPrefixAdderKind(b *testing.B) {
+	n := 1024
+	for _, adder := range []prefixadd.Adder{prefixadd.Ripple, prefixadd.Prefix} {
+		b.Run(adder.String(), func(b *testing.B) {
+			s := core.NewPrefixSorter(n, adder)
+			st := s.Circuit().Stats()
+			rng := rand.New(rand.NewSource(3))
+			in := bitvec.Random(rng, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Sort(in)
+			}
+			b.ReportMetric(float64(st.UnitCost), "unitcost")
+			b.ReportMetric(float64(st.UnitDepth), "unitdepth")
+		})
+	}
+}
+
+// BenchmarkAblationFishK sweeps the fish sorter's group count at n = 4096:
+// the paper's k = lg n choice minimizes cost and pipelined time jointly.
+func BenchmarkAblationFishK(b *testing.B) {
+	n := 4096
+	rng := rand.New(rand.NewSource(5))
+	in := bitvec.Random(rng, n)
+	for k := 2; k <= 256; k *= 4 {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			f := core.NewFishSorter(n, k)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f.Sort(in)
+			}
+			b.ReportMetric(float64(f.Cost().Total()), "unitcost")
+			b.ReportMetric(float64(f.SortingTime(false).Total()), "time-unpiped")
+			b.ReportMetric(float64(f.SortingTime(true).Total()), "time-piped")
+		})
+	}
+}
+
+// BenchmarkAblationHybridOEM sweeps the block size of the hybrid
+// sort/merge distribution (Section III-A's "left to the reader" exercise):
+// comparator count falls monotonically as work moves from balanced-block
+// merging to Batcher sorting.
+func BenchmarkAblationHybridOEM(b *testing.B) {
+	n := 256
+	rng := rand.New(rand.NewSource(7))
+	in := bitvec.Random(rng, n)
+	for bs := 2; bs <= n; bs *= 4 {
+		b.Run(fmt.Sprintf("block=%d", bs), func(b *testing.B) {
+			nw := cmpnet.HybridOEMSort(n, bs)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				nw.ApplyBits(in)
+			}
+			b.ReportMetric(float64(nw.Cost()), "unitcost")
+			b.ReportMetric(float64(nw.Depth()), "unitdepth")
+		})
+	}
+}
+
+// BenchmarkAblationFishHardwareVsBehavioral runs the clocked gate-level
+// machine (Network Model B realized) against the behavioral fish sorter.
+func BenchmarkAblationFishHardwareVsBehavioral(b *testing.B) {
+	n, k := 256, 8
+	rng := rand.New(rand.NewSource(9))
+	in := bitvec.Random(rng, n)
+	b.Run("behavioral", func(b *testing.B) {
+		f := core.NewFishSorter(n, k)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f.Sort(in)
+		}
+	})
+	b.Run("gate-level-machine", func(b *testing.B) {
+		m, err := fishhw.New(n, k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var st fishhw.Stats
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, st, err = m.Sort(in)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(st.UnitDelays), "unitdelays")
+		b.ReportMetric(float64(st.MacroSteps), "macrosteps")
+		b.ReportMetric(float64(st.SwitchCost), "unitcost")
+	})
+}
+
+// BenchmarkWordSort measures the Section I decomposition: w-bit keys
+// sorted as w binary sorting steps routed through the radix permuter.
+func BenchmarkWordSort(b *testing.B) {
+	for _, tc := range []struct {
+		n, w int
+		eng  wordsort.Engine
+	}{
+		{256, 8, concentrator.MuxMerger},
+		{256, 8, concentrator.Fish},
+		{1024, 10, concentrator.Fish},
+	} {
+		b.Run(fmt.Sprintf("%v/n=%d/w=%d", tc.eng, tc.n, tc.w), func(b *testing.B) {
+			s, err := wordsort.New(tc.n, tc.w, tc.eng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(11))
+			keys := make([]uint64, tc.n)
+			for i := range keys {
+				keys[i] = uint64(rng.Intn(1 << uint(tc.w)))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := s.Sort(keys); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(s.Passes()), "passes")
+		})
+	}
+}

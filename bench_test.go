@@ -1,0 +1,357 @@
+// Benchmarks regenerating the data behind every table and figure of the
+// paper (experiment IDs E1–E13 of DESIGN.md). Besides wall-clock numbers,
+// each benchmark reports the structural metrics the paper's evaluation is
+// about — unit cost, unit depth, and sorting time in unit delays — via
+// b.ReportMetric, so `go test -bench=.` reproduces the paper-shape results.
+package absort_test
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"absort/internal/analysis"
+	"absort/internal/bitvec"
+	"absort/internal/cmpnet"
+	"absort/internal/columnsort"
+	"absort/internal/concentrator"
+	"absort/internal/core"
+	"absort/internal/muxnet"
+	"absort/internal/permnet"
+	"absort/internal/prefixadd"
+	"absort/internal/swapper"
+	"absort/internal/trace"
+)
+
+// E1 — Fig. 1: the four-input sorting network (cost 5, depth 3).
+func BenchmarkFig1FourInputNet(b *testing.B) {
+	nw := cmpnet.Fig1()
+	c := nw.Circuit()
+	in := bitvec.MustFromString("1010")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Eval(in)
+	}
+	b.ReportMetric(float64(nw.Cost()), "unitcost")
+	b.ReportMetric(float64(nw.Depth()), "unitdepth")
+}
+
+// E2 — Fig. 2: two-way and four-way swappers (cost n/2 and n, depth 1).
+func BenchmarkFig2Swappers(b *testing.B) {
+	for _, n := range []int{64, 256, 1024} {
+		b.Run(fmt.Sprintf("two-way/n=%d", n), func(b *testing.B) {
+			c := swapper.TwoWayCircuit(n)
+			st := c.Stats()
+			in := append(bitvec.Vector{1}, bitvec.New(n)...)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Eval(in)
+			}
+			b.ReportMetric(float64(st.UnitCost), "unitcost")
+			b.ReportMetric(float64(st.UnitDepth), "unitdepth")
+		})
+		b.Run(fmt.Sprintf("four-way/n=%d", n), func(b *testing.B) {
+			c := swapper.FourWayCircuit(n, swapper.INSwap)
+			st := c.Stats()
+			in := append(bitvec.Vector{1, 0}, bitvec.New(n)...)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Eval(in)
+			}
+			b.ReportMetric(float64(st.UnitCost), "unitcost")
+			b.ReportMetric(float64(st.UnitDepth), "unitdepth")
+		})
+	}
+}
+
+// E3 — Fig. 3: (n,k)-multiplexer and (k,n)-demultiplexer (cost ≤ n,
+// depth lg(n/k)).
+func BenchmarkFig3MuxDemux(b *testing.B) {
+	for _, tc := range []struct{ n, k int }{{16, 4}, {256, 16}} {
+		b.Run(fmt.Sprintf("mux/(%d,%d)", tc.n, tc.k), func(b *testing.B) {
+			c := muxnet.MuxNKCircuit(tc.n, tc.k)
+			st := c.Stats()
+			in := bitvec.Concat(muxnet.SelectBits(1, tc.n/tc.k), bitvec.New(tc.n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Eval(in)
+			}
+			b.ReportMetric(float64(st.UnitCost), "unitcost")
+			b.ReportMetric(float64(st.UnitDepth), "unitdepth")
+		})
+	}
+}
+
+// E4 — Fig. 4: Batcher's odd-even merge sorter vs. the alternative
+// odd-even merge network with balanced merging block.
+func BenchmarkFig4OddEvenMerge(b *testing.B) {
+	n := 16
+	nets := map[string]*cmpnet.Network{
+		"batcher":     cmpnet.OddEvenMergeSort(n),
+		"alternative": cmpnet.AlternativeOEMSort(n),
+		"fig4b-full":  cmpnet.Fig4b(n),
+	}
+	rng := rand.New(rand.NewSource(1))
+	in := bitvec.Random(rng, n)
+	for name, nw := range nets {
+		b.Run(name, func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				nw.ApplyBits(in)
+			}
+			b.ReportMetric(float64(nw.Cost()), "unitcost")
+			b.ReportMetric(float64(nw.Depth()), "unitdepth")
+		})
+	}
+}
+
+// E5 — Fig. 5: the prefix binary sorter (Network 1). Reports measured
+// cost/depth and the paper-formula ratio cost/(3n lg n).
+func BenchmarkFig5PrefixSorter(b *testing.B) {
+	for _, n := range []int{64, 256, 1024, 4096} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s := core.NewPrefixSorter(n, prefixadd.Prefix)
+			st := s.Circuit().Stats()
+			rng := rand.New(rand.NewSource(int64(n)))
+			in := bitvec.Random(rng, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Sort(in)
+			}
+			b.ReportMetric(float64(st.UnitCost), "unitcost")
+			b.ReportMetric(float64(st.UnitDepth), "unitdepth")
+			b.ReportMetric(float64(st.UnitCost)/analysis.PrefixSorterCostFormula(n), "cost/3nlgn")
+		})
+	}
+}
+
+// E6 — Table I: the mux-merger's four-way selection, exercised across all
+// bisorted inputs at n=16 per iteration.
+func BenchmarkTable1MuxMerger(b *testing.B) {
+	inputs := make([]bitvec.Vector, 0, 81)
+	bitvec.AllBisorted(16, func(v bitvec.Vector) bool {
+		inputs = append(inputs, v.Clone())
+		return true
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, v := range inputs {
+			core.MuxMerge(v)
+		}
+	}
+}
+
+// E7 — Fig. 6: the mux-merger binary sorter (Network 2). Reports measured
+// cost/depth and the ratio cost/(4n lg n).
+func BenchmarkFig6MuxMergerSorter(b *testing.B) {
+	for _, n := range []int{64, 256, 1024, 4096} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s := core.NewMuxMergerSorter(n)
+			rng := rand.New(rand.NewSource(int64(n)))
+			in := bitvec.Random(rng, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Sort(in)
+			}
+			b.ReportMetric(float64(core.MuxMergerSortCost(n)), "unitcost")
+			b.ReportMetric(float64(core.MuxMergerSortDepth(n)), "unitdepth")
+			b.ReportMetric(float64(core.MuxMergerSortCost(n))/analysis.MuxMergerCostFormula(n), "cost/4nlgn")
+		})
+	}
+}
+
+// E8 — Fig. 7: the fish binary sorter (Network 3). Reports total cost,
+// cost/n (the paper claims ≤ 17 + o(1)), and sorting times in unit delays.
+func BenchmarkFig7FishSorter(b *testing.B) {
+	for _, n := range []int{256, 4096, 65536} {
+		k := analysis.KForSize(n)
+		b.Run(fmt.Sprintf("n=%d/k=%d", n, k), func(b *testing.B) {
+			f := core.NewFishSorter(n, k)
+			rng := rand.New(rand.NewSource(int64(n)))
+			in := bitvec.Random(rng, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f.Sort(in)
+			}
+			b.ReportMetric(float64(f.Cost().Total()), "unitcost")
+			b.ReportMetric(float64(f.Cost().Total())/float64(n), "cost/n")
+			b.ReportMetric(float64(f.SortingTime(false).Total()), "time-unpiped")
+			b.ReportMetric(float64(f.SortingTime(true).Total()), "time-piped")
+		})
+	}
+}
+
+// E9 — Fig. 8: the 16-input four-way mux-merger worked example.
+func BenchmarkFig8Trace(b *testing.B) {
+	in := trace.Fig8Input()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.RenderKWayMerge(io.Discard, in, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E10 — Fig. 9: the 8-input four-way clean sorter worked example.
+func BenchmarkFig9Trace(b *testing.B) {
+	in := trace.Fig9Input()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.RenderCleanSorter(io.Discard, in, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E11 — Fig. 10: the radix permuter over both sorting engines. Reports the
+// bit-level cost and permutation-time models of equations (26)–(27).
+func BenchmarkFig10RadixPermuter(b *testing.B) {
+	for _, tc := range []struct {
+		eng  concentrator.Engine
+		kind analysis.RadixPermuterKind
+	}{
+		{concentrator.Fish, analysis.RadixFish},
+		{concentrator.MuxMerger, analysis.RadixMuxMerger},
+	} {
+		for _, n := range []int{256, 1024} {
+			b.Run(fmt.Sprintf("%s/n=%d", tc.eng, n), func(b *testing.B) {
+				rp := permnet.NewRadixPermuter(n, tc.eng, 0)
+				rng := rand.New(rand.NewSource(int64(n)))
+				dest := rng.Perm(n)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := rp.Route(dest); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(analysis.RadixPermuterCost(n, tc.kind)), "unitcost")
+				b.ReportMetric(float64(analysis.RadixPermuterTime(n, tc.kind)), "permtime")
+			})
+		}
+	}
+}
+
+// E12 — Table II: permutation-network comparison. The constructed rows
+// (Beneš + looping, Batcher word-level, our radix permuters) are actually
+// routed; metric columns carry the evaluated Table II costs.
+func BenchmarkTable2Permuters(b *testing.B) {
+	n := 1024
+	rng := rand.New(rand.NewSource(5))
+	dest := rng.Perm(n)
+	rows := analysis.Table2(n)
+
+	b.Run("benes-looping", func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := permnet.RouteBenes(dest); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(rows[0].Cost, "table2cost")
+	})
+	b.Run("batcher-word", func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := permnet.RouteBatcher(dest); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(rows[1].Cost, "table2cost")
+	})
+	b.Run("radix-muxmerger", func(b *testing.B) {
+		rp := permnet.NewRadixPermuter(n, concentrator.MuxMerger, 0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := rp.Route(dest); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(rows[4].Cost, "table2cost")
+	})
+	b.Run("radix-fish", func(b *testing.B) {
+		rp := permnet.NewRadixPermuter(n, concentrator.Fish, 0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := rp.Route(dest); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(rows[5].Cost, "table2cost")
+	})
+}
+
+// E13a — time-multiplexed columnsort vs. the fish sorter: both O(n) cost;
+// the fish sorter needs one pipelined sorter, columnsort four.
+func BenchmarkColumnsortVsFish(b *testing.B) {
+	n := 4096
+	rng := rand.New(rand.NewSource(9))
+	bits := bitvec.Random(rng, n)
+	ints := make([]int, n)
+	for i, bit := range bits {
+		ints[i] = int(bit)
+	}
+	b.Run("columnsort", func(b *testing.B) {
+		m := columnsort.TimeMultiplexedModel(n)
+		r, s := columnsort.Dimensions(n)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := columnsort.Sort(ints, r, s); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(m.TotalCost()), "modelcost")
+		b.ReportMetric(float64(m.TimePipelined), "time-piped")
+		b.ReportMetric(float64(m.Sorters), "piped-sorters")
+	})
+	b.Run("fish", func(b *testing.B) {
+		f := core.NewFishSorter(n, analysis.KForSize(n))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f.Sort(bits)
+		}
+		b.ReportMetric(float64(f.Cost().Total()), "modelcost")
+		b.ReportMetric(float64(f.SortingTime(true).Total()), "time-piped")
+		b.ReportMetric(1, "piped-sorters")
+	})
+}
+
+// E13b — the AKS crossover model from the abstract.
+func BenchmarkAKSCrossover(b *testing.B) {
+	m := analysis.DefaultAKS()
+	var sink float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += m.CostFactorAt(1 << 20)
+	}
+	b.ReportMetric(m.CrossoverDepthLg(), "crossover-lgn")
+	b.ReportMetric(m.CostFactorAt(1<<20), "aks-cost-factor@2^20")
+	_ = sink
+}
+
+// Baseline comparison: word-level sorting through the classical comparator
+// networks, to anchor the adaptive networks' advantage on binary inputs.
+func BenchmarkBaselineComparatorNetworks(b *testing.B) {
+	n := 1024
+	rng := rand.New(rand.NewSource(11))
+	in := make([]int, n)
+	for i := range in {
+		in[i] = rng.Intn(1 << 20)
+	}
+	for name, nw := range map[string]*cmpnet.Network{
+		"batcher-oem": cmpnet.OddEvenMergeSort(n),
+		"bitonic":     cmpnet.BitonicSort(n),
+	} {
+		b.Run(name, func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out := nw.ApplyInts(in)
+				if !sort.IntsAreSorted(out) {
+					b.Fatal("not sorted")
+				}
+			}
+			b.ReportMetric(float64(nw.Cost()), "comparators")
+		})
+	}
+}

@@ -1,0 +1,160 @@
+// Command absort sorts a binary sequence with one of the paper's three
+// adaptive sorting networks and reports the network's parameters.
+//
+//	absort -network muxmerger -input 1011010011110100
+//	absort -network fish -n 256 -k 8 -random -seed 7
+//	absort -network prefix -input 10/01/11/00 -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"absort/internal/bitvec"
+	"absort/internal/core"
+	"absort/internal/fishhw"
+	"absort/internal/prefixadd"
+	"absort/internal/trace"
+	"absort/internal/verify"
+)
+
+func main() {
+	var (
+		network = flag.String("network", "muxmerger", "prefix | muxmerger | fish")
+		input   = flag.String("input", "", "binary sequence ('/' separators allowed)")
+		n       = flag.Int("n", 16, "input width for -random (power of two)")
+		k       = flag.Int("k", 0, "fish group count (default: largest power of two ≤ lg n)")
+		random  = flag.Bool("random", false, "sort a random sequence of width -n")
+		seed    = flag.Int64("seed", 1, "random seed")
+		stats   = flag.Bool("stats", false, "print cost/depth statistics")
+		useHW   = flag.Bool("machine", false, "fish only: run the clocked gate-level machine (Network Model B)")
+		doVer   = flag.Bool("verify", false, "certify the chosen network over all inputs (n ≤ 20) or samples")
+		doTrace = flag.Bool("trace", false, "print a step-by-step operation walkthrough")
+	)
+	flag.Parse()
+
+	var v bitvec.Vector
+	switch {
+	case *input != "":
+		var err error
+		v, err = bitvec.FromString(*input)
+		if err != nil {
+			fatal(err)
+		}
+	case *random:
+		v = bitvec.Random(rand.New(rand.NewSource(*seed)), *n)
+	default:
+		fatal(fmt.Errorf("provide -input or -random"))
+	}
+	width := len(v)
+	if !core.IsPow2(width) {
+		fatal(fmt.Errorf("input width %d is not a power of two", width))
+	}
+
+	var sorter core.BinarySorter
+	switch *network {
+	case "prefix":
+		sorter = core.NewPrefixSorter(width, prefixadd.Prefix)
+	case "muxmerger":
+		sorter = core.NewMuxMergerSorter(width)
+	case "fish":
+		kk := *k
+		if kk == 0 {
+			kk = 2
+			for kk*2 <= core.Lg(width) {
+				kk *= 2
+			}
+		}
+		sorter = core.NewFishSorter(width, kk)
+	default:
+		fatal(fmt.Errorf("unknown network %q", *network))
+	}
+
+	out := sorter.Sort(v)
+	fmt.Printf("network: %s\ninput:   %s\nsorted:  %s\n", sorter.Name(), v, out)
+	if !out.Equal(v.Sorted()) {
+		fatal(fmt.Errorf("internal error: output not sorted"))
+	}
+
+	if *doTrace {
+		var err error
+		switch *network {
+		case "prefix":
+			_, err = trace.RenderPrefixSort(os.Stdout, v)
+		case "muxmerger":
+			_, err = trace.RenderMuxMergerSort(os.Stdout, v)
+		case "fish":
+			fs := sorter.(*core.FishSorter)
+			_, tr := fs.SortTraced(v)
+			bank := bitvec.Concat(tr.SortedBank...)
+			fmt.Printf("phase A: %d groups through the shared %d-input sorter -> %s\n",
+				fs.K(), fs.GroupSize(), bank.StringGrouped(fs.GroupSize()))
+			_, err = trace.RenderKWayMerge(os.Stdout, bank, fs.K())
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if *useHW {
+		fs, ok := sorter.(*core.FishSorter)
+		if !ok {
+			fatal(fmt.Errorf("-machine requires -network fish"))
+		}
+		m, err := fishhw.New(width, fs.K())
+		if err != nil {
+			fatal(err)
+		}
+		hwOut, st, err := m.Sort(v)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("machine: sorted %s in %d macro steps, %d unit delays (pipelined makespan %d)\n",
+			hwOut, st.MacroSteps, st.UnitDelays, m.PipelinedMakespan())
+		if !hwOut.Equal(out) {
+			fatal(fmt.Errorf("machine output disagrees with behavioral sorter"))
+		}
+	}
+
+	if *doVer {
+		var res verify.Result
+		if width <= 20 {
+			res = verify.SortsAllBinary(width, sorter.Sort, verify.Options{Minimize: true})
+			fmt.Printf("verify: exhaustive over %d inputs: ", uint64(1)<<uint(width))
+		} else {
+			res = verify.SortsSampled(width, sorter.Sort, 2000, 1, verify.Options{Minimize: true})
+			fmt.Printf("verify: sampled (%d inputs): ", res.Checked)
+		}
+		if res.OK {
+			fmt.Println("OK")
+		} else {
+			fmt.Printf("FAILED on %s -> %s\n", res.Counterexample, res.Got)
+		}
+	}
+
+	if *stats {
+		switch s := sorter.(type) {
+		case *core.PrefixSorter:
+			st := s.Circuit().Stats()
+			fmt.Printf("unit cost: %d\nunit depth: %d\ngate cost: %d\ngate depth: %d\n",
+				st.UnitCost, st.UnitDepth, st.GateCost, st.GateDepth)
+		case *core.MuxMergerSorter:
+			st := s.Circuit().Stats()
+			fmt.Printf("unit cost: %d\nunit depth: %d\ngate cost: %d\ngate depth: %d\n",
+				st.UnitCost, st.UnitDepth, st.GateCost, st.GateDepth)
+		case *core.FishSorter:
+			c := s.Cost()
+			fmt.Printf("cost: %d (mux %d + demux %d + sorter %d + merger %d), registers %d\n",
+				c.Total(), c.InputMux, c.InputDemux, c.GroupSorter, c.KWayMerger, c.Registers)
+			fmt.Printf("depth: %d\ntime (unpipelined): %d\ntime (pipelined): %d\n",
+				s.Depth(), s.SortingTime(false).Total(), s.SortingTime(true).Total())
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "absort:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,136 @@
+// Command netstat inspects any network in this module: cost and depth in
+// both accounting conventions, component census, optional exhaustive or
+// sampled verification (parallel), fault analysis, an ASCII Knuth diagram
+// for comparator networks, and Graphviz DOT export of the netlist.
+//
+//	netstat -network muxmerger -n 16 -verify
+//	netstat -network batcher -n 8 -diagram -faults
+//	netstat -network prefix -n 64 -dot prefix64.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"absort/internal/boolsort"
+	"absort/internal/cmpnet"
+	"absort/internal/core"
+	"absort/internal/fault"
+	"absort/internal/netlist"
+	"absort/internal/prefixadd"
+	"absort/internal/verify"
+)
+
+func main() {
+	var (
+		network = flag.String("network", "muxmerger",
+			"muxmerger | prefix | boolsort | fig1 | batcher | bitonic | oet | balanced | periodic | altoem | hybrid")
+		n       = flag.Int("n", 16, "network width (power of two for most networks)")
+		block   = flag.Int("block", 4, "block size for -network hybrid")
+		doVer   = flag.Bool("verify", false, "verify the sorting property (exhaustive ≤ 2^20 inputs, sampled beyond)")
+		doFault = flag.Bool("faults", false, "run fault analysis (dead comparators for comparator networks, stuck-at coverage for netlists)")
+		diagram = flag.Bool("diagram", false, "print an ASCII Knuth diagram (comparator networks only)")
+		dotPath = flag.String("dot", "", "write Graphviz DOT of the netlist to this file")
+	)
+	flag.Parse()
+
+	var (
+		circuit *netlist.Circuit
+		cnet    *cmpnet.Network
+	)
+	switch *network {
+	case "muxmerger":
+		circuit = core.NewMuxMergerSorter(*n).Circuit()
+	case "prefix":
+		circuit = core.NewPrefixSorter(*n, prefixadd.Prefix).Circuit()
+	case "boolsort":
+		circuit = boolsort.Circuit(*n)
+	case "fig1":
+		cnet = cmpnet.Fig1()
+	case "batcher":
+		cnet = cmpnet.OddEvenMergeSort(*n)
+	case "bitonic":
+		cnet = cmpnet.BitonicSort(*n)
+	case "oet":
+		cnet = cmpnet.OddEvenTransposition(*n)
+	case "balanced":
+		cnet = cmpnet.BalancedMergingBlock(*n)
+	case "periodic":
+		cnet = cmpnet.PeriodicBalancedSort(*n)
+	case "altoem":
+		cnet = cmpnet.AlternativeOEMSort(*n)
+	case "hybrid":
+		cnet = cmpnet.HybridOEMSort(*n, *block)
+	default:
+		fmt.Fprintf(os.Stderr, "netstat: unknown network %q\n", *network)
+		os.Exit(2)
+	}
+	if cnet != nil {
+		circuit = cnet.Circuit()
+	}
+
+	st := circuit.Stats()
+	fmt.Printf("network:    %s\n", circuit.Name())
+	fmt.Printf("inputs:     %d\noutputs:    %d\nwires:      %d\n",
+		circuit.NumInputs(), circuit.NumOutputs(), circuit.NumWires())
+	fmt.Printf("unit cost:  %d\nunit depth: %d\ngate cost:  %d\ngate depth: %d\n",
+		st.UnitCost, st.UnitDepth, st.GateCost, st.GateDepth)
+	fmt.Println("components:")
+	for kind, count := range st.Counts {
+		fmt.Printf("  %-12s %d\n", kind, count)
+	}
+
+	if *diagram {
+		if cnet == nil {
+			fmt.Fprintln(os.Stderr, "netstat: -diagram requires a comparator network")
+		} else {
+			fmt.Println()
+			fmt.Print(cnet.Diagram())
+		}
+	}
+
+	if *doVer {
+		width := circuit.NumInputs()
+		var res verify.Result
+		if width <= 20 {
+			res = verify.SortsAllBinary(width, circuit.Eval, verify.Options{Minimize: true})
+			fmt.Printf("verify:     exhaustive over %d inputs: ", uint64(1)<<uint(width))
+		} else {
+			res = verify.SortsSampled(width, circuit.Eval, 2000, 1, verify.Options{Minimize: true})
+			fmt.Printf("verify:     sampled (%d inputs): ", res.Checked)
+		}
+		if res.OK {
+			fmt.Println("OK")
+		} else {
+			fmt.Printf("FAILED on %s -> %s\n", res.Counterexample, res.Got)
+		}
+	}
+
+	if *doFault {
+		if cnet != nil {
+			exhaustive := cnet.N() <= 12
+			r := fault.AnalyzeDeadComparators(cnet, exhaustive, 500, 1)
+			fmt.Printf("dead-comparator faults: %d/%d tolerated (%.0f%%), worst displacement %d\n",
+				r.Tolerated, r.Comparators, 100*r.ToleranceRatio(), r.WorstDisplacement)
+		}
+		tests := fault.RandomTestSet(circuit.NumInputs(), 48, 1)
+		covered, total := fault.StuckAtCoverage(circuit, tests)
+		fmt.Printf("stuck-at coverage (%d random tests): %d/%d faults (%.1f%%)\n",
+			len(tests), covered, total, 100*float64(covered)/float64(total))
+	}
+
+	if *dotPath != "" {
+		f, err := os.Create(*dotPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "netstat:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := circuit.WriteDOT(f); err != nil {
+			fmt.Fprintln(os.Stderr, "netstat:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("DOT written to %s\n", *dotPath)
+	}
+}

@@ -1,0 +1,82 @@
+// Command permroute routes permutations through the paper's Fig. 10 radix
+// permuter and through the Beneš baseline, verifying delivery and
+// reporting cost/time figures from Table II.
+//
+//	permroute -n 256 -trials 5 -engine fish
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"absort/internal/analysis"
+	"absort/internal/concentrator"
+	"absort/internal/core"
+	"absort/internal/permnet"
+)
+
+func main() {
+	var (
+		n      = flag.Int("n", 64, "network width (power of two)")
+		trials = flag.Int("trials", 3, "random permutations to route")
+		seed   = flag.Int64("seed", 1, "random seed")
+		engine = flag.String("engine", "fish", "fish | muxmerger | prefix")
+	)
+	flag.Parse()
+	if !core.IsPow2(*n) {
+		fmt.Fprintf(os.Stderr, "permroute: n=%d is not a power of two\n", *n)
+		os.Exit(1)
+	}
+	var eng concentrator.Engine
+	var kind analysis.RadixPermuterKind
+	switch *engine {
+	case "fish":
+		eng, kind = concentrator.Fish, analysis.RadixFish
+	case "muxmerger":
+		eng, kind = concentrator.MuxMerger, analysis.RadixMuxMerger
+	case "prefix":
+		eng, kind = concentrator.PrefixAdder, analysis.RadixMuxMerger
+	default:
+		fmt.Fprintf(os.Stderr, "permroute: unknown engine %q\n", *engine)
+		os.Exit(1)
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	rp := permnet.NewRadixPermuter(*n, eng, 0)
+	fmt.Printf("radix permuter (Fig. 10), n=%d, engine=%s\n", *n, eng)
+	fmt.Printf("  bit-level cost (model): %d   permutation time (model): %d\n",
+		analysis.RadixPermuterCost(*n, kind), analysis.RadixPermuterTime(*n, kind))
+	fmt.Printf("Beneš baseline: %d switches, %d stages\n",
+		permnet.BenesCost(*n), permnet.BenesDepth(*n))
+
+	for t := 0; t < *trials; t++ {
+		dest := rng.Perm(*n)
+		p, err := rp.Route(dest)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "permroute:", err)
+			os.Exit(1)
+		}
+		okRadix := permnet.VerifyRouting(dest, p)
+
+		cfg, steps, err := permnet.RouteBenes(dest)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "permroute:", err)
+			os.Exit(1)
+		}
+		in := make([]int, *n)
+		for i := range in {
+			in[i] = i
+		}
+		out := permnet.ApplyBenes(cfg, in)
+		okBenes := true
+		for i := range in {
+			if out[dest[i]] != i {
+				okBenes = false
+			}
+		}
+		fmt.Printf("trial %d: radix delivered=%v   Beneš delivered=%v (looping steps %d)\n",
+			t+1, okRadix, okBenes, steps)
+	}
+}

@@ -1,0 +1,51 @@
+// Command tables regenerates the data behind every table and figure of the
+// paper (experiments E1–E13 of DESIGN.md plus the X-series extensions).
+// The experiment pipeline lives in internal/report, which is unit-tested;
+// this command only selects and renders.
+//
+//	tables -exp all
+//	tables -exp fig7 -format csv
+//	tables -exp table2 -format markdown
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"absort/internal/report"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id or 'all' (available: "+
+		strings.Join(report.IDs(), ", ")+")")
+	format := flag.String("format", "text", "output format: text | csv | markdown")
+	flag.Parse()
+
+	f, err := report.ParseFormat(*format)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(2)
+	}
+
+	if *exp == "all" {
+		for _, r := range report.All() {
+			if err := r.Render(os.Stdout, f); err != nil {
+				fmt.Fprintln(os.Stderr, "tables:", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	r, ok := report.ByID(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "tables: unknown experiment %q; available: %v all\n",
+			*exp, report.IDs())
+		os.Exit(2)
+	}
+	if err := r.Render(os.Stdout, f); err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
+}

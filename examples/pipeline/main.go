@@ -1,0 +1,57 @@
+// Pipeline example: the fish sorter's pipelining trade-off (Section III-C,
+// equations (22)–(26)). The k groups of n/k inputs share one small sorter;
+// without pipelining each group occupies it for the sorter's full depth,
+// while with pipelining a new group enters every unit delay. This example
+// sweeps k and reproduces the O(lg³ n) → O(lg² n) sorting-time drop, and
+// contrasts the pipelining burden with the time-multiplexed columnsort
+// network (four separately pipelined sorters vs. the fish sorter's one).
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"text/tabwriter"
+
+	"absort"
+	"absort/internal/columnsort"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(99))
+	const n = 4096
+
+	fmt.Printf("fish sorter k-sweep at n = %d (lg³n = %d, lg²n = %d)\n",
+		n, cube(absort.Lg(n)), absort.Lg(n)*absort.Lg(n))
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "k\tcost\tunpipelined time\tpipelined time\tspeedup\tsorted ok")
+	for k := 2; k <= 64; k *= 2 {
+		f := absort.NewFishSorter(n, k)
+		v := make([]absort.Bit, n)
+		for i := range v {
+			v[i] = absort.Bit(rng.Intn(2))
+		}
+		out := f.Sort(v)
+		ok := true
+		for i := 1; i < len(out); i++ {
+			if out[i-1] > out[i] {
+				ok = false
+			}
+		}
+		un := f.SortingTime(false).Total()
+		pi := f.SortingTime(true).Total()
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%.2f×\t%v\n",
+			k, f.Cost().Total(), un, pi, float64(un)/float64(pi), ok)
+	}
+	w.Flush()
+
+	fmt.Println("\npipelining burden vs. time-multiplexed columnsort:")
+	m := columnsort.TimeMultiplexedModel(n)
+	fish := absort.NewFishSorter(n, absort.FishK(n))
+	fmt.Printf("  columnsort network: %d separately pipelined sorters, pipelined time %d\n",
+		m.Sorters, m.TimePipelined)
+	fmt.Printf("  fish sorter:        1 pipelined sorter,              pipelined time %d\n",
+		fish.SortingTime(true).Total())
+}
+
+func cube(x int) int { return x * x * x }

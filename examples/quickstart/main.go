@@ -1,0 +1,42 @@
+// Quickstart: sort a binary sequence with each of the paper's three
+// adaptive sorting networks through the public absort API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"absort"
+)
+
+func main() {
+	v, err := absort.ParseBits("1011/0100/0010/1110")
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := len(v)
+
+	sorters := []absort.Sorter{
+		absort.NewPrefixSorter(n),                // Network 1: prefix-adder steered
+		absort.NewMuxMergerSorter(n),             // Network 2: adder-free
+		absort.NewFishSorter(n, absort.FishK(n)), // Network 3: time-multiplexed, O(n) cost
+	}
+	fmt.Printf("input:  %s\n", v)
+	for _, s := range sorters {
+		fmt.Printf("%-24s -> %s\n", s.Name(), s.Sort(v))
+	}
+
+	// The combinational sorters expose exact gate-level netlists.
+	mm := absort.NewMuxMergerSorter(n)
+	st := mm.Circuit().Stats()
+	fmt.Printf("\n%s: unit cost %d (paper: 4n lg n = %d), unit depth %d (lg²n = %d)\n",
+		mm.Name(), st.UnitCost, 4*n*absort.Lg(n), st.UnitDepth,
+		absort.Lg(n)*absort.Lg(n))
+
+	// The fish sorter reports its O(n) cost itemization and timing model.
+	fish := absort.NewFishSorter(256, 8)
+	c := fish.Cost()
+	fmt.Printf("%s: cost %d ≤ 17n = %d; time %d unpipelined, %d pipelined\n",
+		fish.Name(), c.Total(), 17*256,
+		fish.SortingTime(false).Total(), fish.SortingTime(true).Total())
+}

@@ -1,0 +1,66 @@
+// Wordsort example: the paper's Section I observation that "the
+// permutation and sorting problems can be broken into a sequence of
+// sorting steps on binary sequences", made concrete: a switch's output
+// scheduler sorts 256 queued packets by an 8-bit priority field, stably,
+// where every radix pass is a stable binary split physically routed
+// through the Fig. 10 radix permutation network built from fish binary
+// sorters.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"absort"
+)
+
+type packet struct {
+	id       int
+	priority uint64 // 0 = most urgent
+	flow     string
+}
+
+func main() {
+	const n = 256
+	rng := rand.New(rand.NewSource(2026))
+
+	queue := make([]packet, n)
+	flows := []string{"voice", "video", "bulk", "control"}
+	for i := range queue {
+		queue[i] = packet{
+			id:       i,
+			priority: uint64(rng.Intn(256)),
+			flow:     flows[rng.Intn(len(flows))],
+		}
+	}
+
+	sorter, err := absort.NewWordSorter(n, 8, absort.EngineFish)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scheduled, err := absort.SortRecordsBy(sorter, queue,
+		func(p packet) uint64 { return p.priority })
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("scheduled %d packets in %d binary sorting passes\n",
+		n, sorter.Passes())
+	fmt.Println("first 8 departures:")
+	for _, p := range scheduled[:8] {
+		fmt.Printf("  prio %3d  %-7s packet #%d\n", p.priority, p.flow, p.id)
+	}
+
+	// Stability check: among equal priorities, arrival order is preserved
+	// (a property the adaptive sorters alone do not give — the ranking
+	// split supplies it, the permuter moves the data).
+	stable := true
+	for i := 1; i < n; i++ {
+		a, b := scheduled[i-1], scheduled[i]
+		if a.priority > b.priority || (a.priority == b.priority && a.id > b.id) {
+			stable = false
+		}
+	}
+	fmt.Printf("sorted and stable: %v\n", stable)
+}

@@ -1,0 +1,3 @@
+module absort
+
+go 1.22

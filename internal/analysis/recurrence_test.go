@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"testing"
+
+	"absort/internal/core"
+)
+
+// TestPatchUpRecurrences: closed forms of (3)/(4).
+func TestPatchUpRecurrences(t *testing.T) {
+	for _, n := range []int{4, 16, 256, 4096} {
+		lg := core.Lg(n)
+		// Cp(n) = 3n/2 + 3n/4 + ... + 3·2/2... solves to 3n − 5 exactly.
+		if got, want := PatchUpCostRec(n), 3*n-5; got != want {
+			t.Errorf("n=%d: Cp recurrence = %d, want %d", n, got, want)
+		}
+		if PatchUpCostRec(n) > 3*n {
+			t.Errorf("n=%d: paper bound Cp ≤ 3n violated", n)
+		}
+		// Dp(n) = 3(lg n − 1) + 1 = 3 lg n − 2.
+		if got, want := PatchUpDepthRec(n), 3*lg-2; got != want {
+			t.Errorf("n=%d: Dp recurrence = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// TestMuxMergerRecurrences: the (6) depth recurrence really solves to
+// Θ(lg² n), not the paper's printed 2 lg n.
+func TestMuxMergerRecurrences(t *testing.T) {
+	for _, n := range []int{4, 64, 1024} {
+		lg := core.Lg(n)
+		want := lg*lg + lg - 1 // Σ_{j=2..lg n} 2j + 1
+		if got := MuxMergerDepthRec(n); got != want {
+			t.Errorf("n=%d: D recurrence = %d, want lg²n+lg n−1 = %d", n, got, want)
+		}
+		if got := MuxMergerCostRec(n); got > 4*n*lg || got < 4*n*lg-4*n {
+			t.Errorf("n=%d: C recurrence = %d outside [4n lg n − 4n, 4n lg n]", n, got)
+		}
+	}
+}
+
+// TestKWayMergerClosedFormMatchesRecurrence: equation (15) solves (11)
+// within lower-order slack.
+func TestKWayMergerClosedFormMatchesRecurrence(t *testing.T) {
+	for _, n := range []int{256, 4096, 65536} {
+		k := KForSize(n)
+		rec := KWayMergerCostRec(n, k)
+		closed := KWayMergerCostClosed(n, k)
+		diff := rec - closed
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff*20 > rec {
+			t.Errorf("n=%d k=%d: recurrence %d vs closed form %d differ > 5%%",
+				n, k, rec, closed)
+		}
+	}
+}
+
+// TestRecurrenceAuditFlagsTypos: the audit marks equations (4) and (6) as
+// disagreeing with their printed solutions — the two typos EXPERIMENTS.md
+// documents — and everything else as agreeing.
+func TestRecurrenceAuditFlagsTypos(t *testing.T) {
+	rows := RecurrenceAudit(1024)
+	if len(rows) != 5 {
+		t.Fatalf("%d audit rows", len(rows))
+	}
+	wantAgree := map[string]bool{
+		"(3)": true, "(4)": false, "(5)": true, "(6)": false, "(11)/(15)": true,
+	}
+	for _, r := range rows {
+		for prefix, want := range wantAgree {
+			if len(r.Equation) >= len(prefix) && r.Equation[:len(prefix)] == prefix {
+				if r.Agrees != want {
+					t.Errorf("%s: agrees=%v, want %v (rec %d, stated %d)",
+						r.Equation, r.Agrees, want, r.Recurrence, r.Stated)
+				}
+			}
+		}
+	}
+}
+
+// TestRecurrencesMatchBuiltNetworks ties the audit back to hardware: the
+// paper's recurrence solutions bound the measured netlists.
+func TestRecurrencesMatchBuiltNetworks(t *testing.T) {
+	for _, n := range []int{16, 256} {
+		mm := core.NewMuxMergerSorter(n).Circuit().Stats()
+		if mm.UnitCost > MuxMergerCostRec(n) {
+			t.Errorf("n=%d: measured mux-merger cost %d exceeds recurrence %d",
+				n, mm.UnitCost, MuxMergerCostRec(n))
+		}
+		if mm.UnitDepth > MuxMergerDepthRec(n) {
+			t.Errorf("n=%d: measured mux-merger depth %d exceeds recurrence %d",
+				n, mm.UnitDepth, MuxMergerDepthRec(n))
+		}
+	}
+}

@@ -1,0 +1,551 @@
+// Package bitvec provides the binary-sequence type used throughout the
+// adaptive binary sorting networks of Chien and Oruç, together with the
+// structural predicates the paper's theorems are stated in terms of:
+// sorted, clean, bisorted, k-sorted, clean k-sorted, and membership in the
+// regular class A_n of Definition 1.
+package bitvec
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Bit is a single binary element. Only the values 0 and 1 are meaningful.
+type Bit uint8
+
+// Vector is a sequence of bits. Networks in this module sort Vectors in
+// ascending order (all 0s before all 1s), matching the paper's convention.
+type Vector []Bit
+
+// New returns a zeroed Vector of length n.
+func New(n int) Vector { return make(Vector, n) }
+
+// FromString parses a vector from a string of '0' and '1' characters.
+// '/' and space characters are ignored, so the paper's notation
+// "00/1010/11" parses directly.
+func FromString(s string) (Vector, error) {
+	v := make(Vector, 0, len(s))
+	for _, c := range s {
+		switch c {
+		case '0':
+			v = append(v, 0)
+		case '1':
+			v = append(v, 1)
+		case '/', ' ', '_':
+		default:
+			return nil, fmt.Errorf("bitvec: invalid character %q in %q", c, s)
+		}
+	}
+	return v, nil
+}
+
+// MustFromString is FromString but panics on malformed input. It is intended
+// for tests and package-level examples with literal inputs.
+func MustFromString(s string) Vector {
+	v, err := FromString(s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// FromUint returns the n-bit vector whose element i is bit (n-1-i) of x,
+// i.e. the usual big-endian expansion, so FromUint(0b0011, 4) = "0011".
+func FromUint(x uint64, n int) Vector {
+	v := make(Vector, n)
+	for i := 0; i < n; i++ {
+		v[i] = Bit((x >> uint(n-1-i)) & 1)
+	}
+	return v
+}
+
+// Uint packs v back into an integer, inverse of FromUint. Panics if
+// len(v) > 64.
+func (v Vector) Uint() uint64 {
+	if len(v) > 64 {
+		panic("bitvec: Uint on vector longer than 64")
+	}
+	var x uint64
+	for _, b := range v {
+		x = x<<1 | uint64(b&1)
+	}
+	return x
+}
+
+// String renders the vector as a string of '0'/'1' characters.
+func (v Vector) String() string {
+	var sb strings.Builder
+	sb.Grow(len(v))
+	for _, b := range v {
+		if b == 0 {
+			sb.WriteByte('0')
+		} else {
+			sb.WriteByte('1')
+		}
+	}
+	return sb.String()
+}
+
+// StringGrouped renders the vector with '/' every k elements, matching the
+// paper's notation for k-sorted sequences (e.g. "1111/0001/0011/0111").
+func (v Vector) StringGrouped(k int) string {
+	if k <= 0 || k >= len(v) {
+		return v.String()
+	}
+	var sb strings.Builder
+	for i, b := range v {
+		if i > 0 && i%k == 0 {
+			sb.WriteByte('/')
+		}
+		if b == 0 {
+			sb.WriteByte('0')
+		} else {
+			sb.WriteByte('1')
+		}
+	}
+	return sb.String()
+}
+
+// Clone returns an independent copy of v.
+func (v Vector) Clone() Vector {
+	w := make(Vector, len(v))
+	copy(w, v)
+	return w
+}
+
+// Equal reports whether v and w have identical length and contents.
+func (v Vector) Equal(w Vector) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i := range v {
+		if v[i] != w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Ones returns the number of 1 elements in v.
+func (v Vector) Ones() int {
+	n := 0
+	for _, b := range v {
+		n += int(b & 1)
+	}
+	return n
+}
+
+// Zeros returns the number of 0 elements in v.
+func (v Vector) Zeros() int { return len(v) - v.Ones() }
+
+// Complement returns the element-wise complement of v.
+func (v Vector) Complement() Vector {
+	w := make(Vector, len(v))
+	for i, b := range v {
+		w[i] = b ^ 1
+	}
+	return w
+}
+
+// Reverse returns v in reverse order.
+func (v Vector) Reverse() Vector {
+	w := make(Vector, len(v))
+	for i, b := range v {
+		w[len(v)-1-i] = b
+	}
+	return w
+}
+
+// Sorted returns the ascending sort of v: Zeros() 0s followed by Ones() 1s.
+func (v Vector) Sorted() Vector {
+	w := make(Vector, len(v))
+	for i := v.Zeros(); i < len(v); i++ {
+		w[i] = 1
+	}
+	return w
+}
+
+// Halves splits v into its upper (first) and lower (second) halves.
+// Panics if len(v) is odd.
+func (v Vector) Halves() (upper, lower Vector) {
+	if len(v)%2 != 0 {
+		panic("bitvec: Halves of odd-length vector")
+	}
+	h := len(v) / 2
+	return v[:h], v[h:]
+}
+
+// Quarters splits v into its four quarters, top to bottom.
+// Panics if len(v) is not divisible by 4.
+func (v Vector) Quarters() [4]Vector {
+	if len(v)%4 != 0 {
+		panic("bitvec: Quarters of length not divisible by 4")
+	}
+	q := len(v) / 4
+	return [4]Vector{v[:q], v[q : 2*q], v[2*q : 3*q], v[3*q:]}
+}
+
+// Blocks splits v into k equal contiguous blocks. Panics if k does not
+// divide len(v).
+func (v Vector) Blocks(k int) []Vector {
+	if k <= 0 || len(v)%k != 0 {
+		panic(fmt.Sprintf("bitvec: Blocks(%d) of length-%d vector", k, len(v)))
+	}
+	sz := len(v) / k
+	out := make([]Vector, k)
+	for i := range out {
+		out[i] = v[i*sz : (i+1)*sz]
+	}
+	return out
+}
+
+// Concat concatenates the given vectors into a new Vector.
+func Concat(vs ...Vector) Vector {
+	n := 0
+	for _, v := range vs {
+		n += len(v)
+	}
+	out := make(Vector, 0, n)
+	for _, v := range vs {
+		out = append(out, v...)
+	}
+	return out
+}
+
+// Shuffle returns the perfect shuffle of v: for even n the output interleaves
+// the two halves, out = v[0], v[n/2], v[1], v[n/2+1], ...
+// This is the "two-way shuffle connection" of Fig. 2(a) and the shuffle used
+// in Theorem 1. Panics if len(v) is odd.
+func (v Vector) Shuffle() Vector {
+	if len(v)%2 != 0 {
+		panic("bitvec: Shuffle of odd-length vector")
+	}
+	h := len(v) / 2
+	w := make(Vector, len(v))
+	for i := 0; i < h; i++ {
+		w[2*i] = v[i]
+		w[2*i+1] = v[h+i]
+	}
+	return w
+}
+
+// Unshuffle is the inverse of Shuffle.
+func (v Vector) Unshuffle() Vector {
+	if len(v)%2 != 0 {
+		panic("bitvec: Unshuffle of odd-length vector")
+	}
+	h := len(v) / 2
+	w := make(Vector, len(v))
+	for i := 0; i < h; i++ {
+		w[i] = v[2*i]
+		w[h+i] = v[2*i+1]
+	}
+	return w
+}
+
+// IsSorted reports whether v is sorted ascending (no 1 precedes a 0).
+func (v Vector) IsSorted() bool {
+	for i := 1; i < len(v); i++ {
+		if v[i-1] > v[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsClean reports whether v is clean-sorted in the sense of Definition 2:
+// all elements identical (all 0 or all 1). The empty vector is clean.
+func (v Vector) IsClean() bool {
+	for i := 1; i < len(v); i++ {
+		if v[i] != v[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsBisorted reports whether each half of v is sorted (Definition 3).
+func (v Vector) IsBisorted() bool {
+	if len(v)%2 != 0 {
+		return false
+	}
+	u, l := v.Halves()
+	return u.IsSorted() && l.IsSorted()
+}
+
+// IsKSorted reports whether v consists of k equal-size sorted subsequences
+// (Definition 4's "clean k-sorted" is IsCleanKSorted; the paper also uses
+// plain "k-sorted" for this weaker property).
+func (v Vector) IsKSorted(k int) bool {
+	if k <= 0 || len(v)%k != 0 {
+		return false
+	}
+	for _, b := range v.Blocks(k) {
+		if !b.IsSorted() {
+			return false
+		}
+	}
+	return true
+}
+
+// IsCleanKSorted reports whether v consists of k equal-size clean-sorted
+// subsequences, each all-0 or all-1 (Definition 5).
+func (v Vector) IsCleanKSorted(k int) bool {
+	if k <= 0 || len(v)%k != 0 {
+		return false
+	}
+	for _, b := range v.Blocks(k) {
+		if !b.IsClean() {
+			return false
+		}
+	}
+	return true
+}
+
+// InClassA reports whether v belongs to the set A_n of Definition 1:
+//
+//	A_n = {0,1}^n ∩ [((00)*+(11)*)((01)*+(10)*)((00)*+(11)*)]
+//
+// i.e. v is a (possibly empty) run of 00s or of 11s, followed by a
+// (possibly empty) run of 01s or of 10s, followed by a (possibly empty)
+// run of 00s or of 11s. Zero multiples of each part are allowed.
+func (v Vector) InClassA() bool {
+	if len(v)%2 != 0 {
+		return false
+	}
+	// Try every split of v into three even-length parts Z_a, Z_b, Z_c with
+	// Z_a, Z_c ∈ (00)*+(11)* and Z_b ∈ (01)*+(10)*. n is small enough in
+	// all uses (test/verification paths) that the O(n²) scan is fine, but
+	// we do it in one linear pass instead: measure the maximal prefix run
+	// of equal pairs, the maximal following run of unequal pairs, and the
+	// maximal trailing run of equal pairs; greedy works because the three
+	// languages are runs of a single repeated pair each.
+	pairs := len(v) / 2
+	i := 0
+	// Leading (00)* or (11)*: all pairs equal to the first pair, which must
+	// itself be "00" or "11".
+	if i < pairs && v[0] == v[1] {
+		first := v[0]
+		for i < pairs && v[2*i] == first && v[2*i+1] == first {
+			i++
+		}
+	}
+	// Middle (01)* or (10)*: pairs of unequal bits, all equal to the first
+	// such pair.
+	if i < pairs && v[2*i] != v[2*i+1] {
+		a, b := v[2*i], v[2*i+1]
+		for i < pairs && v[2*i] == a && v[2*i+1] == b {
+			i++
+		}
+	}
+	// Trailing (00)* or (11)*.
+	if i < pairs && v[2*i] == v[2*i+1] {
+		c := v[2*i]
+		for i < pairs && v[2*i] == c && v[2*i+1] == c {
+			i++
+		}
+	}
+	return i == pairs
+}
+
+// Random returns a uniformly random n-bit vector drawn from rng.
+func Random(rng *rand.Rand, n int) Vector {
+	v := make(Vector, n)
+	for i := range v {
+		v[i] = Bit(rng.Intn(2))
+	}
+	return v
+}
+
+// RandomWithOnes returns a random n-bit vector with exactly m ones.
+func RandomWithOnes(rng *rand.Rand, n, m int) Vector {
+	if m < 0 || m > n {
+		panic(fmt.Sprintf("bitvec: RandomWithOnes(%d, %d)", n, m))
+	}
+	v := make(Vector, n)
+	for i := 0; i < m; i++ {
+		v[i] = 1
+	}
+	rng.Shuffle(n, func(i, j int) { v[i], v[j] = v[j], v[i] })
+	return v
+}
+
+// RandomSorted returns a random sorted n-bit vector (uniform over the n+1
+// sorted vectors).
+func RandomSorted(rng *rand.Rand, n int) Vector {
+	m := rng.Intn(n + 1)
+	v := make(Vector, n)
+	for i := n - m; i < n; i++ {
+		v[i] = 1
+	}
+	return v
+}
+
+// RandomBisorted returns a random bisorted n-bit vector.
+func RandomBisorted(rng *rand.Rand, n int) Vector {
+	if n%2 != 0 {
+		panic("bitvec: RandomBisorted of odd length")
+	}
+	return Concat(RandomSorted(rng, n/2), RandomSorted(rng, n/2))
+}
+
+// RandomKSorted returns a random k-sorted n-bit vector (k sorted blocks).
+func RandomKSorted(rng *rand.Rand, n, k int) Vector {
+	if k <= 0 || n%k != 0 {
+		panic(fmt.Sprintf("bitvec: RandomKSorted(%d, %d)", n, k))
+	}
+	blocks := make([]Vector, k)
+	for i := range blocks {
+		blocks[i] = RandomSorted(rng, n/k)
+	}
+	return Concat(blocks...)
+}
+
+// RandomClassA returns a random member of A_n, built directly from the
+// regular expression of Definition 1.
+func RandomClassA(rng *rand.Rand, n int) Vector {
+	if n%2 != 0 {
+		panic("bitvec: RandomClassA of odd length")
+	}
+	pairs := n / 2
+	i := rng.Intn(pairs + 1)
+	j := rng.Intn(pairs - i + 1)
+	kk := pairs - i - j
+	lead := Bit(rng.Intn(2))
+	midA := Bit(rng.Intn(2))
+	tail := Bit(rng.Intn(2))
+	v := make(Vector, 0, n)
+	for p := 0; p < i; p++ {
+		v = append(v, lead, lead)
+	}
+	for p := 0; p < j; p++ {
+		v = append(v, midA, midA^1)
+	}
+	for p := 0; p < kk; p++ {
+		v = append(v, tail, tail)
+	}
+	return v
+}
+
+// All calls fn with every n-bit vector in lexicographic order. It is the
+// exhaustive-test driver; n must be ≤ 24 to keep enumeration sane.
+func All(n int, fn func(Vector) bool) bool {
+	if n > 24 {
+		panic("bitvec: All with n > 24")
+	}
+	v := make(Vector, n)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == n {
+			return fn(v)
+		}
+		v[i] = 0
+		if !rec(i + 1) {
+			return false
+		}
+		v[i] = 1
+		return rec(i + 1)
+	}
+	return rec(0)
+}
+
+// AllSorted calls fn with every sorted n-bit vector (there are n+1).
+func AllSorted(n int, fn func(Vector) bool) bool {
+	for m := 0; m <= n; m++ {
+		v := make(Vector, n)
+		for i := n - m; i < n; i++ {
+			v[i] = 1
+		}
+		if !fn(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// AllBisorted calls fn with every bisorted n-bit vector ((n/2+1)² of them).
+func AllBisorted(n int, fn func(Vector) bool) bool {
+	if n%2 != 0 {
+		panic("bitvec: AllBisorted of odd length")
+	}
+	h := n / 2
+	ok := true
+	AllSorted(h, func(u Vector) bool {
+		uu := u.Clone()
+		AllSorted(h, func(l Vector) bool {
+			if !fn(Concat(uu, l)) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	})
+	return ok
+}
+
+// AllKSorted calls fn with every k-sorted n-bit vector ((n/k+1)^k of them).
+func AllKSorted(n, k int, fn func(Vector) bool) bool {
+	if k <= 0 || n%k != 0 {
+		panic("bitvec: AllKSorted with k not dividing n")
+	}
+	blocks := make([]Vector, k)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == k {
+			return fn(Concat(blocks...))
+		}
+		return AllSorted(n/k, func(b Vector) bool {
+			blocks[i] = b.Clone()
+			return rec(i + 1)
+		})
+	}
+	return rec(0)
+}
+
+// AllClassA calls fn with every member of A_n (Definition 1) exactly once.
+// |A_n| grows only quadratically in n, so exhaustive sweeps remain cheap
+// even at n = 256. The enumeration follows the regular expression: i pairs
+// of the leading kind, j pairs of the middle kind, and the remaining pairs
+// of the trailing kind.
+func AllClassA(n int, fn func(Vector) bool) bool {
+	if n%2 != 0 {
+		panic("bitvec: AllClassA of odd length")
+	}
+	pairs := n / 2
+	seen := make(map[string]bool)
+	emit := func(v Vector) bool {
+		s := v.String()
+		if seen[s] {
+			return true
+		}
+		seen[s] = true
+		return fn(v)
+	}
+	for i := 0; i <= pairs; i++ {
+		for j := 0; i+j <= pairs; j++ {
+			k := pairs - i - j
+			for _, lead := range []Bit{0, 1} {
+				for _, mid := range []Bit{0, 1} {
+					for _, tail := range []Bit{0, 1} {
+						v := make(Vector, 0, n)
+						for p := 0; p < i; p++ {
+							v = append(v, lead, lead)
+						}
+						for p := 0; p < j; p++ {
+							v = append(v, mid, mid^1)
+						}
+						for p := 0; p < k; p++ {
+							v = append(v, tail, tail)
+						}
+						if !emit(v) {
+							return false
+						}
+					}
+				}
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,415 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromString(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+		ok   bool
+	}{
+		{"0101", "0101", true},
+		{"00/1010/11", "00101011", true},
+		{"", "", true},
+		{"01 10", "0110", true},
+		{"01x", "", false},
+	}
+	for _, c := range cases {
+		v, err := FromString(c.in)
+		if c.ok && err != nil {
+			t.Errorf("FromString(%q): unexpected error %v", c.in, err)
+			continue
+		}
+		if !c.ok {
+			if err == nil {
+				t.Errorf("FromString(%q): expected error", c.in)
+			}
+			continue
+		}
+		if v.String() != c.want {
+			t.Errorf("FromString(%q) = %q, want %q", c.in, v, c.want)
+		}
+	}
+}
+
+func TestMustFromStringPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustFromString on bad input did not panic")
+		}
+	}()
+	MustFromString("012")
+}
+
+func TestUintRoundTrip(t *testing.T) {
+	for n := 0; n <= 10; n++ {
+		for x := uint64(0); x < 1<<uint(n); x++ {
+			v := FromUint(x, n)
+			if got := v.Uint(); got != x {
+				t.Fatalf("FromUint(%d,%d).Uint() = %d", x, n, got)
+			}
+		}
+	}
+}
+
+func TestStringGrouped(t *testing.T) {
+	v := MustFromString("1111000100110111")
+	if got := v.StringGrouped(4); got != "1111/0001/0011/0111" {
+		t.Errorf("StringGrouped(4) = %q", got)
+	}
+	if got := v.StringGrouped(0); got != v.String() {
+		t.Errorf("StringGrouped(0) = %q", got)
+	}
+}
+
+func TestOnesZeros(t *testing.T) {
+	v := MustFromString("0110101")
+	if v.Ones() != 4 || v.Zeros() != 3 {
+		t.Errorf("Ones/Zeros = %d/%d, want 4/3", v.Ones(), v.Zeros())
+	}
+}
+
+func TestSorted(t *testing.T) {
+	v := MustFromString("1010")
+	if got := v.Sorted().String(); got != "0011" {
+		t.Errorf("Sorted = %q", got)
+	}
+	if !v.Sorted().IsSorted() {
+		t.Error("Sorted result not sorted")
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	cases := []struct {
+		s                                 string
+		sorted, clean, bisorted, inClassA bool
+	}{
+		{"0000", true, true, true, true},
+		{"1111", true, true, true, true},
+		{"0011", true, false, true, true},
+		{"0101", false, false, true, true},       // (01)*; both halves "01" sorted
+		{"1010", false, false, false, true},      // (10)*
+		{"0110", false, false, false, false},     // 01 then 10: mixed middle
+		{"00001111", true, false, true, true},    // sorted ⇒ in A_n
+		{"00010111", false, false, true, true},   // 00/0101/11
+		{"00101011", false, false, false, true},  // 00/1010/11 — Example 1 family
+		{"10101011", false, false, false, true},  // 101010/11 ∈ A_8 (paper)
+		{"00110011", false, false, true, false},  // bisorted but not in A_n
+		{"00000101", false, false, false, true},  // 0000/0101
+		{"00010100", false, false, false, true},  // 00/0101/00
+		{"01001011", false, false, false, false}, // no valid 3-way split
+		{"11", true, true, true, true},
+		{"10", false, false, true, true},
+	}
+	for _, c := range cases {
+		v := MustFromString(c.s)
+		if got := v.IsSorted(); got != c.sorted {
+			t.Errorf("%q IsSorted = %v, want %v", c.s, got, c.sorted)
+		}
+		if got := v.IsClean(); got != c.clean {
+			t.Errorf("%q IsClean = %v, want %v", c.s, got, c.clean)
+		}
+		if got := v.IsBisorted(); got != c.bisorted {
+			t.Errorf("%q IsBisorted = %v, want %v", c.s, got, c.bisorted)
+		}
+		if got := v.InClassA(); got != c.inClassA {
+			t.Errorf("%q InClassA = %v, want %v", c.s, got, c.inClassA)
+		}
+	}
+}
+
+// TestClassAPaperExamples checks the explicit members of A_8 listed after
+// Definition 1: 0000/1010, 00/1010/11, 101010/11, 00/0101/11, 11111111.
+func TestClassAPaperExamples(t *testing.T) {
+	for _, s := range []string{
+		"0000/1010", "00/1010/11", "101010/11", "00/0101/11", "11111111",
+	} {
+		if !MustFromString(s).InClassA() {
+			t.Errorf("paper example %q not recognized as member of A_8", s)
+		}
+	}
+}
+
+// TestClassAReference cross-checks InClassA against a brute-force
+// three-way-split reference implementation for all n ≤ 12.
+func TestClassAReference(t *testing.T) {
+	isRun := func(v Vector, b Bit) bool {
+		for _, x := range v {
+			if x != b {
+				return false
+			}
+		}
+		return true
+	}
+	isPairRun := func(v Vector, a, b Bit) bool {
+		for i := 0; i+1 < len(v); i += 2 {
+			if v[i] != a || v[i+1] != b {
+				return false
+			}
+		}
+		return true
+	}
+	ref := func(v Vector) bool {
+		if len(v)%2 != 0 {
+			return false
+		}
+		for i := 0; i <= len(v); i += 2 {
+			for j := i; j <= len(v); j += 2 {
+				za, zb, zc := v[:i], v[i:j], v[j:]
+				okA := isRun(za, 0) || isRun(za, 1)
+				okB := isPairRun(zb, 0, 1) || isPairRun(zb, 1, 0)
+				okC := isRun(zc, 0) || isRun(zc, 1)
+				if okA && okB && okC {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for n := 2; n <= 12; n += 2 {
+		All(n, func(v Vector) bool {
+			if got, want := v.InClassA(), ref(v); got != want {
+				t.Errorf("InClassA(%v) = %v, reference = %v", v, got, want)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+func TestKSortedPredicates(t *testing.T) {
+	v := MustFromString("1111/0001/0011/0111") // paper's 4-sorted example
+	if !v.IsKSorted(4) {
+		t.Error("paper 4-sorted example rejected")
+	}
+	if v.IsCleanKSorted(4) {
+		t.Error("non-clean sequence accepted as clean 4-sorted")
+	}
+	c := MustFromString("1111/0000/0000/1111") // paper's clean 4-sorted example
+	if !c.IsCleanKSorted(4) {
+		t.Error("paper clean 4-sorted example rejected")
+	}
+	if !c.IsKSorted(4) {
+		t.Error("clean 4-sorted must be 4-sorted")
+	}
+	if v.IsKSorted(3) {
+		t.Error("IsKSorted must reject k not dividing n")
+	}
+}
+
+func TestShuffleUnshuffle(t *testing.T) {
+	v := MustFromString("00001111")
+	if got := v.Shuffle().String(); got != "01010101" {
+		t.Errorf("Shuffle = %q", got)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		w := Random(rng, 2*(1+rng.Intn(16)))
+		if !w.Shuffle().Unshuffle().Equal(w) {
+			t.Fatalf("Unshuffle(Shuffle(%v)) != identity", w)
+		}
+		if !w.Unshuffle().Shuffle().Equal(w) {
+			t.Fatalf("Shuffle(Unshuffle(%v)) != identity", w)
+		}
+	}
+}
+
+func TestHalvesQuartersBlocks(t *testing.T) {
+	v := MustFromString("00011011")
+	u, l := v.Halves()
+	if u.String() != "0001" || l.String() != "1011" {
+		t.Errorf("Halves = %q,%q", u, l)
+	}
+	q := v.Quarters()
+	want := [4]string{"00", "01", "10", "11"}
+	for i := range q {
+		if q[i].String() != want[i] {
+			t.Errorf("Quarter %d = %q, want %q", i, q[i], want[i])
+		}
+	}
+	b := v.Blocks(2)
+	if len(b) != 2 || !b[0].Equal(u) || !b[1].Equal(l) {
+		t.Error("Blocks(2) != Halves")
+	}
+	if !Concat(q[0], q[1], q[2], q[3]).Equal(v) {
+		t.Error("Concat(Quarters) != v")
+	}
+}
+
+func TestComplementReverse(t *testing.T) {
+	v := MustFromString("0010111")
+	if got := v.Complement().String(); got != "1101000" {
+		t.Errorf("Complement = %q", got)
+	}
+	if got := v.Reverse().String(); got != "1110100" {
+		t.Errorf("Reverse = %q", got)
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		if v := RandomSorted(rng, 16); !v.IsSorted() {
+			t.Fatalf("RandomSorted produced unsorted %v", v)
+		}
+		if v := RandomBisorted(rng, 16); !v.IsBisorted() {
+			t.Fatalf("RandomBisorted produced non-bisorted %v", v)
+		}
+		if v := RandomKSorted(rng, 16, 4); !v.IsKSorted(4) {
+			t.Fatalf("RandomKSorted produced non-4-sorted %v", v)
+		}
+		if v := RandomClassA(rng, 16); !v.InClassA() {
+			t.Fatalf("RandomClassA produced non-member %v", v)
+		}
+		if v := RandomWithOnes(rng, 16, 5); v.Ones() != 5 {
+			t.Fatalf("RandomWithOnes produced %d ones", v.Ones())
+		}
+	}
+}
+
+func TestAllEnumerators(t *testing.T) {
+	count := 0
+	All(6, func(Vector) bool { count++; return true })
+	if count != 64 {
+		t.Errorf("All(6) enumerated %d vectors, want 64", count)
+	}
+	count = 0
+	AllSorted(6, func(v Vector) bool {
+		if !v.IsSorted() {
+			t.Errorf("AllSorted yielded unsorted %v", v)
+		}
+		count++
+		return true
+	})
+	if count != 7 {
+		t.Errorf("AllSorted(6) enumerated %d, want 7", count)
+	}
+	count = 0
+	AllBisorted(8, func(v Vector) bool {
+		if !v.IsBisorted() {
+			t.Errorf("AllBisorted yielded %v", v)
+		}
+		count++
+		return true
+	})
+	if count != 25 {
+		t.Errorf("AllBisorted(8) enumerated %d, want 25", count)
+	}
+	count = 0
+	AllKSorted(8, 4, func(v Vector) bool {
+		if !v.IsKSorted(4) {
+			t.Errorf("AllKSorted yielded %v", v)
+		}
+		count++
+		return true
+	})
+	if count != 81 {
+		t.Errorf("AllKSorted(8,4) enumerated %d, want 81", count)
+	}
+}
+
+func TestAllEarlyStop(t *testing.T) {
+	count := 0
+	All(8, func(Vector) bool { count++; return count < 10 })
+	if count != 10 {
+		t.Errorf("All did not stop early: %d calls", count)
+	}
+}
+
+// Property: the shuffle of the concatenation of two sorted halves lies in
+// A_n — this is Theorem 1 and also exercises the generators.
+func TestTheorem1Property(t *testing.T) {
+	f := func(a, b uint8, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 * (1 + rng.Intn(32)) * 2
+		u := RandomSorted(rng, n/2)
+		l := RandomSorted(rng, n/2)
+		return Concat(u, l).Shuffle().InClassA()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: sorting is invariant under complement-reverse duality for 0/1
+// sequences: sort(x).Complement().Reverse() == sort(x.Complement()).
+func TestSortDuality(t *testing.T) {
+	f := func(x uint16) bool {
+		v := FromUint(uint64(x), 16)
+		lhs := v.Sorted().Complement().Reverse()
+		rhs := v.Complement().Sorted()
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPanicPaths(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("Halves odd", func() { MustFromString("010").Halves() })
+	mustPanic("Quarters", func() { MustFromString("010101").Quarters() })
+	mustPanic("Blocks", func() { MustFromString("0101").Blocks(3) })
+	mustPanic("Shuffle odd", func() { MustFromString("011").Shuffle() })
+	mustPanic("Uint long", func() { New(65).Uint() })
+	mustPanic("RandomWithOnes", func() {
+		RandomWithOnes(rand.New(rand.NewSource(1)), 4, 5)
+	})
+}
+
+// TestAllClassA: the enumerator hits exactly the members of A_n (checked
+// against the InClassA predicate by exhaustive sweep for n ≤ 12), without
+// duplicates, and scales to larger n.
+func TestAllClassA(t *testing.T) {
+	for n := 2; n <= 12; n += 2 {
+		members := map[string]bool{}
+		All(n, func(v Vector) bool {
+			if v.InClassA() {
+				members[v.String()] = true
+			}
+			return true
+		})
+		got := map[string]bool{}
+		AllClassA(n, func(v Vector) bool {
+			if !v.InClassA() {
+				t.Errorf("n=%d: enumerator produced non-member %s", n, v)
+				return false
+			}
+			if got[v.String()] {
+				t.Errorf("n=%d: duplicate %s", n, v)
+				return false
+			}
+			got[v.String()] = true
+			return true
+		})
+		if len(got) != len(members) {
+			t.Errorf("n=%d: enumerated %d members, want %d", n, len(got), len(members))
+		}
+	}
+	// Scales: count members at n=64 (quadratic, not exponential).
+	count := 0
+	AllClassA(64, func(Vector) bool { count++; return true })
+	if count < 1000 || count > 64*64*8 {
+		t.Errorf("|A_64| = %d implausible", count)
+	}
+}
+
+// TestAllClassAEarlyStop: the callback can stop the sweep.
+func TestAllClassAEarlyStop(t *testing.T) {
+	count := 0
+	AllClassA(16, func(Vector) bool { count++; return count < 5 })
+	if count != 5 {
+		t.Errorf("early stop after %d calls", count)
+	}
+}

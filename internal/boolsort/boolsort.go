@@ -1,0 +1,93 @@
+// Package boolsort implements the O(n)-cost, O(lg n)-depth Boolean sorting
+// circuits of Muller–Preparata [17] and Wegener [26] that Section I of the
+// paper contrasts its networks with: "These circuits cannot carry, or move
+// the inputs through, however; they generate only sorted bits at their
+// outputs."
+//
+// The circuit counts the input's 1s with a carry-save adder tree and
+// decodes the count into a thermometer code, which *is* the ascending
+// sorted output. Because the output bits are synthesized rather than
+// routed, the circuit cannot serve as a concentrator or permuter — the
+// limitation that motivates the paper's adaptive switching networks. It is
+// included here as the cost/depth reference point of that comparison.
+package boolsort
+
+import (
+	"fmt"
+
+	"absort/internal/core"
+	"absort/internal/netlist"
+	"absort/internal/prefixadd"
+)
+
+// BuildThermometer appends a binary-to-thermometer decoder for the
+// little-endian value x: output t_i = [x > i] for i = 0..m-1. Recursive
+// construction on the most significant bit; cost O(m), depth O(lg m + lg w).
+func BuildThermometer(b *netlist.Builder, x []netlist.Wire, m int) []netlist.Wire {
+	if m <= 0 {
+		return nil
+	}
+	if len(x) == 0 {
+		// Value is 0: no threshold is exceeded.
+		t := make([]netlist.Wire, m)
+		zero := b.Const(0)
+		for i := range t {
+			t[i] = zero
+		}
+		return t
+	}
+	w := len(x)
+	msb := x[w-1]
+	half := 1 << uint(w-1)
+	if m <= half {
+		// Thresholds below 2^(w-1): exceeded if the MSB is set, or the
+		// low part already exceeds them.
+		low := BuildThermometer(b, x[:w-1], m)
+		t := make([]netlist.Wire, m)
+		for i := range t {
+			t[i] = b.Or(msb, low[i])
+		}
+		return t
+	}
+	low := BuildThermometer(b, x[:w-1], half)
+	t := make([]netlist.Wire, m)
+	for i := 0; i < half; i++ {
+		t[i] = b.Or(msb, low[i])
+	}
+	hiCount := m - half
+	if hiCount > half {
+		hiCount = half
+	}
+	for i := 0; i < hiCount; i++ {
+		// Threshold half + i: needs the MSB and the low part above i.
+		t[half+i] = b.And(msb, low[i])
+	}
+	// Thresholds ≥ 2^w can never be exceeded.
+	if m > 2*half {
+		zero := b.Const(0)
+		for i := 2 * half; i < m; i++ {
+			t[i] = zero
+		}
+	}
+	return t
+}
+
+// Circuit builds the n-input Boolean sorting circuit: outputs are the
+// ascending sort of the input bits. Cost O(n), depth O(lg n).
+func Circuit(n int) *netlist.Circuit {
+	if !core.IsPow2(n) {
+		panic(fmt.Sprintf("boolsort: Circuit(%d): n must be a power of two", n))
+	}
+	b := netlist.NewBuilder(fmt.Sprintf("boolsort-%d", n))
+	in := b.Inputs(n)
+	count := prefixadd.BuildPopCountCSA(b, in)
+	// t_i = [count > i]; ascending output bit j is 1 iff count ≥ n − j,
+	// i.e. count > n − j − 1, i.e. t_{n-1-j}.
+	t := BuildThermometer(b, count, n)
+	out := make([]netlist.Wire, n)
+	for j := 0; j < n; j++ {
+		out[j] = t[n-1-j]
+	}
+	b.SetOutputs(out)
+	return b.MustBuild()
+}

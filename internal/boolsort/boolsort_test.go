@@ -1,0 +1,123 @@
+package boolsort
+
+import (
+	"math/rand"
+	"testing"
+
+	"absort/internal/bitvec"
+	"absort/internal/core"
+	"absort/internal/netlist"
+	"absort/internal/prefixadd"
+)
+
+// TestBoolsortExhaustive: the counting circuit sorts every binary input.
+func TestBoolsortExhaustive(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16} {
+		c := Circuit(n)
+		bitvec.All(n, func(v bitvec.Vector) bool {
+			got := c.Eval(v)
+			if !got.Equal(v.Sorted()) {
+				t.Errorf("n=%d: boolsort(%s) = %s, want %s", n, v, got, v.Sorted())
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// TestBoolsortRandomWide: large instances.
+func TestBoolsortRandomWide(t *testing.T) {
+	rng := rand.New(rand.NewSource(191))
+	for _, n := range []int{64, 256, 1024} {
+		c := Circuit(n)
+		for i := 0; i < 40; i++ {
+			v := bitvec.Random(rng, n)
+			if got := c.Eval(v); !got.Equal(v.Sorted()) {
+				t.Fatalf("n=%d: boolsort failed", n)
+			}
+		}
+	}
+}
+
+// TestBoolsortLinearCostLogDepth checks the Section I reference point: the
+// circuit is O(n) cost and O(lg n) depth — strictly better than any
+// carrying network, which is exactly why the paper must exclude it ("these
+// circuits cannot carry, or move the inputs through").
+func TestBoolsortLinearCostLogDepth(t *testing.T) {
+	for _, n := range []int{16, 64, 256, 1024, 4096} {
+		st := Circuit(n).Stats()
+		lg := core.Lg(n)
+		if st.UnitCost > 20*n {
+			t.Errorf("n=%d: boolsort cost %d not O(n) (> 20n)", n, st.UnitCost)
+		}
+		if st.UnitDepth > 4*lg+16 {
+			t.Errorf("n=%d: boolsort depth %d not O(lg n) (> 4 lg n + 16)", n, st.UnitDepth)
+		}
+	}
+}
+
+// TestBoolsortDoesNotRoute documents the structural limitation: the
+// circuit has no switching components at all — it cannot carry payloads.
+func TestBoolsortDoesNotRoute(t *testing.T) {
+	st := Circuit(64).Stats()
+	for _, kind := range []netlist.Kind{
+		netlist.KindComparator, netlist.KindSwitch2x2,
+		netlist.KindMux21, netlist.KindDemux12, netlist.KindSwitch4x4,
+	} {
+		if st.Counts[kind] != 0 {
+			t.Errorf("boolsort contains %d %v components; it should be pure logic",
+				st.Counts[kind], kind)
+		}
+	}
+}
+
+// TestThermometer checks the decoder against all values at several widths.
+func TestThermometer(t *testing.T) {
+	for _, w := range []int{1, 2, 3, 5} {
+		for m := 1; m <= 1<<uint(w)+2; m += 3 {
+			b := netlist.NewBuilder("thermo")
+			x := b.Inputs(w)
+			b.SetOutputs(BuildThermometer(b, x, m))
+			c := b.MustBuild()
+			for val := 0; val < 1<<uint(w); val++ {
+				got := c.Eval(bitvec.Vector(prefixadd.ToBits(val, w)))
+				for i := 0; i < m; i++ {
+					want := bitvec.Bit(0)
+					if val > i {
+						want = 1
+					}
+					if got[i] != want {
+						t.Fatalf("w=%d m=%d val=%d: t[%d] = %d, want %d",
+							w, m, val, i, got[i], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestThermometerZeroWidth: decoding an empty value yields all-zero
+// thresholds.
+func TestThermometerZeroWidth(t *testing.T) {
+	b := netlist.NewBuilder("thermo0")
+	_ = b.Inputs(1)
+	outs := BuildThermometer(b, nil, 3)
+	b.SetOutputs(outs)
+	c := b.MustBuild()
+	got := c.Eval(bitvec.MustFromString("1"))
+	if got.String() != "000" {
+		t.Errorf("zero-width thermometer = %s", got)
+	}
+	if BuildThermometer(b, nil, 0) != nil {
+		t.Error("m=0 should return nil")
+	}
+}
+
+func TestCircuitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Circuit(12) did not panic")
+		}
+	}()
+	Circuit(12)
+}

@@ -1,0 +1,238 @@
+package cmpnet
+
+import (
+	"fmt"
+
+	"absort/internal/wiring"
+)
+
+// Fig1 returns the four-input sorting network of Fig. 1: cost 5, depth 3.
+func Fig1() *Network {
+	nw := New(4, "fig1-4-input")
+	nw.AddStage(Comparator{0, 1}, Comparator{2, 3})
+	nw.AddStage(Comparator{0, 2}, Comparator{1, 3})
+	nw.AddStage(Comparator{1, 2})
+	return nw
+}
+
+// lineRange returns lines [base, base+n).
+func lineRange(base, n int) []int {
+	ls := make([]int, n)
+	for i := range ls {
+		ls[i] = base + i
+	}
+	return ls
+}
+
+// oemMerge appends Batcher's odd-even merger to nw on the given lines,
+// which must hold two sorted halves. Classic recursion: merge the
+// even-indexed and odd-indexed subsequences, then a final fix-up stage.
+func oemMerge(nw *Network, lines []int) {
+	m := len(lines)
+	if m == 1 {
+		return
+	}
+	if m == 2 {
+		nw.AddStage(Comparator{lines[0], lines[1]})
+		return
+	}
+	even := make([]int, 0, (m+1)/2)
+	odd := make([]int, 0, m/2)
+	for i, l := range lines {
+		if i%2 == 0 {
+			even = append(even, l)
+		} else {
+			odd = append(odd, l)
+		}
+	}
+	oemMerge(nw, even)
+	oemMerge(nw, odd)
+	cmps := make([]Comparator, 0, m/2-1)
+	for i := 1; i+1 < m; i += 2 {
+		cmps = append(cmps, Comparator{lines[i], lines[i+1]})
+	}
+	nw.AddStage(cmps...)
+}
+
+// oemSort appends Batcher's odd-even merge sorter on the given lines.
+func oemSort(nw *Network, lines []int) {
+	m := len(lines)
+	if m <= 1 {
+		return
+	}
+	oemSort(nw, lines[:m/2])
+	oemSort(nw, lines[m/2:])
+	oemMerge(nw, lines)
+}
+
+// OddEvenMergeSort returns Batcher's odd-even merge sorting network
+// (Fig. 4(a)) on n lines. Cost (n/4)lg n(lg n − 1) + n − 1, depth
+// lg n(lg n + 1)/2. n must be a power of two.
+func OddEvenMergeSort(n int) *Network {
+	mustPow2(n, "OddEvenMergeSort")
+	nw := New(n, fmt.Sprintf("batcher-oem-%d", n))
+	oemSort(nw, lineRange(0, n))
+	return nw
+}
+
+// OddEvenMerge returns Batcher's odd-even merging network alone: it merges
+// two sorted halves of n inputs. n must be a power of two.
+func OddEvenMerge(n int) *Network {
+	mustPow2(n, "OddEvenMerge")
+	nw := New(n, fmt.Sprintf("batcher-oem-merge-%d", n))
+	oemMerge(nw, lineRange(0, n))
+	return nw
+}
+
+// bitonicMerge appends a bitonic merger (ascending) on the given lines.
+func bitonicMerge(nw *Network, lines []int) {
+	m := len(lines)
+	if m == 1 {
+		return
+	}
+	cmps := make([]Comparator, 0, m/2)
+	for i := 0; i < m/2; i++ {
+		cmps = append(cmps, Comparator{lines[i], lines[i+m/2]})
+	}
+	nw.AddStage(cmps...)
+	bitonicMerge(nw, lines[:m/2])
+	bitonicMerge(nw, lines[m/2:])
+}
+
+// bitonicSort appends a bitonic sorter on lines; dir true = ascending.
+// Descending runs are produced by reversing the line order fed to the
+// merger, keeping every comparator min-up.
+func bitonicSort(nw *Network, lines []int, asc bool) {
+	m := len(lines)
+	if m == 1 {
+		return
+	}
+	bitonicSort(nw, lines[:m/2], true)
+	bitonicSort(nw, lines[m/2:], false)
+	ml := append([]int(nil), lines...)
+	if !asc {
+		for i, j := 0, m-1; i < j; i, j = i+1, j-1 {
+			ml[i], ml[j] = ml[j], ml[i]
+		}
+	}
+	bitonicMerge(nw, ml)
+}
+
+// BitonicSort returns Batcher's bitonic sorting network on n lines.
+// Cost (n/4)lg n(lg n + 1), depth lg n(lg n + 1)/2. n must be a power
+// of two.
+func BitonicSort(n int) *Network {
+	mustPow2(n, "BitonicSort")
+	nw := New(n, fmt.Sprintf("bitonic-%d", n))
+	bitonicSort(nw, lineRange(0, n), true)
+	return nw
+}
+
+// OddEvenTransposition returns the n-stage odd-even transposition
+// (brick-wall) sorting network: cost n(n−1)/2, depth n. The simple O(n²)
+// baseline.
+func OddEvenTransposition(n int) *Network {
+	nw := New(n, fmt.Sprintf("oet-%d", n))
+	for s := 0; s < n; s++ {
+		var cmps []Comparator
+		for i := s % 2; i+1 < n; i += 2 {
+			cmps = append(cmps, Comparator{i, i + 1})
+		}
+		if len(cmps) > 0 {
+			nw.AddStage(cmps...)
+		}
+	}
+	return nw
+}
+
+// balancedBlock appends one balanced merging block [8], [9], [24] on the
+// given lines: a stage of mirror comparators (i, m−1−i) followed by
+// recursive half-size blocks. Cost (m/2)·lg m, depth lg m.
+func balancedBlock(nw *Network, lines []int) {
+	m := len(lines)
+	if m == 1 {
+		return
+	}
+	cmps := make([]Comparator, 0, m/2)
+	for i := 0; i < m/2; i++ {
+		cmps = append(cmps, Comparator{lines[i], lines[m-1-i]})
+	}
+	nw.AddStage(cmps...)
+	balancedBlock(nw, lines[:m/2])
+	balancedBlock(nw, lines[m/2:])
+}
+
+// BalancedMergingBlock returns a single balanced merging block on n lines —
+// the merger used on the right side of Fig. 4(b). Fed with the two-way
+// shuffle of two sorted halves it produces the sorted sequence; fed with a
+// binary sequence from class A_n it sorts it (Theorems 1 and 2).
+// n must be a power of two.
+func BalancedMergingBlock(n int) *Network {
+	mustPow2(n, "BalancedMergingBlock")
+	nw := New(n, fmt.Sprintf("balanced-block-%d", n))
+	balancedBlock(nw, lineRange(0, n))
+	return nw
+}
+
+// altOEM appends the alternative odd-even merge sorter of Fig. 4(b) on the
+// given lines: recursively sort each half, shuffle the two sorted halves
+// together, and merge with a balanced merging block.
+func altOEM(nw *Network, lines []int) {
+	m := len(lines)
+	if m <= 1 {
+		return
+	}
+	if m == 2 {
+		nw.AddStage(Comparator{lines[0], lines[1]})
+		return
+	}
+	altOEM(nw, lines[:m/2])
+	altOEM(nw, lines[m/2:])
+	// Shuffle the concatenated halves (Theorem 1), then balanced-merge.
+	sh := wiring.PerfectShuffle(m)
+	shuffled := make([]int, m)
+	for j, i := range sh {
+		shuffled[j] = lines[i]
+	}
+	balancedBlock(nw, shuffled)
+	// The sorted result now sits on the shuffled line order; restore the
+	// physical output order with the reversed shuffle connection.
+	p := wiring.Identity(nw.n)
+	for j := range sh {
+		p[lines[j]] = shuffled[j]
+	}
+	nw.AddWiring(p)
+}
+
+// AlternativeOEMSort returns the Fig. 4(b) sorting network without its
+// redundant first comparator stage: half-size sorters, a two-way shuffle
+// connection, and a balanced merging block, applied recursively.
+// n must be a power of two.
+func AlternativeOEMSort(n int) *Network {
+	mustPow2(n, "AlternativeOEMSort")
+	nw := New(n, fmt.Sprintf("alt-oem-%d", n))
+	altOEM(nw, lineRange(0, n))
+	return nw
+}
+
+// Fig4b returns the 16-input network exactly as drawn in Fig. 4(b),
+// including the redundant first stage of n/2 comparators on adjacent pairs
+// and the following shuffle connection, "shown to emphasize the relation
+// between a two-way odd-even merge sorting network and an n/2-way odd-even
+// merge sorting network".
+func Fig4b(n int) *Network {
+	mustPow2(n, "Fig4b")
+	nw := New(n, fmt.Sprintf("fig4b-%d", n))
+	if n >= 4 {
+		cmps := make([]Comparator, 0, n/2)
+		for i := 0; i+1 < n; i += 2 {
+			cmps = append(cmps, Comparator{i, i + 1})
+		}
+		nw.AddStage(cmps...)
+		// Unshuffle: minimum of each pair to the top half (the "even"
+		// n/2-way merger input), maximum to the bottom half.
+		nw.AddWiring(wiring.Unshuffle(n))
+	}
+	altOEM(nw, lineRange(0, n))
+	return nw
+}

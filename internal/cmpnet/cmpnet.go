@@ -1,0 +1,284 @@
+// Package cmpnet implements nonadaptive comparator networks — the classical
+// sorting-network model the paper builds on and compares against. A network
+// is a sequence of comparator stages optionally separated by fixed wiring
+// connections (shuffles etc.); wiring is free, comparators carry unit cost
+// and unit depth, matching the paper's bit-level accounting.
+//
+// The package provides the constructions referenced by the paper:
+// Batcher's odd-even merge sorting network (Fig. 4(a)) [3], the alternative
+// odd-even merge network with a balanced merging block (Fig. 4(b)), the
+// balanced merging block itself [8], [9], [24], bitonic sort, odd-even
+// transposition as a baseline, and the four-input example network of Fig. 1.
+package cmpnet
+
+import (
+	"fmt"
+
+	"absort/internal/bitvec"
+	"absort/internal/netlist"
+	"absort/internal/wiring"
+)
+
+// Comparator compares lines I and J (I ≠ J): after it, line I carries the
+// minimum and line J the maximum.
+type Comparator struct{ I, J int }
+
+// op is one element of a network: either a parallel comparator stage or a
+// fixed wiring connection.
+type op struct {
+	wire wiring.Perm
+	cmps []Comparator
+}
+
+// Network is a comparator network on N lines.
+type Network struct {
+	n    int
+	name string
+	ops  []op
+}
+
+// New returns an empty network on n lines.
+func New(n int, name string) *Network {
+	if n <= 0 {
+		panic(fmt.Sprintf("cmpnet: New(%d)", n))
+	}
+	return &Network{n: n, name: name}
+}
+
+// N returns the number of lines.
+func (nw *Network) N() int { return nw.n }
+
+// Name returns the network's name.
+func (nw *Network) Name() string { return nw.name }
+
+// AddStage appends a parallel comparator stage. The comparators must touch
+// disjoint lines within the stage.
+func (nw *Network) AddStage(cmps ...Comparator) *Network {
+	touched := make(map[int]bool, 2*len(cmps))
+	for _, c := range cmps {
+		if c.I < 0 || c.I >= nw.n || c.J < 0 || c.J >= nw.n || c.I == c.J {
+			panic(fmt.Sprintf("cmpnet %q: invalid comparator %+v on %d lines",
+				nw.name, c, nw.n))
+		}
+		if touched[c.I] || touched[c.J] {
+			panic(fmt.Sprintf("cmpnet %q: stage touches line twice: %+v", nw.name, c))
+		}
+		touched[c.I], touched[c.J] = true, true
+	}
+	nw.ops = append(nw.ops, op{cmps: append([]Comparator(nil), cmps...)})
+	return nw
+}
+
+// AddComparators appends comparators greedily packed into stages: each
+// comparator starts a new stage only if it conflicts with the current one.
+// This matches drawing a network as a sequence of comparators and lets
+// recursive constructions ignore stage boundaries; Depth() still reports
+// the true longest comparator path.
+func (nw *Network) AddComparators(cmps ...Comparator) *Network {
+	for _, c := range cmps {
+		nw.AddStage(c)
+	}
+	return nw
+}
+
+// AddWiring appends a fixed wiring connection (cost and depth free).
+func (nw *Network) AddWiring(p wiring.Perm) *Network {
+	if len(p) != nw.n || !p.Valid() {
+		panic(fmt.Sprintf("cmpnet %q: invalid wiring of length %d on %d lines",
+			nw.name, len(p), nw.n))
+	}
+	nw.ops = append(nw.ops, op{wire: append(wiring.Perm(nil), p...)})
+	return nw
+}
+
+// Embed appends a copy of sub with its lines mapped through lines: sub's
+// line i becomes lines[i]. Wiring stages inside sub are extended with the
+// identity outside the embedded lines.
+func (nw *Network) Embed(sub *Network, lines []int) *Network {
+	if len(lines) != sub.n {
+		panic(fmt.Sprintf("cmpnet %q: Embed %q with %d lines, want %d",
+			nw.name, sub.name, len(lines), sub.n))
+	}
+	for _, o := range sub.ops {
+		if o.wire != nil {
+			p := wiring.Identity(nw.n)
+			for j, i := range o.wire {
+				p[lines[j]] = lines[i]
+			}
+			nw.AddWiring(p)
+			continue
+		}
+		cmps := make([]Comparator, len(o.cmps))
+		for k, c := range o.cmps {
+			cmps[k] = Comparator{I: lines[c.I], J: lines[c.J]}
+		}
+		nw.ops = append(nw.ops, op{cmps: cmps})
+	}
+	return nw
+}
+
+// Cost returns the number of comparators.
+func (nw *Network) Cost() int {
+	total := 0
+	for _, o := range nw.ops {
+		total += len(o.cmps)
+	}
+	return total
+}
+
+// Depth returns the maximum number of comparators on any input-to-output
+// path, regardless of how comparators were grouped into stages.
+func (nw *Network) Depth() int {
+	depth := make([]int, nw.n)
+	for _, o := range nw.ops {
+		if o.wire != nil {
+			depth = wiring.Apply(o.wire, depth)
+			continue
+		}
+		for _, c := range o.cmps {
+			d := max(depth[c.I], depth[c.J]) + 1
+			depth[c.I], depth[c.J] = d, d
+		}
+	}
+	m := 0
+	for _, d := range depth {
+		m = max(m, d)
+	}
+	return m
+}
+
+// Stages returns the number of explicit ops that are comparator stages.
+func (nw *Network) Stages() int {
+	s := 0
+	for _, o := range nw.ops {
+		if o.wire == nil {
+			s++
+		}
+	}
+	return s
+}
+
+// Apply routes an arbitrary ordered slice through the network, exchanging
+// elements at comparators according to less. The input is not modified.
+func Apply[T any](nw *Network, in []T, less func(a, b T) bool) []T {
+	if len(in) != nw.n {
+		panic(fmt.Sprintf("cmpnet %q: Apply with %d inputs, want %d",
+			nw.name, len(in), nw.n))
+	}
+	v := append([]T(nil), in...)
+	for _, o := range nw.ops {
+		if o.wire != nil {
+			v = wiring.Apply(o.wire, v)
+			continue
+		}
+		for _, c := range o.cmps {
+			if less(v[c.J], v[c.I]) {
+				v[c.I], v[c.J] = v[c.J], v[c.I]
+			}
+		}
+	}
+	return v
+}
+
+// ApplyInts routes an int slice through the network.
+func (nw *Network) ApplyInts(in []int) []int {
+	return Apply(nw, in, func(a, b int) bool { return a < b })
+}
+
+// ApplyBits routes a binary sequence through the network.
+func (nw *Network) ApplyBits(v bitvec.Vector) bitvec.Vector {
+	out := Apply(nw, []bitvec.Bit(v), func(a, b bitvec.Bit) bool { return a < b })
+	return bitvec.Vector(out)
+}
+
+// SortsAllBinary exhaustively checks the zero-one principle premise: the
+// network sorts all 2^n binary sequences. By the zero-one principle this
+// implies it sorts arbitrary inputs. n must be ≤ 24.
+func (nw *Network) SortsAllBinary() bool {
+	return bitvec.All(nw.n, func(v bitvec.Vector) bool {
+		return nw.ApplyBits(v).IsSorted()
+	})
+}
+
+// Circuit emits the bit-level netlist of the network: one comparator
+// component per comparator, wiring as plain wires.
+func (nw *Network) Circuit() *netlist.Circuit {
+	b := netlist.NewBuilder(nw.name)
+	ws := b.Inputs(nw.n)
+	for _, o := range nw.ops {
+		if o.wire != nil {
+			ws = wiring.Apply(o.wire, ws)
+			continue
+		}
+		for _, c := range o.cmps {
+			ws[c.I], ws[c.J] = b.Comparator(ws[c.I], ws[c.J])
+		}
+	}
+	b.SetOutputs(ws)
+	return b.MustBuild()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func pow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+func mustPow2(n int, what string) {
+	if !pow2(n) {
+		panic(fmt.Sprintf("cmpnet: %s requires a power-of-two size, got %d", what, n))
+	}
+}
+
+// NumComparators returns the total comparator count (same as Cost).
+func (nw *Network) NumComparators() int { return nw.Cost() }
+
+// ApplyBitsWithDead routes v through the network with the comparators
+// whose (global, construction-order) index is marked in dead behaving as
+// broken: a dead comparator passes its inputs straight through without
+// exchanging — the classical fault model of Rudolph's robust sorting
+// network [24]. len(dead) may be shorter than the comparator count;
+// missing entries mean healthy.
+func (nw *Network) ApplyBitsWithDead(v bitvec.Vector, dead []bool) bitvec.Vector {
+	if len(v) != nw.n {
+		panic(fmt.Sprintf("cmpnet %q: ApplyBitsWithDead with %d inputs, want %d",
+			nw.name, len(v), nw.n))
+	}
+	out := v.Clone()
+	idx := 0
+	for _, o := range nw.ops {
+		if o.wire != nil {
+			out = wiring.Apply(o.wire, out)
+			continue
+		}
+		for _, c := range o.cmps {
+			broken := idx < len(dead) && dead[idx]
+			idx++
+			if broken {
+				continue
+			}
+			if out[c.J] < out[c.I] {
+				out[c.I], out[c.J] = out[c.J], out[c.I]
+			}
+		}
+	}
+	return out
+}
+
+// PeriodicBalancedBlocks returns the periodic balanced network with an
+// explicit number of blocks (PeriodicBalancedSort uses lg n). Extra blocks
+// are the redundancy Rudolph's robustness argument relies on.
+func PeriodicBalancedBlocks(n, blocks int) *Network {
+	mustPow2(n, "PeriodicBalancedBlocks")
+	if blocks < 1 {
+		panic(fmt.Sprintf("cmpnet: PeriodicBalancedBlocks(%d, %d)", n, blocks))
+	}
+	nw := New(n, fmt.Sprintf("periodic-balanced-%d-b%d", n, blocks))
+	for b := 0; b < blocks; b++ {
+		balancedBlock(nw, lineRange(0, n))
+	}
+	return nw
+}

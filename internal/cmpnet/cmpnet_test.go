@@ -1,0 +1,388 @@
+package cmpnet
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"absort/internal/bitvec"
+	"absort/internal/wiring"
+)
+
+// TestFig1 reproduces experiment E1: the four-input network of Fig. 1 has
+// cost 5 and depth 3, and sorts everything.
+func TestFig1(t *testing.T) {
+	nw := Fig1()
+	if c := nw.Cost(); c != 5 {
+		t.Errorf("Fig. 1 cost = %d, want 5", c)
+	}
+	if d := nw.Depth(); d != 3 {
+		t.Errorf("Fig. 1 depth = %d, want 3", d)
+	}
+	if !nw.SortsAllBinary() {
+		t.Error("Fig. 1 network does not sort all binary sequences")
+	}
+	// All 4! permutations of distinct keys, via the zero-one principle's
+	// converse direction checked directly.
+	perm := []int{1, 2, 3, 4}
+	sort.Ints(perm)
+	var rec func(p []int, k int)
+	rec = func(p []int, k int) {
+		if k == len(p) {
+			out := nw.ApplyInts(p)
+			if !sort.IntsAreSorted(out) {
+				t.Errorf("Fig. 1 failed on %v: %v", p, out)
+			}
+			return
+		}
+		for i := k; i < len(p); i++ {
+			p[k], p[i] = p[i], p[k]
+			rec(p, k+1)
+			p[k], p[i] = p[i], p[k]
+		}
+	}
+	rec(perm, 0)
+}
+
+func TestStageValidation(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("out of range", func() { New(4, "x").AddStage(Comparator{0, 4}) })
+	mustPanic("self-compare", func() { New(4, "x").AddStage(Comparator{2, 2}) })
+	mustPanic("overlap", func() {
+		New(4, "x").AddStage(Comparator{0, 1}, Comparator{1, 2})
+	})
+	mustPanic("bad wiring", func() { New(4, "x").AddWiring(wiring.Perm{0, 0, 1, 2}) })
+	mustPanic("zero lines", func() { New(0, "x") })
+	mustPanic("apply arity", func() { Fig1().ApplyInts([]int{1, 2}) })
+	mustPanic("embed arity", func() { New(8, "x").Embed(Fig1(), []int{0, 1}) })
+	mustPanic("pow2", func() { OddEvenMergeSort(12) })
+}
+
+// TestBatcherOEMSorts checks Batcher's network sorts all binary inputs for
+// n up to 16 (zero-one principle ⇒ sorts everything).
+func TestBatcherOEMSorts(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16} {
+		if !OddEvenMergeSort(n).SortsAllBinary() {
+			t.Errorf("Batcher OEM n=%d is not a sorting network", n)
+		}
+	}
+}
+
+// TestBatcherOEMParams checks the classical cost/depth formulas:
+// depth = lg n (lg n + 1)/2, cost = (lg²n − lg n + 4)n/4 − 1.
+func TestBatcherOEMParams(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16, 32, 64, 128, 256} {
+		nw := OddEvenMergeSort(n)
+		lg := 0
+		for 1<<uint(lg) < n {
+			lg++
+		}
+		wantDepth := lg * (lg + 1) / 2
+		if d := nw.Depth(); d != wantDepth {
+			t.Errorf("n=%d: Batcher depth %d, want %d", n, d, wantDepth)
+		}
+		wantCost := (lg*lg-lg+4)*n/4 - 1
+		if c := nw.Cost(); c != wantCost {
+			t.Errorf("n=%d: Batcher cost %d, want %d", n, c, wantCost)
+		}
+	}
+}
+
+// TestOddEvenMergeMerges verifies the merger on all pairs of sorted halves.
+func TestOddEvenMergeMerges(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16} {
+		nw := OddEvenMerge(n)
+		bitvec.AllBisorted(n, func(v bitvec.Vector) bool {
+			if out := nw.ApplyBits(v); !out.IsSorted() {
+				t.Errorf("n=%d: OEM merge failed on %s: %s", n, v, out)
+				return false
+			}
+			return true
+		})
+		// Word-level spot check.
+		rng := rand.New(rand.NewSource(int64(n)))
+		for i := 0; i < 50; i++ {
+			in := make([]int, n)
+			for j := range in {
+				in[j] = rng.Intn(100)
+			}
+			sort.Ints(in[:n/2])
+			sort.Ints(in[n/2:])
+			if out := nw.ApplyInts(in); !sort.IntsAreSorted(out) {
+				t.Fatalf("n=%d: OEM merge failed on %v: %v", n, in, out)
+			}
+		}
+	}
+}
+
+func TestBitonicSorts(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16} {
+		if !BitonicSort(n).SortsAllBinary() {
+			t.Errorf("bitonic n=%d is not a sorting network", n)
+		}
+	}
+	// Bitonic depth matches Batcher's: lg n (lg n + 1)/2.
+	nw := BitonicSort(32)
+	if d := nw.Depth(); d != 15 {
+		t.Errorf("bitonic(32) depth = %d, want 15", d)
+	}
+	// Cost = n lg n (lg n + 1)/4 = 32·5·6/4 = 240.
+	if c := nw.Cost(); c != 240 {
+		t.Errorf("bitonic(32) cost = %d, want 240", c)
+	}
+}
+
+func TestOddEvenTransposition(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 7, 8} {
+		nw := OddEvenTransposition(n)
+		if !nw.SortsAllBinary() {
+			t.Errorf("OET n=%d is not a sorting network", n)
+		}
+		if c := nw.Cost(); c != n*(n-1)/2 {
+			t.Errorf("OET n=%d cost = %d, want %d", n, c, n*(n-1)/2)
+		}
+	}
+}
+
+// TestBalancedBlockSortsClassA verifies Theorem 2's consequence: a balanced
+// merging block sorts every binary sequence in A_n.
+func TestBalancedBlockSortsClassA(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16} {
+		nw := BalancedMergingBlock(n)
+		bitvec.All(n, func(v bitvec.Vector) bool {
+			if !v.InClassA() {
+				return true
+			}
+			if out := nw.ApplyBits(v); !out.IsSorted() {
+				t.Errorf("n=%d: balanced block failed on A_n member %s: %s", n, v, out)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// TestBalancedBlockFirstStageTheorem2 verifies Theorem 2 itself: after the
+// first mirror stage on any Z ∈ A_n, one output half is clean and the other
+// belongs to A_{n/2}.
+func TestBalancedBlockFirstStageTheorem2(t *testing.T) {
+	for _, n := range []int{4, 8, 16} {
+		first := New(n, "first-stage")
+		cmps := make([]Comparator, 0, n/2)
+		for i := 0; i < n/2; i++ {
+			cmps = append(cmps, Comparator{i, n - 1 - i})
+		}
+		first.AddStage(cmps...)
+		bitvec.All(n, func(z bitvec.Vector) bool {
+			if !z.InClassA() {
+				return true
+			}
+			y := first.ApplyBits(z)
+			yu, yl := y.Halves()
+			ok := (yu.IsClean() && yl.InClassA()) || (yl.IsClean() && yu.InClassA())
+			if !ok {
+				t.Errorf("n=%d: Theorem 2 violated for %s: YU=%s YL=%s", n, z, yu, yl)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// TestBalancedBlockExample2 reproduces Example 2: subjecting 101010/11 to
+// the merging block's first stage gives YU = 1000 and YL = 1111.
+func TestBalancedBlockExample2(t *testing.T) {
+	n := 8
+	first := New(n, "first-stage")
+	first.AddStage(Comparator{0, 7}, Comparator{1, 6}, Comparator{2, 5}, Comparator{3, 4})
+	y := first.ApplyBits(bitvec.MustFromString("101010/11"))
+	yu, yl := y.Halves()
+	if yu.String() != "1000" || yl.String() != "1111" {
+		t.Errorf("Example 2: YU=%s YL=%s, want 1000/1111", yu, yl)
+	}
+}
+
+// TestBalancedBlockMergesShuffledSortedWords verifies the word-level merge
+// property used by Fig. 4(b): the balanced block sorts the two-way shuffle
+// of two sorted word sequences.
+func TestBalancedBlockMergesShuffledSortedWords(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, n := range []int{4, 8, 16, 32} {
+		nw := BalancedMergingBlock(n)
+		for i := 0; i < 200; i++ {
+			in := make([]int, n)
+			for j := range in {
+				in[j] = rng.Intn(50)
+			}
+			sort.Ints(in[:n/2])
+			sort.Ints(in[n/2:])
+			sh := wiring.Apply(wiring.PerfectShuffle(n), in)
+			if out := nw.ApplyInts(sh); !sort.IntsAreSorted(out) {
+				t.Fatalf("n=%d: balanced block failed on shuffled %v: %v", n, sh, out)
+			}
+		}
+	}
+}
+
+// TestAlternativeOEMSorts checks E4: the Fig. 4(b) construction (with and
+// without the redundant first stage) is a sorting network.
+func TestAlternativeOEMSorts(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16} {
+		if !AlternativeOEMSort(n).SortsAllBinary() {
+			t.Errorf("alternative OEM n=%d is not a sorting network", n)
+		}
+		if !Fig4b(n).SortsAllBinary() {
+			t.Errorf("Fig. 4(b) n=%d is not a sorting network", n)
+		}
+	}
+}
+
+// TestFig4bRedundancy checks the paper's redundancy claim: the first stage
+// and shuffle add n/2 comparators but do not change the sorting behavior.
+func TestFig4bRedundancy(t *testing.T) {
+	n := 16
+	with, without := Fig4b(n), AlternativeOEMSort(n)
+	if with.Cost() != without.Cost()+n/2 {
+		t.Errorf("cost with = %d, without = %d; difference should be n/2 = %d",
+			with.Cost(), without.Cost(), n/2)
+	}
+	rng := rand.New(rand.NewSource(43))
+	for i := 0; i < 300; i++ {
+		in := make([]int, n)
+		for j := range in {
+			in[j] = rng.Intn(30)
+		}
+		a := with.ApplyInts(in)
+		b := without.ApplyInts(in)
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("outputs differ on %v: %v vs %v", in, a, b)
+			}
+		}
+	}
+}
+
+// TestAlternativeOEMWordLevel verifies Fig. 4(b)'s "works for arbitrary
+// numbers" claim on random word inputs.
+func TestAlternativeOEMWordLevel(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for _, n := range []int{8, 16, 32} {
+		nw := AlternativeOEMSort(n)
+		for i := 0; i < 200; i++ {
+			in := make([]int, n)
+			for j := range in {
+				in[j] = rng.Intn(1000)
+			}
+			if out := nw.ApplyInts(in); !sort.IntsAreSorted(out) {
+				t.Fatalf("n=%d: alternative OEM failed on %v: %v", n, in, out)
+			}
+		}
+	}
+}
+
+// TestBalancedBlockParams checks cost (n/2)·lg n and depth lg n — the
+// O(n lg n)/O(lg n) figures quoted for the merging block.
+func TestBalancedBlockParams(t *testing.T) {
+	for _, n := range []int{4, 16, 64, 256} {
+		nw := BalancedMergingBlock(n)
+		lg := 0
+		for 1<<uint(lg) < n {
+			lg++
+		}
+		if c := nw.Cost(); c != n/2*lg {
+			t.Errorf("n=%d: balanced block cost %d, want %d", n, c, n/2*lg)
+		}
+		if d := nw.Depth(); d != lg {
+			t.Errorf("n=%d: balanced block depth %d, want %d", n, d, lg)
+		}
+	}
+}
+
+// TestCircuitAgreesWithApply cross-validates the netlist emission against
+// the direct interpreter on random inputs.
+func TestCircuitAgreesWithApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for _, nw := range []*Network{
+		Fig1(), OddEvenMergeSort(8), BitonicSort(8), AlternativeOEMSort(8),
+		Fig4b(8), BalancedMergingBlock(8), OddEvenTransposition(6),
+	} {
+		c := nw.Circuit()
+		if c.Stats().UnitCost != nw.Cost() {
+			t.Errorf("%s: circuit cost %d != network cost %d",
+				nw.Name(), c.Stats().UnitCost, nw.Cost())
+		}
+		if c.Stats().UnitDepth != nw.Depth() {
+			t.Errorf("%s: circuit depth %d != network depth %d",
+				nw.Name(), c.Stats().UnitDepth, nw.Depth())
+		}
+		for i := 0; i < 100; i++ {
+			v := bitvec.Random(rng, nw.N())
+			if got, want := c.Eval(v), nw.ApplyBits(v); !got.Equal(want) {
+				t.Fatalf("%s: circuit %s != interpreter %s on %s",
+					nw.Name(), got, want, v)
+			}
+		}
+	}
+}
+
+// TestDepthIgnoresStagePacking verifies Depth() reports path depth, not
+// stage count.
+func TestDepthIgnoresStagePacking(t *testing.T) {
+	a := New(4, "packed").AddStage(Comparator{0, 1}, Comparator{2, 3})
+	b := New(4, "split").AddComparators(Comparator{0, 1}, Comparator{2, 3})
+	if a.Depth() != 1 || b.Depth() != 1 {
+		t.Errorf("depths = %d, %d; want 1, 1", a.Depth(), b.Depth())
+	}
+	if a.Stages() != 1 || b.Stages() != 2 {
+		t.Errorf("stages = %d, %d; want 1, 2", a.Stages(), b.Stages())
+	}
+}
+
+// TestEmbed verifies sub-network embedding onto arbitrary line subsets.
+func TestEmbed(t *testing.T) {
+	outer := New(8, "embedded")
+	outer.Embed(Fig1(), []int{1, 3, 5, 7})
+	rng := rand.New(rand.NewSource(59))
+	for i := 0; i < 100; i++ {
+		in := make([]int, 8)
+		for j := range in {
+			in[j] = rng.Intn(20)
+		}
+		out := outer.ApplyInts(in)
+		// Odd lines sorted, even lines untouched.
+		if !(out[1] <= out[3] && out[3] <= out[5] && out[5] <= out[7]) {
+			t.Fatalf("embedded sorter did not sort odd lines: %v", out)
+		}
+		for _, j := range []int{0, 2, 4, 6} {
+			if out[j] != in[j] {
+				t.Fatalf("embedded sorter disturbed line %d: %v -> %v", j, in, out)
+			}
+		}
+	}
+}
+
+// TestApplyDoesNotMutate ensures Apply copies its input.
+func TestApplyDoesNotMutate(t *testing.T) {
+	in := []int{3, 1, 2, 0}
+	orig := append([]int(nil), in...)
+	Fig1().ApplyInts(in)
+	for i := range in {
+		if in[i] != orig[i] {
+			t.Fatal("ApplyInts mutated its input")
+		}
+	}
+}
+
+func TestSortsAllBinaryNegative(t *testing.T) {
+	bad := New(4, "bad").AddStage(Comparator{0, 1})
+	if bad.SortsAllBinary() {
+		t.Error("single-comparator network reported as sorting network")
+	}
+}

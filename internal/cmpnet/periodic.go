@@ -1,0 +1,61 @@
+package cmpnet
+
+import (
+	"fmt"
+
+	"absort/internal/wiring"
+)
+
+// PeriodicBalancedSort returns the periodic balanced sorting network of
+// Dowd, Perl, Rudolph and Saks [8], [9] (see also Rudolph's robust sorting
+// network [24]): lg n identical balanced merging blocks in cascade.
+// Cost (n/2) lg² n, depth lg² n. The periodicity — every stage-block is
+// the same circuit — is what makes the construction attractive for
+// time-multiplexed implementations, the theme of the paper's Network 3.
+func PeriodicBalancedSort(n int) *Network {
+	mustPow2(n, "PeriodicBalancedSort")
+	nw := New(n, fmt.Sprintf("periodic-balanced-%d", n))
+	lg := 0
+	for 1<<uint(lg) < n {
+		lg++
+	}
+	for b := 0; b < lg; b++ {
+		balancedBlock(nw, lineRange(0, n))
+	}
+	return nw
+}
+
+// HybridOEMSort answers the trade-off question Section III-A leaves "to
+// the reader": distribute the overall sorting problem between the sorting
+// and merging steps by first sorting n/b blocks of size b with Batcher's
+// odd-even merge sorters, and then merging pairwise — each merge a two-way
+// shuffle followed by a balanced merging block, exactly as in Fig. 4(b).
+// b = 2 gives AlternativeOEMSort's structure; b = n is pure Batcher.
+func HybridOEMSort(n, b int) *Network {
+	mustPow2(n, "HybridOEMSort")
+	mustPow2(b, "HybridOEMSort block")
+	if b < 2 || b > n {
+		panic(fmt.Sprintf("cmpnet: HybridOEMSort(%d, %d): need 2 ≤ b ≤ n", n, b))
+	}
+	nw := New(n, fmt.Sprintf("hybrid-oem-%d-b%d", n, b))
+	for blk := 0; blk < n/b; blk++ {
+		oemSort(nw, lineRange(blk*b, b))
+	}
+	for m := 2 * b; m <= n; m *= 2 {
+		for blk := 0; blk < n/m; blk++ {
+			lines := lineRange(blk*m, m)
+			sh := wiring.PerfectShuffle(m)
+			shuffled := make([]int, m)
+			for j, i := range sh {
+				shuffled[j] = lines[i]
+			}
+			balancedBlock(nw, shuffled)
+			p := wiring.Identity(n)
+			for j := range sh {
+				p[lines[j]] = shuffled[j]
+			}
+			nw.AddWiring(p)
+		}
+	}
+	return nw
+}

@@ -1,0 +1,144 @@
+package cmpnet
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"absort/internal/bitvec"
+)
+
+// TestPeriodicBalancedSorts checks the Dowd et al. network sorts all
+// binary sequences (zero-one ⇒ all inputs).
+func TestPeriodicBalancedSorts(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16} {
+		if !PeriodicBalancedSort(n).SortsAllBinary() {
+			t.Errorf("periodic balanced n=%d is not a sorting network", n)
+		}
+	}
+}
+
+// TestPeriodicBalancedParams checks cost (n/2)lg²n and depth lg²n.
+func TestPeriodicBalancedParams(t *testing.T) {
+	for _, n := range []int{4, 16, 64, 256} {
+		nw := PeriodicBalancedSort(n)
+		lg := 0
+		for 1<<uint(lg) < n {
+			lg++
+		}
+		if c := nw.Cost(); c != n/2*lg*lg {
+			t.Errorf("n=%d: periodic cost %d, want %d", n, c, n/2*lg*lg)
+		}
+		if d := nw.Depth(); d != lg*lg {
+			t.Errorf("n=%d: periodic depth %d, want %d", n, d, lg*lg)
+		}
+	}
+}
+
+// TestPeriodicBalancedIsPeriodic verifies the defining property: the
+// network is lg n repetitions of one block, so feeding any input through
+// the full network t ≥ 1 extra times leaves the (sorted) output fixed.
+func TestPeriodicBalancedIsPeriodic(t *testing.T) {
+	nw := PeriodicBalancedSort(16)
+	rng := rand.New(rand.NewSource(179))
+	for i := 0; i < 100; i++ {
+		v := bitvec.Random(rng, 16)
+		once := nw.ApplyBits(v)
+		twice := nw.ApplyBits(once)
+		if !once.Equal(twice) {
+			t.Fatalf("network not idempotent on %s: %s then %s", v, once, twice)
+		}
+	}
+}
+
+// TestHybridOEMSorts checks the sort/merge distribution family across
+// block sizes (the Section III-A reader exercise).
+func TestHybridOEMSorts(t *testing.T) {
+	for _, n := range []int{8, 16} {
+		for b := 2; b <= n; b *= 2 {
+			if !HybridOEMSort(n, b).SortsAllBinary() {
+				t.Errorf("hybrid n=%d b=%d is not a sorting network", n, b)
+			}
+		}
+	}
+}
+
+// TestHybridOEMWordLevel: the hybrid family sorts arbitrary words (the
+// balanced block merges shuffled sorted word sequences).
+func TestHybridOEMWordLevel(t *testing.T) {
+	rng := rand.New(rand.NewSource(181))
+	for _, b := range []int{2, 8, 32} {
+		nw := HybridOEMSort(32, b)
+		for i := 0; i < 100; i++ {
+			in := make([]int, 32)
+			for j := range in {
+				in[j] = rng.Intn(100)
+			}
+			if out := nw.ApplyInts(in); !sort.IntsAreSorted(out) {
+				t.Fatalf("b=%d: hybrid failed on %v: %v", b, in, out)
+			}
+		}
+	}
+}
+
+// TestHybridOEMEndpoints: b=n degenerates to pure Batcher (same cost);
+// b=2 matches the alternative OEM construction's cost.
+func TestHybridOEMEndpoints(t *testing.T) {
+	n := 64
+	if got, want := HybridOEMSort(n, n).Cost(), OddEvenMergeSort(n).Cost(); got != want {
+		t.Errorf("b=n: hybrid cost %d != Batcher %d", got, want)
+	}
+	if got, want := HybridOEMSort(n, 2).Cost(), AlternativeOEMSort(n).Cost(); got != want {
+		t.Errorf("b=2: hybrid cost %d != alternative OEM %d", got, want)
+	}
+}
+
+// TestHybridOEMTradeoffShape documents the trade-off: moving work from the
+// merging side (balanced blocks, (m/2)lg m per merge) to the sorting side
+// (Batcher blocks) lowers total comparator count monotonically in b for
+// binary sorting... measured, not assumed: cost(b) is monotone
+// non-increasing in b at n=64.
+func TestHybridOEMTradeoffShape(t *testing.T) {
+	n := 64
+	prev := -1
+	for b := 2; b <= n; b *= 2 {
+		c := HybridOEMSort(n, b).Cost()
+		if prev >= 0 && c > prev {
+			t.Errorf("cost increased from b=%d (%d) to b=%d (%d)", b/2, prev, b, c)
+		}
+		prev = c
+	}
+}
+
+func TestHybridValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("HybridOEMSort(16, 1) did not panic")
+		}
+	}()
+	HybridOEMSort(16, 1)
+}
+
+// TestDiagram checks the ASCII rendering of Fig. 1 contains the expected
+// structure.
+func TestDiagram(t *testing.T) {
+	d := Fig1().Diagram()
+	for _, want := range []string{"fig1-4-input", "cost=5", "depth=3", "●"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("diagram missing %q:\n%s", want, d)
+		}
+	}
+	// Four numbered lines.
+	for i := 0; i < 4; i++ {
+		if !strings.Contains(d, fmt.Sprintf("%2d ", i)) {
+			t.Errorf("diagram missing line %d:\n%s", i, d)
+		}
+	}
+	// A network with wiring shows the permutation note.
+	d2 := AlternativeOEMSort(4).Diagram()
+	if !strings.Contains(d2, "wiring") {
+		t.Errorf("diagram missing wiring note:\n%s", d2)
+	}
+}

@@ -1,0 +1,62 @@
+package cmpnet
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Diagram renders the network as an ASCII Knuth diagram: horizontal wires,
+// one column per comparator stage with '●' endpoints joined by '│', and
+// wiring connections shown as permutation columns. Intended for inspecting
+// the constructions of Figs. 1 and 4 in documentation and tooling.
+func (nw *Network) Diagram() string {
+	type col struct {
+		cells []rune // one per line
+		note  string
+	}
+	var cols []col
+	for _, o := range nw.ops {
+		c := col{cells: make([]rune, nw.n)}
+		for i := range c.cells {
+			c.cells[i] = '─'
+		}
+		if o.wire != nil {
+			for i := range c.cells {
+				c.cells[i] = 'π'
+			}
+			c.note = fmt.Sprintf("wiring %v", []int(o.wire))
+			cols = append(cols, c)
+			continue
+		}
+		for _, cmp := range o.cmps {
+			lo, hi := cmp.I, cmp.J
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			c.cells[lo], c.cells[hi] = '●', '●'
+			for i := lo + 1; i < hi; i++ {
+				if c.cells[i] == '─' {
+					c.cells[i] = '│'
+				}
+			}
+		}
+		cols = append(cols, c)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s (n=%d, cost=%d, depth=%d)\n",
+		nw.name, nw.n, nw.Cost(), nw.Depth())
+	for i := 0; i < nw.n; i++ {
+		fmt.Fprintf(&sb, "%2d ", i)
+		for _, c := range cols {
+			sb.WriteRune('─')
+			sb.WriteRune(c.cells[i])
+		}
+		sb.WriteString("─\n")
+	}
+	for ci, c := range cols {
+		if c.note != "" {
+			fmt.Fprintf(&sb, "   column %d: %s\n", ci+1, c.note)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,196 @@
+// Package columnsort implements Leighton's columnsort algorithm [14] and
+// the cost/time model of its time-multiplexed network version — the only
+// other O(n) bit-level cost binary sorting network the paper compares
+// Network 3 against (Section III-C).
+//
+// Columnsort arranges n = r·s elements in an r×s matrix with
+// r ≥ 2(s−1)² and r divisible by s, and sorts in eight steps, four of
+// which sort columns; the other four permute entries (transpose,
+// untranspose, shift, unshift). Its time-multiplexed network realization
+// funnels the lg² n columns of n/lg² n elements through Batcher sorters;
+// the paper's point of comparison is that this requires the data to be
+// pipelined separately through each of the four sorters, whereas the fish
+// sorter pipelines through a single n/lg n-input sorter.
+package columnsort
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"absort/internal/bitvec"
+	"absort/internal/core"
+)
+
+// Validate checks Leighton's parameter constraints: n = r·s, s ≥ 1,
+// r divisible by s, and r ≥ 2(s−1)².
+func Validate(r, s int) error {
+	if r <= 0 || s <= 0 {
+		return fmt.Errorf("columnsort: non-positive dimensions %d×%d", r, s)
+	}
+	if s > 1 && r%s != 0 {
+		return fmt.Errorf("columnsort: r=%d not divisible by s=%d", r, s)
+	}
+	if r < 2*(s-1)*(s-1) {
+		return fmt.Errorf("columnsort: r=%d < 2(s-1)² = %d", r, 2*(s-1)*(s-1))
+	}
+	return nil
+}
+
+// Dimensions picks columnsort dimensions for n: the largest s with
+// s | n/s... it searches s from √(n) down for the first (r, s) satisfying
+// Validate. Returns an error if only the trivial s = 1 works and n itself
+// is the single column (always valid).
+func Dimensions(n int) (r, s int) {
+	best := 1
+	for cand := 2; cand*cand <= n; cand++ {
+		if n%cand != 0 {
+			continue
+		}
+		if Validate(n/cand, cand) == nil {
+			best = cand
+		}
+	}
+	return n / best, best
+}
+
+// Sort sorts in (length r·s) with Leighton's eight-step columnsort and
+// returns the result in column-major order (which for a fully sorted
+// matrix read column-by-column is simply ascending order).
+func Sort(in []int, r, s int) ([]int, error) {
+	if err := Validate(r, s); err != nil {
+		return nil, err
+	}
+	if len(in) != r*s {
+		return nil, fmt.Errorf("columnsort: %d elements for %d×%d", len(in), r, s)
+	}
+	// The matrix is kept column-major: m[j*r+i] is row i of column j.
+	m := append([]int(nil), in...)
+
+	sortCols := func(v []int, rows int) {
+		for j := 0; j*rows < len(v); j++ {
+			col := v[j*rows : (j+1)*rows]
+			sort.Ints(col)
+		}
+	}
+	// Step 1: sort columns.
+	sortCols(m, r)
+	// Step 2: transpose — read column-major, write row-major (into the
+	// same r×s shape, kept column-major).
+	m = transpose(m, r, s)
+	// Step 3: sort columns.
+	sortCols(m, r)
+	// Step 4: untranspose.
+	m = untranspose(m, r, s)
+	// Step 5: sort columns.
+	sortCols(m, r)
+	// Step 6: shift down by r/2 into s+1 columns, padding with −∞ on top
+	// and +∞ at bottom.
+	h := r / 2
+	shifted := make([]int, 0, (s+1)*r)
+	for i := 0; i < h; i++ {
+		shifted = append(shifted, math.MinInt)
+	}
+	shifted = append(shifted, m...)
+	for i := 0; i < r-h; i++ {
+		shifted = append(shifted, math.MaxInt)
+	}
+	// Step 7: sort the s+1 columns.
+	sortCols(shifted, r)
+	// Step 8: unshift — drop the padding.
+	out := shifted[h : h+r*s]
+	return append([]int(nil), out...), nil
+}
+
+// transpose reads the column-major r×s matrix in column order and writes
+// the sequence back in row order, returning the new column-major matrix.
+func transpose(m []int, r, s int) []int {
+	out := make([]int, len(m))
+	for pos, x := range m { // pos enumerates column-major = sorted read order
+		i, j := pos/s, pos%s // write row-major
+		out[j*r+i] = x
+	}
+	return out
+}
+
+// untranspose is the inverse of transpose.
+func untranspose(m []int, r, s int) []int {
+	out := make([]int, len(m))
+	for pos := range m {
+		i, j := pos/s, pos%s
+		out[pos] = m[j*r+i]
+	}
+	return out
+}
+
+// SortBits runs columnsort on a binary sequence.
+func SortBits(v bitvec.Vector, r, s int) (bitvec.Vector, error) {
+	in := make([]int, len(v))
+	for i, b := range v {
+		in[i] = int(b)
+	}
+	out, err := Sort(in, r, s)
+	if err != nil {
+		return nil, err
+	}
+	res := make(bitvec.Vector, len(v))
+	for i, x := range out {
+		res[i] = bitvec.Bit(x)
+	}
+	return res, nil
+}
+
+// NetworkModel is the cost/time model of the time-multiplexed columnsort
+// network of [14] as discussed in Section III-C: lg² n columns of
+// m = n/lg² n elements, each column sort realized by an m-input Batcher
+// sorter, with four sorter uses (one per sorting step).
+type NetworkModel struct {
+	N          int // total inputs
+	Columns    int // number of columns = lg² n
+	SorterSize int // m = n / lg² n
+	// SorterCost is one m-input Batcher sorter: (lg²m − lg m + 4)m/4 − 1.
+	SorterCost int
+	// Sorters is the number of separately pipelined sorters (4: steps
+	// 1, 3, 5, 7), the paper's pipelining-burden point.
+	Sorters int
+	// MuxCost is the multiplexing/demultiplexing circuitry, comparable to
+	// the (n,k)-mux and (k,n)-demux of the fish sorter: ~2n.
+	MuxCost int
+	// TimeUnpipelined: 4 sorting steps × (columns × Batcher depth).
+	TimeUnpipelined int
+	// TimePipelined: 4 sorting steps × (Batcher depth + columns − 1),
+	// with each sorter's inputs pipelined separately.
+	TimePipelined int
+}
+
+// TotalCost returns switching cost: the four sorters plus multiplexing.
+func (m NetworkModel) TotalCost() int { return m.Sorters*m.SorterCost + m.MuxCost }
+
+// TimeMultiplexedModel evaluates the model at n (a power of two ≥ 16 with
+// lg² n ≤ n and n/lg²n rounded down to a power of two for the Batcher
+// sorter).
+func TimeMultiplexedModel(n int) NetworkModel {
+	lg := core.Lg(n)
+	cols := lg * lg
+	m := n / cols
+	// Round the sorter width down to a power of two (the model's Batcher
+	// sorter needs one); the column count rises correspondingly.
+	sz := 1
+	for sz*2 <= m {
+		sz *= 2
+	}
+	cols = (n + sz - 1) / sz
+	lgm := core.Lg(sz)
+	sorterCost := (lgm*lgm-lgm+4)*sz/4 - 1
+	depth := lgm * (lgm + 1) / 2
+	return NetworkModel{
+		N:               n,
+		Columns:         cols,
+		SorterSize:      sz,
+		SorterCost:      sorterCost,
+		Sorters:         4,
+		MuxCost:         2 * n,
+		TimeUnpipelined: 4 * cols * depth,
+		TimePipelined:   4 * (depth + cols - 1),
+	}
+}

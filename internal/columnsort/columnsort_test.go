@@ -1,0 +1,170 @@
+package columnsort
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"absort/internal/bitvec"
+	"absort/internal/core"
+)
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		r, s int
+		ok   bool
+	}{
+		{18, 3, true},   // r ≥ 2(s−1)² = 8 and 18 % 3 == 0
+		{8, 3, false},   // 8 % 3 != 0
+		{9, 3, true},    // 9 % 3 == 0 and 9 ≥ 8
+		{6, 3, false},   // 6 < 8
+		{32, 4, true},   // 32 % 4 == 0 and 32 ≥ 18
+		{16, 4, false},  // 16 < 18
+		{16, 1, true},   // single column always fine
+		{-1, 2, false},  // negative
+		{18, -1, false}, // negative
+	}
+	for _, c := range cases {
+		err := Validate(c.r, c.s)
+		if c.ok && err != nil {
+			t.Errorf("Validate(%d,%d) = %v, want ok", c.r, c.s, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("Validate(%d,%d) accepted", c.r, c.s)
+		}
+	}
+}
+
+func TestDimensions(t *testing.T) {
+	for _, n := range []int{64, 72, 256, 1024, 4096} {
+		r, s := Dimensions(n)
+		if r*s != n {
+			t.Errorf("Dimensions(%d) = %d×%d ≠ n", n, r, s)
+		}
+		if err := Validate(r, s); err != nil {
+			t.Errorf("Dimensions(%d) invalid: %v", n, err)
+		}
+	}
+}
+
+// TestColumnsortSortsInts verifies the eight-step algorithm on random int
+// inputs at several shapes.
+func TestColumnsortSortsInts(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	for _, tc := range []struct{ r, s int }{
+		{8, 2}, {9, 3}, {18, 3}, {32, 4}, {50, 5}, {128, 4},
+	} {
+		n := tc.r * tc.s
+		for trial := 0; trial < 50; trial++ {
+			in := make([]int, n)
+			for i := range in {
+				in[i] = rng.Intn(200) - 100
+			}
+			want := append([]int(nil), in...)
+			sort.Ints(want)
+			got, err := Sort(in, tc.r, tc.s)
+			if err != nil {
+				t.Fatalf("%d×%d: %v", tc.r, tc.s, err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%d×%d: columnsort failed: got %v want %v",
+						tc.r, tc.s, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestColumnsortSortsBits verifies the binary case exhaustively for a
+// small shape (8×2 = 16 inputs) and randomly for a large one.
+func TestColumnsortSortsBits(t *testing.T) {
+	bitvec.All(16, func(v bitvec.Vector) bool {
+		got, err := SortBits(v, 8, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(v.Sorted()) {
+			t.Errorf("SortBits(%s) = %s", v, got)
+			return false
+		}
+		return true
+	})
+	rng := rand.New(rand.NewSource(137))
+	for trial := 0; trial < 30; trial++ {
+		v := bitvec.Random(rng, 512)
+		got, err := SortBits(v, 128, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(v.Sorted()) {
+			t.Fatalf("SortBits failed on 512-bit input")
+		}
+	}
+}
+
+// TestColumnsortDegenerateSingleColumn: s = 1 is a plain sort.
+func TestColumnsortDegenerateSingleColumn(t *testing.T) {
+	in := []int{5, 3, 1, 4, 2}
+	got, err := Sort(in, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] > got[i] {
+			t.Fatalf("single column sort failed: %v", got)
+		}
+	}
+}
+
+func TestSortErrors(t *testing.T) {
+	if _, err := Sort([]int{1, 2, 3}, 2, 3); err == nil {
+		t.Error("accepted wrong length")
+	}
+	if _, err := Sort(make([]int, 12), 4, 3); err == nil {
+		t.Error("accepted r < 2(s-1)²")
+	}
+	if _, err := SortBits(bitvec.New(12), 4, 3); err == nil {
+		t.Error("SortBits accepted invalid shape")
+	}
+}
+
+// TestSortDoesNotMutateInput guards against aliasing.
+func TestSortDoesNotMutateInput(t *testing.T) {
+	in := []int{9, 1, 8, 2, 7, 3, 6, 4, 5, 0, 11, 10, 13, 12, 15, 14, 17, 16}
+	orig := append([]int(nil), in...)
+	if _, err := Sort(in, 18, 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if in[i] != orig[i] {
+			t.Fatal("Sort mutated its input")
+		}
+	}
+}
+
+// TestTimeMultiplexedModel checks the O(n)-cost claim: the model's total
+// cost is ≤ c·n for n in the practical range, and the pipelined time is
+// O(lg² n) while the unpipelined time is Θ(lg⁴ n)-ish.
+func TestTimeMultiplexedModel(t *testing.T) {
+	for _, n := range []int{1024, 4096, 65536, 1 << 20} {
+		m := TimeMultiplexedModel(n)
+		if m.SorterSize*m.Columns < n {
+			t.Errorf("n=%d: model covers %d < n inputs", n, m.SorterSize*m.Columns)
+		}
+		if m.TotalCost() > 12*n {
+			t.Errorf("n=%d: columnsort model cost %d not O(n)", n, m.TotalCost())
+		}
+		lg := core.Lg(n)
+		if m.TimePipelined > 8*lg*lg {
+			t.Errorf("n=%d: pipelined time %d > 8 lg²n", n, m.TimePipelined)
+		}
+		if m.TimeUnpipelined <= m.TimePipelined {
+			t.Errorf("n=%d: unpipelined %d ≤ pipelined %d",
+				n, m.TimeUnpipelined, m.TimePipelined)
+		}
+		if m.Sorters != 4 {
+			t.Errorf("n=%d: %d sorters, want 4", n, m.Sorters)
+		}
+	}
+}

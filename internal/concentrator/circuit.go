@@ -1,0 +1,85 @@
+package concentrator
+
+import (
+	"fmt"
+
+	"absort/internal/bitvec"
+	"absort/internal/core"
+	"absort/internal/netlist"
+	"absort/internal/prefixadd"
+)
+
+// CircuitRouter routes packets through an actual gate-level binary-sorter
+// netlist using tagged evaluation: the tag bits drive every comparator,
+// switch and multiplexer decision and the payloads ride through the same
+// components. It is the hardware-faithful counterpart of the replay
+// routers (RouteMuxMerger, RoutePrefix), against which it is
+// cross-validated in tests.
+type CircuitRouter struct {
+	circuit *netlist.Circuit
+}
+
+// NewMuxMergerCircuitRouter builds an n-input router over Network 2's
+// netlist.
+func NewMuxMergerCircuitRouter(n int) *CircuitRouter {
+	return &CircuitRouter{circuit: core.NewMuxMergerSorter(n).Circuit()}
+}
+
+// NewPrefixCircuitRouter builds an n-input router over Network 1's
+// netlist.
+func NewPrefixCircuitRouter(n int) *CircuitRouter {
+	return &CircuitRouter{circuit: core.NewPrefixSorter(n, prefixadd.Prefix).Circuit()}
+}
+
+// N returns the router width.
+func (r *CircuitRouter) N() int { return r.circuit.NumInputs() }
+
+// Cost returns the router's unit switching cost.
+func (r *CircuitRouter) Cost() int { return r.circuit.Stats().UnitCost }
+
+// Route returns the permutation realized by the circuit on the given tags
+// (receives-from form), computed by pushing tagged packets through the
+// netlist itself.
+func (r *CircuitRouter) Route(tags bitvec.Vector) ([]int, error) {
+	n := r.circuit.NumInputs()
+	if len(tags) != n {
+		return nil, fmt.Errorf("concentrator: circuit router got %d tags, want %d",
+			len(tags), n)
+	}
+	in := make([]netlist.Tagged, n)
+	for i, t := range tags {
+		in[i] = netlist.Tagged{Bit: uint8(t & 1), Payload: int32(i)}
+	}
+	out := r.circuit.EvalTagged(in)
+	p := make([]int, n)
+	seen := make([]bool, n)
+	for j, v := range out {
+		if v.Payload == netlist.NoPayload || int(v.Payload) >= n || seen[v.Payload] {
+			return nil, fmt.Errorf("concentrator: circuit dropped or duplicated payload at output %d", j)
+		}
+		p[j] = int(v.Payload)
+		seen[v.Payload] = true
+	}
+	return p, nil
+}
+
+// TruncateToM converts the router into a genuine (n,m)-concentrator
+// circuit: only the first m outputs are exposed and every switching
+// component that cannot reach them is pruned (Section IV's definition
+// requires only that the r ≤ m tagged inputs reach the first r outputs).
+// It returns the pruned router and the unit-cost saving.
+//
+// Measured caveat: the paper's adaptive networks prune poorly — their
+// shuffle connections spread every 2×2/4×4 switch across the full output
+// range, so almost every component stays live even for small m (the
+// saving is 0 for the mux-merger sorter). Comparator networks such as
+// Batcher's prune substantially (see netlist.Truncate tests). Output
+// truncation is therefore a structural observation about the adaptive
+// constructions, not a free cost knob.
+func (r *CircuitRouter) TruncateToM(m int) (*netlist.Circuit, int, error) {
+	tr, err := r.circuit.Truncate(m)
+	if err != nil {
+		return nil, 0, err
+	}
+	return tr, r.circuit.Stats().UnitCost - tr.Stats().UnitCost, nil
+}

@@ -1,0 +1,121 @@
+package concentrator
+
+import (
+	"math/rand"
+	"testing"
+
+	"absort/internal/bitvec"
+	"absort/internal/netlist"
+)
+
+// TestCircuitRoutersMatchReplay is the hardware-closure test: pushing
+// tagged packets through the actual gate-level netlists of Networks 1 and
+// 2 realizes exactly the same permutation as the replay routers.
+func TestCircuitRoutersMatchReplay(t *testing.T) {
+	for _, n := range []int{8, 16} {
+		mm := NewMuxMergerCircuitRouter(n)
+		pf := NewPrefixCircuitRouter(n)
+		bitvec.All(n, func(tags bitvec.Vector) bool {
+			got, err := mm.Route(tags)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := RouteMuxMerger(tags)
+			for j := range want {
+				if got[j] != want[j] {
+					t.Errorf("n=%d tags=%s: circuit mux-merger %v != replay %v",
+						n, tags, got, want)
+					return false
+				}
+			}
+			got, err = pf.Route(tags)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want = RoutePrefix(tags)
+			for j := range want {
+				if got[j] != want[j] {
+					t.Errorf("n=%d tags=%s: circuit prefix %v != replay %v",
+						n, tags, got, want)
+					return false
+				}
+			}
+			return true
+		})
+	}
+}
+
+// TestCircuitRoutersWide: random tags at larger widths; outputs must be a
+// permutation with sorted tags.
+func TestCircuitRoutersWide(t *testing.T) {
+	rng := rand.New(rand.NewSource(199))
+	for _, n := range []int{64, 128} {
+		for _, r := range []*CircuitRouter{
+			NewMuxMergerCircuitRouter(n), NewPrefixCircuitRouter(n),
+		} {
+			if r.N() != n {
+				t.Fatalf("router width %d", r.N())
+			}
+			if r.Cost() <= 0 {
+				t.Fatal("router cost not positive")
+			}
+			for i := 0; i < 40; i++ {
+				tags := bitvec.Random(rng, n)
+				p, err := r.Route(tags)
+				if err != nil {
+					t.Fatal(err)
+				}
+				checkRoute(t, "circuit", tags, p)
+			}
+		}
+	}
+}
+
+// TestCircuitRouterArity covers the width validation.
+func TestCircuitRouterArity(t *testing.T) {
+	r := NewMuxMergerCircuitRouter(8)
+	if _, err := r.Route(bitvec.New(4)); err == nil {
+		t.Error("accepted wrong tag width")
+	}
+}
+
+// TestTruncateToM: the (n,m) hardware drops cost while still delivering
+// the marked packets to the first outputs.
+func TestTruncateToM(t *testing.T) {
+	n, m := 32, 8
+	r := NewMuxMergerCircuitRouter(n)
+	tr, saved, err := r.TruncateToM(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The shuffle-based mux-merger does not prune (every switch reaches
+	// the retained outputs) — the documented structural finding.
+	if saved != 0 {
+		t.Logf("(%d,%d) truncation saved %d units", n, m, saved)
+	}
+	if saved < 0 {
+		t.Errorf("negative saving %d", saved)
+	}
+	if tr.NumOutputs() != m {
+		t.Fatalf("%d outputs", tr.NumOutputs())
+	}
+	rng := rand.New(rand.NewSource(283))
+	for trial := 0; trial < 60; trial++ {
+		tags := bitvec.RandomWithOnes(rng, n, n-rng.Intn(m+1)) // ≤ m zeros (marked)
+		in := make([]netlist.Tagged, n)
+		for i, tag := range tags {
+			in[i] = netlist.Tagged{Bit: uint8(tag), Payload: int32(i)}
+		}
+		out := tr.EvalTagged(in)
+		rr := tags.Zeros()
+		for j := 0; j < rr; j++ {
+			pl := out[j].Payload
+			if pl == netlist.NoPayload || tags[pl] != 0 {
+				t.Fatalf("output %d carries payload %d (tag %v)", j, pl, tags)
+			}
+		}
+	}
+	if _, _, err := r.TruncateToM(0); err == nil {
+		t.Error("accepted m=0")
+	}
+}

@@ -1,0 +1,18 @@
+package concentrator
+
+import (
+	"absort/internal/bitvec"
+	"absort/internal/cmpnet"
+)
+
+// RouteComparatorNetwork returns the permutation (receives-from form)
+// realized by any nonadaptive comparator network on the given tags:
+// comparators exchange packets only when their tag bits are strictly out
+// of order. With a sorting network (e.g. Batcher's), this yields the
+// classical O(n lg² n)-comparator concentrator/permuter the paper compares
+// against in Section IV and Table II.
+func RouteComparatorNetwork(nw *cmpnet.Network, tags bitvec.Vector) []int {
+	items := itemsOf(tags)
+	out := cmpnet.Apply(nw, items, func(a, b item) bool { return a.tag < b.tag })
+	return permOf(out)
+}

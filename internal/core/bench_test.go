@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"absort/internal/bitvec"
+	"absort/internal/prefixadd"
+)
+
+// Microbenchmarks for the core sorters: behavioral throughput and netlist
+// evaluation throughput at several widths.
+
+func benchInput(n int) bitvec.Vector {
+	return bitvec.Random(rand.New(rand.NewSource(int64(n))), n)
+}
+
+func BenchmarkPrefixSorterBehavioral(b *testing.B) {
+	for _, n := range []int{64, 1024, 16384} {
+		s := NewPrefixSorter(n, prefixadd.Prefix)
+		in := benchInput(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.SetBytes(int64(n))
+			for i := 0; i < b.N; i++ {
+				s.Sort(in)
+			}
+		})
+	}
+}
+
+func BenchmarkMuxMergerSorterBehavioral(b *testing.B) {
+	for _, n := range []int{64, 1024, 16384} {
+		s := NewMuxMergerSorter(n)
+		in := benchInput(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.SetBytes(int64(n))
+			for i := 0; i < b.N; i++ {
+				s.Sort(in)
+			}
+		})
+	}
+}
+
+func BenchmarkFishSorterBehavioral(b *testing.B) {
+	for _, n := range []int{64, 1024, 16384} {
+		k := 2
+		for k*2 <= Lg(n) {
+			k *= 2
+		}
+		s := NewFishSorter(n, k)
+		in := benchInput(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.SetBytes(int64(n))
+			for i := 0; i < b.N; i++ {
+				s.Sort(in)
+			}
+		})
+	}
+}
+
+func BenchmarkNetlistEval(b *testing.B) {
+	for _, n := range []int{64, 256, 1024} {
+		c := NewMuxMergerSorter(n).Circuit()
+		in := benchInput(n)
+		b.Run(fmt.Sprintf("mux-merger/n=%d", n), func(b *testing.B) {
+			b.ReportMetric(float64(c.Stats().UnitCost), "components")
+			for i := 0; i < b.N; i++ {
+				c.Eval(in)
+			}
+		})
+	}
+}
+
+func BenchmarkCircuitConstruction(b *testing.B) {
+	for _, n := range []int{256, 1024} {
+		b.Run(fmt.Sprintf("mux-merger/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				NewMuxMergerSorter(n).Circuit()
+			}
+		})
+		b.Run(fmt.Sprintf("prefix/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				NewPrefixSorter(n, prefixadd.Prefix).Circuit()
+			}
+		})
+	}
+}

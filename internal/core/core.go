@@ -1,0 +1,56 @@
+// Package core implements the paper's primary contribution: the three
+// adaptive binary sorting networks of Section III.
+//
+//   - Network 1, the prefix binary sorter (Fig. 5): odd-even merging with a
+//     patch-up network steered by a prefix adder. O(n lg n) cost,
+//     O(lg² n) depth.
+//   - Network 2, the mux-merger binary sorter (Fig. 6, Table I): recursive
+//     four-way swapping steered by two data bits per level. O(n lg n) cost,
+//     O(lg² n) depth, no adder required.
+//   - Network 3, the fish binary sorter (Fig. 7): a time-multiplexed
+//     network that funnels k groups of n/k inputs through one small sorter
+//     and merges with a k-way mux-merger. O(n) cost, O(lg² n) depth,
+//     O(lg³ n) sorting time unpipelined or O(lg² n) pipelined.
+//
+// Every sorter has a behavioral implementation (Sort) and, for the
+// combinational networks, an exact gate-level netlist (Circuit) whose cost
+// and depth reproduce the paper's complexity claims. The behavioral and
+// netlist implementations are cross-validated in the package tests.
+package core
+
+import (
+	"fmt"
+
+	"absort/internal/bitvec"
+)
+
+// BinarySorter is an n-input adaptive binary sorting network.
+type BinarySorter interface {
+	// N returns the number of inputs.
+	N() int
+	// Sort returns the ascending sort of v. len(v) must equal N().
+	Sort(v bitvec.Vector) bitvec.Vector
+	// Name identifies the construction.
+	Name() string
+}
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// Lg returns lg n for positive powers of two and panics otherwise.
+func Lg(n int) int {
+	l := 0
+	for 1<<uint(l) < n {
+		l++
+	}
+	if 1<<uint(l) != n {
+		panic(fmt.Sprintf("core: %d is not a power of two", n))
+	}
+	return l
+}
+
+func checkInput(name string, n int, v bitvec.Vector) {
+	if len(v) != n {
+		panic(fmt.Sprintf("core: %s.Sort with %d inputs, want %d", name, len(v), n))
+	}
+}

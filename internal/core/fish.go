@@ -1,0 +1,200 @@
+package core
+
+import (
+	"fmt"
+
+	"absort/internal/bitvec"
+	"absort/internal/swapper"
+)
+
+// FishSorter is Network 3 of the paper (Section III-C, Figs. 7–9): an
+// adaptive time-multiplexed binary sorting network with O(n) cost. The
+// input is divided into k groups of n/k elements; each group is moved
+// through an (n, n/k)-multiplexer into a single shared n/k-input binary
+// sorter (a mux-merger sorter) and out through an (n/k, n)-demultiplexer,
+// one group per time step. The resulting k-sorted sequence is merged by an
+// n-input k-way mux-merger: a k-SWAP stage separates a clean k-sorted
+// upper half (Theorem 4), which a k-way clean sorter orders by dispatching
+// whole blocks to their ranked positions, while the lower half recurses;
+// a final two-way mux-merger combines the halves.
+//
+// With k = lg n the network has O(n) cost, O(lg² n) depth, and sorting
+// time O(lg³ n) without pipelining or O(lg² n) with the k groups pipelined
+// through the shared sorter (equations (17)–(26)).
+type FishSorter struct {
+	n, k int
+}
+
+// NewFishSorter returns an n-input fish sorter with k time-multiplexed
+// groups. n and k must be powers of two with 2 ≤ k ≤ n.
+func NewFishSorter(n, k int) *FishSorter {
+	if !IsPow2(n) || !IsPow2(k) || k < 2 || k > n {
+		panic(fmt.Sprintf("core: NewFishSorter(%d, %d): need powers of two, 2 ≤ k ≤ n", n, k))
+	}
+	return &FishSorter{n: n, k: k}
+}
+
+// N returns the number of inputs.
+func (f *FishSorter) N() int { return f.n }
+
+// K returns the number of time-multiplexed groups.
+func (f *FishSorter) K() int { return f.k }
+
+// Name identifies the construction.
+func (f *FishSorter) Name() string { return fmt.Sprintf("fish-sorter-%d-k%d", f.n, f.k) }
+
+// GroupSize returns n/k, the width of the shared sorter.
+func (f *FishSorter) GroupSize() int { return f.n / f.k }
+
+// Sort returns the ascending sort of v, simulating the time-multiplexed
+// data path step by step.
+func (f *FishSorter) Sort(v bitvec.Vector) bitvec.Vector {
+	checkInput(f.Name(), f.n, v)
+	out, _ := f.sortTraced(v, nil)
+	return out
+}
+
+// MergeLevel records one level of the k-way mux-merger for tracing
+// (Fig. 8): the level's input, the k-SWAP selects and outputs, the clean
+// sorter's dispatch order, and the level's sorted output halves.
+type MergeLevel struct {
+	Size     int            // number of lines at this level
+	Input    bitvec.Vector  // k-sorted input to the level
+	Selects  []bitvec.Bit   // k-SWAP control bits (middle bit per block)
+	Upper    bitvec.Vector  // clean k-sorted upper half after k-SWAP
+	Lower    bitvec.Vector  // k-sorted lower half after k-SWAP
+	Dispatch []DispatchStep // clean-sorter block dispatch steps (Fig. 9)
+	UpperOut bitvec.Vector  // upper half after the clean sorter
+	LowerOut bitvec.Vector  // lower half after recursive merging
+	Output   bitvec.Vector  // level output after the two-way mux-merger
+}
+
+// DispatchStep records one clock step of the k-way clean sorter: block
+// Block (0-based, in input order) with leading bit Lead is moved through
+// the multiplexer/demultiplexer pair to block position Position of the
+// sorted output.
+type DispatchStep struct {
+	Block    int
+	Lead     bitvec.Bit
+	Position int
+}
+
+// FishTrace records a full run of the fish sorter for the worked examples
+// of Figs. 8 and 9.
+type FishTrace struct {
+	Groups      []bitvec.Vector // the k input groups, in arrival order
+	SortedBank  []bitvec.Vector // each group after the shared sorter
+	MergeLevels []MergeLevel    // merger levels, innermost (smallest) first
+	Final       MergeLevel      // the boundary k-input mux-merger sort
+}
+
+// SortTraced sorts v and returns the full execution trace.
+func (f *FishSorter) SortTraced(v bitvec.Vector) (bitvec.Vector, *FishTrace) {
+	checkInput(f.Name(), f.n, v)
+	tr := &FishTrace{}
+	out, _ := f.sortTraced(v, tr)
+	return out, tr
+}
+
+func (f *FishSorter) sortTraced(v bitvec.Vector, tr *FishTrace) (bitvec.Vector, int) {
+	g := f.GroupSize()
+	// Phase A: move each group through the shared n/k-input sorter, one
+	// group per time step (the (n, n/k)-MUX / (n/k, n)-DEMUX path).
+	bank := make([]bitvec.Vector, f.k)
+	steps := 0
+	for t := 0; t < f.k; t++ {
+		grp := v[t*g : (t+1)*g].Clone()
+		bank[t] = sortMuxMerger(grp)
+		steps++
+		if tr != nil {
+			tr.Groups = append(tr.Groups, grp)
+			tr.SortedBank = append(tr.SortedBank, bank[t])
+		}
+	}
+	// Phase B: k-way mux-merger on the k-sorted register bank.
+	merged := f.kWayMerge(bitvec.Concat(bank...), tr)
+	return merged, steps
+}
+
+// KWayMerge merges a k-sorted sequence (len(v) must be a power of two
+// between k and n) into a sorted sequence, per Fig. 7's n-input k-way
+// mux-merger.
+func (f *FishSorter) KWayMerge(v bitvec.Vector) bitvec.Vector {
+	if !v.IsKSorted(f.k) {
+		panic(fmt.Sprintf("core: KWayMerge input %s is not %d-sorted", v, f.k))
+	}
+	return f.kWayMerge(v, nil)
+}
+
+func (f *FishSorter) kWayMerge(v bitvec.Vector, tr *FishTrace) bitvec.Vector {
+	s := len(v)
+	if s == f.k {
+		// Boundary: the k-input, k-way merger is a k-input mux-merger
+		// binary sorter.
+		out := sortMuxMerger(v)
+		if tr != nil {
+			tr.Final = MergeLevel{Size: s, Input: v.Clone(), Output: out.Clone()}
+		}
+		return out
+	}
+	lvl := MergeLevel{Size: s, Input: v.Clone()}
+	// k-SWAP: each block's middle bit sends its clean half up.
+	ctrl := swapper.KSwapSelects(v, f.k)
+	w := swapper.KSwap(v, ctrl)
+	upper, lower := w[:s/2].Clone(), w[s/2:].Clone()
+	lvl.Selects = ctrl
+	lvl.Upper, lvl.Lower = upper, lower
+
+	upperSorted := f.cleanSort(upper, &lvl)
+	lowerSorted := f.kWayMerge(lower, tr)
+	lvl.UpperOut, lvl.LowerOut = upperSorted, lowerSorted
+
+	// Final stage: an s-input two-way mux-merger on the bisorted halves.
+	out := MuxMerge(bitvec.Concat(upperSorted, lowerSorted))
+	lvl.Output = out.Clone()
+	if tr != nil {
+		tr.MergeLevels = append(tr.MergeLevels, lvl)
+	}
+	return out
+}
+
+// cleanSort sorts a clean k-sorted sequence (k blocks, each all-0 or
+// all-1) by sorting the k leading bits with a k-input mux-merger sorter
+// and dispatching each block, one per clock step, through the
+// (h, h/k)-multiplexer / (h/k, h)-demultiplexer pair to its ranked
+// position (Fig. 9).
+func (f *FishSorter) cleanSort(u bitvec.Vector, lvl *MergeLevel) bitvec.Vector {
+	if !u.IsCleanKSorted(f.k) {
+		panic(fmt.Sprintf("core: cleanSort input %s is not clean %d-sorted", u, f.k))
+	}
+	blocks := u.Blocks(f.k)
+	leads := make(bitvec.Vector, f.k)
+	for j, blk := range blocks {
+		leads[j] = blk[0]
+	}
+	// Sorting the leading bits determines each block's destination: the
+	// all-0 blocks take the first positions in arrival order, then the
+	// all-1 blocks.
+	zeros := leads.Zeros()
+	out := bitvec.New(len(u))
+	bs := len(u) / f.k
+	nextZero, nextOne := 0, zeros
+	for j, blk := range blocks {
+		pos := nextOne
+		if leads[j] == 0 {
+			pos = nextZero
+			nextZero++
+		} else {
+			nextOne++
+		}
+		copy(out[pos*bs:(pos+1)*bs], blk)
+		if lvl != nil {
+			lvl.Dispatch = append(lvl.Dispatch, DispatchStep{
+				Block: j, Lead: leads[j], Position: pos,
+			})
+		}
+	}
+	return out
+}
+
+var _ BinarySorter = (*FishSorter)(nil)

@@ -1,0 +1,354 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"absort/internal/bitvec"
+	"absort/internal/netlist"
+)
+
+// TestFishSorterExhaustive checks E8: the fish sorter sorts every binary
+// sequence for small n across all legal k.
+func TestFishSorterExhaustive(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{
+		{4, 2}, {4, 4}, {8, 2}, {8, 4}, {8, 8},
+		{16, 2}, {16, 4}, {16, 8}, {16, 16},
+	} {
+		f := NewFishSorter(tc.n, tc.k)
+		bitvec.All(tc.n, func(v bitvec.Vector) bool {
+			got := f.Sort(v)
+			if !got.Equal(v.Sorted()) {
+				t.Errorf("n=%d k=%d: Sort(%s) = %s, want %s",
+					tc.n, tc.k, v, got, v.Sorted())
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// TestFishSorterRandomWide stresses large instances, including the paper's
+// k = lg n choice.
+func TestFishSorterRandomWide(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	for _, tc := range []struct{ n, k int }{
+		{64, 4}, {256, 8}, {1024, 16}, {4096, 4}, {65536, 16},
+	} {
+		f := NewFishSorter(tc.n, tc.k)
+		for i := 0; i < 20; i++ {
+			v := bitvec.Random(rng, tc.n)
+			if got := f.Sort(v); !got.Equal(v.Sorted()) {
+				t.Fatalf("n=%d k=%d: fish sort failed", tc.n, tc.k)
+			}
+		}
+	}
+}
+
+// TestKWayMergeAllKSorted checks the k-way mux-merger on every k-sorted
+// input (Theorem 4 end-to-end).
+func TestKWayMergeAllKSorted(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{{8, 2}, {8, 4}, {16, 4}, {16, 2}} {
+		f := NewFishSorter(tc.n, tc.k)
+		bitvec.AllKSorted(tc.n, tc.k, func(v bitvec.Vector) bool {
+			got := f.KWayMerge(v)
+			if !got.Equal(v.Sorted()) {
+				t.Errorf("n=%d k=%d: KWayMerge(%s) = %s", tc.n, tc.k, v, got)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// TestKWayMergeRejectsUnsorted verifies input validation.
+func TestKWayMergeRejectsUnsorted(t *testing.T) {
+	f := NewFishSorter(8, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("KWayMerge accepted a non-k-sorted input")
+		}
+	}()
+	f.KWayMerge(bitvec.MustFromString("10101010"))
+}
+
+// TestFishFig8Example reproduces the Fig. 8 worked example: the 16-input
+// four-way mux-merger on the 4-sorted sequence 1111/0001/0011/0111.
+func TestFishFig8Example(t *testing.T) {
+	f := NewFishSorter(16, 4)
+	v := bitvec.MustFromString("1111/0001/0011/0111")
+	got := f.KWayMerge(v)
+	if !got.Equal(v.Sorted()) {
+		t.Fatalf("Fig. 8 example: merged to %s", got)
+	}
+	// The k-SWAP step must match Example 4's split.
+	_, tr := f.SortTraced(bitvec.MustFromString("1111/0001/0011/0111"))
+	if len(tr.MergeLevels) == 0 {
+		t.Fatal("no merge levels traced")
+	}
+	top := tr.MergeLevels[len(tr.MergeLevels)-1]
+	if top.Size != 16 {
+		t.Fatalf("outermost level size %d", top.Size)
+	}
+	if top.Upper.String() != "11001111" || top.Lower.String() != "11010001" {
+		t.Errorf("Fig. 8 k-SWAP: upper %s lower %s, want 11001111 / 11010001",
+			top.Upper, top.Lower)
+	}
+	if !top.UpperOut.IsSorted() {
+		t.Errorf("clean sorter output %s not sorted", top.UpperOut)
+	}
+	if !top.Output.Equal(bitvec.MustFromString("1111/0001/0011/0111").Sorted()) {
+		t.Errorf("top-level output %s", top.Output)
+	}
+}
+
+// TestFishTraceDispatch checks the Fig. 9 clean-sorter dispatch records:
+// every block is dispatched exactly once, zero-blocks to the leading
+// positions in arrival order.
+func TestFishTraceDispatch(t *testing.T) {
+	f := NewFishSorter(16, 4)
+	_, tr := f.SortTraced(bitvec.MustFromString("1111/0001/0011/0111"))
+	for _, lvl := range tr.MergeLevels {
+		if len(lvl.Dispatch) != 4 {
+			t.Fatalf("level size %d: %d dispatch steps, want 4", lvl.Size, len(lvl.Dispatch))
+		}
+		seenPos := map[int]bool{}
+		lastZero, lastOne := -1, -1
+		for _, d := range lvl.Dispatch {
+			if seenPos[d.Position] {
+				t.Fatalf("level size %d: position %d dispatched twice", lvl.Size, d.Position)
+			}
+			seenPos[d.Position] = true
+			if d.Lead == 0 {
+				if d.Position <= lastZero {
+					t.Fatalf("zero blocks out of order")
+				}
+				lastZero = d.Position
+			} else {
+				if d.Position <= lastOne {
+					t.Fatalf("one blocks out of order")
+				}
+				lastOne = d.Position
+			}
+		}
+	}
+}
+
+// TestFishCostLinear checks E8's headline claim: with k = lg n the total
+// switching cost is ≤ 17n + o(n) (equation (19)).
+func TestFishCostLinear(t *testing.T) {
+	for _, n := range []int{16, 256, 65536} {
+		k := Lg(n) // 4, 8, 16: powers of two, matching the paper's k = lg n
+		f := NewFishSorter(n, k)
+		c := f.Cost()
+		lg := Lg(n)
+		lglg := 0
+		for 1<<uint(lglg) < lg {
+			lglg++
+		}
+		bound := 17*n + 5*lg*lg*lglg + 4*lg*lglg + 64
+		if c.Total() > bound {
+			t.Errorf("n=%d k=%d: fish cost %d > 17n + o(n) = %d",
+				n, k, c.Total(), bound)
+		}
+		if c.Total() < 5*n {
+			t.Errorf("n=%d: fish cost %d implausibly small", n, c.Total())
+		}
+	}
+}
+
+// TestFishCostComponents sanity-checks the itemization against the paper's
+// per-term forms.
+func TestFishCostComponents(t *testing.T) {
+	f := NewFishSorter(256, 8)
+	c := f.Cost()
+	g := 32
+	if c.InputMux != g*(8-1) || c.InputDemux != g*(8-1) {
+		t.Errorf("mux/demux = %d/%d, want %d", c.InputMux, c.InputDemux, g*7)
+	}
+	if c.GroupSorter != MuxMergerSortCost(g) {
+		t.Errorf("group sorter = %d", c.GroupSorter)
+	}
+	if c.Total() != c.InputMux+c.InputDemux+c.GroupSorter+c.KWayMerger {
+		t.Error("Total mismatch")
+	}
+	if c.Registers < 256 {
+		t.Errorf("registers = %d, want ≥ n", c.Registers)
+	}
+}
+
+// TestMuxMergerFormulasMatchCircuits verifies the closed-form cost/depth
+// helpers against the actual netlists of Network 2.
+func TestMuxMergerFormulasMatchCircuits(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16, 64, 256} {
+		st := NewMuxMergerSorter(n).Circuit().Stats()
+		if got := MuxMergerSortCost(n); got != st.UnitCost {
+			t.Errorf("n=%d: MuxMergerSortCost = %d, circuit %d", n, got, st.UnitCost)
+		}
+		if got := MuxMergerSortDepth(n); got != st.UnitDepth {
+			t.Errorf("n=%d: MuxMergerSortDepth = %d, circuit %d", n, got, st.UnitDepth)
+		}
+		if n >= 4 {
+			b := netlist.NewBuilder("mm")
+			in := b.Inputs(n)
+			b.SetOutputs(BuildMuxMerge(b, in))
+			ms := b.MustBuild().Stats()
+			if got := MuxMergerMergeCost(n); got != ms.UnitCost {
+				t.Errorf("n=%d: MuxMergerMergeCost = %d, circuit %d", n, got, ms.UnitCost)
+			}
+			if got := MuxMergerMergeDepth(n); got != ms.UnitDepth {
+				t.Errorf("n=%d: MuxMergerMergeDepth = %d, circuit %d", n, got, ms.UnitDepth)
+			}
+		}
+	}
+}
+
+// TestMuxMergerSortDepthIsLgSquared: the recurrence solves to exactly lg²n.
+func TestMuxMergerSortDepthIsLgSquared(t *testing.T) {
+	for _, n := range []int{2, 4, 16, 256, 4096} {
+		lg := Lg(n)
+		if got := MuxMergerSortDepth(n); got != lg*lg {
+			t.Errorf("n=%d: depth %d, want lg²n = %d", n, got, lg*lg)
+		}
+	}
+}
+
+// TestFishDepth checks the depth is O(lg² n) with k = lg n (equation (21)).
+func TestFishDepth(t *testing.T) {
+	for _, n := range []int{16, 256, 65536} {
+		k := Lg(n)
+		f := NewFishSorter(n, k)
+		lg := Lg(n)
+		if d := f.Depth(); d > 3*lg*lg+8*lg {
+			t.Errorf("n=%d: fish depth %d > 3lg²n + 8lg n = %d", n, d, 3*lg*lg+8*lg)
+		}
+	}
+}
+
+// TestFishSortingTime checks equations (24) and (26): O(lg³ n) unpipelined
+// and O(lg² n) pipelined with k = lg n, and that pipelining actually helps.
+func TestFishSortingTime(t *testing.T) {
+	for _, n := range []int{256, 65536} {
+		k := Lg(n)
+		f := NewFishSorter(n, k)
+		lg := Lg(n)
+		un := f.SortingTime(false)
+		pi := f.SortingTime(true)
+		if un.Total() > 4*lg*lg*lg {
+			t.Errorf("n=%d: unpipelined time %d > 4lg³n = %d", n, un.Total(), 4*lg*lg*lg)
+		}
+		if pi.Total() > 6*lg*lg {
+			t.Errorf("n=%d: pipelined time %d > 6lg²n = %d", n, pi.Total(), 6*lg*lg)
+		}
+		if pi.Total() >= un.Total() {
+			t.Errorf("n=%d: pipelining did not help (%d vs %d)", n, pi.Total(), un.Total())
+		}
+		if un.PhaseA != k*(2*Lg(k)+MuxMergerSortDepth(n/k)) {
+			t.Errorf("n=%d: unpipelined phase A = %d, want k·pass", n, un.PhaseA)
+		}
+	}
+}
+
+// TestFishDegenerateKEqualsN: with k = n the fish sorter degenerates to a
+// single mux-merger sort.
+func TestFishDegenerateKEqualsN(t *testing.T) {
+	f := NewFishSorter(16, 16)
+	bitvec.All(16, func(v bitvec.Vector) bool {
+		if got := f.Sort(v); !got.Equal(v.Sorted()) {
+			t.Errorf("Sort(%s) = %s", v, got)
+			return false
+		}
+		return true
+	})
+}
+
+// TestFishProperty: randomized sorted-and-ones-preserving invariant at an
+// odd mix of k values.
+func TestFishProperty(t *testing.T) {
+	f2 := NewFishSorter(64, 2)
+	f8 := NewFishSorter(64, 8)
+	f32 := NewFishSorter(64, 32)
+	prop := func(x, y uint32) bool {
+		v := bitvec.Concat(bitvec.FromUint(uint64(x), 32), bitvec.FromUint(uint64(y), 32))
+		for _, f := range []*FishSorter{f2, f8, f32} {
+			out := f.Sort(v)
+			if !out.IsSorted() || out.Ones() != v.Ones() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFishAgreesWithOtherNetworks: all three networks produce identical
+// output on random inputs.
+func TestFishAgreesWithOtherNetworks(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	n := 128
+	fish := NewFishSorter(n, 8)
+	mm := NewMuxMergerSorter(n)
+	for i := 0; i < 100; i++ {
+		v := bitvec.Random(rng, n)
+		a, b := fish.Sort(v), mm.Sort(v)
+		if !a.Equal(b) {
+			t.Fatalf("fish %s != mux-merger %s on %s", a, b, v)
+		}
+	}
+}
+
+func TestFishPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("k=1", func() { NewFishSorter(8, 1) })
+	mustPanic("k>n", func() { NewFishSorter(8, 16) })
+	mustPanic("non-pow2 n", func() { NewFishSorter(12, 4) })
+	mustPanic("non-pow2 k", func() { NewFishSorter(16, 3) })
+	mustPanic("arity", func() { NewFishSorter(8, 2).Sort(bitvec.New(4)) })
+}
+
+// TestFishTraceShape sanity-checks trace completeness on a random run.
+func TestFishTraceShape(t *testing.T) {
+	f := NewFishSorter(32, 4)
+	rng := rand.New(rand.NewSource(89))
+	v := bitvec.Random(rng, 32)
+	out, tr := f.SortTraced(v)
+	if !out.Equal(v.Sorted()) {
+		t.Fatal("traced sort incorrect")
+	}
+	if len(tr.Groups) != 4 || len(tr.SortedBank) != 4 {
+		t.Fatalf("trace groups %d/%d, want 4/4", len(tr.Groups), len(tr.SortedBank))
+	}
+	for i, g := range tr.SortedBank {
+		if !g.IsSorted() {
+			t.Errorf("bank group %d not sorted: %s", i, g)
+		}
+	}
+	// Levels: sizes 32 and 16 (then boundary 8? no — boundary at k=4):
+	// sizes from n down to 2k: 32, 16, 8.
+	wantSizes := map[int]bool{32: true, 16: true, 8: true}
+	for _, lvl := range tr.MergeLevels {
+		if !wantSizes[lvl.Size] {
+			t.Errorf("unexpected level size %d", lvl.Size)
+		}
+		delete(wantSizes, lvl.Size)
+		if !lvl.Output.IsSorted() {
+			t.Errorf("level %d output not sorted", lvl.Size)
+		}
+	}
+	if len(wantSizes) != 0 {
+		t.Errorf("missing levels: %v", wantSizes)
+	}
+	if tr.Final.Size != 4 {
+		t.Errorf("final boundary size %d, want 4", tr.Final.Size)
+	}
+}

@@ -1,0 +1,187 @@
+package core
+
+// This file implements the exact unit-cost and unit-delay accounting of the
+// fish binary sorter, mirroring equations (7)–(26) of Section III-C. The
+// closed-form helpers for the mux-merger sorter are shared with Network 2
+// and are verified against the built netlists in the package tests.
+
+// MuxMergerMergeCost returns the exact unit cost of an n-input two-way
+// mux-merger: Cm(n) = 2n + Cm(n/2) with Cm(2) = 1, i.e. 4n − 7 for n ≥ 4.
+func MuxMergerMergeCost(n int) int {
+	if n == 2 {
+		return 1
+	}
+	return 2*n + MuxMergerMergeCost(n/2)
+}
+
+// MuxMergerMergeDepth returns the exact unit depth of an n-input two-way
+// mux-merger: Dm(n) = 2 + Dm(n/2) with Dm(2) = 1, i.e. 2 lg n − 1.
+func MuxMergerMergeDepth(n int) int {
+	if n == 2 {
+		return 1
+	}
+	return 2 + MuxMergerMergeDepth(n/2)
+}
+
+// MuxMergerSortCost returns the exact unit cost of an n-input mux-merger
+// binary sorter: C(n) = 2C(n/2) + Cm(n), C(1) = 0 — the paper's 4n lg n
+// with its −O(n) correction.
+func MuxMergerSortCost(n int) int {
+	if n == 1 {
+		return 0
+	}
+	return 2*MuxMergerSortCost(n/2) + MuxMergerMergeCost(n)
+}
+
+// MuxMergerSortDepth returns the exact unit depth of an n-input mux-merger
+// binary sorter: D(n) = D(n/2) + Dm(n), D(1) = 0, which solves to lg² n.
+func MuxMergerSortDepth(n int) int {
+	if n == 1 {
+		return 0
+	}
+	return MuxMergerSortDepth(n/2) + MuxMergerMergeDepth(n)
+}
+
+// FishCost itemizes the unit cost of a fish sorter per equation (17).
+type FishCost struct {
+	// InputMux is the (n, n/k)-multiplexer: (n/k)(k−1) ≤ n units.
+	InputMux int
+	// InputDemux is the (n/k, n)-demultiplexer: (n/k)(k−1) ≤ n units.
+	InputDemux int
+	// GroupSorter is the single shared n/k-input mux-merger sorter:
+	// 4(n/k) lg(n/k) − O(n/k) units.
+	GroupSorter int
+	// KWayMerger is the n-input k-way mux-merger per equation (15):
+	// k-SWAPs, per-level k-input sorters and dispatch circuits, and the
+	// per-level two-way mux-mergers.
+	KWayMerger int
+	// Registers counts the storage bits the time-multiplexed operation
+	// needs (the sorted-group bank plus one register bank per clean-sorter
+	// level); the paper's cost accounting, like ours, keeps them separate
+	// from switching cost.
+	Registers int
+}
+
+// Total returns the total switching cost (excluding registers).
+func (c FishCost) Total() int {
+	return c.InputMux + c.InputDemux + c.GroupSorter + c.KWayMerger
+}
+
+// kWayMergerCost returns the unit cost of an s-input k-way mux-merger,
+// following equation (11): s/2 (k-SWAP) + Cmm(k) (k-input sorter for the
+// clean sorter's leading bits) + s + k (dispatch multiplexer, demultiplexer
+// and (k,1)-multiplexer) + recursive half + 4s − 7 (two-way mux-merger),
+// with boundary Ckm(k, k) = Cmm(k).
+func kWayMergerCost(s, k int) int {
+	if s == k {
+		return MuxMergerSortCost(k)
+	}
+	return s/2 + MuxMergerSortCost(k) + s + k + kWayMergerCost(s/2, k) + MuxMergerMergeCost(s)
+}
+
+// kWayMergerRegisters counts register bits across the merger's
+// time-multiplexed clean-sorter levels: each level of size s stores its
+// s/2-bit upper half while dispatching.
+func kWayMergerRegisters(s, k int) int {
+	if s == k {
+		return 0
+	}
+	return s/2 + kWayMergerRegisters(s/2, k)
+}
+
+// Cost returns the itemized unit cost of the sorter.
+func (f *FishSorter) Cost() FishCost {
+	n, k := f.n, f.k
+	g := n / k
+	return FishCost{
+		InputMux:    g * (k - 1),
+		InputDemux:  g * (k - 1),
+		GroupSorter: MuxMergerSortCost(g),
+		KWayMerger:  kWayMergerCost(n, k),
+		Registers:   n + kWayMergerRegisters(n, k),
+	}
+}
+
+// Depth returns the combinational depth of the deepest single-pass path
+// through the network, per equation (13)/(18): multiplexer + shared sorter
+// + demultiplexer, then the k-way merger's per-level path.
+func (f *FishSorter) Depth() int {
+	g := f.n / f.k
+	lgK := Lg(f.k)
+	return lgK + MuxMergerSortDepth(g) + lgK + f.kWayMergerDepth(f.n)
+}
+
+// kWayMergerDepth follows equation (13): one unit for the k-SWAP, the
+// maximum of the clean-sorter path (k-input sorter + mux + demux) and the
+// recursive merger, plus the two-way mux-merger.
+func (f *FishSorter) kWayMergerDepth(s int) int {
+	if s == f.k {
+		return MuxMergerSortDepth(f.k)
+	}
+	lgK := Lg(f.k)
+	clean := MuxMergerSortDepth(f.k) + 2*lgK + 1 // k-sorter, mux, demux, (k,1)-mux path
+	rec := f.kWayMergerDepth(s / 2)
+	return 1 + max(clean, rec) + MuxMergerMergeDepth(s)
+}
+
+// FishTiming reports the sorting time of the fish sorter in unit delays,
+// per equations (21)–(26).
+type FishTiming struct {
+	// PhaseA is the time to funnel the k groups through the shared
+	// sorter: k·(lg k + D(n/k) + lg k) unpipelined, or
+	// lg k + D(n/k) + lg k + (k−1) with the groups pipelined through the
+	// sorter's D(n/k) unit-delay stages.
+	PhaseA int
+	// PhaseB is the k-way merger time, including the k dispatch steps of
+	// each level's clean sorter.
+	PhaseB int
+	// Pipelined records which regime PhaseA/PhaseB were computed in.
+	Pipelined bool
+}
+
+// Total returns the total sorting time in unit delays.
+func (t FishTiming) Total() int { return t.PhaseA + t.PhaseB }
+
+// SortingTime returns the sorting time per equations (22) (unpipelined)
+// and (25) (pipelined).
+func (f *FishSorter) SortingTime(pipelined bool) FishTiming {
+	g := f.n / f.k
+	lgK := Lg(f.k)
+	pass := lgK + MuxMergerSortDepth(g) + lgK
+	t := FishTiming{Pipelined: pipelined}
+	if pipelined {
+		t.PhaseA = pass + (f.k - 1)
+	} else {
+		t.PhaseA = f.k * pass
+	}
+	t.PhaseB = f.mergerTime(f.n, pipelined)
+	return t
+}
+
+// mergerTime returns the k-way merger's sorting time at level size s. The
+// clean sorter moves its k blocks one per step through the dispatch
+// multiplexer/demultiplexer (2 lg k units each pass, after the k-input
+// sorter settles); pipelining overlaps the block passes.
+func (f *FishSorter) mergerTime(s int, pipelined bool) int {
+	if s == f.k {
+		return MuxMergerSortDepth(f.k)
+	}
+	lgK := Lg(f.k)
+	pass := 2*lgK + 1
+	var dispatch int
+	if pipelined {
+		dispatch = pass + (f.k - 1)
+	} else {
+		dispatch = f.k * pass
+	}
+	clean := MuxMergerSortDepth(f.k) + dispatch
+	rec := f.mergerTime(s/2, pipelined)
+	return 1 + max(clean, rec) + MuxMergerMergeDepth(s)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

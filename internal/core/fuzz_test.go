@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+
+	"absort/internal/bitvec"
+	"absort/internal/prefixadd"
+)
+
+// bytesToVector derives a power-of-two-length bit vector from fuzz input.
+func bytesToVector(data []byte) bitvec.Vector {
+	if len(data) == 0 {
+		data = []byte{0}
+	}
+	n := 4
+	for n*2 <= 8*len(data) && n < 256 {
+		n *= 2
+	}
+	v := make(bitvec.Vector, n)
+	for i := 0; i < n; i++ {
+		v[i] = bitvec.Bit((data[(i/8)%len(data)] >> uint(i%8)) & 1)
+	}
+	return v
+}
+
+// FuzzSortersAgree cross-fuzzes all three networks: identical outputs,
+// sorted, multiset-preserving, for arbitrary derived inputs.
+func FuzzSortersAgree(f *testing.F) {
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xFF, 0x00})
+	f.Add([]byte{0xAA, 0x55, 0x3C})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0xF0, 0x0F, 0xCC, 0x33, 0x99, 0x66})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v := bytesToVector(data)
+		n := len(v)
+		want := v.Sorted()
+		prefix := NewPrefixSorter(n, prefixadd.Prefix).Sort(v)
+		mux := NewMuxMergerSorter(n).Sort(v)
+		k := 2
+		for k*2 <= Lg(n) {
+			k *= 2
+		}
+		fish := NewFishSorter(n, k).Sort(v)
+		for name, got := range map[string]bitvec.Vector{
+			"prefix": prefix, "mux-merger": mux, "fish": fish,
+		} {
+			if !got.Equal(want) {
+				t.Errorf("%s: Sort(%s) = %s, want %s", name, v, got, want)
+			}
+			if got.Ones() != v.Ones() {
+				t.Errorf("%s: multiset not preserved", name)
+			}
+		}
+	})
+}
+
+// FuzzMuxMergeBisorted fuzzes the merger against derived bisorted inputs.
+func FuzzMuxMergeBisorted(f *testing.F) {
+	f.Add(uint8(3), uint8(9))
+	f.Add(uint8(0), uint8(16))
+	f.Add(uint8(16), uint8(0))
+	f.Add(uint8(7), uint8(7))
+	f.Fuzz(func(t *testing.T, a, b uint8) {
+		h := 16
+		za, zb := int(a)%(h+1), int(b)%(h+1)
+		v := make(bitvec.Vector, 2*h)
+		for i := za; i < h; i++ {
+			v[i] = 1
+		}
+		for i := zb; i < h; i++ {
+			v[h+i] = 1
+		}
+		got := MuxMerge(v)
+		if !got.Equal(v.Sorted()) {
+			t.Errorf("MuxMerge(%s) = %s", v, got)
+		}
+	})
+}
+
+// FuzzKWayMerge fuzzes the fish merger against derived k-sorted inputs.
+func FuzzKWayMerge(f *testing.F) {
+	f.Add(uint8(1), uint8(2), uint8(3), uint8(4))
+	f.Add(uint8(8), uint8(0), uint8(8), uint8(0))
+	f.Fuzz(func(t *testing.T, a, b, c, d uint8) {
+		bs := 8
+		zeros := []int{int(a) % (bs + 1), int(b) % (bs + 1), int(c) % (bs + 1), int(d) % (bs + 1)}
+		v := make(bitvec.Vector, 4*bs)
+		for blk, z := range zeros {
+			for i := z; i < bs; i++ {
+				v[blk*bs+i] = 1
+			}
+		}
+		fsh := NewFishSorter(4*bs, 4)
+		got := fsh.KWayMerge(v)
+		if !got.Equal(v.Sorted()) {
+			t.Errorf("KWayMerge(%s) = %s", v, got)
+		}
+	})
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"absort/internal/bitvec"
+	"absort/internal/prefixadd"
+)
+
+// The metamorphic relations below hold for any correct binary sorter and
+// catch classes of bugs (asymmetry, dropped bits, stale state) that
+// pointwise oracles can miss.
+
+func coreSorters(n int) map[string]BinarySorter {
+	k := 2
+	for k*2 <= Lg(n) {
+		k *= 2
+	}
+	return map[string]BinarySorter{
+		"prefix":     NewPrefixSorter(n, prefixadd.Prefix),
+		"mux-merger": NewMuxMergerSorter(n),
+		"fish":       NewFishSorter(n, k),
+	}
+}
+
+// TestMetamorphicComplementReverse: sort(~x) == reverse(~sort(x)) for 0/1
+// sequences — complementing swaps the roles of 0s and 1s.
+func TestMetamorphicComplementReverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(257))
+	for name, s := range coreSorters(64) {
+		for i := 0; i < 100; i++ {
+			v := bitvec.Random(rng, 64)
+			lhs := s.Sort(v.Complement())
+			rhs := s.Sort(v).Complement().Reverse()
+			if !lhs.Equal(rhs) {
+				t.Errorf("%s: complement-reverse duality violated on %s", name, v)
+			}
+		}
+	}
+}
+
+// TestMetamorphicIdempotent: sort(sort(x)) == sort(x).
+func TestMetamorphicIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(263))
+	for name, s := range coreSorters(64) {
+		for i := 0; i < 100; i++ {
+			v := bitvec.Random(rng, 64)
+			once := s.Sort(v)
+			twice := s.Sort(once)
+			if !once.Equal(twice) {
+				t.Errorf("%s: not idempotent on %s", name, v)
+			}
+		}
+	}
+}
+
+// TestMetamorphicPermutationInvariance: sorting any permutation of x gives
+// the same output as sorting x.
+func TestMetamorphicPermutationInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(269))
+	for name, s := range coreSorters(64) {
+		for i := 0; i < 100; i++ {
+			v := bitvec.Random(rng, 64)
+			w := v.Clone()
+			rng.Shuffle(len(w), func(a, b int) { w[a], w[b] = w[b], w[a] })
+			if !s.Sort(v).Equal(s.Sort(w)) {
+				t.Errorf("%s: permutation invariance violated", name)
+			}
+		}
+	}
+}
+
+// TestMetamorphicConcatenationMonotone: the sorted output of a
+// concatenation equals the sort of the concatenation of sorted halves.
+func TestMetamorphicConcatenationMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(271))
+	for name, s := range coreSorters(64) {
+		half := coreSorters(32)[name]
+		for i := 0; i < 50; i++ {
+			a := bitvec.Random(rng, 32)
+			b := bitvec.Random(rng, 32)
+			lhs := s.Sort(bitvec.Concat(a, b))
+			rhs := s.Sort(bitvec.Concat(half.Sort(a), half.Sort(b)))
+			if !lhs.Equal(rhs) {
+				t.Errorf("%s: concatenation relation violated", name)
+			}
+		}
+	}
+}
+
+// TestMetamorphicInputNotMutated: sorting never mutates its input.
+func TestMetamorphicInputNotMutated(t *testing.T) {
+	rng := rand.New(rand.NewSource(277))
+	for name, s := range coreSorters(64) {
+		v := bitvec.Random(rng, 64)
+		orig := v.Clone()
+		s.Sort(v)
+		if !v.Equal(orig) {
+			t.Errorf("%s mutated its input", name)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+
+	"absort/internal/bitvec"
+	"absort/internal/netlist"
+	"absort/internal/swapper"
+)
+
+// MuxMergerSorter is Network 2 of the paper (Section III-B, Fig. 6,
+// Table I): an adaptive binary sorter that recursively bisorts its input
+// with two half-size sorters and merges with a mux-merger. The mux-merger
+// reads the two middle bits of the bisorted sequence (the uppermost
+// elements of quarters 2 and 4); by Theorem 3 these determine which two
+// quarters are clean and which two concatenate to a bisorted sequence.
+// An IN-SWAP four-way swapper steers the bisorted pair into a recursive
+// half-size mux-merger and an OUT-SWAP places the results.
+//
+// Cost 4n lg n − O(n), depth lg² n + O(lg n), and no adder is required —
+// the selects are data bits.
+type MuxMergerSorter struct {
+	n int
+}
+
+// NewMuxMergerSorter returns an n-input mux-merger binary sorter.
+// n must be a power of two.
+func NewMuxMergerSorter(n int) *MuxMergerSorter {
+	if !IsPow2(n) {
+		panic(fmt.Sprintf("core: NewMuxMergerSorter(%d): n must be a power of two", n))
+	}
+	return &MuxMergerSorter{n: n}
+}
+
+// N returns the number of inputs.
+func (s *MuxMergerSorter) N() int { return s.n }
+
+// Name identifies the construction.
+func (s *MuxMergerSorter) Name() string { return fmt.Sprintf("mux-merger-sorter-%d", s.n) }
+
+// Sort returns the ascending sort of v.
+func (s *MuxMergerSorter) Sort(v bitvec.Vector) bitvec.Vector {
+	checkInput(s.Name(), s.n, v)
+	return sortMuxMerger(v)
+}
+
+func sortMuxMerger(v bitvec.Vector) bitvec.Vector {
+	n := len(v)
+	if n == 1 {
+		return v.Clone()
+	}
+	u := sortMuxMerger(v[:n/2])
+	l := sortMuxMerger(v[n/2:])
+	return MuxMerge(bitvec.Concat(u, l))
+}
+
+// MuxMergeSelect returns the Table I select value for a bisorted sequence:
+// 2·s1 + s0 where s1 is the uppermost element of quarter 2 (v[n/4]) and s0
+// the uppermost element of quarter 4 (v[3n/4]).
+func MuxMergeSelect(v bitvec.Vector) int {
+	n := len(v)
+	return int(2*v[n/4] + v[3*n/4])
+}
+
+// MuxMerge merges a bisorted binary sequence into a sorted one using the
+// mux-merger of Fig. 6. len(v) must be a power of two ≥ 2.
+func MuxMerge(v bitvec.Vector) bitvec.Vector {
+	n := len(v)
+	if n == 2 {
+		if v[0] > v[1] {
+			return bitvec.Vector{v[1], v[0]}
+		}
+		return v.Clone()
+	}
+	sel := MuxMergeSelect(v)
+	w := swapper.FourWay(v, swapper.INSwap, sel)
+	mid := MuxMerge(w[n/4 : 3*n/4])
+	x := bitvec.Concat(w[:n/4], mid, w[3*n/4:])
+	return swapper.FourWay(x, swapper.OUTSwap, sel)
+}
+
+// Circuit emits the exact gate-level netlist of the sorter: recursive
+// half-size sorters feeding a recursive mux-merger of IN-SWAP and OUT-SWAP
+// four-way swappers whose select wires are the two middle data bits.
+func (s *MuxMergerSorter) Circuit() *netlist.Circuit {
+	b := netlist.NewBuilder(s.Name())
+	in := b.Inputs(s.n)
+	b.SetOutputs(buildMuxMergerSort(b, in))
+	return b.MustBuild()
+}
+
+func buildMuxMergerSort(b *netlist.Builder, in []netlist.Wire) []netlist.Wire {
+	n := len(in)
+	if n == 1 {
+		return in
+	}
+	u := buildMuxMergerSort(b, in[:n/2])
+	l := buildMuxMergerSort(b, in[n/2:])
+	return BuildMuxMerge(b, append(append([]netlist.Wire{}, u...), l...))
+}
+
+// BuildMuxMerge appends an n-input mux-merger to b. The input wires must
+// carry a bisorted sequence at evaluation time.
+func BuildMuxMerge(b *netlist.Builder, in []netlist.Wire) []netlist.Wire {
+	n := len(in)
+	if n == 2 {
+		lo, hi := b.Comparator(in[0], in[1])
+		return []netlist.Wire{lo, hi}
+	}
+	s1, s0 := in[n/4], in[3*n/4]
+	w := swapper.BuildFourWay(b, s1, s0, in, swapper.INSwap)
+	mid := BuildMuxMerge(b, w[n/4:3*n/4])
+	x := make([]netlist.Wire, 0, n)
+	x = append(x, w[:n/4]...)
+	x = append(x, mid...)
+	x = append(x, w[3*n/4:]...)
+	return swapper.BuildFourWay(b, s1, s0, x, swapper.OUTSwap)
+}
+
+var _ BinarySorter = (*MuxMergerSorter)(nil)

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"absort/internal/bitvec"
+	"absort/internal/netlist"
+)
+
+// TestMuxMergerSorterExhaustive checks E7: the sorter sorts every binary
+// sequence for n up to 16.
+func TestMuxMergerSorterExhaustive(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		s := NewMuxMergerSorter(n)
+		bitvec.All(n, func(v bitvec.Vector) bool {
+			got := s.Sort(v)
+			if !got.Equal(v.Sorted()) {
+				t.Errorf("n=%d: Sort(%s) = %s, want %s", n, v, got, v.Sorted())
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// TestMuxMergeAllBisorted checks the merger in isolation on every bisorted
+// input (Theorem 3 + Table I routing).
+func TestMuxMergeAllBisorted(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		bitvec.AllBisorted(n, func(v bitvec.Vector) bool {
+			got := MuxMerge(v)
+			if !got.Equal(v.Sorted()) {
+				t.Errorf("n=%d: MuxMerge(%s) = %s, want %s", n, v, got, v.Sorted())
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// TestMuxMergerCircuitExhaustive checks the netlist sorts for small n.
+func TestMuxMergerCircuitExhaustive(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16} {
+		c := NewMuxMergerSorter(n).Circuit()
+		bitvec.All(n, func(v bitvec.Vector) bool {
+			got := c.Eval(v)
+			if !got.Equal(v.Sorted()) {
+				t.Errorf("n=%d: circuit(%s) = %s", n, v, got)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// TestMuxMergerCircuitRandomWide cross-validates the circuit against the
+// behavioral model for larger n.
+func TestMuxMergerCircuitRandomWide(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for _, n := range []int{32, 64, 128, 256} {
+		s := NewMuxMergerSorter(n)
+		c := s.Circuit()
+		for i := 0; i < 50; i++ {
+			v := bitvec.Random(rng, n)
+			want := v.Sorted()
+			if got := s.Sort(v); !got.Equal(want) {
+				t.Fatalf("n=%d: behavioral Sort(%s) = %s", n, v, got)
+			}
+			if got := c.Eval(v); !got.Equal(want) {
+				t.Fatalf("n=%d: circuit(%s) = %s", n, v, got)
+			}
+		}
+	}
+}
+
+// TestMuxMergerCost checks E7's cost claim: C(n) = 4n lg n − O(n), from
+// the recurrences C(n) = 2C(n/2) + Cm(n), Cm(n) = 2n + Cm(n/2), C(2)=1.
+func TestMuxMergerCost(t *testing.T) {
+	for _, n := range []int{4, 8, 16, 64, 256, 1024} {
+		st := NewMuxMergerSorter(n).Circuit().Stats()
+		lg := Lg(n)
+		if st.UnitCost > 4*n*lg {
+			t.Errorf("n=%d: mux-merger sorter cost %d > 4n lg n = %d",
+				n, st.UnitCost, 4*n*lg)
+		}
+		// Lower sanity bound: the −O(n) term means 4n lg n − 8n is a safe
+		// floor once lg n ≥ 4.
+		if n >= 16 && st.UnitCost < 4*n*lg-8*n {
+			t.Errorf("n=%d: mux-merger sorter cost %d below 4n lg n − 8n = %d",
+				n, st.UnitCost, 4*n*lg-8*n)
+		}
+	}
+}
+
+// TestMuxMergerMergeCost checks the merger recurrence Cm(n) = 4n − O(1):
+// the n-input mux-merger costs 2n (IN+OUT swappers) plus a half-size
+// merger.
+func TestMuxMergerMergeCost(t *testing.T) {
+	for _, n := range []int{4, 8, 16, 64, 256} {
+		b := netlist.NewBuilder("mm")
+		in := b.Inputs(n)
+		b.SetOutputs(BuildMuxMerge(b, in))
+		st := b.MustBuild().Stats()
+		// Exact: sum over levels s=4..n of 2s, plus 1 comparator = 4n−7.
+		want := 4*n - 7
+		if st.UnitCost != want {
+			t.Errorf("n=%d: mux-merger cost %d, want %d", n, st.UnitCost, want)
+		}
+	}
+}
+
+// TestMuxMergerDepth checks the depth solves D(n) = D(n/2) + 2 lg n:
+// lg² n + lg n − 2 for n ≥ 2 with D(2) = 1... measured directly.
+// (Section III-B prints the solution as "2 lg n"; the recurrence's true
+// solution is Θ(lg² n), consistent with the abstract's O(lg² n).)
+func TestMuxMergerDepth(t *testing.T) {
+	for _, n := range []int{4, 8, 16, 64, 256, 1024} {
+		st := NewMuxMergerSorter(n).Circuit().Stats()
+		lg := Lg(n)
+		if st.UnitDepth > lg*lg+lg {
+			t.Errorf("n=%d: mux-merger sorter depth %d > lg²n + lg n = %d",
+				n, st.UnitDepth, lg*lg+lg)
+		}
+		if st.UnitDepth <= lg {
+			t.Errorf("n=%d: depth %d implausibly small", n, st.UnitDepth)
+		}
+	}
+}
+
+// TestTheorem3 verifies Theorem 3 exhaustively: cutting a bisorted sequence
+// into quarters leaves at least two clean quarters, and the other two
+// concatenate to a bisorted sequence.
+func TestTheorem3(t *testing.T) {
+	for _, n := range []int{4, 8, 16, 32} {
+		bitvec.AllBisorted(n, func(v bitvec.Vector) bool {
+			q := v.Quarters()
+			clean := 0
+			var dirty []bitvec.Vector
+			for _, x := range q {
+				if x.IsClean() {
+					clean++
+				} else {
+					dirty = append(dirty, x)
+				}
+			}
+			if clean < 2 {
+				t.Errorf("n=%d %s: only %d clean quarters", n, v, clean)
+				return false
+			}
+			if len(dirty) == 2 && !bitvec.Concat(dirty[0], dirty[1]).IsBisorted() {
+				t.Errorf("n=%d %s: dirty quarters not bisorted", n, v)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// TestTableISelectionCases verifies the Table I pattern claims per select
+// value on every bisorted sequence: which quarters are clean and which pair
+// is bisorted, exactly as the table states.
+func TestTableISelectionCases(t *testing.T) {
+	n := 16
+	bitvec.AllBisorted(n, func(v bitvec.Vector) bool {
+		q := v.Quarters()
+		switch MuxMergeSelect(v) {
+		case 0: // Xq1, Xq3 all 0s; Xq2*Xq4 bisorted
+			if q[0].Ones() != 0 || q[2].Ones() != 0 {
+				t.Errorf("%s sel=00: q1/q3 not all 0s", v)
+				return false
+			}
+			if !bitvec.Concat(q[1], q[3]).IsBisorted() {
+				t.Errorf("%s sel=00: q2*q4 not bisorted", v)
+				return false
+			}
+		case 1: // Xq1 all 0s, Xq4 all 1s, Xq2*Xq3 bisorted
+			if q[0].Ones() != 0 || q[3].Zeros() != 0 {
+				t.Errorf("%s sel=01: q1/q4 wrong", v)
+				return false
+			}
+			if !bitvec.Concat(q[1], q[2]).IsBisorted() {
+				t.Errorf("%s sel=01: q2*q3 not bisorted", v)
+				return false
+			}
+		case 2: // Xq1*Xq4 bisorted, Xq2 all 1s, Xq3 all 0s
+			if q[1].Zeros() != 0 || q[2].Ones() != 0 {
+				t.Errorf("%s sel=10: q2/q3 wrong", v)
+				return false
+			}
+			if !bitvec.Concat(q[0], q[3]).IsBisorted() {
+				t.Errorf("%s sel=10: q1*q4 not bisorted", v)
+				return false
+			}
+		case 3: // Xq1*Xq3 bisorted, Xq2, Xq4 all 1s
+			if q[1].Zeros() != 0 || q[3].Zeros() != 0 {
+				t.Errorf("%s sel=11: q2/q4 not all 1s", v)
+				return false
+			}
+			if !bitvec.Concat(q[0], q[2]).IsBisorted() {
+				t.Errorf("%s sel=11: q1*q3 not bisorted", v)
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// TestExample3 reproduces the paper's Example 3: 0001/0001 cuts into
+// 00, 01, 00, 01 — two clean quarters and a bisorted remainder 0101.
+func TestExample3(t *testing.T) {
+	v := bitvec.MustFromString("0001/0001")
+	q := v.Quarters()
+	if !q[0].IsClean() || !q[2].IsClean() {
+		t.Error("Example 3: quarters 1 and 3 should be clean")
+	}
+	rem := bitvec.Concat(q[1], q[3])
+	if rem.String() != "0101" || !rem.IsBisorted() {
+		t.Errorf("Example 3: remainder %s, want bisorted 0101", rem)
+	}
+	if MuxMergeSelect(v) != 0 {
+		t.Errorf("Example 3: select = %d, want 0", MuxMergeSelect(v))
+	}
+}
+
+// TestMuxMergerProperty is the randomized invariant: output sorted with the
+// same number of ones.
+func TestMuxMergerProperty(t *testing.T) {
+	s := NewMuxMergerSorter(64)
+	f := func(x uint64) bool {
+		v := bitvec.FromUint(x, 64)
+		out := s.Sort(v)
+		return out.IsSorted() && out.Ones() == v.Ones()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMuxMergerMatchesPrefixSorter: the two O(n lg n) networks agree.
+func TestMuxMergerMatchesPrefixSorter(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	mm := NewMuxMergerSorter(128)
+	for i := 0; i < 100; i++ {
+		v := bitvec.Random(rng, 128)
+		if got, want := mm.Sort(v), v.Sorted(); !got.Equal(want) {
+			t.Fatalf("disagreement on %s", v)
+		}
+	}
+}
+
+func TestMuxMergerPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("non-pow2", func() { NewMuxMergerSorter(10) })
+	mustPanic("arity", func() { NewMuxMergerSorter(8).Sort(bitvec.New(6)) })
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+
+	"absort/internal/bitvec"
+	"absort/internal/netlist"
+	"absort/internal/prefixadd"
+	"absort/internal/swapper"
+	"absort/internal/wiring"
+)
+
+// PrefixSorter is Network 1 of the paper (Section III-A, Fig. 5): an
+// adaptive binary sorter built from an odd-even merging skeleton in which
+// the balanced merging block is replaced by a patch-up network steered by a
+// prefix adder counting the 1s of the input.
+//
+// Structure (recursive): sort each half, shuffle the two sorted halves
+// (Theorem 1 puts the result in class A_n), and apply the patch-up network.
+// Each patch-up level runs one stage of mirror comparators; by Theorem 2
+// one output half is then clean and the other is in A_{n/2}. The prefix
+// adder's leading count bits select the unsorted half, a two-way swapper
+// steers it into the half-size patch-up network, and a second two-way
+// swapper steers the sorted result back.
+//
+// Cost 3n lg n + Θ(n) (the Θ(n) term is the ones-counting adder tree;
+// the paper states the non-dominant term as O(lg² n) by accounting the
+// adders separately), depth ≤ 3 lg² n + 2 lg n lg lg n + O(lg n).
+type PrefixSorter struct {
+	n     int
+	adder prefixadd.Adder
+}
+
+// NewPrefixSorter returns an n-input prefix binary sorter. n must be a
+// power of two. The adder kind selects the ones-counter construction; the
+// paper's figures assume the parallel-prefix adder.
+func NewPrefixSorter(n int, adder prefixadd.Adder) *PrefixSorter {
+	if !IsPow2(n) {
+		panic(fmt.Sprintf("core: NewPrefixSorter(%d): n must be a power of two", n))
+	}
+	return &PrefixSorter{n: n, adder: adder}
+}
+
+// N returns the number of inputs.
+func (s *PrefixSorter) N() int { return s.n }
+
+// Name identifies the construction.
+func (s *PrefixSorter) Name() string { return fmt.Sprintf("prefix-sorter-%d", s.n) }
+
+// Sort returns the ascending sort of v using the behavioral model, which
+// performs exactly the network's data movements (shuffles, mirror
+// comparator stages, count-steered swaps).
+func (s *PrefixSorter) Sort(v bitvec.Vector) bitvec.Vector {
+	checkInput(s.Name(), s.n, v)
+	out, _ := sortPrefix(v)
+	return out
+}
+
+// sortPrefix sorts v and returns (sorted, number of ones), mirroring the
+// circuit's recursive structure: the count is assembled bottom-up exactly
+// like the prefix-adder column of Fig. 5.
+func sortPrefix(v bitvec.Vector) (bitvec.Vector, int) {
+	n := len(v)
+	if n == 1 {
+		return v.Clone(), int(v[0])
+	}
+	u, cu := sortPrefix(v[:n/2])
+	l, cl := sortPrefix(v[n/2:])
+	m := cu + cl
+	x := bitvec.Concat(u, l).Shuffle() // ∈ A_n by Theorem 1
+	return patchUp(x, m), m
+}
+
+// patchUp sorts a class-A_n sequence x containing m ones.
+func patchUp(x bitvec.Vector, m int) bitvec.Vector {
+	n := len(x)
+	if n == 1 {
+		return x.Clone()
+	}
+	// One stage of mirror comparators from the balanced merging block:
+	// the 0s move to the upper half, the 1s to the lower half, whenever the
+	// compared bits differ.
+	y := x.Clone()
+	for i := 0; i < n/2; i++ {
+		if y[i] > y[n-1-i] {
+			y[i], y[n-1-i] = y[n-1-i], y[i]
+		}
+	}
+	if n == 2 {
+		return y
+	}
+	// Select the unsorted half: m ≥ n/2 means the lower output half is
+	// clean (all 1s) and the upper half is the one to patch up.
+	sel := bitvec.Bit(0)
+	mRec := m
+	if m >= n/2 {
+		sel = 1
+		mRec = m - n/2
+	}
+	z := swapper.TwoWay(y, sel)
+	rec := patchUp(z[n/2:], mRec)
+	return swapper.TwoWay(bitvec.Concat(z[:n/2], rec), sel)
+}
+
+// Circuit emits the exact gate-level netlist of the sorter: comparator
+// stages, shuffle connections, two-way swappers, the ones-counting adder
+// tree, and one OR gate per patch-up level deriving the swap select from
+// the two leading count bits.
+func (s *PrefixSorter) Circuit() *netlist.Circuit {
+	b := netlist.NewBuilder(s.Name())
+	in := b.Inputs(s.n)
+	out, _ := s.buildSorter(b, in)
+	b.SetOutputs(out)
+	return b.MustBuild()
+}
+
+// buildSorter returns (sorted wires, little-endian count wires).
+func (s *PrefixSorter) buildSorter(b *netlist.Builder, in []netlist.Wire) ([]netlist.Wire, []netlist.Wire) {
+	n := len(in)
+	if n == 1 {
+		return in, in
+	}
+	u, cu := s.buildSorter(b, in[:n/2])
+	l, cl := s.buildSorter(b, in[n/2:])
+	cnt := s.adder.Build(b, cu, cl)
+	if w := prefixadd.Width(n); len(cnt) > w {
+		cnt = cnt[:w]
+	}
+	x := wiring.Apply(wiring.PerfectShuffle(n), append(append([]netlist.Wire{}, u...), l...))
+	return s.buildPatchUp(b, x, cnt), cnt
+}
+
+// buildPatchUp sorts a class-A_n sequence on the given wires. cnt is the
+// little-endian count of ones, prefixadd.Width(n) bits wide.
+func (s *PrefixSorter) buildPatchUp(b *netlist.Builder, x []netlist.Wire, cnt []netlist.Wire) []netlist.Wire {
+	n := len(x)
+	if n == 1 {
+		return x
+	}
+	y := make([]netlist.Wire, n)
+	copy(y, x)
+	for i := 0; i < n/2; i++ {
+		y[i], y[n-1-i] = b.Comparator(y[i], y[n-1-i])
+	}
+	if n == 2 {
+		return y
+	}
+	// cnt has w = lg n + 1 bits for values 0..n. sel = (m ≥ n/2) =
+	// cnt[w-1] OR cnt[w-2]. The count passed to the half-size patch-up is
+	// m - n/2 when sel is set, which in bits is simply: drop bit w-1, and
+	// replace bit w-2 with the old bit w-1 (it is 1 only when m = n
+	// exactly, giving m' = n/2). No subtractor is needed.
+	w := len(cnt)
+	sel := b.Or(cnt[w-1], cnt[w-2])
+	childCnt := make([]netlist.Wire, w-1)
+	copy(childCnt, cnt[:w-2])
+	childCnt[w-2] = cnt[w-1]
+	z := swapper.BuildTwoWay(b, sel, y)
+	rec := s.buildPatchUp(b, z[n/2:], childCnt)
+	combined := append(append([]netlist.Wire{}, z[:n/2]...), rec...)
+	return swapper.BuildTwoWay(b, sel, combined)
+}
+
+var _ BinarySorter = (*PrefixSorter)(nil)

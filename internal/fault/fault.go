@@ -1,0 +1,165 @@
+// Package fault provides fault injection and robustness analysis for the
+// module's networks, connecting to two of the paper's citations:
+//
+//   - Rudolph's robust sorting network [24]: dead-comparator faults in
+//     comparator networks (a broken comparator passes its inputs through
+//     unexchanged), with tolerance and damage metrics. The periodic
+//     balanced network degrades gracefully and regains full sorting with
+//     one redundant block; Batcher's network does not.
+//   - Classical stuck-at fault coverage for the gate-level netlists of the
+//     adaptive sorters, measuring how well a test set distinguishes faulty
+//     hardware — the acceptance-test question for any fabricated switching
+//     network.
+package fault
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"absort/internal/bitvec"
+	"absort/internal/cmpnet"
+	"absort/internal/netlist"
+)
+
+// DeadComparatorReport summarizes single-dead-comparator analysis of a
+// comparator network.
+type DeadComparatorReport struct {
+	// Comparators is the network's comparator count (= number of single
+	// faults analyzed).
+	Comparators int
+	// Tolerated is the number of single faults under which the network
+	// still sorts every probed input.
+	Tolerated int
+	// WorstDisplacement is the maximum, over faults and probed inputs, of
+	// the displacement metric: the number of output positions whose bit
+	// differs from the correctly sorted output.
+	WorstDisplacement int
+}
+
+// ToleranceRatio returns Tolerated / Comparators.
+func (r DeadComparatorReport) ToleranceRatio() float64 {
+	if r.Comparators == 0 {
+		return 1
+	}
+	return float64(r.Tolerated) / float64(r.Comparators)
+}
+
+// AnalyzeDeadComparators runs single-dead-comparator analysis over all
+// 2^n inputs (n ≤ 20) when exhaustive is true, or over the given number of
+// random samples otherwise, parallelized over faults.
+func AnalyzeDeadComparators(nw *cmpnet.Network, exhaustive bool, samples int, seed int64) DeadComparatorReport {
+	n := nw.N()
+	var probes []bitvec.Vector
+	if exhaustive {
+		bitvec.All(n, func(v bitvec.Vector) bool {
+			probes = append(probes, v.Clone())
+			return true
+		})
+	} else {
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < samples; i++ {
+			probes = append(probes, bitvec.Random(rng, n))
+		}
+	}
+	nc := nw.NumComparators()
+	report := DeadComparatorReport{Comparators: nc}
+
+	type res struct{ tolerated, worst int }
+	results := make([]res, nc)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for f := 0; f < nc; f++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(f int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			dead := make([]bool, f+1)
+			dead[f] = true
+			ok := true
+			worst := 0
+			for _, v := range probes {
+				out := nw.ApplyBitsWithDead(v, dead)
+				want := v.Sorted()
+				d := 0
+				for i := range out {
+					if out[i] != want[i] {
+						d++
+					}
+				}
+				if d > 0 {
+					ok = false
+					if d > worst {
+						worst = d
+					}
+				}
+			}
+			if ok {
+				results[f].tolerated = 1
+			}
+			results[f].worst = worst
+		}(f)
+	}
+	wg.Wait()
+	for _, r := range results {
+		report.Tolerated += r.tolerated
+		if r.worst > report.WorstDisplacement {
+			report.WorstDisplacement = r.worst
+		}
+	}
+	return report
+}
+
+// StuckAtCoverage measures single stuck-at-0/1 fault coverage of a test
+// set on a netlist: a fault is covered when at least one test input
+// produces an output different from the fault-free circuit. It returns
+// (covered, total) fault counts. Faults are enumerated on every wire;
+// evaluation parallelizes over faults.
+func StuckAtCoverage(c *netlist.Circuit, tests []bitvec.Vector) (covered, total int) {
+	golden := make([]bitvec.Vector, len(tests))
+	for i, tv := range tests {
+		golden[i] = c.Eval(tv)
+	}
+	nw := c.NumWires()
+	total = 2 * nw
+	results := make([]bool, total)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for w := 0; w < nw; w++ {
+		for _, sa := range []bitvec.Bit{0, 1} {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(w int, sa bitvec.Bit) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				stuck := map[netlist.Wire]bitvec.Bit{netlist.Wire(w): sa}
+				for i, tv := range tests {
+					if !c.EvalStuck(tv, stuck).Equal(golden[i]) {
+						results[2*w+int(sa)] = true
+						return
+					}
+				}
+			}(w, sa)
+		}
+	}
+	wg.Wait()
+	for _, r := range results {
+		if r {
+			covered++
+		}
+	}
+	return covered, total
+}
+
+// RandomTestSet returns m random n-bit test vectors plus the all-0 and
+// all-1 vectors (which catch most stuck-at faults on data paths).
+func RandomTestSet(n, m int, seed int64) []bitvec.Vector {
+	rng := rand.New(rand.NewSource(seed))
+	tests := make([]bitvec.Vector, 0, m+2)
+	tests = append(tests, bitvec.New(n), bitvec.New(n).Complement())
+	for i := 0; i < m; i++ {
+		tests = append(tests, bitvec.Random(rng, n))
+	}
+	return tests
+}

@@ -1,0 +1,147 @@
+package fault
+
+import (
+	"testing"
+
+	"absort/internal/bitvec"
+	"absort/internal/cmpnet"
+	"absort/internal/core"
+	"absort/internal/netlist"
+)
+
+// TestDeadComparatorBatcherFragile: every comparator in Batcher's network
+// is essential — killing any one breaks sorting on some input.
+func TestDeadComparatorBatcherFragile(t *testing.T) {
+	nw := cmpnet.OddEvenMergeSort(8)
+	r := AnalyzeDeadComparators(nw, true, 0, 0)
+	if r.Comparators != nw.Cost() {
+		t.Fatalf("analyzed %d faults, want %d", r.Comparators, nw.Cost())
+	}
+	if r.Tolerated != 0 {
+		t.Errorf("Batcher tolerated %d dead comparators; expected 0 (minimal network)",
+			r.Tolerated)
+	}
+	if r.WorstDisplacement == 0 {
+		t.Error("no displacement recorded despite failures")
+	}
+}
+
+// TestDeadComparatorRobustPeriodic reproduces the robustness property the
+// paper cites from Rudolph [24]: the periodic balanced network with one
+// redundant block sorts every input under every single dead comparator.
+func TestDeadComparatorRobustPeriodic(t *testing.T) {
+	n := 8
+	lg := core.Lg(n)
+	robust := cmpnet.PeriodicBalancedBlocks(n, lg+1)
+	r := AnalyzeDeadComparators(robust, true, 0, 0)
+	if r.Tolerated != r.Comparators {
+		t.Errorf("robust periodic network tolerated only %d/%d single faults",
+			r.Tolerated, r.Comparators)
+	}
+	if r.ToleranceRatio() != 1 {
+		t.Errorf("tolerance ratio %.2f, want 1", r.ToleranceRatio())
+	}
+	// The non-redundant version is not fully tolerant.
+	plain := cmpnet.PeriodicBalancedSort(n)
+	rp := AnalyzeDeadComparators(plain, true, 0, 0)
+	if rp.Tolerated == rp.Comparators {
+		t.Error("plain periodic network unexpectedly tolerated all faults")
+	}
+	// But it degrades more gracefully than Batcher: strictly more faults
+	// tolerated per comparator.
+	batcher := AnalyzeDeadComparators(cmpnet.OddEvenMergeSort(n), true, 0, 0)
+	if rp.ToleranceRatio() <= batcher.ToleranceRatio() {
+		t.Errorf("periodic tolerance %.2f not better than Batcher %.2f",
+			rp.ToleranceRatio(), batcher.ToleranceRatio())
+	}
+}
+
+// TestDeadComparatorSampled: the sampled mode agrees with exhaustive on
+// the tolerance verdict for the robust network.
+func TestDeadComparatorSampled(t *testing.T) {
+	robust := cmpnet.PeriodicBalancedBlocks(8, 4)
+	r := AnalyzeDeadComparators(robust, false, 100, 3)
+	if r.Tolerated != r.Comparators {
+		t.Errorf("sampled analysis found %d/%d tolerated", r.Tolerated, r.Comparators)
+	}
+}
+
+// TestToleranceRatioEmpty covers the degenerate accessor.
+func TestToleranceRatioEmpty(t *testing.T) {
+	if (DeadComparatorReport{}).ToleranceRatio() != 1 {
+		t.Error("empty report ratio != 1")
+	}
+}
+
+// TestStuckAtCoverageExhaustive: an exhaustive test set covers every
+// detectable stuck-at fault of the Fig. 1 network's netlist; coverage is
+// reported against the full fault universe.
+func TestStuckAtCoverageExhaustive(t *testing.T) {
+	c := cmpnet.Fig1().Circuit()
+	var tests []bitvec.Vector
+	bitvec.All(4, func(v bitvec.Vector) bool {
+		tests = append(tests, v.Clone())
+		return true
+	})
+	covered, total := StuckAtCoverage(c, tests)
+	if total != 2*c.NumWires() {
+		t.Fatalf("total %d, want %d", total, 2*c.NumWires())
+	}
+	// Every wire of a comparator-only sorting netlist is observable and
+	// controllable: exhaustive tests must cover all faults.
+	if covered != total {
+		t.Errorf("exhaustive coverage %d/%d", covered, total)
+	}
+}
+
+// TestStuckAtCoverageRandomVsTiny: a bigger random test set covers at
+// least as much as a single-vector set, and the single all-zeros vector
+// misses stuck-at-0 faults.
+func TestStuckAtCoverageRandomVsTiny(t *testing.T) {
+	c := core.NewMuxMergerSorter(8).Circuit()
+	tiny := []bitvec.Vector{bitvec.New(8)}
+	cTiny, total := StuckAtCoverage(c, tiny)
+	rich := RandomTestSet(8, 40, 5)
+	cRich, _ := StuckAtCoverage(c, rich)
+	if cRich < cTiny {
+		t.Errorf("rich set coverage %d < tiny %d", cRich, cTiny)
+	}
+	if cTiny >= total {
+		t.Errorf("all-zeros vector cannot cover all %d faults", total)
+	}
+	if cRich <= total/2 {
+		t.Errorf("random coverage %d/%d implausibly low", cRich, total)
+	}
+}
+
+// TestEvalStuckForcesWires: spot-check the stuck-at semantics.
+func TestEvalStuckForcesWires(t *testing.T) {
+	b := netlist.NewBuilder("sa")
+	in := b.Inputs(2)
+	and := b.And(in[0], in[1])
+	b.SetOutputs([]netlist.Wire{and})
+	c := b.MustBuild()
+	// Wire ids: inputs 0,1; and output 2.
+	out := c.EvalStuck(bitvec.MustFromString("11"), map[netlist.Wire]bitvec.Bit{2: 0})
+	if out.String() != "0" {
+		t.Errorf("stuck-at-0 output = %s", out)
+	}
+	out = c.EvalStuck(bitvec.MustFromString("00"), map[netlist.Wire]bitvec.Bit{0: 1, 1: 1})
+	if out.String() != "1" {
+		t.Errorf("stuck-at-1 inputs: output = %s", out)
+	}
+	out = c.EvalStuck(bitvec.MustFromString("11"), nil)
+	if out.String() != "1" {
+		t.Errorf("no faults: output = %s", out)
+	}
+}
+
+func TestEvalStuckArityPanics(t *testing.T) {
+	c := cmpnet.Fig1().Circuit()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EvalStuck arity mismatch did not panic")
+		}
+	}()
+	c.EvalStuck(bitvec.New(2), nil)
+}

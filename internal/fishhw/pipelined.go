@@ -1,0 +1,70 @@
+package fishhw
+
+import "absort/internal/pipesim"
+
+// PipelinedMakespan schedules one full sort on the machine's datapath with
+// every block pipelined at initiation interval 1 (the paper's pipelining
+// model) and returns the completion time in unit delays — the
+// discrete-event counterpart of core.FishSorter.SortingTime(true).
+//
+// Schedule: the k groups stream through the input multiplexer, the shared
+// sorter pipeline and the output demultiplexer one behind the other; each
+// merger level's k-SWAP fires when its inputs settle; the clean sorter's k
+// block-dispatch passes stream through the dispatch multiplexer/
+// demultiplexer pair; the recursive branch and the clean branch run
+// concurrently and the level's two-way mux-merger fires at their later
+// completion.
+func (m *Machine) PipelinedMakespan() int {
+	sim := &pipesim.Sim{}
+	inMux := pipesim.NewBlock("input-mux", m.inputMux.Stats().UnitDepth)
+	sorter := pipesim.NewBlock("group-sorter", m.groupSorter.Stats().UnitDepth)
+	outDmx := pipesim.NewBlock("output-demux", m.outputDemux.Stats().UnitDepth)
+
+	// Phase A: group t enters at time t (one per unit delay).
+	bankReady := 0
+	for t := 0; t < m.k; t++ {
+		done := sim.RunSequence(0, inMux, sorter, outDmx)
+		if done > bankReady {
+			bankReady = done
+		}
+	}
+
+	levelBlocks := make([]struct {
+		kswap, dispMux, dispDmx, kSorter, twoMerge *pipesim.Block
+	}, len(m.levels))
+	for i, lv := range m.levels {
+		levelBlocks[i].kswap = pipesim.NewBlock("kswap", lv.kswap.Stats().UnitDepth)
+		levelBlocks[i].dispMux = pipesim.NewBlock("disp-mux", lv.dispMux.Stats().UnitDepth)
+		levelBlocks[i].dispDmx = pipesim.NewBlock("disp-demux", lv.dispDmx.Stats().UnitDepth)
+		levelBlocks[i].kSorter = pipesim.NewBlock("k-sorter", m.kSorter.Stats().UnitDepth)
+		levelBlocks[i].twoMerge = pipesim.NewBlock("two-merge", lv.twoMerge.Stats().UnitDepth)
+	}
+	boundary := pipesim.NewBlock("boundary-sorter", m.kSorter.Stats().UnitDepth)
+
+	var level func(idx, ready int) int
+	level = func(idx, ready int) int {
+		if idx == len(m.levels) {
+			return sim.Run(boundary, ready)
+		}
+		lb := levelBlocks[idx]
+		afterSwap := sim.Run(lb.kswap, ready)
+		// Clean branch: sort the leading bits, then stream the k block
+		// dispatches through the mux/demux pair.
+		leadsDone := sim.Run(lb.kSorter, afterSwap)
+		cleanDone := leadsDone
+		for j := 0; j < m.k; j++ {
+			done := sim.RunSequence(leadsDone, lb.dispMux, lb.dispDmx)
+			if done > cleanDone {
+				cleanDone = done
+			}
+		}
+		// Recursive branch runs concurrently on the lower half.
+		recDone := level(idx+1, afterSwap)
+		ready = cleanDone
+		if recDone > ready {
+			ready = recDone
+		}
+		return sim.Run(lb.twoMerge, ready)
+	}
+	return level(0, bankReady)
+}

@@ -1,0 +1,45 @@
+package fishhw
+
+import (
+	"testing"
+
+	"absort/internal/core"
+)
+
+// TestPipelinedMakespanMatchesFormula: the discrete-event schedule of the
+// real netlist depths completes exactly one unit before the closed-form
+// pipelined sorting time of equations (25)–(26) — the one unit being the
+// (k,1)-multiplexer the formula charges on the dispatch path of the
+// critical (innermost) clean-sorter branch, which the machine's control
+// plane subsumes (the same charge observed in the unpipelined
+// cross-validation).
+func TestPipelinedMakespanMatchesFormula(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{
+		{16, 4}, {64, 4}, {64, 8}, {256, 8}, {1024, 8}, {1024, 16}, {4096, 8},
+	} {
+		m, err := New(tc.n, tc.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		model := core.NewFishSorter(tc.n, tc.k).SortingTime(true).Total()
+		got := m.PipelinedMakespan()
+		if got+1 != model {
+			t.Errorf("n=%d k=%d: pipelined makespan %d (+1 = %d) != model %d",
+				tc.n, tc.k, got, got+1, model)
+		}
+	}
+}
+
+// TestPipelinedBeatsUnpipelined: the event-level speedup mirrors the
+// formula's O(lg³ n) → O(lg² n) drop.
+func TestPipelinedBeatsUnpipelined(t *testing.T) {
+	m, err := New(4096, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	un := core.NewFishSorter(4096, 8).SortingTime(false).Total()
+	pi := m.PipelinedMakespan()
+	if pi*3 > un {
+		t.Errorf("pipelined %d not at least 3× faster than unpipelined %d", pi, un)
+	}
+}

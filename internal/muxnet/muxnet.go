@@ -1,0 +1,159 @@
+// Package muxnet implements the multiplexer and demultiplexer blocks of
+// Section II of the paper (Fig. 3): (m,1)- and (n,k)-multiplexers realized
+// as balanced binary trees of (2,1)-multiplexers, and (1,m)- and
+// (k,n)-demultiplexers realized as balanced binary trees of
+// (1,2)-demultiplexers.
+//
+// Select inputs are most-significant-bit first, matching the paper's group
+// identifiers ("the leftmost two bits of the binary codes assigned to the
+// inputs" select the group in Fig. 3(a)).
+package muxnet
+
+import (
+	"fmt"
+
+	"absort/internal/bitvec"
+	"absort/internal/netlist"
+)
+
+// lg2 returns lg m for exact powers of two and panics otherwise.
+func lg2(m int) int {
+	l := 0
+	for 1<<uint(l) < m {
+		l++
+	}
+	if 1<<uint(l) != m {
+		panic(fmt.Sprintf("muxnet: %d is not a power of two", m))
+	}
+	return l
+}
+
+// SelectBits returns the lg(m)-bit MSB-first encoding of group.
+func SelectBits(group, m int) []bitvec.Bit {
+	w := lg2(m)
+	sel := make([]bitvec.Bit, w)
+	for i := 0; i < w; i++ {
+		sel[i] = bitvec.Bit((group >> uint(w-1-i)) & 1)
+	}
+	return sel
+}
+
+// MuxGroups behaviorally applies an (n,k)-multiplexer: it selects group
+// number `group` (0-based) of k consecutive elements out of v's n/k groups.
+func MuxGroups(v bitvec.Vector, k, group int) bitvec.Vector {
+	n := len(v)
+	if k <= 0 || n%k != 0 {
+		panic(fmt.Sprintf("muxnet: MuxGroups(%d, k=%d)", n, k))
+	}
+	g := n / k
+	if group < 0 || group >= g {
+		panic(fmt.Sprintf("muxnet: group %d of %d", group, g))
+	}
+	return v[group*k : (group+1)*k].Clone()
+}
+
+// DemuxGroups behaviorally applies a (k,n)-demultiplexer: the k-element
+// block appears as group number `group` of the n outputs; all other outputs
+// are 0.
+func DemuxGroups(block bitvec.Vector, n, group int) bitvec.Vector {
+	k := len(block)
+	if k == 0 || n%k != 0 {
+		panic(fmt.Sprintf("muxnet: DemuxGroups(k=%d, n=%d)", k, n))
+	}
+	if group < 0 || group >= n/k {
+		panic(fmt.Sprintf("muxnet: group %d of %d", group, n/k))
+	}
+	out := bitvec.New(n)
+	copy(out[group*k:], block)
+	return out
+}
+
+// BuildMux1 appends an (m,1)-multiplexer to b as a balanced binary tree of
+// lg m levels of (2,1)-multiplexers. sel is MSB-first and must have
+// exactly lg m bits. Cost m-1 units, depth lg m.
+func BuildMux1(b *netlist.Builder, sel []netlist.Wire, in []netlist.Wire) netlist.Wire {
+	m := len(in)
+	if w := lg2(m); w != len(sel) {
+		panic(fmt.Sprintf("muxnet: BuildMux1 with %d inputs and %d select bits", m, len(sel)))
+	}
+	if m == 1 {
+		return in[0]
+	}
+	lo := BuildMux1(b, sel[1:], in[:m/2])
+	hi := BuildMux1(b, sel[1:], in[m/2:])
+	return b.Mux(sel[0], lo, hi)
+}
+
+// BuildMuxNK appends an (n,k)-multiplexer to b, formed by coupling k
+// (n/k,1)-multiplexers as in the paper. Output j of the k outputs is the
+// j-th element of the selected group. Cost k(n/k − 1) ≤ n units, depth
+// lg(n/k).
+func BuildMuxNK(b *netlist.Builder, sel []netlist.Wire, in []netlist.Wire, k int) []netlist.Wire {
+	n := len(in)
+	if k <= 0 || n%k != 0 {
+		panic(fmt.Sprintf("muxnet: BuildMuxNK(n=%d, k=%d)", n, k))
+	}
+	g := n / k
+	out := make([]netlist.Wire, k)
+	lane := make([]netlist.Wire, g)
+	for j := 0; j < k; j++ {
+		for i := 0; i < g; i++ {
+			lane[i] = in[i*k+j]
+		}
+		out[j] = BuildMux1(b, sel, lane)
+	}
+	return out
+}
+
+// BuildDemux1 appends a (1,m)-demultiplexer to b as a balanced binary tree
+// of lg m levels of (1,2)-demultiplexers. The input appears on output
+// `sel`; every other output is 0. Cost m-1 units, depth lg m.
+func BuildDemux1(b *netlist.Builder, sel []netlist.Wire, in netlist.Wire) []netlist.Wire {
+	m := 1 << uint(len(sel))
+	if m == 1 {
+		return []netlist.Wire{in}
+	}
+	lo, hi := b.Demux(sel[0], in)
+	outLo := BuildDemux1(b, sel[1:], lo)
+	outHi := BuildDemux1(b, sel[1:], hi)
+	return append(outLo, outHi...)
+}
+
+// BuildDemuxKN appends a (k,n)-demultiplexer to b, formed by coupling k
+// (1,n/k)-demultiplexers. The k inputs appear as group `sel` of the n
+// outputs. Cost k(n/k − 1) ≤ n units, depth lg(n/k).
+func BuildDemuxKN(b *netlist.Builder, sel []netlist.Wire, in []netlist.Wire, n int) []netlist.Wire {
+	k := len(in)
+	if k == 0 || n%k != 0 {
+		panic(fmt.Sprintf("muxnet: BuildDemuxKN(k=%d, n=%d)", k, n))
+	}
+	g := n / k
+	out := make([]netlist.Wire, n)
+	for j := 0; j < k; j++ {
+		lanes := BuildDemux1(b, sel, in[j])
+		for i := 0; i < g; i++ {
+			out[i*k+j] = lanes[i]
+		}
+	}
+	return out
+}
+
+// MuxNKCircuit builds a standalone (n,k)-multiplexer circuit. Inputs:
+// lg(n/k) select bits (MSB first) followed by the n data bits.
+func MuxNKCircuit(n, k int) *netlist.Circuit {
+	b := netlist.NewBuilder(fmt.Sprintf("mux-%d-%d", n, k))
+	sel := b.Inputs(lg2(n / k))
+	in := b.Inputs(n)
+	b.SetOutputs(BuildMuxNK(b, sel, in, k))
+	return b.MustBuild()
+}
+
+// DemuxKNCircuit builds a standalone (k,n)-demultiplexer circuit. Inputs:
+// lg(n/k) select bits (MSB first) followed by the k data bits.
+func DemuxKNCircuit(k, n int) *netlist.Circuit {
+	b := netlist.NewBuilder(fmt.Sprintf("demux-%d-%d", k, n))
+	sel := b.Inputs(lg2(n / k))
+	in := b.Inputs(k)
+	b.SetOutputs(BuildDemuxKN(b, sel, in, n))
+	return b.MustBuild()
+}

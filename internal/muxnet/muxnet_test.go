@@ -1,0 +1,190 @@
+package muxnet
+
+import (
+	"math/rand"
+	"testing"
+
+	"absort/internal/bitvec"
+	"absort/internal/netlist"
+)
+
+func TestSelectBits(t *testing.T) {
+	got := SelectBits(6, 16)
+	want := bitvec.MustFromString("0110")
+	if !bitvec.Vector(got).Equal(want) {
+		t.Errorf("SelectBits(6,16) = %v, want %v", got, want)
+	}
+	if len(SelectBits(0, 1)) != 0 {
+		t.Error("SelectBits(0,1) should be empty")
+	}
+}
+
+func TestMuxGroupsBehavioral(t *testing.T) {
+	v := bitvec.MustFromString("0001101100101110")
+	if got := MuxGroups(v, 4, 2).String(); got != "0010" {
+		t.Errorf("MuxGroups group 2 = %s", got)
+	}
+	if got := MuxGroups(v, 16, 0); !got.Equal(v) {
+		t.Errorf("MuxGroups full = %s", got)
+	}
+}
+
+func TestDemuxGroupsBehavioral(t *testing.T) {
+	blk := bitvec.MustFromString("1011")
+	got := DemuxGroups(blk, 16, 1)
+	if got.String() != "0000101100000000" {
+		t.Errorf("DemuxGroups = %s", got)
+	}
+}
+
+// TestFig3Mux builds the paper's (16,4)-multiplexer of Fig. 3(a) and checks
+// that the two MSB select bits choose the group, on all groups and many
+// random data vectors.
+func TestFig3Mux(t *testing.T) {
+	c := MuxNKCircuit(16, 4)
+	rng := rand.New(rand.NewSource(19))
+	for i := 0; i < 100; i++ {
+		v := bitvec.Random(rng, 16)
+		for g := 0; g < 4; g++ {
+			in := bitvec.Concat(SelectBits(g, 4), v)
+			got := c.Eval(in)
+			if want := MuxGroups(v, 4, g); !got.Equal(want) {
+				t.Fatalf("group %d of %s: got %s want %s", g, v, got, want)
+			}
+		}
+	}
+}
+
+// TestFig3Demux builds the paper's (4,16)-demultiplexer of Fig. 3(b).
+func TestFig3Demux(t *testing.T) {
+	c := DemuxKNCircuit(4, 16)
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 100; i++ {
+		blk := bitvec.Random(rng, 4)
+		for g := 0; g < 4; g++ {
+			in := bitvec.Concat(SelectBits(g, 4), blk)
+			got := c.Eval(in)
+			if want := DemuxGroups(blk, 16, g); !got.Equal(want) {
+				t.Fatalf("group %d of %s: got %s want %s", g, blk, got, want)
+			}
+		}
+	}
+}
+
+// TestMuxCostDepth checks the Section II accounting: an (n,k)-multiplexer
+// exacts ≤ n cost (exactly k(n/k − 1)) and lg(n/k) depth; same for the
+// (k,n)-demultiplexer.
+func TestMuxCostDepth(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{{16, 4}, {16, 1}, {64, 8}, {256, 16}, {32, 32}} {
+		s := MuxNKCircuit(tc.n, tc.k).Stats()
+		wantCost := tc.k * (tc.n/tc.k - 1)
+		wantDepth := 0
+		for 1<<uint(wantDepth) < tc.n/tc.k {
+			wantDepth++
+		}
+		if s.UnitCost != wantCost {
+			t.Errorf("(%d,%d)-mux cost %d, want %d", tc.n, tc.k, s.UnitCost, wantCost)
+		}
+		if s.UnitCost > tc.n {
+			t.Errorf("(%d,%d)-mux cost %d exceeds n", tc.n, tc.k, s.UnitCost)
+		}
+		if s.UnitDepth != wantDepth {
+			t.Errorf("(%d,%d)-mux depth %d, want %d", tc.n, tc.k, s.UnitDepth, wantDepth)
+		}
+		sd := DemuxKNCircuit(tc.k, tc.n).Stats()
+		if sd.UnitCost != wantCost {
+			t.Errorf("(%d,%d)-demux cost %d, want %d", tc.k, tc.n, sd.UnitCost, wantCost)
+		}
+		if sd.UnitDepth != wantDepth {
+			t.Errorf("(%d,%d)-demux depth %d, want %d", tc.k, tc.n, sd.UnitDepth, wantDepth)
+		}
+	}
+}
+
+// TestMuxDemuxRoundTrip routes a block through a mux and back through a
+// demux; composing them must reproduce the block in its group slot.
+func TestMuxDemuxRoundTrip(t *testing.T) {
+	n, k := 32, 8
+	rng := rand.New(rand.NewSource(29))
+	mux := MuxNKCircuit(n, k)
+	demux := DemuxKNCircuit(k, n)
+	for i := 0; i < 50; i++ {
+		v := bitvec.Random(rng, n)
+		for g := 0; g < n/k; g++ {
+			sel := SelectBits(g, n/k)
+			blk := mux.Eval(bitvec.Concat(sel, v))
+			back := demux.Eval(bitvec.Concat(sel, blk))
+			want := DemuxGroups(v[g*k:(g+1)*k], n, g)
+			if !back.Equal(want) {
+				t.Fatalf("round trip g=%d: %s, want %s", g, back, want)
+			}
+		}
+	}
+}
+
+// TestDemuxZeroesOthers verifies all non-selected outputs are 0, which the
+// fish sorter's OR-combining of demux outputs depends on.
+func TestDemuxZeroesOthers(t *testing.T) {
+	c := DemuxKNCircuit(2, 8)
+	out := c.Eval(bitvec.MustFromString("10" + "11"))
+	if out.String() != "00001100" {
+		t.Errorf("demux(sel=10, 11) = %s", out)
+	}
+}
+
+func TestExhaustiveSmallMux(t *testing.T) {
+	// (8,2)-mux exhaustively over all data and selects.
+	c := MuxNKCircuit(8, 2)
+	bitvec.All(8, func(v bitvec.Vector) bool {
+		for g := 0; g < 4; g++ {
+			got := c.Eval(bitvec.Concat(SelectBits(g, 4), v))
+			if want := MuxGroups(v, 2, g); !got.Equal(want) {
+				t.Errorf("mux(%s, g=%d) = %s, want %s", v, g, got, want)
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func TestBuildMux1Degenerate(t *testing.T) {
+	b := netlist.NewBuilder("m1")
+	in := b.Inputs(1)
+	out := BuildMux1(b, nil, in)
+	b.SetOutputs([]netlist.Wire{out})
+	c := b.MustBuild()
+	if got := c.Eval(bitvec.MustFromString("1")); got.String() != "1" {
+		t.Errorf("(1,1)-mux = %s", got)
+	}
+	if c.Stats().UnitCost != 0 {
+		t.Error("(1,1)-mux should be free")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("lg2 non-pow2", func() { MuxNKCircuit(12, 4) })
+	mustPanic("MuxGroups k", func() { MuxGroups(bitvec.New(8), 3, 0) })
+	mustPanic("MuxGroups group", func() { MuxGroups(bitvec.New(8), 2, 4) })
+	mustPanic("DemuxGroups", func() { DemuxGroups(bitvec.New(3), 8, 0) })
+	mustPanic("DemuxGroups group", func() { DemuxGroups(bitvec.New(2), 8, 9) })
+	mustPanic("BuildMux1 arity", func() {
+		b := netlist.NewBuilder("x")
+		BuildMux1(b, b.Inputs(1), b.Inputs(8))
+	})
+	mustPanic("BuildMuxNK", func() {
+		b := netlist.NewBuilder("x")
+		BuildMuxNK(b, b.Inputs(1), b.Inputs(8), 3)
+	})
+	mustPanic("BuildDemuxKN", func() {
+		b := netlist.NewBuilder("x")
+		BuildDemuxKN(b, b.Inputs(1), b.Inputs(3), 8)
+	})
+}

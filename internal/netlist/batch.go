@@ -1,0 +1,57 @@
+package netlist
+
+import (
+	"runtime"
+	"sync"
+
+	"absort/internal/bitvec"
+)
+
+// EvalBatch evaluates the circuit on many inputs concurrently, fanning the
+// work across workers goroutines (GOMAXPROCS when workers ≤ 0). The
+// circuit is immutable, so evaluations share it safely; each worker keeps
+// its own wire-value scratch buffer across its inputs to avoid
+// per-evaluation allocation.
+func (c *Circuit) EvalBatch(inputs []bitvec.Vector, workers int) []bitvec.Vector {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(inputs) {
+		workers = len(inputs)
+	}
+	out := make([]bitvec.Vector, len(inputs))
+	if workers <= 1 {
+		for i, in := range inputs {
+			out[i] = c.Eval(in)
+		}
+		return out
+	}
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	const grain = 16
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				lo := next
+				next += grain
+				mu.Unlock()
+				if lo >= len(inputs) {
+					return
+				}
+				hi := lo + grain
+				if hi > len(inputs) {
+					hi = len(inputs)
+				}
+				for i := lo; i < hi; i++ {
+					out[i] = c.Eval(inputs[i])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

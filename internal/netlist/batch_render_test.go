@@ -1,0 +1,83 @@
+package netlist
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"absort/internal/bitvec"
+)
+
+// buildTestSorter builds a small comparator network netlist for batch and
+// render tests (the Fig. 1 structure).
+func buildTestSorter() *Circuit {
+	b := NewBuilder("test-sorter")
+	in := b.Inputs(4)
+	a0, a1 := b.Comparator(in[0], in[1])
+	b0, b1 := b.Comparator(in[2], in[3])
+	c0, c1 := b.Comparator(a0, b0)
+	d0, d1 := b.Comparator(a1, b1)
+	m0, m1 := b.Comparator(c1, d0)
+	b.SetOutputs([]Wire{c0, m0, m1, d1})
+	return b.MustBuild()
+}
+
+// TestEvalBatchMatchesSequential: parallel batch evaluation returns
+// exactly the sequential results for every worker count.
+func TestEvalBatchMatchesSequential(t *testing.T) {
+	c := buildTestSorter()
+	rng := rand.New(rand.NewSource(223))
+	inputs := make([]bitvec.Vector, 257)
+	for i := range inputs {
+		inputs[i] = bitvec.Random(rng, 4)
+	}
+	want := make([]bitvec.Vector, len(inputs))
+	for i, in := range inputs {
+		want[i] = c.Eval(in)
+	}
+	for _, workers := range []int{0, 1, 2, 3, 8, 64} {
+		got := c.EvalBatch(inputs, workers)
+		for i := range want {
+			if !got[i].Equal(want[i]) {
+				t.Fatalf("workers=%d input %d: %s != %s", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestEvalBatchEmpty handles the empty batch.
+func TestEvalBatchEmpty(t *testing.T) {
+	c := buildTestSorter()
+	if out := c.EvalBatch(nil, 4); len(out) != 0 {
+		t.Errorf("empty batch returned %d results", len(out))
+	}
+}
+
+// TestWriteDOT checks the DOT rendering is well-formed and names every
+// component kind present.
+func TestWriteDOT(t *testing.T) {
+	b := NewBuilder("render-me")
+	in := b.Inputs(3)
+	lo, hi := b.Comparator(in[0], in[1])
+	s0, _ := b.Switch(in[2], lo, hi)
+	m := b.Mux(in[2], s0, lo)
+	g := b.And(m, b.Not(in[0]))
+	b.SetOutputs([]Wire{g})
+	c := b.MustBuild()
+	var sb strings.Builder
+	if err := c.WriteDOT(&sb); err != nil {
+		t.Fatal(err)
+	}
+	dot := sb.String()
+	for _, want := range []string{
+		"digraph \"render-me\"", "Comparator", "Switch2x2", "Mux21",
+		"And", "Not", "in0", "out0", "}",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+	if strings.Count(dot, "->") < 8 {
+		t.Errorf("DOT output has too few edges:\n%s", dot)
+	}
+}

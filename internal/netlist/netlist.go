@@ -1,0 +1,528 @@
+// Package netlist provides a gate-level combinational circuit model for
+// constructing and simulating the sorting and interconnection networks of
+// the paper. Circuits are built from constant-fanin primitives and evaluated
+// exactly; cost and depth are accounted in two conventions:
+//
+//   - Unit convention (the paper's, Section II): each 2×2 comparator or
+//     switch, each (2,1)-multiplexer, and each (1,2)-demultiplexer has unit
+//     cost and unit depth; a 4×4 switch costs 4 units (the paper normalizes
+//     "the cost of each 4×4 switch is roughly equivalent to the cost of four
+//     2×2 switches") and has unit depth; plain logic gates cost 1 unit.
+//   - Gate convention: every constant-fanin logic gate costs 1 and the depth
+//     is the longest gate path, with multiplexers and switches expanded to
+//     their standard gate realizations.
+//
+// Builders append components in topological order (a component can only
+// reference wires that already exist), so evaluation is a single linear pass
+// and circuits are acyclic by construction.
+package netlist
+
+import (
+	"fmt"
+
+	"absort/internal/bitvec"
+)
+
+// Wire identifies a single-bit signal in a circuit under construction.
+type Wire int32
+
+// Kind enumerates the primitive component types.
+type Kind uint8
+
+// Primitive component kinds.
+const (
+	KindInput Kind = iota
+	KindConst0
+	KindConst1
+	KindNot
+	KindAnd
+	KindOr
+	KindXor
+	KindComparator // (a,b) -> (min,max) = (a AND b, a OR b) for bits
+	KindSwitch2x2  // (ctrl,a,b) -> ctrl==0 ? (a,b) : (b,a)
+	KindMux21      // (sel,a0,a1) -> sel==0 ? a0 : a1
+	KindDemux12    // (sel,a) -> sel==0 ? (a,0) : (0,a)
+	KindSwitch4x4  // (s1,s0,a,b,c,d) -> configured quarter permutation
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"Input", "Const0", "Const1", "Not", "And", "Or", "Xor",
+	"Comparator", "Switch2x2", "Mux21", "Demux12", "Switch4x4",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// kindCosts holds (unitCost, unitDepth, gateCost, gateDepth) per kind.
+// A 2:1 mux is (s AND a1) OR (NOT s AND a0): 4 gates, depth 3 counting the
+// inverter; we use the conventional 3-gate/2-level figure with complemented
+// select available, as is standard in switching-network cost accounting.
+var kindCosts = [numKinds]struct{ uc, ud, gc, gd int }{
+	KindInput:      {0, 0, 0, 0},
+	KindConst0:     {0, 0, 0, 0},
+	KindConst1:     {0, 0, 0, 0},
+	KindNot:        {1, 1, 1, 1},
+	KindAnd:        {1, 1, 1, 1},
+	KindOr:         {1, 1, 1, 1},
+	KindXor:        {1, 1, 1, 1},
+	KindComparator: {1, 1, 2, 1},
+	KindSwitch2x2:  {1, 1, 6, 2},
+	KindMux21:      {1, 1, 3, 2},
+	KindDemux12:    {1, 1, 3, 2},
+	KindSwitch4x4:  {4, 1, 36, 4},
+}
+
+// Perm4 is a permutation of the four data lines of a 4×4 switch: output i
+// receives input Perm4[i].
+type Perm4 [4]uint8
+
+// Identity4 is the identity quarter permutation.
+var Identity4 = Perm4{0, 1, 2, 3}
+
+type component struct {
+	kind Kind
+	in   []Wire
+	out  []Wire
+	// perms configures a Switch4x4: perms[sel] applies for select value sel
+	// (sel = 2*s1 + s0). Nil for other kinds.
+	perms *[4]Perm4
+}
+
+// Builder incrementally constructs a Circuit.
+type Builder struct {
+	name   string
+	comps  []component
+	nwires int
+	depthU []int32 // unit-depth per wire
+	depthG []int32 // gate-depth per wire
+	inputs []Wire
+	outs   []Wire
+	err    error
+}
+
+// NewBuilder returns an empty builder for a circuit with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name}
+}
+
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("netlist %q: %s", b.name, fmt.Sprintf(format, args...))
+	}
+}
+
+func (b *Builder) newWire(du, dg int32) Wire {
+	w := Wire(b.nwires)
+	b.nwires++
+	b.depthU = append(b.depthU, du)
+	b.depthG = append(b.depthG, dg)
+	return w
+}
+
+func (b *Builder) checkWires(ws ...Wire) bool {
+	for _, w := range ws {
+		if w < 0 || int(w) >= b.nwires {
+			b.fail("reference to undefined wire %d", w)
+			return false
+		}
+	}
+	return true
+}
+
+func (b *Builder) add(k Kind, in []Wire, nout int, perms *[4]Perm4) []Wire {
+	if b.err != nil {
+		return make([]Wire, nout)
+	}
+	if !b.checkWires(in...) {
+		return make([]Wire, nout)
+	}
+	var du, dg int32
+	for _, w := range in {
+		if b.depthU[w] > du {
+			du = b.depthU[w]
+		}
+		if b.depthG[w] > dg {
+			dg = b.depthG[w]
+		}
+	}
+	c := kindCosts[k]
+	out := make([]Wire, nout)
+	for i := range out {
+		out[i] = b.newWire(du+int32(c.ud), dg+int32(c.gd))
+	}
+	b.comps = append(b.comps, component{kind: k, in: in, out: out, perms: perms})
+	return out
+}
+
+// Input adds a circuit input terminal and returns its wire.
+func (b *Builder) Input() Wire {
+	w := b.add(KindInput, nil, 1, nil)[0]
+	b.inputs = append(b.inputs, w)
+	return w
+}
+
+// Inputs adds n input terminals.
+func (b *Builder) Inputs(n int) []Wire {
+	ws := make([]Wire, n)
+	for i := range ws {
+		ws[i] = b.Input()
+	}
+	return ws
+}
+
+// Const adds a constant-0 or constant-1 source.
+func (b *Builder) Const(v bitvec.Bit) Wire {
+	k := KindConst0
+	if v != 0 {
+		k = KindConst1
+	}
+	return b.add(k, nil, 1, nil)[0]
+}
+
+// Not adds an inverter.
+func (b *Builder) Not(a Wire) Wire { return b.add(KindNot, []Wire{a}, 1, nil)[0] }
+
+// And adds a 2-input AND gate.
+func (b *Builder) And(a, c Wire) Wire { return b.add(KindAnd, []Wire{a, c}, 1, nil)[0] }
+
+// Or adds a 2-input OR gate.
+func (b *Builder) Or(a, c Wire) Wire { return b.add(KindOr, []Wire{a, c}, 1, nil)[0] }
+
+// Xor adds a 2-input XOR gate.
+func (b *Builder) Xor(a, c Wire) Wire { return b.add(KindXor, []Wire{a, c}, 1, nil)[0] }
+
+// Comparator adds a binary comparator switch: outputs (min, max).
+// For bits, min = a AND b and max = a OR b, so an ascending stage places the
+// smaller value on the first output.
+func (b *Builder) Comparator(a, c Wire) (min, max Wire) {
+	out := b.add(KindComparator, []Wire{a, c}, 2, nil)
+	return out[0], out[1]
+}
+
+// Switch adds a controlled 2×2 switch: ctrl=0 passes (a,b) through,
+// ctrl=1 crosses them.
+func (b *Builder) Switch(ctrl, a, c Wire) (o0, o1 Wire) {
+	out := b.add(KindSwitch2x2, []Wire{ctrl, a, c}, 2, nil)
+	return out[0], out[1]
+}
+
+// Mux adds a (2,1)-multiplexer: sel=0 selects a0, sel=1 selects a1.
+func (b *Builder) Mux(sel, a0, a1 Wire) Wire {
+	return b.add(KindMux21, []Wire{sel, a0, a1}, 1, nil)[0]
+}
+
+// Demux adds a (1,2)-demultiplexer: the input appears on output sel, the
+// other output is 0.
+func (b *Builder) Demux(sel, a Wire) (o0, o1 Wire) {
+	out := b.add(KindDemux12, []Wire{sel, a}, 2, nil)
+	return out[0], out[1]
+}
+
+// Switch4 adds a 4×4 switch applying perms[sel] to the four data wires,
+// where sel = 2*s1 + s0 and output i receives data[perms[sel][i]].
+// This is the paper's four-way swapping element (Fig. 2(b)): unit cost 4
+// (four 2×2-switch equivalents), unit depth 1.
+func (b *Builder) Switch4(s1, s0 Wire, data [4]Wire, perms [4]Perm4) [4]Wire {
+	for v, p := range perms {
+		var seen [4]bool
+		for _, x := range p {
+			if x > 3 || seen[x] {
+				b.fail("Switch4 perms[%d]=%v is not a permutation", v, p)
+				return [4]Wire{}
+			}
+			seen[x] = true
+		}
+	}
+	pc := perms
+	out := b.add(KindSwitch4x4, []Wire{s1, s0, data[0], data[1], data[2], data[3]}, 4, &pc)
+	return [4]Wire{out[0], out[1], out[2], out[3]}
+}
+
+// SetOutputs declares the circuit's output wires, in order.
+func (b *Builder) SetOutputs(ws []Wire) {
+	if !b.checkWires(ws...) {
+		return
+	}
+	b.outs = append([]Wire(nil), ws...)
+}
+
+// Instantiate splices a previously built circuit into this builder, feeding
+// its inputs from the given wires, and returns the wires corresponding to
+// its outputs. The instantiated copy contributes its full cost and depth.
+func (b *Builder) Instantiate(c *Circuit, inputs []Wire) []Wire {
+	if b.err != nil {
+		return make([]Wire, len(c.outs))
+	}
+	if len(inputs) != len(c.inputs) {
+		b.fail("Instantiate %q: %d inputs supplied, circuit has %d",
+			c.name, len(inputs), len(c.inputs))
+		return make([]Wire, len(c.outs))
+	}
+	if !b.checkWires(inputs...) {
+		return make([]Wire, len(c.outs))
+	}
+	remap := make([]Wire, c.nwires)
+	for i := range remap {
+		remap[i] = -1
+	}
+	ii := 0
+	for _, comp := range c.comps {
+		if comp.kind == KindInput {
+			remap[comp.out[0]] = inputs[ii]
+			ii++
+			continue
+		}
+		in := make([]Wire, len(comp.in))
+		for j, w := range comp.in {
+			in[j] = remap[w]
+		}
+		out := b.add(comp.kind, in, len(comp.out), comp.perms)
+		for j, w := range comp.out {
+			remap[w] = out[j]
+		}
+	}
+	outs := make([]Wire, len(c.outs))
+	for i, w := range c.outs {
+		outs[i] = remap[w]
+	}
+	return outs
+}
+
+// Build validates and freezes the circuit.
+func (b *Builder) Build() (*Circuit, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.outs) == 0 {
+		return nil, fmt.Errorf("netlist %q: no outputs declared", b.name)
+	}
+	c := &Circuit{
+		name:   b.name,
+		comps:  b.comps,
+		nwires: b.nwires,
+		inputs: b.inputs,
+		outs:   b.outs,
+	}
+	c.stats = c.computeStats(b.depthU, b.depthG)
+	return c, nil
+}
+
+// MustBuild is Build but panics on error; for use in constructors whose
+// parameters have already been validated.
+func (b *Builder) MustBuild() *Circuit {
+	c, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Circuit is an immutable combinational circuit.
+type Circuit struct {
+	name   string
+	comps  []component
+	nwires int
+	inputs []Wire
+	outs   []Wire
+	stats  Stats
+}
+
+// Stats reports size and delay of a circuit in both accounting conventions.
+type Stats struct {
+	// UnitCost and UnitDepth follow the paper's convention: comparators,
+	// 2×2 switches, (2,1)-muxes and (1,2)-demuxes are unit cost and unit
+	// depth; a 4×4 switch costs 4 units; logic gates cost 1 unit.
+	UnitCost  int
+	UnitDepth int
+	// GateCost and GateDepth expand every component to constant-fanin gates.
+	GateCost  int
+	GateDepth int
+	// Counts gives the number of components of each kind.
+	Counts map[Kind]int
+}
+
+// Name returns the circuit's name.
+func (c *Circuit) Name() string { return c.name }
+
+// NumInputs returns the number of input terminals.
+func (c *Circuit) NumInputs() int { return len(c.inputs) }
+
+// NumOutputs returns the number of output wires.
+func (c *Circuit) NumOutputs() int { return len(c.outs) }
+
+// Stats returns the circuit's cost/depth statistics.
+func (c *Circuit) Stats() Stats { return c.stats }
+
+func (c *Circuit) computeStats(depthU, depthG []int32) Stats {
+	s := Stats{Counts: make(map[Kind]int)}
+	for _, comp := range c.comps {
+		s.Counts[comp.kind]++
+		kc := kindCosts[comp.kind]
+		s.UnitCost += kc.uc
+		s.GateCost += kc.gc
+	}
+	for _, w := range c.outs {
+		if int(depthU[w]) > s.UnitDepth {
+			s.UnitDepth = int(depthU[w])
+		}
+		if int(depthG[w]) > s.GateDepth {
+			s.GateDepth = int(depthG[w])
+		}
+	}
+	return s
+}
+
+// Eval evaluates the circuit on the given input bits and returns the output
+// bits. len(in) must equal NumInputs.
+func (c *Circuit) Eval(in bitvec.Vector) bitvec.Vector {
+	if len(in) != len(c.inputs) {
+		panic(fmt.Sprintf("netlist %q: Eval with %d inputs, want %d",
+			c.name, len(in), len(c.inputs)))
+	}
+	val := make([]bitvec.Bit, c.nwires)
+	ii := 0
+	for _, comp := range c.comps {
+		switch comp.kind {
+		case KindInput:
+			val[comp.out[0]] = in[ii] & 1
+			ii++
+		case KindConst0:
+			val[comp.out[0]] = 0
+		case KindConst1:
+			val[comp.out[0]] = 1
+		case KindNot:
+			val[comp.out[0]] = val[comp.in[0]] ^ 1
+		case KindAnd:
+			val[comp.out[0]] = val[comp.in[0]] & val[comp.in[1]]
+		case KindOr:
+			val[comp.out[0]] = val[comp.in[0]] | val[comp.in[1]]
+		case KindXor:
+			val[comp.out[0]] = val[comp.in[0]] ^ val[comp.in[1]]
+		case KindComparator:
+			a, b := val[comp.in[0]], val[comp.in[1]]
+			val[comp.out[0]] = a & b
+			val[comp.out[1]] = a | b
+		case KindSwitch2x2:
+			ctrl, a, b := val[comp.in[0]], val[comp.in[1]], val[comp.in[2]]
+			if ctrl == 0 {
+				val[comp.out[0]], val[comp.out[1]] = a, b
+			} else {
+				val[comp.out[0]], val[comp.out[1]] = b, a
+			}
+		case KindMux21:
+			sel, a0, a1 := val[comp.in[0]], val[comp.in[1]], val[comp.in[2]]
+			if sel == 0 {
+				val[comp.out[0]] = a0
+			} else {
+				val[comp.out[0]] = a1
+			}
+		case KindDemux12:
+			sel, a := val[comp.in[0]], val[comp.in[1]]
+			if sel == 0 {
+				val[comp.out[0]], val[comp.out[1]] = a, 0
+			} else {
+				val[comp.out[0]], val[comp.out[1]] = 0, a
+			}
+		case KindSwitch4x4:
+			sel := 2*val[comp.in[0]] + val[comp.in[1]]
+			p := comp.perms[sel]
+			for i := 0; i < 4; i++ {
+				val[comp.out[i]] = val[comp.in[2+int(p[i])]]
+			}
+		default:
+			panic(fmt.Sprintf("netlist: unknown kind %v", comp.kind))
+		}
+	}
+	out := make(bitvec.Vector, len(c.outs))
+	for i, w := range c.outs {
+		out[i] = val[w]
+	}
+	return out
+}
+
+// NumWires returns the number of distinct wires in the circuit, for use
+// with EvalStuck fault enumeration.
+func (c *Circuit) NumWires() int { return c.nwires }
+
+// EvalStuck evaluates the circuit with stuck-at faults injected: after a
+// component drives a wire listed in stuck, the wire's value is forced to
+// the given bit. Input terminals can be faulted too. This is the classical
+// single/multiple stuck-at fault model used for test-coverage analysis of
+// switching networks.
+func (c *Circuit) EvalStuck(in bitvec.Vector, stuck map[Wire]bitvec.Bit) bitvec.Vector {
+	if len(in) != len(c.inputs) {
+		panic(fmt.Sprintf("netlist %q: EvalStuck with %d inputs, want %d",
+			c.name, len(in), len(c.inputs)))
+	}
+	val := make([]bitvec.Bit, c.nwires)
+	force := func(ws []Wire) {
+		for _, w := range ws {
+			if v, ok := stuck[w]; ok {
+				val[w] = v & 1
+			}
+		}
+	}
+	ii := 0
+	for _, comp := range c.comps {
+		switch comp.kind {
+		case KindInput:
+			val[comp.out[0]] = in[ii] & 1
+			ii++
+		case KindConst0:
+			val[comp.out[0]] = 0
+		case KindConst1:
+			val[comp.out[0]] = 1
+		case KindNot:
+			val[comp.out[0]] = val[comp.in[0]] ^ 1
+		case KindAnd:
+			val[comp.out[0]] = val[comp.in[0]] & val[comp.in[1]]
+		case KindOr:
+			val[comp.out[0]] = val[comp.in[0]] | val[comp.in[1]]
+		case KindXor:
+			val[comp.out[0]] = val[comp.in[0]] ^ val[comp.in[1]]
+		case KindComparator:
+			a, b := val[comp.in[0]], val[comp.in[1]]
+			val[comp.out[0]] = a & b
+			val[comp.out[1]] = a | b
+		case KindSwitch2x2:
+			ctrl, a, b := val[comp.in[0]], val[comp.in[1]], val[comp.in[2]]
+			if ctrl == 0 {
+				val[comp.out[0]], val[comp.out[1]] = a, b
+			} else {
+				val[comp.out[0]], val[comp.out[1]] = b, a
+			}
+		case KindMux21:
+			if val[comp.in[0]] == 0 {
+				val[comp.out[0]] = val[comp.in[1]]
+			} else {
+				val[comp.out[0]] = val[comp.in[2]]
+			}
+		case KindDemux12:
+			sel, a := val[comp.in[0]], val[comp.in[1]]
+			if sel == 0 {
+				val[comp.out[0]], val[comp.out[1]] = a, 0
+			} else {
+				val[comp.out[0]], val[comp.out[1]] = 0, a
+			}
+		case KindSwitch4x4:
+			sel := 2*val[comp.in[0]] + val[comp.in[1]]
+			p := comp.perms[sel]
+			for i := 0; i < 4; i++ {
+				val[comp.out[i]] = val[comp.in[2+int(p[i])]]
+			}
+		default:
+			panic(fmt.Sprintf("netlist: unknown kind %v", comp.kind))
+		}
+		force(comp.out)
+	}
+	out := make(bitvec.Vector, len(c.outs))
+	for i, w := range c.outs {
+		out[i] = val[w]
+	}
+	return out
+}

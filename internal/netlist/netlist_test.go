@@ -1,0 +1,311 @@
+package netlist
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"absort/internal/bitvec"
+)
+
+func TestGates(t *testing.T) {
+	b := NewBuilder("gates")
+	in := b.Inputs(2)
+	and := b.And(in[0], in[1])
+	or := b.Or(in[0], in[1])
+	xor := b.Xor(in[0], in[1])
+	not := b.Not(in[0])
+	c0 := b.Const(0)
+	c1 := b.Const(1)
+	b.SetOutputs([]Wire{and, or, xor, not, c0, c1})
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		in, want string
+	}{
+		{"00", "000101"},
+		{"01", "011101"},
+		{"10", "011001"},
+		{"11", "110001"},
+	} {
+		got := c.Eval(bitvec.MustFromString(tc.in))
+		if got.String() != tc.want {
+			t.Errorf("gates(%s) = %s, want %s", tc.in, got, tc.want)
+		}
+	}
+	s := c.Stats()
+	if s.UnitCost != 4 { // consts and inputs are free
+		t.Errorf("UnitCost = %d, want 4", s.UnitCost)
+	}
+	if s.UnitDepth != 1 || s.GateDepth != 1 {
+		t.Errorf("depths = %d/%d, want 1/1", s.UnitDepth, s.GateDepth)
+	}
+}
+
+func TestComparator(t *testing.T) {
+	b := NewBuilder("cmp")
+	in := b.Inputs(2)
+	lo, hi := b.Comparator(in[0], in[1])
+	b.SetOutputs([]Wire{lo, hi})
+	c := b.MustBuild()
+	for _, tc := range []struct{ in, want string }{
+		{"00", "00"}, {"01", "01"}, {"10", "01"}, {"11", "11"},
+	} {
+		if got := c.Eval(bitvec.MustFromString(tc.in)); got.String() != tc.want {
+			t.Errorf("cmp(%s) = %s, want %s", tc.in, got, tc.want)
+		}
+	}
+	if s := c.Stats(); s.UnitCost != 1 || s.UnitDepth != 1 || s.GateCost != 2 {
+		t.Errorf("comparator stats = %+v", s)
+	}
+}
+
+func TestSwitch2x2(t *testing.T) {
+	b := NewBuilder("sw")
+	in := b.Inputs(3) // ctrl, a, b
+	o0, o1 := b.Switch(in[0], in[1], in[2])
+	b.SetOutputs([]Wire{o0, o1})
+	c := b.MustBuild()
+	for _, tc := range []struct{ in, want string }{
+		{"001", "01"}, {"010", "10"}, // pass
+		{"101", "10"}, {"110", "01"}, // cross
+	} {
+		if got := c.Eval(bitvec.MustFromString(tc.in)); got.String() != tc.want {
+			t.Errorf("switch(%s) = %s, want %s", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestMuxDemux(t *testing.T) {
+	b := NewBuilder("muxdemux")
+	in := b.Inputs(3) // sel, a0, a1
+	m := b.Mux(in[0], in[1], in[2])
+	d0, d1 := b.Demux(in[0], in[1])
+	b.SetOutputs([]Wire{m, d0, d1})
+	c := b.MustBuild()
+	for _, tc := range []struct{ in, want string }{
+		{"010", "110"}, // sel 0: mux=a0=1, demux routes a0... demux(0,1)=(1,0)
+		{"001", "000"},
+		{"101", "101"}, // sel 1: mux=a1=1, demux(1,1)... a=in[1]=0 -> (0,0)... recompute below
+	} {
+		got := c.Eval(bitvec.MustFromString(tc.in))
+		sel, a0, a1 := tc.in[0]-'0', tc.in[1]-'0', tc.in[2]-'0'
+		wantMux := a0
+		if sel == 1 {
+			wantMux = a1
+		}
+		want0, want1 := byte(0), byte(0)
+		if sel == 0 {
+			want0 = a0
+		} else {
+			want1 = a0
+		}
+		want := string([]byte{wantMux + '0', want0 + '0', want1 + '0'})
+		_ = tc.want
+		if got.String() != want {
+			t.Errorf("muxdemux(%s) = %s, want %s", tc.in, got, want)
+		}
+	}
+}
+
+func TestSwitch4x4(t *testing.T) {
+	b := NewBuilder("sw4")
+	in := b.Inputs(6)
+	perms := [4]Perm4{
+		{0, 1, 2, 3}, // sel 00: identity
+		{1, 0, 3, 2}, // sel 01: swap within halves
+		{2, 3, 0, 1}, // sel 10: swap halves
+		{3, 2, 1, 0}, // sel 11: reverse
+	}
+	out := b.Switch4(in[0], in[1], [4]Wire{in[2], in[3], in[4], in[5]}, perms)
+	b.SetOutputs(out[:])
+	c := b.MustBuild()
+	data := bitvec.MustFromString("0110")
+	for sel := 0; sel < 4; sel++ {
+		in := append(bitvec.Vector{bitvec.Bit(sel >> 1), bitvec.Bit(sel & 1)}, data...)
+		got := c.Eval(in)
+		want := make(bitvec.Vector, 4)
+		for i := 0; i < 4; i++ {
+			want[i] = data[perms[sel][i]]
+		}
+		if !got.Equal(want) {
+			t.Errorf("switch4 sel=%d: got %s want %s", sel, got, want)
+		}
+	}
+	if s := c.Stats(); s.UnitCost != 4 || s.UnitDepth != 1 {
+		t.Errorf("switch4 stats = %+v", s)
+	}
+}
+
+func TestSwitch4x4BadPerm(t *testing.T) {
+	b := NewBuilder("bad")
+	in := b.Inputs(6)
+	b.Switch4(in[0], in[1], [4]Wire{in[2], in[3], in[4], in[5]},
+		[4]Perm4{{0, 0, 1, 2}, Identity4, Identity4, Identity4})
+	b.SetOutputs([]Wire{in[0]})
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "not a permutation") {
+		t.Errorf("expected not-a-permutation error, got %v", err)
+	}
+}
+
+func TestDepthAccumulates(t *testing.T) {
+	b := NewBuilder("chain")
+	w := b.Input()
+	for i := 0; i < 5; i++ {
+		w = b.Not(w)
+	}
+	b.SetOutputs([]Wire{w})
+	c := b.MustBuild()
+	if s := c.Stats(); s.UnitDepth != 5 || s.GateDepth != 5 || s.UnitCost != 5 {
+		t.Errorf("chain stats = %+v", s)
+	}
+}
+
+func TestMixedDepthConventions(t *testing.T) {
+	// A switch (gate depth 2) feeding a comparator (gate depth 1):
+	// unit depth 2, gate depth 3.
+	b := NewBuilder("mixed")
+	in := b.Inputs(3)
+	o0, o1 := b.Switch(in[0], in[1], in[2])
+	lo, hi := b.Comparator(o0, o1)
+	b.SetOutputs([]Wire{lo, hi})
+	c := b.MustBuild()
+	s := c.Stats()
+	if s.UnitDepth != 2 {
+		t.Errorf("UnitDepth = %d, want 2", s.UnitDepth)
+	}
+	if s.GateDepth != 3 {
+		t.Errorf("GateDepth = %d, want 3", s.GateDepth)
+	}
+	if s.GateCost != 8 {
+		t.Errorf("GateCost = %d, want 8", s.GateCost)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	b := NewBuilder("noout")
+	b.Input()
+	if _, err := b.Build(); err == nil {
+		t.Error("Build with no outputs should fail")
+	}
+
+	b2 := NewBuilder("badwire")
+	w := b2.Input()
+	b2.And(w, Wire(99))
+	b2.SetOutputs([]Wire{w})
+	if _, err := b2.Build(); err == nil {
+		t.Error("Build with undefined wire should fail")
+	}
+
+	b3 := NewBuilder("badout")
+	w3 := b3.Input()
+	_ = w3
+	b3.SetOutputs([]Wire{Wire(42)})
+	if _, err := b3.Build(); err == nil {
+		t.Error("Build with undefined output wire should fail")
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuild on invalid circuit did not panic")
+		}
+	}()
+	NewBuilder("empty").MustBuild()
+}
+
+func TestEvalPanicsOnArity(t *testing.T) {
+	b := NewBuilder("arity")
+	w := b.Input()
+	b.SetOutputs([]Wire{w})
+	c := b.MustBuild()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Eval with wrong arity did not panic")
+		}
+	}()
+	c.Eval(bitvec.MustFromString("01"))
+}
+
+// buildParity builds an n-input parity circuit (xor tree) for reuse tests.
+func buildParity(n int) *Circuit {
+	b := NewBuilder("parity")
+	ws := b.Inputs(n)
+	for len(ws) > 1 {
+		var next []Wire
+		for i := 0; i+1 < len(ws); i += 2 {
+			next = append(next, b.Xor(ws[i], ws[i+1]))
+		}
+		if len(ws)%2 == 1 {
+			next = append(next, ws[len(ws)-1])
+		}
+		ws = next
+	}
+	b.SetOutputs(ws)
+	return b.MustBuild()
+}
+
+func TestInstantiate(t *testing.T) {
+	par4 := buildParity(4)
+	b := NewBuilder("two-parities")
+	in := b.Inputs(8)
+	p0 := b.Instantiate(par4, in[:4])
+	p1 := b.Instantiate(par4, in[4:])
+	b.SetOutputs([]Wire{p0[0], p1[0], b.Xor(p0[0], p1[0])})
+	c := b.MustBuild()
+
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		v := bitvec.Random(rng, 8)
+		got := c.Eval(v)
+		w0 := bitvec.Bit(v[:4].Ones() % 2)
+		w1 := bitvec.Bit(v[4:].Ones() % 2)
+		if got[0] != w0 || got[1] != w1 || got[2] != w0^w1 {
+			t.Fatalf("instantiate eval %v: got %v", v, got)
+		}
+	}
+	// Cost of the composite includes both instances: 3 xors each + 1.
+	if s := c.Stats(); s.Counts[KindXor] != 7 {
+		t.Errorf("xor count = %d, want 7", s.Counts[KindXor])
+	}
+}
+
+func TestInstantiateArityError(t *testing.T) {
+	par4 := buildParity(4)
+	b := NewBuilder("bad-inst")
+	in := b.Inputs(3)
+	b.Instantiate(par4, in)
+	b.SetOutputs(in)
+	if _, err := b.Build(); err == nil {
+		t.Error("Instantiate with wrong arity should fail Build")
+	}
+}
+
+func TestStatsCounts(t *testing.T) {
+	c := buildParity(8)
+	s := c.Stats()
+	if s.Counts[KindXor] != 7 || s.Counts[KindInput] != 8 {
+		t.Errorf("counts = %v", s.Counts)
+	}
+	if s.UnitDepth != 3 {
+		t.Errorf("xor-tree depth = %d, want 3", s.UnitDepth)
+	}
+	if c.NumInputs() != 8 || c.NumOutputs() != 1 {
+		t.Errorf("arity = %d/%d", c.NumInputs(), c.NumOutputs())
+	}
+	if c.Name() != "parity" {
+		t.Errorf("name = %q", c.Name())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindComparator.String() != "Comparator" {
+		t.Errorf("KindComparator.String() = %q", KindComparator)
+	}
+	if !strings.Contains(Kind(200).String(), "200") {
+		t.Errorf("unknown kind string = %q", Kind(200))
+	}
+}

@@ -1,0 +1,73 @@
+package netlist
+
+import "fmt"
+
+// Truncate returns a circuit identical to c but exposing only the first m
+// outputs, with every component that cannot reach them removed (dead-logic
+// elimination). This turns an (n,n)-concentrator built from a binary
+// sorter into a genuine (n,m)-concentrator: Section IV's definition needs
+// only the first m outputs, and the unreachable switches are real cost
+// savings.
+//
+// Inputs are always retained (the interface is unchanged) even when they
+// no longer feed any live component.
+func (c *Circuit) Truncate(m int) (*Circuit, error) {
+	if m <= 0 || m > len(c.outs) {
+		return nil, fmt.Errorf("netlist %q: Truncate(%d) of %d outputs",
+			c.name, m, len(c.outs))
+	}
+	// Mark live wires backwards from the retained outputs.
+	liveWire := make([]bool, c.nwires)
+	for _, w := range c.outs[:m] {
+		liveWire[w] = true
+	}
+	liveComp := make([]bool, len(c.comps))
+	for ci := len(c.comps) - 1; ci >= 0; ci-- {
+		comp := c.comps[ci]
+		alive := comp.kind == KindInput
+		for _, o := range comp.out {
+			if liveWire[o] {
+				alive = true
+			}
+		}
+		if !alive {
+			continue
+		}
+		liveComp[ci] = true
+		for _, in := range comp.in {
+			liveWire[in] = true
+		}
+	}
+	// Replay the live components into a fresh builder.
+	b := NewBuilder(fmt.Sprintf("%s-trunc%d", c.name, m))
+	remap := make(map[Wire]Wire)
+	for ci, comp := range c.comps {
+		if !liveComp[ci] {
+			continue
+		}
+		var out []Wire
+		switch comp.kind {
+		case KindInput:
+			out = []Wire{b.Input()}
+		default:
+			in := make([]Wire, len(comp.in))
+			for i, w := range comp.in {
+				nw, ok := remap[w]
+				if !ok {
+					return nil, fmt.Errorf("netlist %q: Truncate: dangling wire %d", c.name, w)
+				}
+				in[i] = nw
+			}
+			out = b.add(comp.kind, in, len(comp.out), comp.perms)
+		}
+		for i, w := range comp.out {
+			remap[w] = out[i]
+		}
+	}
+	outs := make([]Wire, m)
+	for i, w := range c.outs[:m] {
+		outs[i] = remap[w]
+	}
+	b.SetOutputs(outs)
+	return b.Build()
+}

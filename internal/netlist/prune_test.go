@@ -1,0 +1,102 @@
+package netlist
+
+import (
+	"math/rand"
+	"testing"
+
+	"absort/internal/bitvec"
+)
+
+// TestTruncateKeepsBehavior: the truncated circuit's outputs equal the
+// first m outputs of the original on every input.
+func TestTruncateKeepsBehavior(t *testing.T) {
+	orig := buildTestSorter() // 4-input sorter from batch_render_test.go
+	for m := 1; m <= 4; m++ {
+		tr, err := orig.Truncate(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.NumInputs() != orig.NumInputs() {
+			t.Fatalf("m=%d: inputs changed to %d", m, tr.NumInputs())
+		}
+		if tr.NumOutputs() != m {
+			t.Fatalf("m=%d: %d outputs", m, tr.NumOutputs())
+		}
+		bitvec.All(4, func(v bitvec.Vector) bool {
+			full := orig.Eval(v)
+			got := tr.Eval(v)
+			for j := 0; j < m; j++ {
+				if got[j] != full[j] {
+					t.Errorf("m=%d input %s: output %d = %d, want %d",
+						m, v, j, got[j], full[j])
+					return false
+				}
+			}
+			return true
+		})
+	}
+}
+
+// TestTruncateSavesCost: dropping outputs removes unreachable comparators.
+func TestTruncateSavesCost(t *testing.T) {
+	orig := buildTestSorter()
+	tr, err := orig.Truncate(1) // only the minimum output
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Stats().UnitCost >= orig.Stats().UnitCost {
+		t.Errorf("truncated cost %d not below original %d",
+			tr.Stats().UnitCost, orig.Stats().UnitCost)
+	}
+	// Full truncation (m = all outputs) removes nothing.
+	same, err := orig.Truncate(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.Stats().UnitCost != orig.Stats().UnitCost {
+		t.Errorf("full truncate changed cost %d -> %d",
+			orig.Stats().UnitCost, same.Stats().UnitCost)
+	}
+}
+
+// TestTruncateWideSorter measures the (n,m)-concentrator saving on a
+// larger comparator sorter and validates the truncated circuit still
+// computes the smallest m values.
+func TestTruncateWideSorter(t *testing.T) {
+	b := NewBuilder("oet-16")
+	ws := b.Inputs(16)
+	for s := 0; s < 16; s++ {
+		for i := s % 2; i+1 < 16; i += 2 {
+			ws[i], ws[i+1] = b.Comparator(ws[i], ws[i+1])
+		}
+	}
+	b.SetOutputs(ws)
+	orig := b.MustBuild()
+	tr, err := orig.Truncate(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Stats().UnitCost >= orig.Stats().UnitCost {
+		t.Error("no saving from truncation")
+	}
+	rng := rand.New(rand.NewSource(281))
+	for i := 0; i < 100; i++ {
+		v := bitvec.Random(rng, 16)
+		got := tr.Eval(v)
+		want := v.Sorted()[:4]
+		if !got.Equal(want) {
+			t.Fatalf("truncated sorter output %s, want %s", got, want)
+		}
+	}
+}
+
+// TestTruncateErrors covers validation.
+func TestTruncateErrors(t *testing.T) {
+	c := buildTestSorter()
+	if _, err := c.Truncate(0); err == nil {
+		t.Error("accepted m=0")
+	}
+	if _, err := c.Truncate(5); err == nil {
+		t.Error("accepted m > outputs")
+	}
+}

@@ -1,0 +1,59 @@
+package netlist
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the circuit as a Graphviz digraph for inspection of
+// constructed networks: one node per component (inputs and constants as
+// plain points, switching components as boxes, gates as ellipses), one
+// edge per wire use. Output order matches construction order, so diagrams
+// of recursive constructions read top-down.
+func (c *Circuit) WriteDOT(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=LR;\n", c.name); err != nil {
+		return err
+	}
+	// driver[w] = component index that drives wire w.
+	driver := make([]int, c.nwires)
+	for ci, comp := range c.comps {
+		for _, o := range comp.out {
+			driver[o] = ci
+		}
+	}
+	shape := func(k Kind) string {
+		switch k {
+		case KindInput, KindConst0, KindConst1:
+			return "plaintext"
+		case KindComparator, KindSwitch2x2, KindMux21, KindDemux12, KindSwitch4x4:
+			return "box"
+		}
+		return "ellipse"
+	}
+	ii := 0
+	for ci, comp := range c.comps {
+		label := comp.kind.String()
+		if comp.kind == KindInput {
+			label = fmt.Sprintf("in%d", ii)
+			ii++
+		}
+		if _, err := fmt.Fprintf(w, "  c%d [label=%q shape=%s];\n",
+			ci, label, shape(comp.kind)); err != nil {
+			return err
+		}
+		for pi, in := range comp.in {
+			if _, err := fmt.Fprintf(w, "  c%d -> c%d [label=\"%d\"];\n",
+				driver[in], ci, pi); err != nil {
+				return err
+			}
+		}
+	}
+	for oi, ow := range c.outs {
+		if _, err := fmt.Fprintf(w, "  out%d [label=\"out%d\" shape=plaintext];\n  c%d -> out%d;\n",
+			oi, oi, driver[ow], oi); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,112 @@
+package netlist
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// circuitDTO is the on-wire representation of a Circuit.
+type circuitDTO struct {
+	Name    string
+	Version int
+	Comps   []compDTO
+	Outs    []Wire
+}
+
+type compDTO struct {
+	Kind  uint8
+	In    []Wire
+	Out   []Wire
+	Perms *[4]Perm4
+}
+
+const serializeVersion = 1
+
+// Save writes the circuit in a gob-encoded format that Load can
+// reconstruct. Large recursive constructions (e.g. a 4096-input sorter)
+// can thus be built once and cached.
+func (c *Circuit) Save(w io.Writer) error {
+	dto := circuitDTO{Name: c.name, Version: serializeVersion, Outs: c.outs}
+	dto.Comps = make([]compDTO, len(c.comps))
+	for i, comp := range c.comps {
+		dto.Comps[i] = compDTO{
+			Kind:  uint8(comp.kind),
+			In:    comp.in,
+			Out:   comp.out,
+			Perms: comp.perms,
+		}
+	}
+	return gob.NewEncoder(w).Encode(dto)
+}
+
+// Load reconstructs a circuit saved by Save. The component stream is
+// replayed through a fresh Builder, so every structural validation (wire
+// references, permutation tables) reruns and the cost/depth statistics are
+// recomputed rather than trusted from the input.
+func Load(r io.Reader) (*Circuit, error) {
+	var dto circuitDTO
+	if err := gob.NewDecoder(r).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("netlist: load: %w", err)
+	}
+	if dto.Version != serializeVersion {
+		return nil, fmt.Errorf("netlist: load: unsupported version %d", dto.Version)
+	}
+	b := NewBuilder(dto.Name)
+	remap := make(map[Wire]Wire)
+	lookup := func(ws []Wire) ([]Wire, error) {
+		out := make([]Wire, len(ws))
+		for i, w := range ws {
+			nw, ok := remap[w]
+			if !ok {
+				return nil, fmt.Errorf("netlist: load: undefined wire %d", w)
+			}
+			out[i] = nw
+		}
+		return out, nil
+	}
+	for ci, comp := range dto.Comps {
+		k := Kind(comp.Kind)
+		if k >= numKinds {
+			return nil, fmt.Errorf("netlist: load: component %d has unknown kind %d", ci, comp.Kind)
+		}
+		in, err := lookup(comp.In)
+		if err != nil {
+			return nil, err
+		}
+		var out []Wire
+		switch k {
+		case KindInput:
+			out = []Wire{b.Input()}
+		case KindSwitch4x4:
+			if comp.Perms == nil || len(in) != 6 {
+				return nil, fmt.Errorf("netlist: load: malformed Switch4x4 at %d", ci)
+			}
+			o := b.Switch4(in[0], in[1], [4]Wire{in[2], in[3], in[4], in[5]}, *comp.Perms)
+			out = o[:]
+		default:
+			out = b.add(k, in, len(comp.Out), nil)
+		}
+		if len(out) != len(comp.Out) {
+			return nil, fmt.Errorf("netlist: load: component %d arity mismatch", ci)
+		}
+		for i, w := range comp.Out {
+			if _, dup := remap[w]; dup {
+				return nil, fmt.Errorf("netlist: load: wire %d driven twice", w)
+			}
+			remap[w] = out[i]
+		}
+	}
+	outs, err := lookup(dto.Outs)
+	if err != nil {
+		return nil, err
+	}
+	b.SetOutputs(outs)
+	return b.Build()
+}
+
+// gobEncode and gobDecode are small indirections so tests can construct
+// corrupted streams with the same wire format.
+func gobEncode(w io.Writer, dto circuitDTO) error { return gob.NewEncoder(w).Encode(dto) }
+
+func gobDecode(r io.Reader, dto *circuitDTO) error { return gob.NewDecoder(r).Decode(dto) }

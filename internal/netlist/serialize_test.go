@@ -1,0 +1,95 @@
+package netlist
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"absort/internal/bitvec"
+)
+
+// buildMixedCircuit exercises every component kind for round-trip tests.
+func buildMixedCircuit() *Circuit {
+	b := NewBuilder("mixed-all-kinds")
+	in := b.Inputs(8)
+	lo, hi := b.Comparator(in[0], in[1])
+	s0, s1 := b.Switch(in[2], lo, hi)
+	m := b.Mux(in[3], s0, s1)
+	d0, d1 := b.Demux(in[4], m)
+	sw4 := b.Switch4(in[5], in[6], [4]Wire{d0, d1, in[7], b.Const(1)},
+		[4]Perm4{{0, 1, 2, 3}, {1, 0, 3, 2}, {2, 3, 0, 1}, {3, 2, 1, 0}})
+	g := b.Or(b.And(sw4[0], sw4[1]), b.Xor(b.Not(sw4[2]), sw4[3]))
+	b.SetOutputs([]Wire{g, sw4[0], d1, b.Const(0)})
+	return b.MustBuild()
+}
+
+// TestSaveLoadRoundTrip: a loaded circuit is behaviorally identical and
+// has identical statistics.
+func TestSaveLoadRoundTrip(t *testing.T) {
+	orig := buildMixedCircuit()
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Name() != orig.Name() {
+		t.Errorf("name %q", loaded.Name())
+	}
+	os, ls := orig.Stats(), loaded.Stats()
+	if os.UnitCost != ls.UnitCost || os.UnitDepth != ls.UnitDepth ||
+		os.GateCost != ls.GateCost || os.GateDepth != ls.GateDepth {
+		t.Errorf("stats differ: %+v vs %+v", os, ls)
+	}
+	bitvec.All(8, func(v bitvec.Vector) bool {
+		a, b := orig.Eval(v), loaded.Eval(v)
+		if !a.Equal(b) {
+			t.Errorf("outputs differ on %s: %s vs %s", v, a, b)
+			return false
+		}
+		return true
+	})
+}
+
+// TestSaveLoadLargeSorter round-trips a realistic recursive construction.
+func TestSaveLoadLargeSorter(t *testing.T) {
+	// Build a 16-input comparator sorting netlist inline (odd-even
+	// transposition) to avoid an import cycle with cmpnet.
+	b := NewBuilder("oet-16")
+	ws := b.Inputs(16)
+	for s := 0; s < 16; s++ {
+		for i := s % 2; i+1 < 16; i += 2 {
+			ws[i], ws[i+1] = b.Comparator(ws[i], ws[i+1])
+		}
+	}
+	b.SetOutputs(ws)
+	orig := b.MustBuild()
+
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(251))
+	for i := 0; i < 100; i++ {
+		v := bitvec.Random(rng, 16)
+		if got := loaded.Eval(v); !got.Equal(v.Sorted()) {
+			t.Fatalf("loaded sorter failed on %s: %s", v, got)
+		}
+	}
+}
+
+// TestLoadRejectsGarbage covers the error paths.
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not gob"))); err == nil {
+		t.Error("accepted garbage stream")
+	}
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Error("accepted empty stream")
+	}
+}

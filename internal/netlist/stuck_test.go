@@ -1,0 +1,113 @@
+package netlist
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"absort/internal/bitvec"
+)
+
+// TestEvalStuckAllKinds exercises the fault-injected evaluator across
+// every component kind and agrees with Eval when no faults are injected.
+func TestEvalStuckAllKinds(t *testing.T) {
+	c := buildMixedCircuit() // from serialize_test.go: all kinds
+	bitvec.All(8, func(v bitvec.Vector) bool {
+		if got, want := c.EvalStuck(v, nil), c.Eval(v); !got.Equal(want) {
+			t.Errorf("EvalStuck(nil) %s != Eval %s on %s", got, want, v)
+			return false
+		}
+		return true
+	})
+	if c.NumWires() <= 8 {
+		t.Errorf("NumWires = %d implausible", c.NumWires())
+	}
+	// Stuck faults on every wire individually must keep outputs boolean
+	// and, for at least one wire, change some output.
+	changed := false
+	probe := bitvec.MustFromString("10110100")
+	golden := c.Eval(probe)
+	for w := 0; w < c.NumWires(); w++ {
+		for _, sa := range []bitvec.Bit{0, 1} {
+			out := c.EvalStuck(probe, map[Wire]bitvec.Bit{Wire(w): sa})
+			for _, b := range out {
+				if b > 1 {
+					t.Fatalf("non-boolean output under fault (%d, %d)", w, sa)
+				}
+			}
+			if !out.Equal(golden) {
+				changed = true
+			}
+		}
+	}
+	if !changed {
+		t.Error("no single stuck-at fault observable — implausible")
+	}
+}
+
+// failAfter is a writer that errors after a byte budget, for exercising
+// WriteDOT's error paths.
+type failAfter struct{ n int }
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	f.n -= len(p)
+	return len(p), nil
+}
+
+// TestWriteDOTErrorPaths: every write site propagates the error.
+func TestWriteDOTErrorPaths(t *testing.T) {
+	c := buildMixedCircuit()
+	var full bytes.Buffer
+	if err := c.WriteDOT(&full); err != nil {
+		t.Fatal(err)
+	}
+	for _, budget := range []int{0, 10, 40, full.Len() - 2} {
+		if err := c.WriteDOT(&failAfter{n: budget}); err == nil {
+			t.Errorf("budget %d: expected write error", budget)
+		}
+	}
+}
+
+// TestLoadErrorPaths: corrupted streams are rejected with diagnostics.
+func TestLoadErrorPaths(t *testing.T) {
+	orig := buildMixedCircuit()
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	corrupt := func(mutate func(*circuitDTO)) error {
+		var dto circuitDTO
+		dec := bytes.NewReader(good)
+		if err := gobDecode(dec, &dto); err != nil {
+			t.Fatal(err)
+		}
+		mutate(&dto)
+		var out bytes.Buffer
+		if err := gobEncode(&out, dto); err != nil {
+			t.Fatal(err)
+		}
+		_, err := Load(&out)
+		return err
+	}
+	if err := corrupt(func(d *circuitDTO) { d.Version = 99 }); err == nil {
+		t.Error("accepted bad version")
+	}
+	if err := corrupt(func(d *circuitDTO) { d.Comps[len(d.Comps)-1].Kind = 200 }); err == nil {
+		t.Error("accepted unknown kind")
+	}
+	if err := corrupt(func(d *circuitDTO) { d.Outs[0] = 9999 }); err == nil {
+		t.Error("accepted undefined output wire")
+	}
+	if err := corrupt(func(d *circuitDTO) {
+		// Duplicate a driven wire.
+		last := &d.Comps[len(d.Comps)-1]
+		last.Out = append([]Wire{}, d.Comps[0].Out...)
+	}); err == nil {
+		t.Error("accepted doubly-driven wire")
+	}
+}

@@ -1,0 +1,91 @@
+package netlist
+
+import "fmt"
+
+// Tagged is a wire value carrying a routable payload alongside its bit.
+// Switching components (comparators, switches, multiplexers,
+// demultiplexers) move the payload with the bit; logic gates synthesize
+// fresh bits, so their outputs carry NoPayload. This is the paper's
+// operating model for concentrators and permuters: control decisions are
+// computed from tag bits, data rides through the same switches.
+type Tagged struct {
+	Bit     uint8
+	Payload int32
+}
+
+// NoPayload marks a synthesized (non-routed) wire value.
+const NoPayload int32 = -1
+
+// EvalTagged evaluates the circuit on tagged inputs, routing payloads
+// through every switching component. It returns the tagged outputs.
+// A comparator exchanges its inputs only when they are strictly out of
+// order (equal bits pass straight through), matching the comparator
+// semantics the networks were verified under.
+func (c *Circuit) EvalTagged(in []Tagged) []Tagged {
+	if len(in) != len(c.inputs) {
+		panic(fmt.Sprintf("netlist %q: EvalTagged with %d inputs, want %d",
+			c.name, len(in), len(c.inputs)))
+	}
+	val := make([]Tagged, c.nwires)
+	ii := 0
+	for _, comp := range c.comps {
+		switch comp.kind {
+		case KindInput:
+			v := in[ii]
+			v.Bit &= 1
+			val[comp.out[0]] = v
+			ii++
+		case KindConst0:
+			val[comp.out[0]] = Tagged{0, NoPayload}
+		case KindConst1:
+			val[comp.out[0]] = Tagged{1, NoPayload}
+		case KindNot:
+			val[comp.out[0]] = Tagged{val[comp.in[0]].Bit ^ 1, NoPayload}
+		case KindAnd:
+			val[comp.out[0]] = Tagged{val[comp.in[0]].Bit & val[comp.in[1]].Bit, NoPayload}
+		case KindOr:
+			val[comp.out[0]] = Tagged{val[comp.in[0]].Bit | val[comp.in[1]].Bit, NoPayload}
+		case KindXor:
+			val[comp.out[0]] = Tagged{val[comp.in[0]].Bit ^ val[comp.in[1]].Bit, NoPayload}
+		case KindComparator:
+			a, b := val[comp.in[0]], val[comp.in[1]]
+			if a.Bit > b.Bit {
+				a, b = b, a
+			}
+			val[comp.out[0]], val[comp.out[1]] = a, b
+		case KindSwitch2x2:
+			ctrl := val[comp.in[0]].Bit
+			a, b := val[comp.in[1]], val[comp.in[2]]
+			if ctrl != 0 {
+				a, b = b, a
+			}
+			val[comp.out[0]], val[comp.out[1]] = a, b
+		case KindMux21:
+			if val[comp.in[0]].Bit == 0 {
+				val[comp.out[0]] = val[comp.in[1]]
+			} else {
+				val[comp.out[0]] = val[comp.in[2]]
+			}
+		case KindDemux12:
+			sel, a := val[comp.in[0]].Bit, val[comp.in[1]]
+			if sel == 0 {
+				val[comp.out[0]], val[comp.out[1]] = a, Tagged{0, NoPayload}
+			} else {
+				val[comp.out[0]], val[comp.out[1]] = Tagged{0, NoPayload}, a
+			}
+		case KindSwitch4x4:
+			sel := 2*val[comp.in[0]].Bit + val[comp.in[1]].Bit
+			p := comp.perms[sel]
+			for i := 0; i < 4; i++ {
+				val[comp.out[i]] = val[comp.in[2+int(p[i])]]
+			}
+		default:
+			panic(fmt.Sprintf("netlist: unknown kind %v", comp.kind))
+		}
+	}
+	out := make([]Tagged, len(c.outs))
+	for i, w := range c.outs {
+		out[i] = val[w]
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package netlist
+
+import (
+	"math/rand"
+	"testing"
+
+	"absort/internal/bitvec"
+)
+
+func tagUp(v bitvec.Vector) []Tagged {
+	in := make([]Tagged, len(v))
+	for i, b := range v {
+		in[i] = Tagged{Bit: uint8(b), Payload: int32(i)}
+	}
+	return in
+}
+
+// TestEvalTaggedMatchesEval: bits of the tagged evaluation equal the plain
+// evaluation on every component kind.
+func TestEvalTaggedMatchesEval(t *testing.T) {
+	b := NewBuilder("mixed")
+	in := b.Inputs(6)
+	lo, hi := b.Comparator(in[0], in[1])
+	s0, s1 := b.Switch(in[2], lo, hi)
+	m := b.Mux(in[3], s0, s1)
+	d0, d1 := b.Demux(in[4], m)
+	g := b.Or(b.And(d0, d1), b.Xor(b.Not(in[5]), d0))
+	b.SetOutputs([]Wire{s0, s1, m, d0, d1, g})
+	c := b.MustBuild()
+	bitvec.All(6, func(v bitvec.Vector) bool {
+		plain := c.Eval(v)
+		tagged := c.EvalTagged(tagUp(v))
+		for i := range plain {
+			if uint8(plain[i]) != tagged[i].Bit {
+				t.Errorf("input %s: output %d bit %d != tagged %d",
+					v, i, plain[i], tagged[i].Bit)
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// TestEvalTaggedComparatorRouting: comparators exchange payloads only when
+// strictly out of order.
+func TestEvalTaggedComparatorRouting(t *testing.T) {
+	b := NewBuilder("cmp")
+	in := b.Inputs(2)
+	lo, hi := b.Comparator(in[0], in[1])
+	b.SetOutputs([]Wire{lo, hi})
+	c := b.MustBuild()
+	cases := []struct {
+		bits       string
+		loPl, hiPl int32
+	}{
+		{"00", 0, 1}, // equal: pass through
+		{"11", 0, 1},
+		{"01", 0, 1}, // in order
+		{"10", 1, 0}, // exchange
+	}
+	for _, tc := range cases {
+		out := c.EvalTagged(tagUp(bitvec.MustFromString(tc.bits)))
+		if out[0].Payload != tc.loPl || out[1].Payload != tc.hiPl {
+			t.Errorf("%s: payloads (%d,%d), want (%d,%d)",
+				tc.bits, out[0].Payload, out[1].Payload, tc.loPl, tc.hiPl)
+		}
+	}
+}
+
+// TestEvalTaggedGatesSynthesize: logic-gate outputs carry NoPayload.
+func TestEvalTaggedGatesSynthesize(t *testing.T) {
+	b := NewBuilder("gate")
+	in := b.Inputs(2)
+	b.SetOutputs([]Wire{b.And(in[0], in[1]), b.Const(1)})
+	c := b.MustBuild()
+	out := c.EvalTagged(tagUp(bitvec.MustFromString("11")))
+	if out[0].Payload != NoPayload || out[1].Payload != NoPayload {
+		t.Errorf("synthesized outputs carry payloads: %+v", out)
+	}
+}
+
+// TestEvalTaggedSwitch4 routes payloads through configured quarter
+// permutations.
+func TestEvalTaggedSwitch4(t *testing.T) {
+	b := NewBuilder("sw4")
+	in := b.Inputs(6)
+	perms := [4]Perm4{{0, 1, 2, 3}, {3, 2, 1, 0}, {1, 0, 3, 2}, {2, 3, 0, 1}}
+	out := b.Switch4(in[0], in[1], [4]Wire{in[2], in[3], in[4], in[5]}, perms)
+	b.SetOutputs(out[:])
+	c := b.MustBuild()
+	rng := rand.New(rand.NewSource(197))
+	for sel := 0; sel < 4; sel++ {
+		v := bitvec.Random(rng, 6)
+		v[0], v[1] = bitvec.Bit(sel>>1), bitvec.Bit(sel&1)
+		got := c.EvalTagged(tagUp(v))
+		for i := 0; i < 4; i++ {
+			wantPayload := int32(2 + int(perms[sel][i]))
+			if got[i].Payload != wantPayload {
+				t.Errorf("sel=%d out=%d payload %d, want %d",
+					sel, i, got[i].Payload, wantPayload)
+			}
+		}
+	}
+}
+
+// TestEvalTaggedDemuxZeroSide: the unselected demux output is synthesized.
+func TestEvalTaggedDemuxZeroSide(t *testing.T) {
+	b := NewBuilder("dmx")
+	in := b.Inputs(2)
+	o0, o1 := b.Demux(in[0], in[1])
+	b.SetOutputs([]Wire{o0, o1})
+	c := b.MustBuild()
+	out := c.EvalTagged(tagUp(bitvec.MustFromString("01")))
+	if out[0].Payload != 1 || out[1].Payload != NoPayload {
+		t.Errorf("demux sel=0: %+v", out)
+	}
+	out = c.EvalTagged(tagUp(bitvec.MustFromString("11")))
+	if out[1].Payload != 1 || out[0].Payload != NoPayload {
+		t.Errorf("demux sel=1: %+v", out)
+	}
+}
+
+func TestEvalTaggedArityPanics(t *testing.T) {
+	b := NewBuilder("x")
+	w := b.Input()
+	b.SetOutputs([]Wire{w})
+	c := b.MustBuild()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EvalTagged arity mismatch did not panic")
+		}
+	}()
+	c.EvalTagged(make([]Tagged, 2))
+}

@@ -1,0 +1,247 @@
+package permnet
+
+import (
+	"sync"
+
+	"fmt"
+
+	"absort/internal/bitvec"
+	"absort/internal/cmpnet"
+	"absort/internal/concentrator"
+	"absort/internal/core"
+)
+
+// RadixPermuter is the permutation network of Fig. 10: at each level, a
+// binary sorter distributes the inputs to the upper and lower half-size
+// permuters by sorting the leading bits of the destination addresses, and
+// the construction recurses. Replacing the distributor and concentrators
+// of the radix permuter of [11] with the paper's binary sorters yields
+// O(n lg n) bit-level cost with the fish sorter (packet-switched) or
+// O(n lg² n) with the mux-merger sorter (circuit-switched), both with
+// O(lg³ n) bit-level permutation time (equations (26)–(27)).
+type RadixPermuter struct {
+	n      int
+	engine concentrator.Engine
+	k      int // fish group count at the top level
+}
+
+// NewRadixPermuter returns an n-input radix permuter whose distribution
+// stages use the given sorting engine. For the Fish engine, k is the
+// top-level group count; deeper levels scale k down as lg of the level
+// size. n must be a power of two.
+func NewRadixPermuter(n int, engine concentrator.Engine, k int) *RadixPermuter {
+	if !core.IsPow2(n) {
+		panic(fmt.Sprintf("permnet: NewRadixPermuter(%d)", n))
+	}
+	return &RadixPermuter{n: n, engine: engine, k: k}
+}
+
+// N returns the network width.
+func (r *RadixPermuter) N() int { return r.n }
+
+// Engine returns the distribution engine.
+func (r *RadixPermuter) Engine() concentrator.Engine { return r.engine }
+
+// fishK returns the group count used at a level of size s: the largest
+// power of two ≤ max(2, lg s), the paper's k = lg n choice rounded to the
+// model's power-of-two requirement.
+func fishK(s int) int {
+	lg := core.Lg(s)
+	k := 2
+	for k*2 <= lg {
+		k *= 2
+	}
+	if k > s {
+		k = s
+	}
+	return k
+}
+
+// Route computes the permutation realized by the network for the
+// assignment "input i goes to output dest[i]": it returns p with
+// out[j] = in[p[j]], so p is the inverse assignment. The routing is
+// self-routing: every switching decision is derived from destination
+// address bits flowing with the packets.
+func (r *RadixPermuter) Route(dest []int) ([]int, error) {
+	if len(dest) != r.n {
+		return nil, fmt.Errorf("permnet: Route with %d destinations, want %d",
+			len(dest), r.n)
+	}
+	if err := checkPerm(dest); err != nil {
+		return nil, err
+	}
+	idx := make([]int, r.n)
+	local := make([]int, r.n)
+	for i := range idx {
+		idx[i] = i
+		local[i] = dest[i]
+	}
+	r.routeLevel(idx, local)
+	return idx, nil
+}
+
+// routeLevel sorts the packets in idx by the leading bit of their local
+// destinations and recurses; local[j] is the destination of packet idx[j]
+// within the current window of size len(idx).
+func (r *RadixPermuter) routeLevel(idx, local []int) {
+	s := len(idx)
+	if s == 1 {
+		return
+	}
+	tags := make(bitvec.Vector, s)
+	for j, d := range local {
+		if d >= s/2 {
+			tags[j] = 1
+		}
+	}
+	var p []int
+	switch r.engine {
+	case concentrator.MuxMerger:
+		p = concentrator.RouteMuxMerger(tags)
+	case concentrator.PrefixAdder:
+		p = concentrator.RoutePrefix(tags)
+	case concentrator.Fish:
+		k := r.k
+		if s < r.n || k <= 0 {
+			k = fishK(s)
+		}
+		if s == 2 {
+			p = concentrator.RouteMuxMerger(tags)
+		} else {
+			p = concentrator.RouteFish(tags, k)
+		}
+	case concentrator.Ranking:
+		p = concentrator.RouteRanking(tags)
+	default:
+		panic(fmt.Sprintf("permnet: unknown engine %v", r.engine))
+	}
+	newIdx := make([]int, s)
+	newLocal := make([]int, s)
+	for j, x := range p {
+		newIdx[j] = idx[x]
+		newLocal[j] = local[x]
+	}
+	copy(idx, newIdx)
+	copy(local, newLocal)
+	for j := 0; j < s/2; j++ {
+		local[s/2+j] -= s / 2
+	}
+	r.routeLevel(idx[:s/2], local[:s/2])
+	r.routeLevel(idx[s/2:], local[s/2:])
+}
+
+// RouteBatcher routes a permutation by sorting destination addresses
+// word-level through Batcher's odd-even merge sorting network — the
+// O(n lg³ n) bit-level cost baseline of Table II. It returns p with
+// out[j] = in[p[j]].
+func RouteBatcher(dest []int) ([]int, error) {
+	n := len(dest)
+	if !core.IsPow2(n) {
+		return nil, fmt.Errorf("permnet: Batcher width %d not a power of two", n)
+	}
+	if err := checkPerm(dest); err != nil {
+		return nil, err
+	}
+	type pkt struct{ d, idx int }
+	in := make([]pkt, n)
+	for i, d := range dest {
+		in[i] = pkt{d: d, idx: i}
+	}
+	nw := cmpnet.OddEvenMergeSort(n)
+	out := cmpnet.Apply(nw, in, func(a, b pkt) bool { return a.d < b.d })
+	p := make([]int, n)
+	for j, x := range out {
+		p[j] = x.idx
+	}
+	return p, nil
+}
+
+// VerifyRouting checks that permutation p (out[j] = in[p[j]]) realizes the
+// assignment dest: for every input i, out[dest[i]] == in[i].
+func VerifyRouting(dest, p []int) bool {
+	if len(dest) != len(p) {
+		return false
+	}
+	for j, i := range p {
+		if dest[i] != j {
+			return false
+		}
+	}
+	return true
+}
+
+// RouteParallel is Route with the two independent half-size recursions of
+// each level dispatched to goroutines down to a size cutoff, exploiting
+// the radix permuter's natural parallel structure. Results are identical
+// to Route.
+func (r *RadixPermuter) RouteParallel(dest []int) ([]int, error) {
+	if len(dest) != r.n {
+		return nil, fmt.Errorf("permnet: RouteParallel with %d destinations, want %d",
+			len(dest), r.n)
+	}
+	if err := checkPerm(dest); err != nil {
+		return nil, err
+	}
+	idx := make([]int, r.n)
+	local := make([]int, r.n)
+	for i := range idx {
+		idx[i] = i
+		local[i] = dest[i]
+	}
+	r.routeLevelParallel(idx, local)
+	return idx, nil
+}
+
+// parallelCutoff is the level size below which recursion stays on the
+// caller's goroutine.
+const parallelCutoff = 64
+
+func (r *RadixPermuter) routeLevelParallel(idx, local []int) {
+	s := len(idx)
+	if s <= parallelCutoff {
+		r.routeLevel(idx, local)
+		return
+	}
+	tags := make(bitvec.Vector, s)
+	for j, d := range local {
+		if d >= s/2 {
+			tags[j] = 1
+		}
+	}
+	var p []int
+	switch r.engine {
+	case concentrator.MuxMerger:
+		p = concentrator.RouteMuxMerger(tags)
+	case concentrator.PrefixAdder:
+		p = concentrator.RoutePrefix(tags)
+	case concentrator.Fish:
+		k := r.k
+		if s < r.n || k <= 0 {
+			k = fishK(s)
+		}
+		p = concentrator.RouteFish(tags, k)
+	case concentrator.Ranking:
+		p = concentrator.RouteRanking(tags)
+	default:
+		panic(fmt.Sprintf("permnet: unknown engine %v", r.engine))
+	}
+	newIdx := make([]int, s)
+	newLocal := make([]int, s)
+	for j, x := range p {
+		newIdx[j] = idx[x]
+		newLocal[j] = local[x]
+	}
+	copy(idx, newIdx)
+	copy(local, newLocal)
+	for j := 0; j < s/2; j++ {
+		local[s/2+j] -= s / 2
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r.routeLevelParallel(idx[:s/2], local[:s/2])
+	}()
+	r.routeLevelParallel(idx[s/2:], local[s/2:])
+	wg.Wait()
+}

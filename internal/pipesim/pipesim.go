@@ -1,0 +1,79 @@
+// Package pipesim is a small discrete-event simulator for pipelined
+// hardware schedules: each Block is a resource with a fixed latency (its
+// unit depth) and an initiation interval of one unit delay — a new job may
+// enter one delay after the previous one entered, the pipelining
+// assumption of Section III-C ("the sorting network is viewed as a
+// lg²(n/k) segment pipeline, where each segment is a constant fanin, unit
+// delay circuit").
+//
+// It is used to validate the fish sorter's pipelined sorting-time formula
+// (equations (25)–(26)) against an explicit schedule of the clocked
+// machine's real netlist depths.
+package pipesim
+
+import "fmt"
+
+// Block is a pipelined resource.
+type Block struct {
+	name      string
+	latency   int
+	lastStart int // start time of the most recent job; -1 initially
+	jobs      int
+}
+
+// NewBlock returns a pipelined block with the given latency in unit
+// delays.
+func NewBlock(name string, latency int) *Block {
+	if latency < 0 {
+		panic(fmt.Sprintf("pipesim: block %q with negative latency", name))
+	}
+	return &Block{name: name, latency: latency, lastStart: -1}
+}
+
+// Name returns the block's name; Latency its configured latency.
+func (b *Block) Name() string { return b.name }
+
+// Latency returns the block's configured latency.
+func (b *Block) Latency() int { return b.latency }
+
+// Jobs returns how many jobs have entered the block.
+func (b *Block) Jobs() int { return b.jobs }
+
+// Sim accumulates a schedule and its makespan.
+type Sim struct {
+	makespan int
+}
+
+// Run schedules one job on block b whose inputs are ready at time ready,
+// and returns its completion time. The job enters at
+// max(ready, lastStart+1) — the block accepts one new job per unit delay —
+// and completes latency units later.
+func (s *Sim) Run(b *Block, ready int) int {
+	if ready < 0 {
+		panic("pipesim: negative ready time")
+	}
+	start := ready
+	if b.lastStart >= 0 && b.lastStart+1 > start {
+		start = b.lastStart + 1
+	}
+	b.lastStart = start
+	b.jobs++
+	done := start + b.latency
+	if done > s.makespan {
+		s.makespan = done
+	}
+	return done
+}
+
+// RunSequence schedules a job through a chain of blocks (the output of one
+// feeding the next) and returns the final completion time.
+func (s *Sim) RunSequence(ready int, blocks ...*Block) int {
+	t := ready
+	for _, b := range blocks {
+		t = s.Run(b, t)
+	}
+	return t
+}
+
+// Makespan returns the completion time of the latest job scheduled so far.
+func (s *Sim) Makespan() int { return s.makespan }

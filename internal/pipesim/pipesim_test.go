@@ -1,0 +1,53 @@
+package pipesim
+
+import "testing"
+
+// TestPipesimSemantics checks the simulator primitives directly.
+func TestPipesimSemantics(t *testing.T) {
+	sim := &Sim{}
+	b := NewBlock("b", 5)
+	if b.Name() != "b" || b.Latency() != 5 {
+		t.Error("accessors")
+	}
+	// First job: enters at 0, done at 5.
+	if done := sim.Run(b, 0); done != 5 {
+		t.Errorf("first job done at %d", done)
+	}
+	// Second job ready at 0 enters at 1 (initiation interval 1).
+	if done := sim.Run(b, 0); done != 6 {
+		t.Errorf("second job done at %d", done)
+	}
+	// Third job ready at 10 enters at 10.
+	if done := sim.Run(b, 10); done != 15 {
+		t.Errorf("third job done at %d", done)
+	}
+	if b.Jobs() != 3 {
+		t.Errorf("jobs = %d", b.Jobs())
+	}
+	if sim.Makespan() != 15 {
+		t.Errorf("makespan = %d", sim.Makespan())
+	}
+	// Chained sequence: b enters at 11 (lastStart 10 + 1), done 16; c
+	// enters at 16, done 18.
+	c := NewBlock("c", 2)
+	if done := sim.RunSequence(0, b, c); done != 18 {
+		t.Errorf("sequence done at %d, want 18", done)
+	}
+}
+
+// TestPipesimPanics covers validation.
+func TestPipesimPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("negative latency", func() { NewBlock("x", -1) })
+	mustPanic("negative ready", func() {
+		sim := &Sim{}
+		sim.Run(NewBlock("x", 1), -3)
+	})
+}

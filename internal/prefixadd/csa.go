@@ -1,0 +1,58 @@
+package prefixadd
+
+import "absort/internal/netlist"
+
+// BuildCSA appends a carry-save adder (3:2 compressor per bit) reducing
+// three numbers to two whose sum is unchanged: sum_i = x_i ^ y_i ^ z_i and
+// carry_{i+1} = majority(x_i, y_i, z_i). Cost O(w), depth 2.
+func BuildCSA(b *netlist.Builder, x, y, z []netlist.Wire) (sum, carry []netlist.Wire) {
+	w := max(len(x), max(len(y), len(z)))
+	x, y, z = pad(b, x, w), pad(b, y, w), pad(b, z, w)
+	sum = make([]netlist.Wire, w)
+	carry = make([]netlist.Wire, w+1)
+	carry[0] = b.Const(0)
+	for i := 0; i < w; i++ {
+		xy := b.Xor(x[i], y[i])
+		sum[i] = b.Xor(xy, z[i])
+		// majority = (x AND y) OR (z AND (x XOR y))
+		carry[i+1] = b.Or(b.And(x[i], y[i]), b.And(z[i], xy))
+	}
+	return sum, carry
+}
+
+// BuildPopCountCSA appends a ones counter built as a carry-save adder
+// tree: the n input bits, treated as n one-bit numbers, are compressed
+// 3-to-2 until two numbers remain, which a parallel-prefix adder combines.
+// This is the classical O(n)-cost, O(lg n)-depth counter used by the
+// Boolean sorting circuits of Muller–Preparata [17] and Wegener [26] that
+// Section I contrasts the paper's networks with.
+func BuildPopCountCSA(b *netlist.Builder, in []netlist.Wire) []netlist.Wire {
+	n := len(in)
+	if n == 0 {
+		panic("prefixadd: BuildPopCountCSA of no inputs")
+	}
+	nums := make([][]netlist.Wire, n)
+	for i, w := range in {
+		nums[i] = []netlist.Wire{w}
+	}
+	for len(nums) > 2 {
+		var next [][]netlist.Wire
+		i := 0
+		for ; i+2 < len(nums); i += 3 {
+			s, c := BuildCSA(b, nums[i], nums[i+1], nums[i+2])
+			next = append(next, s, c)
+		}
+		next = append(next, nums[i:]...)
+		nums = next
+	}
+	var out []netlist.Wire
+	if len(nums) == 1 {
+		out = nums[0]
+	} else {
+		out = BuildPrefixAdd(b, nums[0], nums[1])
+	}
+	if w := Width(n); len(out) > w {
+		out = out[:w]
+	}
+	return pad(b, out, Width(n))
+}

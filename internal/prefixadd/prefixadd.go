@@ -1,0 +1,205 @@
+// Package prefixadd implements the adder circuitry used by the prefix
+// binary sorter of Section III-A: binary adders (a ripple-carry baseline
+// and a parallel-prefix adder in the Brent–Kung style, the "lg n-bit prefix
+// adder" whose cost and depth the paper quotes as 3 lg n and 2 lg lg n from
+// [5]), and a ones-counter tree that "recursively adds the numbers of 1's
+// in the two half-size input sequences".
+//
+// Multi-bit numbers are represented as little-endian wire or bit slices:
+// element 0 is the least significant bit.
+package prefixadd
+
+import (
+	"fmt"
+
+	"absort/internal/bitvec"
+	"absort/internal/netlist"
+)
+
+// ToBits returns the w-bit little-endian encoding of x.
+func ToBits(x, w int) []bitvec.Bit {
+	out := make([]bitvec.Bit, w)
+	for i := 0; i < w; i++ {
+		out[i] = bitvec.Bit((x >> uint(i)) & 1)
+	}
+	return out
+}
+
+// FromBits decodes a little-endian bit slice into an integer.
+func FromBits(bits []bitvec.Bit) int {
+	x := 0
+	for i, b := range bits {
+		x |= int(b&1) << uint(i)
+	}
+	return x
+}
+
+// Width returns the number of bits needed to represent values 0..n
+// inclusive (e.g. Width(16) = 5, enough for a count of ones of a 16-bit
+// vector).
+func Width(n int) int {
+	w := 1
+	for 1<<uint(w)-1 < n {
+		w++
+	}
+	return w
+}
+
+// pad extends x to width w with constant-0 wires.
+func pad(b *netlist.Builder, x []netlist.Wire, w int) []netlist.Wire {
+	for len(x) < w {
+		x = append(x, b.Const(0))
+	}
+	return x
+}
+
+// BuildRippleAdd appends a ripple-carry adder for x+y to b and returns the
+// sum, one bit wider than the wider operand. Cost O(w), depth O(w).
+func BuildRippleAdd(b *netlist.Builder, x, y []netlist.Wire) []netlist.Wire {
+	w := max(len(x), len(y))
+	if w == 0 {
+		panic("prefixadd: BuildRippleAdd of empty operands")
+	}
+	x, y = pad(b, x, w), pad(b, y, w)
+	out := make([]netlist.Wire, w+1)
+	var carry netlist.Wire = -1
+	for i := 0; i < w; i++ {
+		axb := b.Xor(x[i], y[i])
+		if carry < 0 {
+			out[i] = axb
+			carry = b.And(x[i], y[i])
+			continue
+		}
+		out[i] = b.Xor(axb, carry)
+		carry = b.Or(b.And(x[i], y[i]), b.And(axb, carry))
+	}
+	out[w] = carry
+	return out
+}
+
+// BuildPrefixAdd appends a Brent–Kung parallel-prefix adder for x+y to b
+// and returns the sum, one bit wider than the wider operand. Cost O(w),
+// depth O(lg w) — the linear-cost, logarithmic-depth prefix adder the paper
+// relies on for its 3 lg n / 2 lg lg n figures.
+func BuildPrefixAdd(b *netlist.Builder, x, y []netlist.Wire) []netlist.Wire {
+	w0 := max(len(x), len(y))
+	if w0 == 0 {
+		panic("prefixadd: BuildPrefixAdd of empty operands")
+	}
+	// Round the width up to a power of two for the prefix tree; the extra
+	// positions are constant zeros and add no unit depth on real paths.
+	w := 1
+	for w < w0 {
+		w <<= 1
+	}
+	x, y = pad(b, x, w), pad(b, y, w)
+
+	p := make([]netlist.Wire, w) // propagate, preserved for the sum bits
+	sg := make([]netlist.Wire, w)
+	sp := make([]netlist.Wire, w)
+	for i := 0; i < w; i++ {
+		p[i] = b.Xor(x[i], y[i])
+		sg[i] = b.And(x[i], y[i])
+		sp[i] = p[i]
+	}
+	// Up-sweep.
+	for d := 1; d < w; d <<= 1 {
+		for i := 2*d - 1; i < w; i += 2 * d {
+			sg[i] = b.Or(sg[i], b.And(sp[i], sg[i-d]))
+			sp[i] = b.And(sp[i], sp[i-d])
+		}
+	}
+	// Down-sweep: after it, sg[i] is the carry out of bit i.
+	for d := w >> 2; d >= 1; d >>= 1 {
+		for i := 3*d - 1; i < w; i += 2 * d {
+			sg[i] = b.Or(sg[i], b.And(sp[i], sg[i-d]))
+			sp[i] = b.And(sp[i], sp[i-d])
+		}
+	}
+	out := make([]netlist.Wire, w0+1)
+	out[0] = p[0]
+	for i := 1; i < w0; i++ {
+		out[i] = b.Xor(p[i], sg[i-1])
+	}
+	out[w0] = sg[w0-1]
+	return out
+}
+
+// Adder selects the adder construction used inside composite circuits.
+type Adder int
+
+// Adder kinds.
+const (
+	Ripple Adder = iota // ripple-carry: O(w) cost, O(w) depth
+	Prefix              // Brent–Kung prefix: O(w) cost, O(lg w) depth
+)
+
+func (a Adder) String() string {
+	switch a {
+	case Ripple:
+		return "ripple"
+	case Prefix:
+		return "prefix"
+	}
+	return fmt.Sprintf("Adder(%d)", int(a))
+}
+
+// Build appends the selected adder for x+y.
+func (a Adder) Build(b *netlist.Builder, x, y []netlist.Wire) []netlist.Wire {
+	switch a {
+	case Ripple:
+		return BuildRippleAdd(b, x, y)
+	case Prefix:
+		return BuildPrefixAdd(b, x, y)
+	}
+	panic(fmt.Sprintf("prefixadd: unknown adder %d", int(a)))
+}
+
+// BuildPopCount appends a ones-counter for the n input wires: a balanced
+// tree that recursively adds the counts of the two halves, exactly the
+// scheme of Fig. 5's prefix-adder column. The result is the little-endian
+// count, Width(n) bits wide. Cost O(n); depth O(lg n · lg lg n) with the
+// prefix adder.
+func BuildPopCount(b *netlist.Builder, in []netlist.Wire, adder Adder) []netlist.Wire {
+	n := len(in)
+	if n == 0 {
+		panic("prefixadd: BuildPopCount of no inputs")
+	}
+	if n == 1 {
+		return []netlist.Wire{in[0]}
+	}
+	h := n / 2
+	lo := BuildPopCount(b, in[:h], adder)
+	hi := BuildPopCount(b, in[h:], adder)
+	sum := adder.Build(b, lo, hi)
+	// Trim to the width actually needed for values 0..n.
+	if w := Width(n); len(sum) > w {
+		sum = sum[:w]
+	}
+	return sum
+}
+
+// PopCountCircuit builds a standalone n-input ones counter.
+func PopCountCircuit(n int, adder Adder) *netlist.Circuit {
+	b := netlist.NewBuilder(fmt.Sprintf("popcount-%d-%s", n, adder))
+	in := b.Inputs(n)
+	b.SetOutputs(BuildPopCount(b, in, adder))
+	return b.MustBuild()
+}
+
+// AdderCircuit builds a standalone w-bit adder: inputs are the little-endian
+// bits of x followed by those of y; outputs are the w+1 sum bits.
+func AdderCircuit(w int, adder Adder) *netlist.Circuit {
+	b := netlist.NewBuilder(fmt.Sprintf("adder-%d-%s", w, adder))
+	x := b.Inputs(w)
+	y := b.Inputs(w)
+	b.SetOutputs(adder.Build(b, x, y))
+	return b.MustBuild()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,231 @@
+package prefixadd
+
+import (
+	"math/rand"
+	"testing"
+
+	"absort/internal/bitvec"
+	"absort/internal/netlist"
+)
+
+func TestToFromBits(t *testing.T) {
+	for x := 0; x < 64; x++ {
+		if got := FromBits(ToBits(x, 8)); got != x {
+			t.Fatalf("round trip %d -> %d", x, got)
+		}
+	}
+	if FromBits(nil) != 0 {
+		t.Error("FromBits(nil) != 0")
+	}
+}
+
+func TestWidth(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 2, 4: 3, 7: 3, 8: 4, 15: 4, 16: 5, 1024: 11}
+	for n, w := range cases {
+		if got := Width(n); got != w {
+			t.Errorf("Width(%d) = %d, want %d", n, got, w)
+		}
+	}
+}
+
+// TestAddersExhaustive checks both adders on every pair of w-bit operands
+// for w up to 5.
+func TestAddersExhaustive(t *testing.T) {
+	for _, adder := range []Adder{Ripple, Prefix} {
+		for w := 1; w <= 5; w++ {
+			c := AdderCircuit(w, adder)
+			for x := 0; x < 1<<uint(w); x++ {
+				for y := 0; y < 1<<uint(w); y++ {
+					in := append(bitvec.Vector(ToBits(x, w)), ToBits(y, w)...)
+					got := FromBits(c.Eval(in))
+					if got != x+y {
+						t.Fatalf("%s w=%d: %d+%d = %d", adder, w, x, y, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAddersRandomWide checks both adders on random wide operands.
+func TestAddersRandomWide(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, adder := range []Adder{Ripple, Prefix} {
+		for _, w := range []int{6, 9, 16, 20} {
+			c := AdderCircuit(w, adder)
+			for i := 0; i < 200; i++ {
+				x := rng.Intn(1 << uint(w))
+				y := rng.Intn(1 << uint(w))
+				in := append(bitvec.Vector(ToBits(x, w)), ToBits(y, w)...)
+				if got := FromBits(c.Eval(in)); got != x+y {
+					t.Fatalf("%s w=%d: %d+%d = %d", adder, w, x, y, got)
+				}
+			}
+		}
+	}
+}
+
+// TestPrefixAdderDepth checks the headline property: logarithmic depth for
+// the prefix adder vs linear for ripple, with linear cost for both.
+func TestPrefixAdderDepth(t *testing.T) {
+	for _, w := range []int{4, 8, 16, 32} {
+		rip := AdderCircuit(w, Ripple).Stats()
+		pre := AdderCircuit(w, Prefix).Stats()
+		lg := 0
+		for 1<<uint(lg) < w {
+			lg++
+		}
+		// A Brent–Kung combine node is two gate levels (AND then OR), so the
+		// 2 lg w combine-node depth of [5] is 4 lg w + O(1) in unit depth.
+		if pre.UnitDepth > 4*lg+4 {
+			t.Errorf("w=%d: prefix adder depth %d > 4 lg w + 4 = %d", w, pre.UnitDepth, 4*lg+4)
+		}
+		if rip.UnitDepth < w {
+			t.Errorf("w=%d: ripple adder depth %d suspiciously low", w, rip.UnitDepth)
+		}
+		if pre.UnitCost > 10*w {
+			t.Errorf("w=%d: prefix adder cost %d not linear (> 10w)", w, pre.UnitCost)
+		}
+		if w >= 16 && pre.UnitDepth >= rip.UnitDepth {
+			t.Errorf("w=%d: prefix depth %d not better than ripple %d",
+				w, pre.UnitDepth, rip.UnitDepth)
+		}
+	}
+}
+
+// TestPopCountExhaustive verifies the ones counter on every input for
+// n ≤ 10, both adders.
+func TestPopCountExhaustive(t *testing.T) {
+	for _, adder := range []Adder{Ripple, Prefix} {
+		for _, n := range []int{1, 2, 3, 5, 8, 10} {
+			c := PopCountCircuit(n, adder)
+			bitvec.All(n, func(v bitvec.Vector) bool {
+				if got := FromBits(c.Eval(v)); got != v.Ones() {
+					t.Errorf("%s popcount(%s) = %d, want %d", adder, v, got, v.Ones())
+					return false
+				}
+				return true
+			})
+		}
+	}
+}
+
+// TestPopCountRandomWide verifies large counters and their linear cost.
+func TestPopCountRandomWide(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for _, n := range []int{64, 256, 1024} {
+		c := PopCountCircuit(n, Prefix)
+		for i := 0; i < 30; i++ {
+			v := bitvec.Random(rng, n)
+			if got := FromBits(c.Eval(v)); got != v.Ones() {
+				t.Fatalf("popcount(n=%d) = %d, want %d", n, got, v.Ones())
+			}
+		}
+		if s := c.Stats(); s.UnitCost > 16*n {
+			t.Errorf("n=%d: popcount cost %d not linear", n, s.UnitCost)
+		}
+	}
+}
+
+// TestPopCountOutputWidth checks the counter output is Width(n) bits and
+// handles the all-ones input (count = n, the only value needing the top
+// bit for power-of-two n).
+func TestPopCountOutputWidth(t *testing.T) {
+	for _, n := range []int{2, 4, 16, 32} {
+		c := PopCountCircuit(n, Prefix)
+		if c.NumOutputs() != Width(n) {
+			t.Errorf("n=%d: %d output bits, want %d", n, c.NumOutputs(), Width(n))
+		}
+		ones := make(bitvec.Vector, n)
+		for i := range ones {
+			ones[i] = 1
+		}
+		if got := FromBits(c.Eval(ones)); got != n {
+			t.Errorf("n=%d: popcount(all ones) = %d", n, got)
+		}
+	}
+}
+
+func TestAdderString(t *testing.T) {
+	if Ripple.String() != "ripple" || Prefix.String() != "prefix" {
+		t.Error("Adder.String misnamed")
+	}
+	if Adder(9).String() == "" {
+		t.Error("unknown adder string empty")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("unknown adder", func() { AdderCircuit(4, Adder(7)) })
+	mustPanic("popcount empty", func() { PopCountCircuit(0, Ripple) })
+}
+
+// TestPopCountCSAExhaustive verifies the carry-save counter on every input
+// for small n and random wide inputs.
+func TestPopCountCSAExhaustive(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7, 9, 16} {
+		b := newCSACounter(n)
+		bitvec.All(n, func(v bitvec.Vector) bool {
+			if got := FromBits(b.Eval(v)); got != v.Ones() {
+				t.Errorf("n=%d: CSA popcount(%s) = %d, want %d", n, v, got, v.Ones())
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// TestPopCountCSALinearCostLogDepth: O(n) cost, O(lg n) depth — the
+// property the Boolean sorting circuits of [17], [26] rely on, which the
+// prefix-adder tree (O(lg n lg lg n) depth) does not deliver.
+func TestPopCountCSALinearCostLogDepth(t *testing.T) {
+	for _, n := range []int{64, 256, 1024, 4096} {
+		st := newCSACounter(n).Stats()
+		lg := 0
+		for 1<<uint(lg) < n {
+			lg++
+		}
+		if st.UnitCost > 16*n {
+			t.Errorf("n=%d: CSA counter cost %d not O(n)", n, st.UnitCost)
+		}
+		if st.UnitDepth > 4*lg+16 {
+			t.Errorf("n=%d: CSA counter depth %d not O(lg n)", n, st.UnitDepth)
+		}
+	}
+}
+
+// TestPopCountCSARandom matches the tree counter on random inputs.
+func TestPopCountCSARandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(193))
+	c := newCSACounter(512)
+	for i := 0; i < 50; i++ {
+		v := bitvec.Random(rng, 512)
+		if got := FromBits(c.Eval(v)); got != v.Ones() {
+			t.Fatalf("CSA popcount = %d, want %d", got, v.Ones())
+		}
+	}
+}
+
+func newCSACounter(n int) *netlist.Circuit {
+	b := netlist.NewBuilder("csa-popcount")
+	in := b.Inputs(n)
+	b.SetOutputs(BuildPopCountCSA(b, in))
+	return b.MustBuild()
+}
+
+func TestCSAPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BuildPopCountCSA(empty) did not panic")
+		}
+	}()
+	newCSACounter(0)
+}

@@ -1,0 +1,406 @@
+package report
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"absort/internal/analysis"
+	"absort/internal/bitvec"
+	"absort/internal/boolsort"
+	"absort/internal/cmpnet"
+	"absort/internal/columnsort"
+	"absort/internal/concentrator"
+	"absort/internal/core"
+	"absort/internal/fault"
+	"absort/internal/fishhw"
+	"absort/internal/muxnet"
+	"absort/internal/netlist"
+	"absort/internal/permnet"
+	"absort/internal/prefixadd"
+	"absort/internal/swapper"
+	"absort/internal/trace"
+	"absort/internal/wordsort"
+)
+
+func init() {
+	register("fig1", "four-input sorting network", fig1)
+	register("fig2", "two-way and four-way swappers", fig2)
+	register("fig3", "multiplexers and demultiplexers", fig3)
+	register("fig4", "odd-even merge sorting networks", fig4)
+	register("fig5", "Network 1: prefix binary sorter", fig5)
+	register("table1", "behavior of the mux-merger", table1)
+	register("fig6", "Network 2: mux-merger binary sorter", fig6)
+	register("fig7", "Network 3: fish binary sorter", fig7)
+	register("fig8", "16-input 4-way mux-merger walkthrough", fig8)
+	register("fig9", "8-input 4-way clean sorter walkthrough", fig9)
+	register("fig10", "radix permutation network", fig10)
+	register("table2", "permutation-network comparison", table2)
+	register("columnsort", "time-multiplexed columnsort comparison", columnsortExp)
+	register("aks", "AKS crossover model", aks)
+	register("modelb", "clocked gate-level fish machine (Network Model B)", modelB)
+	register("boolsort", "non-carrying Boolean sorting circuit [17],[26]", boolsortExp)
+	register("wordsort", "word sorting as binary sorting steps (§I)", wordsortExp)
+	register("faults", "robustness and fault coverage ([24])", faults)
+	register("recurrences", "audit of the paper's recurrences", recurrences)
+	register("scaling", "cost/depth/time scaling series", scaling)
+}
+
+func fig1() Report {
+	nw := cmpnet.Fig1()
+	t := Table{Columns: []string{"cost", "depth", "sorts all binary"}}
+	t.AddRow(nw.Cost(), nw.Depth(), nw.SortsAllBinary())
+	return Report{ID: "fig1", Title: "Fig. 1", Tables: []Table{t},
+		Text: nw.Diagram()}
+}
+
+func fig2() Report {
+	t := Table{Columns: []string{"swapper", "n", "unit cost", "unit depth", "paper cost", "paper depth"}}
+	for _, n := range []int{8, 16, 64, 256} {
+		s := swapper.TwoWayCircuit(n).Stats()
+		t.AddRow("two-way", n, s.UnitCost, s.UnitDepth, n/2, 1)
+		f := swapper.FourWayCircuit(n, swapper.INSwap).Stats()
+		t.AddRow("four-way", n, f.UnitCost, f.UnitDepth, n, 1)
+	}
+	return Report{ID: "fig2", Title: "Fig. 2", Tables: []Table{t}}
+}
+
+func fig3() Report {
+	t := Table{Columns: []string{"block", "(n,k)", "unit cost", "unit depth", "paper cost", "paper depth lg(n/k)"}}
+	for _, tc := range []struct{ n, k int }{{16, 4}, {64, 8}, {256, 16}} {
+		m := muxnet.MuxNKCircuit(tc.n, tc.k).Stats()
+		d := muxnet.DemuxKNCircuit(tc.k, tc.n).Stats()
+		lg := core.Lg(tc.n / tc.k)
+		t.AddRow("mux", fmt.Sprintf("(%d,%d)", tc.n, tc.k), m.UnitCost, m.UnitDepth,
+			fmt.Sprintf("≤%d", tc.n), lg)
+		t.AddRow("demux", fmt.Sprintf("(%d,%d)", tc.k, tc.n), d.UnitCost, d.UnitDepth,
+			fmt.Sprintf("≤%d", tc.n), lg)
+	}
+	return Report{ID: "fig3", Title: "Fig. 3", Tables: []Table{t}}
+}
+
+func fig4() Report {
+	n := 16
+	t := Table{Columns: []string{"network", "n", "cost", "depth", "sorts all binary"}}
+	a := cmpnet.OddEvenMergeSort(n)
+	b := cmpnet.AlternativeOEMSort(n)
+	c := cmpnet.Fig4b(n)
+	t.AddRow("Batcher OEM (Fig. 4a)", n, a.Cost(), a.Depth(), a.SortsAllBinary())
+	t.AddRow("alternative OEM", n, b.Cost(), b.Depth(), b.SortsAllBinary())
+	t.AddRow("Fig. 4b (with redundant stage)", n, c.Cost(), c.Depth(), c.SortsAllBinary())
+	t.Note("redundancy check: Fig. 4b cost − alternative cost = %d (= n/2)",
+		c.Cost()-b.Cost())
+	return Report{ID: "fig4", Title: "Fig. 4", Tables: []Table{t}}
+}
+
+func fig5() Report {
+	t := Table{Columns: []string{"n", "unit cost", "3n lg n", "unit depth",
+		"3lg²n+2lg n lglg n", "gate cost", "gate depth"}}
+	for _, n := range []int{4, 16, 64, 256, 1024, 4096} {
+		st := core.NewPrefixSorter(n, prefixadd.Prefix).Circuit().Stats()
+		t.AddRow(n, st.UnitCost, fmt.Sprintf("%.0f", analysis.PrefixSorterCostFormula(n)),
+			st.UnitDepth, fmt.Sprintf("%.0f", analysis.PrefixSorterDepthFormula(n)),
+			st.GateCost, st.GateDepth)
+	}
+	return Report{ID: "fig5", Title: "Fig. 5", Tables: []Table{t}}
+}
+
+func table1() Report {
+	t := Table{
+		Title:   "Behavior of the mux-merger (Table I)",
+		Columns: []string{"select", "pattern", "IN-SWAP arrangement", "OUT-SWAP arrangement"},
+	}
+	t.AddRow("00", "Xq1,Xq3 all 0s; Xq2*Xq4 bisorted", "(q1,q4,q2,q3)", "(A,D,B,C)")
+	t.AddRow("01", "Xq1 all 0s, Xq4 all 1s; Xq2*Xq3 bisorted", "(q1,q2,q3,q4)", "identity")
+	t.AddRow("10", "Xq2 all 1s, Xq3 all 0s; Xq1*Xq4 bisorted", "(q3,q4,q1,q2)", "identity")
+	t.AddRow("11", "Xq2,Xq4 all 1s; Xq1*Xq3 bisorted", "(q2,q1,q3,q4)", "(B,C,A,D)")
+	ok := true
+	bitvec.AllBisorted(16, func(v bitvec.Vector) bool {
+		if !core.MuxMerge(v).Equal(v.Sorted()) {
+			ok = false
+			return false
+		}
+		return true
+	})
+	t.Note("exhaustive 16-input verification over all bisorted inputs: %v", ok)
+	return Report{ID: "table1", Title: "Table I", Tables: []Table{t}}
+}
+
+func fig6() Report {
+	t := Table{Columns: []string{"n", "unit cost", "4n lg n", "unit depth", "lg²n",
+		"gate cost", "gate depth"}}
+	for _, n := range []int{4, 16, 64, 256, 1024, 4096} {
+		st := core.NewMuxMergerSorter(n).Circuit().Stats()
+		t.AddRow(n, st.UnitCost, fmt.Sprintf("%.0f", analysis.MuxMergerCostFormula(n)),
+			st.UnitDepth, fmt.Sprintf("%.0f", analysis.MuxMergerDepthFormula(n)),
+			st.GateCost, st.GateDepth)
+	}
+	return Report{ID: "fig6", Title: "Fig. 6", Tables: []Table{t}}
+}
+
+func fig7() Report {
+	t := Table{Columns: []string{"n", "k", "cost total", "17n", "depth",
+		"time unpiped", "lg³n", "time piped", "2lg²n", "registers"}}
+	for _, n := range []int{16, 256, 4096, 65536} {
+		k := analysis.KForSize(n)
+		f := core.NewFishSorter(n, k)
+		c := f.Cost()
+		t.AddRow(n, k, c.Total(), 17*n, f.Depth(),
+			f.SortingTime(false).Total(), fmt.Sprintf("%.0f", analysis.FishTimeUnpipelinedFormula(n)),
+			f.SortingTime(true).Total(), fmt.Sprintf("%.0f", analysis.FishTimePipelinedFormula(n)),
+			c.Registers)
+	}
+	sweep := Table{
+		Title:   "k-sweep at n=4096 (ablation)",
+		Columns: []string{"k", "cost", "unpipelined time", "pipelined time"},
+	}
+	for k := 2; k <= 4096; k *= 4 {
+		f := core.NewFishSorter(4096, k)
+		sweep.AddRow(k, f.Cost().Total(),
+			f.SortingTime(false).Total(), f.SortingTime(true).Total())
+	}
+	return Report{ID: "fig7", Title: "Fig. 7", Tables: []Table{t, sweep}}
+}
+
+func fig8() Report {
+	var sb strings.Builder
+	if _, err := trace.RenderKWayMerge(&sb, trace.Fig8Input(), 4); err != nil {
+		sb.WriteString("error: " + err.Error())
+	}
+	return Report{ID: "fig8", Title: "Fig. 8", Text: sb.String()}
+}
+
+func fig9() Report {
+	var sb strings.Builder
+	if _, err := trace.RenderCleanSorter(&sb, trace.Fig9Input(), 4); err != nil {
+		sb.WriteString("error: " + err.Error())
+	}
+	return Report{ID: "fig9", Title: "Fig. 9", Text: sb.String()}
+}
+
+func fig10() Report {
+	rng := rand.New(rand.NewSource(1))
+	t := Table{Columns: []string{"n", "engine", "cost", "time", "routed ok"}}
+	for _, n := range []int{64, 256, 1024} {
+		for _, eng := range []concentrator.Engine{concentrator.Fish, concentrator.MuxMerger} {
+			rp := permnet.NewRadixPermuter(n, eng, 0)
+			dest := rng.Perm(n)
+			p, err := rp.Route(dest)
+			ok := err == nil && permnet.VerifyRouting(dest, p)
+			kind := analysis.RadixFish
+			if eng == concentrator.MuxMerger {
+				kind = analysis.RadixMuxMerger
+			}
+			t.AddRow(n, eng, analysis.RadixPermuterCost(n, kind),
+				analysis.RadixPermuterTime(n, kind), ok)
+		}
+	}
+	return Report{ID: "fig10", Title: "Fig. 10", Tables: []Table{t}}
+}
+
+func table2() Report {
+	var tables []Table
+	for _, n := range []int{256, 4096} {
+		t := Table{
+			Title: fmt.Sprintf("Table II at n = %d", n),
+			Columns: []string{"construction", "cost", "depth", "perm time",
+				"cost@n", "depth@n", "time@n", "measured"},
+		}
+		for _, r := range analysis.Table2(n) {
+			t.AddRow(r.Construction, r.CostExpr, r.DepthExpr, r.TimeExpr,
+				fmt.Sprintf("%.0f", r.Cost), fmt.Sprintf("%.0f", r.Depth),
+				fmt.Sprintf("%.0f", r.Time), r.Measured)
+		}
+		tables = append(tables, t)
+	}
+	return Report{ID: "table2", Title: "Table II", Tables: tables}
+}
+
+func columnsortExp() Report {
+	t := Table{Columns: []string{"n", "columnsort cost", "fish cost",
+		"columnsort piped time", "fish piped time",
+		"columnsort sorters piped", "fish sorters piped"}}
+	for _, n := range []int{4096, 65536, 1 << 20} {
+		m := columnsort.TimeMultiplexedModel(n)
+		k := analysis.KForSize(n)
+		f := core.NewFishSorter(n, k)
+		t.AddRow(n, m.TotalCost(), f.Cost().Total(),
+			m.TimePipelined, f.SortingTime(true).Total(), m.Sorters, 1)
+	}
+	rng := rand.New(rand.NewSource(2))
+	in := make([]int, 512)
+	for i := range in {
+		in[i] = rng.Intn(1000)
+	}
+	out, err := columnsort.Sort(in, 128, 4)
+	sorted := err == nil
+	for i := 1; i < len(out) && sorted; i++ {
+		if out[i-1] > out[i] {
+			sorted = false
+		}
+	}
+	t.Note("algorithm check: columnsort(128×4) sorts random ints: %v", sorted)
+	return Report{ID: "columnsort", Title: "§III-C columnsort comparison", Tables: []Table{t}}
+}
+
+func aks() Report {
+	m := analysis.DefaultAKS()
+	t := Table{Columns: []string{"n", "AKS cost / fish cost"}}
+	for _, n := range []int{1 << 10, 1 << 16, 1 << 20, 1 << 30} {
+		t.AddRow(fmt.Sprintf("2^%d", core.Lg(n)), fmt.Sprintf("%.0f×", m.CostFactorAt(n)))
+	}
+	t.Note("AKS model: depth ≈ %.0f·lg n, cost ≈ %.0f·n lg n (Paterson constants)",
+		m.DepthConstant, m.CostConstant)
+	t.Note("depth crossover: mux-merger lg²n beats AKS until lg n > %.0f (n > 2^%.0f)",
+		m.CrossoverDepthLg(), m.CrossoverDepthLg())
+	return Report{ID: "aks", Title: "abstract: AKS crossover", Tables: []Table{t}}
+}
+
+func modelB() Report {
+	t := Table{Columns: []string{"n", "k", "machine unit delays", "model (unpipelined)",
+		"pipelined makespan", "model (pipelined)", "machine cost", "model cost",
+		"macro steps", "sorted ok"}}
+	rng := rand.New(rand.NewSource(3))
+	for _, tc := range []struct{ n, k int }{{64, 4}, {256, 8}, {1024, 8}} {
+		m, err := fishhw.New(tc.n, tc.k)
+		if err != nil {
+			t.Note("error: %v", err)
+			continue
+		}
+		f := core.NewFishSorter(tc.n, tc.k)
+		v := bitvec.Random(rng, tc.n)
+		out, st, err := m.Sort(v)
+		if err != nil {
+			t.Note("error: %v", err)
+			continue
+		}
+		t.AddRow(tc.n, tc.k,
+			fmt.Sprintf("%d (+k = %d)", st.UnitDelays, st.UnitDelays+tc.k),
+			f.SortingTime(false).Total(),
+			m.PipelinedMakespan(), f.SortingTime(true).Total(),
+			st.SwitchCost, f.Cost().Total(), st.MacroSteps,
+			out.Equal(v.Sorted()))
+	}
+	return Report{ID: "modelb", Title: "Network Model B cross-validation", Tables: []Table{t}}
+}
+
+func boolsortExp() Report {
+	t := Table{Columns: []string{"n", "cost", "cost/n", "depth", "4 lg n",
+		"switching components"}}
+	for _, n := range []int{64, 256, 1024, 4096} {
+		st := boolsort.Circuit(n).Stats()
+		sw := st.Counts[netlist.KindComparator] + st.Counts[netlist.KindSwitch2x2] +
+			st.Counts[netlist.KindMux21] + st.Counts[netlist.KindDemux12] +
+			st.Counts[netlist.KindSwitch4x4]
+		t.AddRow(n, st.UnitCost, fmt.Sprintf("%.1f", float64(st.UnitCost)/float64(n)),
+			st.UnitDepth, 4*core.Lg(n), sw)
+	}
+	t.Note("0 switching components = the circuit cannot carry inputs (Section I)")
+	return Report{ID: "boolsort", Title: "§I non-carrying Boolean sorter", Tables: []Table{t}}
+}
+
+func wordsortExp() Report {
+	rng := rand.New(rand.NewSource(4))
+	t := Table{Columns: []string{"n", "key bits", "engine", "passes", "sorted", "stable"}}
+	for _, tc := range []struct {
+		n, w int
+		eng  concentrator.Engine
+	}{{256, 8, concentrator.Fish}, {256, 8, concentrator.MuxMerger}, {1024, 10, concentrator.Fish}} {
+		s, err := wordsort.New(tc.n, tc.w, tc.eng)
+		if err != nil {
+			t.Note("error: %v", err)
+			continue
+		}
+		keys := make([]uint64, tc.n)
+		for i := range keys {
+			keys[i] = uint64(rng.Intn(1 << uint(tc.w)))
+		}
+		got, perm, err := s.Sort(keys)
+		if err != nil {
+			t.Note("error: %v", err)
+			continue
+		}
+		sorted, stable := true, true
+		for j := 1; j < tc.n; j++ {
+			if got[j-1] > got[j] {
+				sorted = false
+			}
+			if got[j-1] == got[j] && perm[j-1] > perm[j] {
+				stable = false
+			}
+		}
+		t.AddRow(tc.n, tc.w, tc.eng, s.Passes(), sorted, stable)
+	}
+	return Report{ID: "wordsort", Title: "§I word-sorting decomposition", Tables: []Table{t}}
+}
+
+func faults() Report {
+	n := 8
+	t := Table{Columns: []string{"network", "n", "comparators",
+		"tolerated single faults", "worst displacement"}}
+	for _, nw := range []*cmpnet.Network{
+		cmpnet.OddEvenMergeSort(n),
+		cmpnet.BitonicSort(n),
+		cmpnet.PeriodicBalancedSort(n),
+		cmpnet.PeriodicBalancedBlocks(n, core.Lg(n)+1),
+	} {
+		r := fault.AnalyzeDeadComparators(nw, true, 0, 0)
+		t.AddRow(nw.Name(), n, r.Comparators,
+			fmt.Sprintf("%d (%.0f%%)", r.Tolerated, 100*r.ToleranceRatio()),
+			r.WorstDisplacement)
+	}
+	c := core.NewMuxMergerSorter(16).Circuit()
+	tests := fault.RandomTestSet(16, 48, 1)
+	covered, total := fault.StuckAtCoverage(c, tests)
+	t.Note("stuck-at coverage of mux-merger-16 netlist with %d random tests: %d/%d (%.1f%%)",
+		len(tests), covered, total, 100*float64(covered)/float64(total))
+	return Report{ID: "faults", Title: "[24] robustness and fault coverage", Tables: []Table{t}}
+}
+
+func recurrences() Report {
+	n := 1024
+	t := Table{
+		Title:   fmt.Sprintf("Recurrence audit at n = %d", n),
+		Columns: []string{"equation", "recurrence solution", "paper's printed form", "agrees", "comment"},
+	}
+	for _, r := range analysis.RecurrenceAudit(n) {
+		t.AddRow(r.Equation, r.Recurrence, r.Stated, r.Agrees, r.Comment)
+	}
+	t.Note("disagreements are the two printed-solution typos EXPERIMENTS.md documents: (4) and (6)")
+	return Report{ID: "recurrences", Title: "audit of equations (1)–(16)", Tables: []Table{t}}
+}
+
+func scaling() Report {
+	cost := Table{
+		Title: "unit cost vs n (the module's figure-ready series)",
+		Columns: []string{"n", "prefix (N1)", "mux-merger (N2)", "fish k=lg n (N3)",
+			"batcher binary", "boolsort [17]", "3n lg n", "4n lg n", "17n"},
+	}
+	depth := Table{
+		Title: "unit depth vs n",
+		Columns: []string{"n", "prefix (N1)", "mux-merger (N2)", "fish (N3)",
+			"batcher", "boolsort", "lg²n"},
+	}
+	times := Table{
+		Title:   "fish sorting time vs n (k = lg n)",
+		Columns: []string{"n", "unpipelined", "pipelined", "lg³n", "2lg²n"},
+	}
+	for _, n := range []int{16, 64, 256, 1024, 4096} {
+		lg := core.Lg(n)
+		pf := core.NewPrefixSorter(n, prefixadd.Prefix).Circuit().Stats()
+		mm := core.NewMuxMergerSorter(n).Circuit().Stats()
+		k := analysis.KForSize(n)
+		f := core.NewFishSorter(n, k)
+		bt := cmpnet.OddEvenMergeSort(n)
+		bs := boolsort.Circuit(n).Stats()
+		cost.AddRow(n, pf.UnitCost, mm.UnitCost, f.Cost().Total(),
+			bt.Cost(), bs.UnitCost, 3*n*lg, 4*n*lg, 17*n)
+		depth.AddRow(n, pf.UnitDepth, mm.UnitDepth, f.Depth(),
+			bt.Depth(), bs.UnitDepth, lg*lg)
+		times.AddRow(n, f.SortingTime(false).Total(), f.SortingTime(true).Total(),
+			lg*lg*lg, 2*lg*lg)
+	}
+	cost.Note("render with -format csv for plotting")
+	return Report{ID: "scaling", Title: "cost/depth/time scaling series",
+		Tables: []Table{cost, depth, times}}
+}

@@ -1,0 +1,200 @@
+// Package report generates the data behind every table and figure of the
+// paper (experiments E1–E13 and the X-series extensions of DESIGN.md) as
+// structured tables with text, CSV and Markdown renderers. cmd/tables is a
+// thin shell over this package, which keeps the experiment pipeline itself
+// under test.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// Table is one titled grid of results.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row, formatting each cell with fmt.Sprint.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprint(c)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Note appends a free-text note rendered after the grid.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Text renders the table with aligned columns.
+func (t *Table) Text(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintln(w, t.Title)
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(t.Columns, "\t"))
+	for _, row := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	tw.Flush()
+	for _, n := range t.Notes {
+		fmt.Fprintln(w, n)
+	}
+}
+
+// CSV renders the table as comma-separated values (title and notes as
+// comment lines).
+func (t *Table) CSV(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "# %s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	if err := cw.WriteAll(t.Rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "# %s\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Markdown renders the table as a GitHub-flavored Markdown table.
+func (t *Table) Markdown(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "### %s\n\n", t.Title)
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(t.Columns, " | "))
+	seps := make([]string, len(t.Columns))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | "))
+	for _, row := range t.Rows {
+		fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | "))
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "\n%s\n", n)
+	}
+}
+
+// Report is one experiment's output: tables plus optional free-form text
+// (the Fig. 8/9 walkthroughs).
+type Report struct {
+	ID     string
+	Title  string
+	Tables []Table
+	Text   string
+}
+
+// Format selects a rendering.
+type Format int
+
+// Formats.
+const (
+	Text Format = iota
+	CSV
+	Markdown
+)
+
+// ParseFormat maps a flag value to a Format.
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "text", "":
+		return Text, nil
+	case "csv":
+		return CSV, nil
+	case "markdown", "md":
+		return Markdown, nil
+	}
+	return Text, fmt.Errorf("report: unknown format %q", s)
+}
+
+// Render writes the report in the chosen format.
+func (r Report) Render(w io.Writer, f Format) error {
+	switch f {
+	case Markdown:
+		fmt.Fprintf(w, "## %s — %s\n\n", r.ID, r.Title)
+	default:
+		fmt.Fprintf(w, "===== %s — %s =====\n", r.ID, r.Title)
+	}
+	for i := range r.Tables {
+		switch f {
+		case CSV:
+			if err := r.Tables[i].CSV(w); err != nil {
+				return err
+			}
+		case Markdown:
+			r.Tables[i].Markdown(w)
+		default:
+			r.Tables[i].Text(w)
+		}
+		fmt.Fprintln(w)
+	}
+	if r.Text != "" {
+		fmt.Fprintln(w, r.Text)
+	}
+	return nil
+}
+
+// Generator builds one experiment's report.
+type Generator struct {
+	ID    string
+	Title string
+	Build func() Report
+}
+
+// registry holds all experiments in presentation order; populated by
+// experiments.go.
+var registry []Generator
+
+func register(id, title string, build func() Report) {
+	registry = append(registry, Generator{ID: id, Title: title, Build: build})
+}
+
+// IDs returns the experiment identifiers in order.
+func IDs() []string {
+	ids := make([]string, len(registry))
+	for i, g := range registry {
+		ids[i] = g.ID
+	}
+	return ids
+}
+
+// ByID builds the report for one experiment.
+func ByID(id string) (Report, bool) {
+	for _, g := range registry {
+		if g.ID == id {
+			return g.Build(), true
+		}
+	}
+	return Report{}, false
+}
+
+// All builds every experiment's report, in order.
+func All() []Report {
+	out := make([]Report, len(registry))
+	for i, g := range registry {
+		out[i] = g.Build()
+	}
+	return out
+}

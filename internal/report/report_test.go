@@ -1,0 +1,161 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRegistryComplete: every DESIGN.md experiment is registered once, in
+// presentation order.
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig1", "fig2", "fig3", "fig4", "fig5", "table1", "fig6", "fig7",
+		"fig8", "fig9", "fig10", "table2", "columnsort", "aks",
+		"modelb", "boolsort", "wordsort", "faults", "recurrences", "scaling",
+	}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("experiment %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestByID builds a single experiment and checks key measured values.
+func TestByID(t *testing.T) {
+	r, ok := ByID("fig1")
+	if !ok {
+		t.Fatal("fig1 not found")
+	}
+	if len(r.Tables) != 1 || len(r.Tables[0].Rows) != 1 {
+		t.Fatal("fig1 report malformed")
+	}
+	row := r.Tables[0].Rows[0]
+	if row[0] != "5" || row[1] != "3" || row[2] != "true" {
+		t.Errorf("fig1 row = %v, want cost 5, depth 3, sorts true", row)
+	}
+	if !strings.Contains(r.Text, "●") {
+		t.Error("fig1 diagram missing")
+	}
+	if _, ok := ByID("nonexistent"); ok {
+		t.Error("unknown id found")
+	}
+}
+
+// TestKeyMeasuredValues spot-checks the numbers the EXPERIMENTS.md tables
+// quote, so the documentation cannot silently drift from the code.
+func TestKeyMeasuredValues(t *testing.T) {
+	check := func(id string, tableIdx int, needles ...string) {
+		t.Helper()
+		r, ok := ByID(id)
+		if !ok {
+			t.Fatalf("%s not found", id)
+		}
+		var sb strings.Builder
+		r.Tables[tableIdx].Text(&sb)
+		text := sb.String()
+		for _, needle := range needles {
+			if !strings.Contains(text, needle) {
+				t.Errorf("%s table %d missing %q:\n%s", id, tableIdx, needle, text)
+			}
+		}
+	}
+	// E7: mux-merger measured cost/depth at n=4096.
+	check("fig6", 0, "167943", "144")
+	// E5: prefix sorter measured cost at n=4096.
+	check("fig5", 0, "175181", "213")
+	// E8: fish cost at n=65536, k=16.
+	check("fig7", 0, "1013614", "459")
+	// X4: robust periodic tolerates everything.
+	check("faults", 0, "48 (100%)", "0 (0%)")
+	// E12: the fish permuter row is measured.
+	check("table2", 1, "620562", "true")
+}
+
+// TestRenderFormats: each format renders every experiment without error
+// and with non-trivial content.
+func TestRenderFormats(t *testing.T) {
+	for _, id := range []string{"fig2", "table1", "modelb"} {
+		r, _ := ByID(id)
+		for _, f := range []Format{Text, CSV, Markdown} {
+			var buf bytes.Buffer
+			if err := r.Render(&buf, f); err != nil {
+				t.Fatalf("%s format %d: %v", id, f, err)
+			}
+			if buf.Len() < 50 {
+				t.Errorf("%s format %d: output too short", id, f)
+			}
+		}
+	}
+}
+
+// TestCSVWellFormed: the CSV output has a constant column count.
+func TestCSVWellFormed(t *testing.T) {
+	r, _ := ByID("fig2")
+	var buf bytes.Buffer
+	if err := r.Tables[0].CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	cols := -1
+	for _, ln := range lines {
+		if strings.HasPrefix(ln, "#") {
+			continue
+		}
+		c := strings.Count(ln, ",")
+		if cols == -1 {
+			cols = c
+		} else if c != cols {
+			t.Errorf("ragged CSV line %q", ln)
+		}
+	}
+}
+
+// TestMarkdownWellFormed: the Markdown table has a separator row.
+func TestMarkdownWellFormed(t *testing.T) {
+	r, _ := ByID("fig3")
+	var buf bytes.Buffer
+	r.Tables[0].Markdown(&buf)
+	if !strings.Contains(buf.String(), "| --- |") {
+		t.Errorf("markdown missing separator:\n%s", buf.String())
+	}
+}
+
+// TestParseFormat covers the flag parser.
+func TestParseFormat(t *testing.T) {
+	for s, want := range map[string]Format{
+		"text": Text, "": Text, "csv": CSV, "markdown": Markdown, "md": Markdown,
+	} {
+		got, err := ParseFormat(s)
+		if err != nil || got != want {
+			t.Errorf("ParseFormat(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseFormat("xml"); err == nil {
+		t.Error("accepted unknown format")
+	}
+}
+
+// TestAllBuilds exercises every generator end to end (the slowest ones are
+// already covered above; this catches panics in the rest).
+func TestAllBuilds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep in -short mode")
+	}
+	reports := All()
+	if len(reports) != len(IDs()) {
+		t.Fatalf("All returned %d reports", len(reports))
+	}
+	for _, r := range reports {
+		if r.ID == "" || r.Title == "" {
+			t.Errorf("report %q missing metadata", r.ID)
+		}
+		if len(r.Tables) == 0 && r.Text == "" {
+			t.Errorf("report %q is empty", r.ID)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+// Package swapper implements the controlled swapping networks of Section II
+// of the paper: the two-way swapper of Fig. 2(a), the four-way swapper of
+// Fig. 2(b) (including the IN-SWAP and OUT-SWAP configurations used by the
+// mux-merger binary sorter), and the k-SWAP stage of Section III-C's fish
+// binary sorter.
+//
+// Each swapper has both a behavioral implementation (operating directly on
+// bitvec.Vector) and a netlist builder that emits the paper's exact
+// construction: a k-way shuffle connection, one stage of switches, and the
+// reversed shuffle connection.
+package swapper
+
+import (
+	"fmt"
+
+	"absort/internal/bitvec"
+	"absort/internal/netlist"
+	"absort/internal/wiring"
+)
+
+// TwoWay swaps the two halves of v when ctrl is 1, behaviorally.
+// Cost n/2, depth 1 in the network realization.
+func TwoWay(v bitvec.Vector, ctrl bitvec.Bit) bitvec.Vector {
+	if len(v)%2 != 0 {
+		panic("swapper: TwoWay of odd-length vector")
+	}
+	if ctrl == 0 {
+		return v.Clone()
+	}
+	u, l := v.Halves()
+	return bitvec.Concat(l, u)
+}
+
+// BuildTwoWay appends an n-input two-way swapper to b: a two-way shuffle
+// connection, a single stage of n/2 2×2 switches sharing ctrl, and a
+// reversed two-way shuffle connection (Fig. 2(a)).
+func BuildTwoWay(b *netlist.Builder, ctrl netlist.Wire, in []netlist.Wire) []netlist.Wire {
+	n := len(in)
+	if n%2 != 0 {
+		panic("swapper: BuildTwoWay of odd width")
+	}
+	sh := wiring.Apply(wiring.PerfectShuffle(n), in)
+	mid := make([]netlist.Wire, n)
+	for i := 0; i < n/2; i++ {
+		mid[2*i], mid[2*i+1] = b.Switch(ctrl, sh[2*i], sh[2*i+1])
+	}
+	return wiring.Apply(wiring.Unshuffle(n), mid)
+}
+
+// TwoWayCircuit builds a standalone n-input two-way swapper circuit whose
+// first input is the control signal followed by the n data inputs.
+func TwoWayCircuit(n int) *netlist.Circuit {
+	b := netlist.NewBuilder(fmt.Sprintf("two-way-swapper-%d", n))
+	ctrl := b.Input()
+	in := b.Inputs(n)
+	b.SetOutputs(BuildTwoWay(b, ctrl, in))
+	return b.MustBuild()
+}
+
+// QuarterPerms configures a four-way swapper: QuarterPerms[sel][i] is the
+// input quarter that output quarter i receives when the two select bits
+// equal sel (sel = 2*s1 + s0).
+type QuarterPerms [4]netlist.Perm4
+
+// INSwap is the four-way swapper configuration used on the input side of
+// the mux-merger of Fig. 6 / Table I. With the recursive half-size merger
+// occupying the middle two quarters, the arrangement per select case is:
+//
+//	sel 00: (q1, q4, q2, q3) — q1,q3 clean-0; q2*q4 to the middle merger
+//	sel 01: (q1, q2, q3, q4) — q1 clean-0, q4 clean-1; q2*q3 to the merger
+//	sel 10: (q3, q4, q1, q2) — q3 clean-0, q2 clean-1; q4*q1 to the merger
+//	sel 11: (q2, q1, q3, q4) — q2,q4 clean-1; q1*q3 to the merger
+//
+// The paper's Fig. 6 lists the corresponding cycle set
+// {(1)(23)(4), (1)(234), (13)(24), (134)(2)}; the exact cycle-to-case
+// assignment depends on figure conventions (see DESIGN.md §4). The swapper
+// remains a four-way swapper with four fixed quarter permutations: cost n,
+// depth 1, so all recurrences of Section III-B hold unchanged.
+var INSwap = QuarterPerms{
+	{0, 3, 1, 2}, // sel 00
+	{0, 1, 2, 3}, // sel 01
+	{2, 3, 0, 1}, // sel 10
+	{1, 0, 2, 3}, // sel 11
+}
+
+// OUTSwap is the four-way swapper configuration on the output side of the
+// mux-merger. Like the paper's OUT-SWAP set {(1)(2)(3)(4), (1)(243),
+// (13)(24)}, it realizes only three distinct permutations:
+//
+//	sel 00: (A, D, B, C) — pull the second clean-0 quarter above the merge
+//	sel 01: identity
+//	sel 10: identity
+//	sel 11: (B, C, A, D) — push the first clean-1 quarter below the merge
+var OUTSwap = QuarterPerms{
+	{0, 3, 1, 2}, // sel 00
+	{0, 1, 2, 3}, // sel 01
+	{0, 1, 2, 3}, // sel 10
+	{1, 2, 0, 3}, // sel 11
+}
+
+// FourWay applies the configured quarter permutation for the given select
+// value to v, behaviorally. Cost n, depth 1 in the network realization.
+func FourWay(v bitvec.Vector, perms QuarterPerms, sel int) bitvec.Vector {
+	if len(v)%4 != 0 {
+		panic("swapper: FourWay of length not divisible by 4")
+	}
+	if sel < 0 || sel > 3 {
+		panic(fmt.Sprintf("swapper: FourWay select %d", sel))
+	}
+	q := v.Quarters()
+	p := perms[sel]
+	return bitvec.Concat(q[p[0]], q[p[1]], q[p[2]], q[p[3]])
+}
+
+// BuildFourWay appends an n-input four-way swapper to b: a four-way shuffle
+// connection, a single stage of n/4 4×4 switches sharing the two select
+// signals, and a reversed four-way shuffle connection (Fig. 2(b)).
+func BuildFourWay(b *netlist.Builder, s1, s0 netlist.Wire, in []netlist.Wire, perms QuarterPerms) []netlist.Wire {
+	n := len(in)
+	if n%4 != 0 {
+		panic("swapper: BuildFourWay of width not divisible by 4")
+	}
+	sh := wiring.Apply(wiring.FourWayShuffle(n), in)
+	mid := make([]netlist.Wire, n)
+	for i := 0; i < n/4; i++ {
+		out := b.Switch4(s1, s0,
+			[4]netlist.Wire{sh[4*i], sh[4*i+1], sh[4*i+2], sh[4*i+3]},
+			[4]netlist.Perm4(perms))
+		copy(mid[4*i:4*i+4], out[:])
+	}
+	return wiring.Apply(wiring.FourWayShuffle(n).Inverse(), mid)
+}
+
+// FourWayCircuit builds a standalone n-input four-way swapper circuit whose
+// first two inputs are the select signals (s1, s0) followed by the n data
+// inputs.
+func FourWayCircuit(n int, perms QuarterPerms) *netlist.Circuit {
+	b := netlist.NewBuilder(fmt.Sprintf("four-way-swapper-%d", n))
+	s1, s0 := b.Input(), b.Input()
+	in := b.Inputs(n)
+	b.SetOutputs(BuildFourWay(b, s1, s0, in, perms))
+	return b.MustBuild()
+}
+
+// KSwap performs the k-SWAP operation of Section III-C behaviorally.
+// The input is viewed as k blocks of n/k; block j passes through an
+// n/k-input two-way swapper controlled by ctrl[j]. The upper halves of the
+// k swappers are collected (in block order) into the upper n/2 outputs and
+// the lower halves into the lower n/2 outputs.
+//
+// With ctrl[j] set to the middle bit of sorted block j, the upper n/2
+// outputs form a clean k-sorted sequence and the lower n/2 outputs form a
+// k-sorted sequence (Theorem 4).
+func KSwap(v bitvec.Vector, ctrl []bitvec.Bit) bitvec.Vector {
+	k := len(ctrl)
+	if k == 0 || len(v)%(2*k) != 0 {
+		panic(fmt.Sprintf("swapper: KSwap of length %d with k=%d", len(v), k))
+	}
+	blocks := v.Blocks(k)
+	half := len(v) / (2 * k)
+	upper := make(bitvec.Vector, 0, len(v)/2)
+	lower := make(bitvec.Vector, 0, len(v)/2)
+	for j, blk := range blocks {
+		sw := TwoWay(blk, ctrl[j])
+		upper = append(upper, sw[:half]...)
+		lower = append(lower, sw[half:]...)
+	}
+	return bitvec.Concat(upper, lower)
+}
+
+// KSwapSelects derives the k-SWAP control bits from a k-sorted input: the
+// select of block j is the block's middle bit (the first element of its
+// lower half). For an ascending sorted block, middle bit 0 means the upper
+// half is clean (all 0s, keep), middle bit 1 means the lower half is clean
+// (all 1s, swap up).
+func KSwapSelects(v bitvec.Vector, k int) []bitvec.Bit {
+	blocks := v.Blocks(k)
+	ctrl := make([]bitvec.Bit, k)
+	for j, blk := range blocks {
+		ctrl[j] = blk[len(blk)/2]
+	}
+	return ctrl
+}
+
+// BuildKSwap appends the k-SWAP stage to b: k two-way swappers of n/k
+// inputs each, with per-block control wires, followed by the fixed wiring
+// that gathers upper halves into the top n/2 lines. Cost n/2, depth 1.
+func BuildKSwap(b *netlist.Builder, ctrl []netlist.Wire, in []netlist.Wire) []netlist.Wire {
+	n := len(in)
+	k := len(ctrl)
+	if k == 0 || n%(2*k) != 0 {
+		panic(fmt.Sprintf("swapper: BuildKSwap of width %d with k=%d", n, k))
+	}
+	bs := n / k
+	half := bs / 2
+	upper := make([]netlist.Wire, 0, n/2)
+	lower := make([]netlist.Wire, 0, n/2)
+	for j := 0; j < k; j++ {
+		out := BuildTwoWay(b, ctrl[j], in[j*bs:(j+1)*bs])
+		upper = append(upper, out[:half]...)
+		lower = append(lower, out[half:]...)
+	}
+	return append(upper, lower...)
+}

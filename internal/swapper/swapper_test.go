@@ -1,0 +1,300 @@
+package swapper
+
+import (
+	"math/rand"
+	"testing"
+
+	"absort/internal/bitvec"
+	"absort/internal/netlist"
+)
+
+func TestTwoWayBehavioral(t *testing.T) {
+	v := bitvec.MustFromString("00001111")
+	if got := TwoWay(v, 0); !got.Equal(v) {
+		t.Errorf("TwoWay ctrl=0 = %s", got)
+	}
+	if got := TwoWay(v, 1).String(); got != "11110000" {
+		t.Errorf("TwoWay ctrl=1 = %s", got)
+	}
+}
+
+// TestTwoWayCircuitMatchesBehavior cross-validates the Fig. 2(a) netlist
+// construction against the behavioral swapper for all inputs at n=8 and
+// random inputs at larger n.
+func TestTwoWayCircuitMatchesBehavior(t *testing.T) {
+	for _, n := range []int{2, 4, 8} {
+		c := TwoWayCircuit(n)
+		for ctrl := bitvec.Bit(0); ctrl <= 1; ctrl++ {
+			bitvec.All(n, func(v bitvec.Vector) bool {
+				in := append(bitvec.Vector{ctrl}, v...)
+				got := c.Eval(in)
+				want := TwoWay(v, ctrl)
+				if !got.Equal(want) {
+					t.Errorf("n=%d ctrl=%d in=%s: circuit %s, behavioral %s",
+						n, ctrl, v, got, want)
+					return false
+				}
+				return true
+			})
+		}
+	}
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{16, 32, 64} {
+		c := TwoWayCircuit(n)
+		for i := 0; i < 50; i++ {
+			v := bitvec.Random(rng, n)
+			ctrl := bitvec.Bit(rng.Intn(2))
+			in := append(bitvec.Vector{ctrl}, v...)
+			if got, want := c.Eval(in), TwoWay(v, ctrl); !got.Equal(want) {
+				t.Fatalf("n=%d: circuit %s != behavioral %s", n, got, want)
+			}
+		}
+	}
+}
+
+// TestTwoWayCost checks the paper's Fig. 2(a) parameters: cost n/2, depth 1.
+func TestTwoWayCost(t *testing.T) {
+	for _, n := range []int{4, 8, 16, 64, 256} {
+		s := TwoWayCircuit(n).Stats()
+		if s.UnitCost != n/2 {
+			t.Errorf("n=%d: two-way swapper unit cost %d, want %d", n, s.UnitCost, n/2)
+		}
+		if s.UnitDepth != 1 {
+			t.Errorf("n=%d: two-way swapper unit depth %d, want 1", n, s.UnitDepth)
+		}
+		if s.Counts[netlist.KindSwitch2x2] != n/2 {
+			t.Errorf("n=%d: %d switches, want %d", n, s.Counts[netlist.KindSwitch2x2], n/2)
+		}
+	}
+}
+
+func TestFourWayBehavioral(t *testing.T) {
+	v := bitvec.MustFromString("00011011")
+	perms := QuarterPerms{
+		{0, 1, 2, 3},
+		{1, 0, 3, 2},
+		{2, 3, 0, 1},
+		{3, 2, 1, 0},
+	}
+	wants := []string{"00011011", "01001110", "10110001", "11100100"}
+	for sel := 0; sel < 4; sel++ {
+		if got := FourWay(v, perms, sel).String(); got != wants[sel] {
+			t.Errorf("FourWay sel=%d = %s, want %s", sel, got, wants[sel])
+		}
+	}
+}
+
+func TestFourWayCircuitMatchesBehavior(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, perms := range []QuarterPerms{INSwap, OUTSwap} {
+		for _, n := range []int{4, 8, 16, 32} {
+			c := FourWayCircuit(n, perms)
+			for i := 0; i < 60; i++ {
+				v := bitvec.Random(rng, n)
+				sel := rng.Intn(4)
+				in := append(bitvec.Vector{bitvec.Bit(sel >> 1), bitvec.Bit(sel & 1)}, v...)
+				got := c.Eval(in)
+				want := FourWay(v, perms, sel)
+				if !got.Equal(want) {
+					t.Fatalf("n=%d sel=%d in=%s: circuit %s != behavioral %s",
+						n, sel, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestFourWayCost checks the paper's Fig. 2(b) parameters: cost n
+// (n/4 4×4 switches at 4 units each), depth 1.
+func TestFourWayCost(t *testing.T) {
+	for _, n := range []int{4, 16, 64, 256} {
+		s := FourWayCircuit(n, INSwap).Stats()
+		if s.UnitCost != n {
+			t.Errorf("n=%d: four-way swapper unit cost %d, want %d", n, s.UnitCost, n)
+		}
+		if s.UnitDepth != 1 {
+			t.Errorf("n=%d: four-way swapper unit depth %d, want 1", n, s.UnitDepth)
+		}
+	}
+}
+
+// TestINSwapBringsBisortedPairToMiddle verifies, for every bisorted input
+// and its Table I select case, that after IN-SWAP the middle half is
+// bisorted and the outer quarters are the clean ones claimed by Table I.
+func TestINSwapBringsBisortedPairToMiddle(t *testing.T) {
+	n := 16
+	bitvec.AllBisorted(n, func(v bitvec.Vector) bool {
+		s1 := v[n/4]   // uppermost element of X_q2
+		s0 := v[3*n/4] // uppermost element of X_q4
+		sel := int(2*s1 + s0)
+		w := FourWay(v, INSwap, sel)
+		q := w.Quarters()
+		mid := bitvec.Concat(q[1], q[2])
+		if !mid.IsBisorted() {
+			t.Errorf("v=%s sel=%d: middle %s not bisorted", v, sel, mid)
+			return false
+		}
+		if !q[0].IsClean() && !q[0].IsSorted() {
+			t.Errorf("v=%s sel=%d: top quarter %s unusable", v, sel, q[0])
+			return false
+		}
+		switch sel {
+		case 0: // q1,q3 all 0s
+			if q[0].Ones() != 0 || q[3].Ones() != 0 {
+				t.Errorf("v=%s sel=00: outer quarters %s,%s not clean-0", v, q[0], q[3])
+				return false
+			}
+		case 1: // q1 all 0s, q4 all 1s
+			if q[0].Ones() != 0 || q[3].Zeros() != 0 {
+				t.Errorf("v=%s sel=01: outer quarters %s,%s", v, q[0], q[3])
+				return false
+			}
+		case 2: // q3 all 0s, q2 all 1s
+			if q[0].Ones() != 0 || q[3].Zeros() != 0 {
+				t.Errorf("v=%s sel=10: outer quarters %s,%s", v, q[0], q[3])
+				return false
+			}
+		case 3: // q2,q4 all 1s
+			if q[0].Zeros() != 0 || q[3].Zeros() != 0 {
+				t.Errorf("v=%s sel=11: outer quarters %s,%s not clean-1", v, q[0], q[3])
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// TestMuxMergeCase verifies end-to-end per-case routing: IN-SWAP, an ideal
+// merge of the middle half, then OUT-SWAP yields the fully sorted sequence.
+// This validates the IN/OUT configuration pair against Table I exhaustively.
+func TestMuxMergeCase(t *testing.T) {
+	n := 16
+	bitvec.AllBisorted(n, func(v bitvec.Vector) bool {
+		sel := int(2*v[n/4] + v[3*n/4])
+		w := FourWay(v, INSwap, sel)
+		q := w.Quarters()
+		merged := bitvec.Concat(q[1], q[2]).Sorted() // ideal middle merge
+		x := bitvec.Concat(q[0], merged[:n/4], merged[n/4:], q[3])
+		y := FourWay(x, OUTSwap, sel)
+		if !y.Equal(v.Sorted()) {
+			t.Errorf("v=%s sel=%d: merge pipeline gave %s, want %s",
+				v, sel, y, v.Sorted())
+			return false
+		}
+		return true
+	})
+}
+
+func TestKSwapSelects(t *testing.T) {
+	v := bitvec.MustFromString("1111/0001/0011/0111")
+	ctrl := KSwapSelects(v, 4)
+	want := []bitvec.Bit{1, 0, 1, 1}
+	for i := range want {
+		if ctrl[i] != want[i] {
+			t.Fatalf("KSwapSelects = %v, want %v", ctrl, want)
+		}
+	}
+}
+
+// TestKSwapTheorem4 verifies Theorem 4 via the k-SWAP: for every k-sorted
+// sequence, after k-SWAP the upper half is clean k-sorted and the lower
+// half is k-sorted.
+func TestKSwapTheorem4(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{{8, 2}, {8, 4}, {16, 4}, {16, 2}, {12, 2}} {
+		bitvec.AllKSorted(tc.n, tc.k, func(v bitvec.Vector) bool {
+			w := KSwap(v, KSwapSelects(v, tc.k))
+			u, l := w.Halves()
+			if !u.IsCleanKSorted(tc.k) {
+				t.Errorf("n=%d k=%d v=%s: upper %s not clean %d-sorted",
+					tc.n, tc.k, v, u, tc.k)
+				return false
+			}
+			if !l.IsKSorted(tc.k) {
+				t.Errorf("n=%d k=%d v=%s: lower %s not %d-sorted",
+					tc.n, tc.k, v, l, tc.k)
+				return false
+			}
+			if u.Ones()+l.Ones() != v.Ones() {
+				t.Errorf("n=%d k=%d v=%s: k-SWAP not a permutation", tc.n, tc.k, v)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// TestKSwapPaperExample reproduces Example 4 / the Fig. 8 k-SWAP step:
+// 1111/0001/0011/0111 splits into a clean 4-sorted upper half and a
+// 4-sorted lower half.
+func TestKSwapPaperExample(t *testing.T) {
+	v := bitvec.MustFromString("1111/0001/0011/0111")
+	w := KSwap(v, KSwapSelects(v, 4))
+	u, l := w.Halves()
+	if !u.IsCleanKSorted(4) {
+		t.Errorf("upper %s not clean 4-sorted", u.StringGrouped(2))
+	}
+	if !l.IsKSorted(4) {
+		t.Errorf("lower %s not 4-sorted", l.StringGrouped(2))
+	}
+	// Per Example 4: clean parts {11, 00, 11, 11}, remaining {11, 01, 00, 01}.
+	if u.String() != "11001111" {
+		t.Errorf("upper = %s, want 11001111", u)
+	}
+	if l.String() != "11010001" {
+		t.Errorf("lower = %s, want 11010001", l)
+	}
+}
+
+func TestBuildKSwapMatchesBehavior(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, tc := range []struct{ n, k int }{{8, 2}, {16, 4}, {32, 4}, {32, 8}} {
+		b := netlist.NewBuilder("kswap")
+		ctrl := b.Inputs(tc.k)
+		in := b.Inputs(tc.n)
+		b.SetOutputs(BuildKSwap(b, ctrl, in))
+		c := b.MustBuild()
+		if s := c.Stats(); s.UnitCost != tc.n/2 || s.UnitDepth != 1 {
+			t.Errorf("n=%d k=%d: k-SWAP cost/depth = %d/%d, want %d/1",
+				tc.n, tc.k, s.UnitCost, s.UnitDepth, tc.n/2)
+		}
+		for i := 0; i < 50; i++ {
+			v := bitvec.Random(rng, tc.n)
+			cb := make([]bitvec.Bit, tc.k)
+			for j := range cb {
+				cb[j] = bitvec.Bit(rng.Intn(2))
+			}
+			got := c.Eval(bitvec.Concat(cb, v))
+			want := KSwap(v, cb)
+			if !got.Equal(want) {
+				t.Fatalf("n=%d k=%d: circuit %s != behavioral %s", tc.n, tc.k, got, want)
+			}
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("TwoWay odd", func() { TwoWay(bitvec.New(3), 0) })
+	mustPanic("FourWay n%4", func() { FourWay(bitvec.New(6), INSwap, 0) })
+	mustPanic("FourWay sel", func() { FourWay(bitvec.New(8), INSwap, 4) })
+	mustPanic("KSwap", func() { KSwap(bitvec.New(8), []bitvec.Bit{0, 0, 0}) })
+	mustPanic("BuildTwoWay odd", func() {
+		b := netlist.NewBuilder("x")
+		BuildTwoWay(b, b.Input(), b.Inputs(3))
+	})
+	mustPanic("BuildFourWay", func() {
+		b := netlist.NewBuilder("x")
+		BuildFourWay(b, b.Input(), b.Input(), b.Inputs(6), INSwap)
+	})
+	mustPanic("BuildKSwap", func() {
+		b := netlist.NewBuilder("x")
+		BuildKSwap(b, b.Inputs(3), b.Inputs(8))
+	})
+}

@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"absort/internal/bitvec"
+	"absort/internal/core"
+	"absort/internal/swapper"
+)
+
+// RenderPrefixSort writes a step-by-step walkthrough of Network 1
+// (the Fig. 5 prefix binary sorter) on input v: the recursive half sorts,
+// the Theorem 1 shuffle, and each patch-up level's mirror-comparator
+// stage, count-derived select and swaps. It returns the sorted output.
+func RenderPrefixSort(w io.Writer, v bitvec.Vector) (bitvec.Vector, error) {
+	n := len(v)
+	if !core.IsPow2(n) || n < 2 {
+		return nil, fmt.Errorf("trace: RenderPrefixSort(%d inputs)", n)
+	}
+	fmt.Fprintf(w, "prefix binary sorter (Fig. 5) on %s\n", v)
+	fmt.Fprintf(w, "%s\n", strings.Repeat("=", 64))
+	out := renderPrefixSort(w, v, 0)
+	fmt.Fprintf(w, "sorted output: %s\n", out)
+	return out, nil
+}
+
+func indent(d int) string { return strings.Repeat("  ", d) }
+
+func renderPrefixSort(w io.Writer, v bitvec.Vector, depth int) bitvec.Vector {
+	n := len(v)
+	if n == 1 {
+		return v.Clone()
+	}
+	u := renderPrefixSort(w, v[:n/2], depth+1)
+	l := renderPrefixSort(w, v[n/2:], depth+1)
+	m := bitvec.Concat(u, l).Ones()
+	x := bitvec.Concat(u, l).Shuffle()
+	fmt.Fprintf(w, "%smerge %d: halves %s | %s, prefix-adder count = %d\n",
+		indent(depth), n, u, l, m)
+	fmt.Fprintf(w, "%s  shuffle (Theorem 1, ∈ A_%d): %s\n", indent(depth), n, x)
+	out := renderPatchUp(w, x, m, depth+1)
+	fmt.Fprintf(w, "%s  merged: %s\n", indent(depth), out)
+	return out
+}
+
+func renderPatchUp(w io.Writer, x bitvec.Vector, m, depth int) bitvec.Vector {
+	n := len(x)
+	if n == 1 {
+		return x.Clone()
+	}
+	y := x.Clone()
+	for i := 0; i < n/2; i++ {
+		if y[i] > y[n-1-i] {
+			y[i], y[n-1-i] = y[n-1-i], y[i]
+		}
+	}
+	if n == 2 {
+		return y
+	}
+	sel := bitvec.Bit(0)
+	mRec := m
+	if m >= n/2 {
+		sel = 1
+		mRec = m - n/2
+	}
+	fmt.Fprintf(w, "%spatch-up %d: mirror stage -> %s; count %d ⇒ select %d (unsorted half %s)\n",
+		indent(depth), n, y, m, sel,
+		map[bitvec.Bit]string{0: "lower", 1: "upper"}[sel])
+	z := swapper.TwoWay(y, sel)
+	rec := renderPatchUp(w, z[n/2:], mRec, depth+1)
+	return swapper.TwoWay(bitvec.Concat(z[:n/2], rec), sel)
+}
+
+// RenderMuxMergerSort writes a walkthrough of Network 2 (the Fig. 6
+// mux-merger binary sorter): recursive bisorting, then for each merge the
+// Table I select, the IN-SWAP arrangement, the recursive middle merge and
+// the OUT-SWAP. It returns the sorted output.
+func RenderMuxMergerSort(w io.Writer, v bitvec.Vector) (bitvec.Vector, error) {
+	n := len(v)
+	if !core.IsPow2(n) || n < 2 {
+		return nil, fmt.Errorf("trace: RenderMuxMergerSort(%d inputs)", n)
+	}
+	fmt.Fprintf(w, "mux-merger binary sorter (Fig. 6 / Table I) on %s\n", v)
+	fmt.Fprintf(w, "%s\n", strings.Repeat("=", 64))
+	out := renderMMSort(w, v, 0)
+	fmt.Fprintf(w, "sorted output: %s\n", out)
+	return out, nil
+}
+
+func renderMMSort(w io.Writer, v bitvec.Vector, depth int) bitvec.Vector {
+	n := len(v)
+	if n == 1 {
+		return v.Clone()
+	}
+	u := renderMMSort(w, v[:n/2], depth+1)
+	l := renderMMSort(w, v[n/2:], depth+1)
+	return renderMuxMerge(w, bitvec.Concat(u, l), depth)
+}
+
+func renderMuxMerge(w io.Writer, v bitvec.Vector, depth int) bitvec.Vector {
+	n := len(v)
+	if n == 2 {
+		if v[0] > v[1] {
+			return bitvec.Vector{v[1], v[0]}
+		}
+		return v.Clone()
+	}
+	sel := core.MuxMergeSelect(v)
+	x := swapper.FourWay(v, swapper.INSwap, sel)
+	fmt.Fprintf(w, "%smux-merge %d: bisorted %s, select %02b (Table I)\n",
+		indent(depth), n, v.StringGrouped(n/4), sel)
+	fmt.Fprintf(w, "%s  IN-SWAP  -> %s (middle pair to the recursive merger)\n",
+		indent(depth), x.StringGrouped(n/4))
+	mid := renderMuxMerge(w, x[n/4:3*n/4].Clone(), depth+1)
+	y := bitvec.Concat(x[:n/4], mid, x[3*n/4:])
+	out := swapper.FourWay(y, swapper.OUTSwap, sel)
+	fmt.Fprintf(w, "%s  OUT-SWAP -> %s\n", indent(depth), out.StringGrouped(n/4))
+	return out
+}

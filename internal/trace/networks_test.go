@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"absort/internal/bitvec"
+)
+
+// TestRenderPrefixSort: the walkthrough sorts correctly and narrates the
+// Theorem 1 shuffle and the count-derived selects.
+func TestRenderPrefixSort(t *testing.T) {
+	var sb strings.Builder
+	v := bitvec.MustFromString("10110100")
+	out, err := RenderPrefixSort(&sb, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(v.Sorted()) {
+		t.Fatalf("traced prefix sort gave %s", out)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"prefix binary sorter (Fig. 5) on 10110100",
+		"prefix-adder count = 4",
+		"shuffle (Theorem 1, ∈ A_8)",
+		"patch-up 8:",
+		"sorted output: 00001111",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prefix walkthrough missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestRenderMuxMergerSort: the walkthrough sorts correctly and shows the
+// Table I selects.
+func TestRenderMuxMergerSort(t *testing.T) {
+	var sb strings.Builder
+	v := bitvec.MustFromString("1011010000101110")
+	out, err := RenderMuxMergerSort(&sb, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(v.Sorted()) {
+		t.Fatalf("traced mux-merger sort gave %s", out)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"mux-merger binary sorter (Fig. 6 / Table I)",
+		"mux-merge 16:",
+		"IN-SWAP",
+		"OUT-SWAP",
+		"select",
+		"sorted output: 0000000011111111",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("mux-merger walkthrough missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestRenderNetworksRandom: traced runs agree with plain sorting.
+func TestRenderNetworksRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(293))
+	for trial := 0; trial < 30; trial++ {
+		v := bitvec.Random(rng, 32)
+		var sb strings.Builder
+		out, err := RenderPrefixSort(&sb, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Equal(v.Sorted()) {
+			t.Fatalf("prefix trace wrong on %s", v)
+		}
+		out, err = RenderMuxMergerSort(&sb, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Equal(v.Sorted()) {
+			t.Fatalf("mux-merger trace wrong on %s", v)
+		}
+	}
+}
+
+// TestRenderNetworksErrors: width validation.
+func TestRenderNetworksErrors(t *testing.T) {
+	var sb strings.Builder
+	if _, err := RenderPrefixSort(&sb, bitvec.New(6)); err == nil {
+		t.Error("prefix accepted non-power-of-two width")
+	}
+	if _, err := RenderMuxMergerSort(&sb, bitvec.New(1)); err == nil {
+		t.Error("mux-merger accepted width 1")
+	}
+}

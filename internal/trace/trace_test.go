@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"absort/internal/bitvec"
+)
+
+// TestRenderFig8 regenerates the Fig. 8 walkthrough on the paper's example
+// input and checks the pivotal intermediate values from Example 4.
+func TestRenderFig8(t *testing.T) {
+	var sb strings.Builder
+	out, err := RenderKWayMerge(&sb, Fig8Input(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(Fig8Input().Sorted()) {
+		t.Fatalf("Fig. 8 merge output %s", out)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"16-input 4-way mux-merger on 1111/0001/0011/0111",
+		"upper (clean 4-sorted): 11/00/11/11", // Example 4's clean halves
+		"lower (4-sorted):       11/01/00/01", // Example 4's remaining halves
+		"Merged output: 0000001111111111",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Fig. 8 trace missing %q in:\n%s", want, text)
+		}
+	}
+	// Every level output line must be a sorted prefix property; spot-check
+	// the number of levels: sizes 16 and 8 plus the boundary at 4.
+	if c := strings.Count(text, "Level size"); c != 2 {
+		t.Errorf("Fig. 8 trace has %d levels, want 2", c)
+	}
+	if !strings.Contains(text, "Boundary 4-input mux-merger sort") {
+		t.Error("Fig. 8 trace missing boundary sort line")
+	}
+}
+
+// TestRenderFig9 regenerates the Fig. 9 clean-sorter walkthrough.
+func TestRenderFig9(t *testing.T) {
+	var sb strings.Builder
+	out, err := RenderCleanSorter(&sb, Fig9Input(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(Fig9Input().Sorted()) {
+		t.Fatalf("Fig. 9 output %s", out)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"8-input 4-way clean sorter on 11/00/11/11",
+		"leading bits: 1011",
+		"step 1:",
+		"step 4:",
+		"Sorted output: 00111111",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Fig. 9 trace missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+// TestRenderRandomInputs checks tracing works and agrees with plain
+// sorting on random traced inputs.
+func TestRenderRandomInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(139))
+	for trial := 0; trial < 20; trial++ {
+		v := bitvec.RandomKSorted(rng, 32, 4)
+		var sb strings.Builder
+		out, err := RenderKWayMerge(&sb, v, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Equal(v.Sorted()) {
+			t.Fatalf("traced merge of %s gave %s", v, out)
+		}
+	}
+	for trial := 0; trial < 20; trial++ {
+		blocks := make([]bitvec.Vector, 4)
+		for i := range blocks {
+			b := bitvec.New(4)
+			if rng.Intn(2) == 1 {
+				for j := range b {
+					b[j] = 1
+				}
+			}
+			blocks[i] = b
+		}
+		v := bitvec.Concat(blocks...)
+		var sb strings.Builder
+		out, err := RenderCleanSorter(&sb, v, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Equal(v.Sorted()) {
+			t.Fatalf("traced clean sort of %s gave %s", v, out)
+		}
+	}
+}
+
+// TestRenderErrors covers the validation paths.
+func TestRenderErrors(t *testing.T) {
+	var sb strings.Builder
+	if _, err := RenderKWayMerge(&sb, bitvec.MustFromString("10101010"), 4); err == nil {
+		t.Error("accepted non-k-sorted input")
+	}
+	if _, err := RenderKWayMerge(&sb, bitvec.New(12), 4); err == nil {
+		t.Error("accepted non-power-of-two width")
+	}
+	if _, err := RenderCleanSorter(&sb, bitvec.MustFromString("01010101"), 4); err == nil {
+		t.Error("accepted non-clean input")
+	}
+	if _, err := RenderCleanSorter(&sb, bitvec.New(8), 16); err == nil {
+		t.Error("accepted k > n")
+	}
+}

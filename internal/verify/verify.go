@@ -1,0 +1,335 @@
+// Package verify is a property-verification toolkit for the networks in
+// this module: exhaustive and sampled checkers for the sorting,
+// concentration and rearrangeability properties, with goroutine-parallel
+// input sweeps and counterexample minimization. It is used by the test
+// suites and by cmd/netstat to certify constructed networks.
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"absort/internal/bitvec"
+)
+
+// BitSorter is any n-input binary sorting function.
+type BitSorter func(bitvec.Vector) bitvec.Vector
+
+// Result reports the outcome of a verification sweep.
+type Result struct {
+	// OK is true when no counterexample was found.
+	OK bool
+	// Checked is the number of inputs evaluated.
+	Checked uint64
+	// Counterexample is a failing input (minimized when minimization is
+	// enabled); nil when OK.
+	Counterexample bitvec.Vector
+	// Got is the network's (incorrect) output on the counterexample.
+	Got bitvec.Vector
+}
+
+// Options configure a verification sweep.
+type Options struct {
+	// Workers is the parallelism degree; 0 means GOMAXPROCS.
+	Workers int
+	// Minimize shrinks a found counterexample by greedily clearing 1-bits
+	// and shortening runs while the failure persists.
+	Minimize bool
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SortsAllBinary exhaustively checks that sorter sorts every n-bit input,
+// sweeping the 2^n inputs across parallel workers. n must be ≤ 30.
+func SortsAllBinary(n int, sorter BitSorter, opts Options) Result {
+	if n > 30 {
+		panic(fmt.Sprintf("verify: SortsAllBinary with n=%d (max 30)", n))
+	}
+	total := uint64(1) << uint(n)
+	w := opts.workers()
+	if total < uint64(w) {
+		w = int(total)
+	}
+	var (
+		mu      sync.Mutex
+		stop    atomic.Bool
+		failure bitvec.Vector
+		got     bitvec.Vector
+	)
+	var wg sync.WaitGroup
+	chunk := total / uint64(w)
+	for wi := 0; wi < w; wi++ {
+		lo := uint64(wi) * chunk
+		hi := lo + chunk
+		if wi == w-1 {
+			hi = total
+		}
+		wg.Add(1)
+		go func(lo, hi uint64) {
+			defer wg.Done()
+			for x := lo; x < hi; x++ {
+				if x%1024 == 0 && stop.Load() {
+					return
+				}
+				v := bitvec.FromUint(x, n)
+				out := sorter(v)
+				if !out.Equal(v.Sorted()) {
+					mu.Lock()
+					if failure == nil {
+						failure, got = v, out
+					}
+					mu.Unlock()
+					stop.Store(true)
+					return
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	res := Result{OK: failure == nil, Checked: total}
+	if failure != nil {
+		res.Checked = 0 // early stop: exact count not tracked
+		if opts.Minimize {
+			failure, got = minimize(failure, sorter)
+		}
+		res.Counterexample, res.Got = failure, got
+	}
+	return res
+}
+
+// SortsSampled checks the sorter on `samples` random n-bit inputs plus the
+// standard adversarial family (all-zeros, all-ones, alternating, sorted,
+// reverse-sorted, single-bit), in parallel.
+func SortsSampled(n int, sorter BitSorter, samples int, seed int64, opts Options) Result {
+	inputs := make(chan bitvec.Vector, 64)
+	go func() {
+		defer close(inputs)
+		zero := bitvec.New(n)
+		inputs <- zero
+		ones := zero.Complement()
+		inputs <- ones
+		alt := bitvec.New(n)
+		for i := 1; i < n; i += 2 {
+			alt[i] = 1
+		}
+		inputs <- alt
+		inputs <- alt.Complement()
+		for m := 0; m <= n; m += max(1, n/8) {
+			s := bitvec.New(n)
+			for i := n - m; i < n; i++ {
+				s[i] = 1
+			}
+			inputs <- s
+			inputs <- s.Reverse()
+		}
+		for i := 0; i < n; i++ {
+			s := bitvec.New(n)
+			s[i] = 1
+			inputs <- s
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < samples; i++ {
+			inputs <- bitvec.Random(rng, n)
+		}
+	}()
+
+	var (
+		mu      sync.Mutex
+		failure bitvec.Vector
+		got     bitvec.Vector
+		checked uint64
+	)
+	var wg sync.WaitGroup
+	for wi := 0; wi < opts.workers(); wi++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for v := range inputs {
+				out := sorter(v)
+				mu.Lock()
+				checked++
+				bad := failure == nil && !out.Equal(v.Sorted())
+				if bad {
+					failure, got = v.Clone(), out
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	res := Result{OK: failure == nil, Checked: checked}
+	if failure != nil {
+		if opts.Minimize {
+			failure, got = minimize(failure, sorter)
+		}
+		res.Counterexample, res.Got = failure, got
+	}
+	return res
+}
+
+// minimize greedily simplifies a failing input: try flipping each 1-bit to
+// 0 and each 0-bit to 1 (preferring fewer 1s), keeping any change that
+// still fails, until a fixed point.
+func minimize(v bitvec.Vector, sorter BitSorter) (bitvec.Vector, bitvec.Vector) {
+	fails := func(x bitvec.Vector) (bitvec.Vector, bool) {
+		out := sorter(x)
+		return out, !out.Equal(x.Sorted())
+	}
+	cur := v.Clone()
+	curOut, _ := fails(cur)
+	for changed := true; changed; {
+		changed = false
+		for i := range cur {
+			if cur[i] == 0 {
+				continue
+			}
+			cand := cur.Clone()
+			cand[i] = 0
+			if out, bad := fails(cand); bad {
+				cur, curOut = cand, out
+				changed = true
+			}
+		}
+	}
+	return cur, curOut
+}
+
+// Router is a tag-routing function returning a receives-from permutation.
+type Router func(bitvec.Vector) []int
+
+// ConcentratesAll exhaustively checks that the router sends the 0-tagged
+// inputs of every n-bit tag pattern to the leading outputs via a valid
+// permutation. n must be ≤ 24.
+func ConcentratesAll(n int, route Router, opts Options) Result {
+	return SortsAllBinary(n, func(tags bitvec.Vector) bitvec.Vector {
+		p := route(tags)
+		out := make(bitvec.Vector, len(tags))
+		seen := make([]bool, len(tags))
+		for j, i := range p {
+			if i < 0 || i >= len(tags) || seen[i] {
+				// Signal failure by returning a non-sorted marker.
+				bad := tags.Clone()
+				if len(bad) > 1 {
+					bad[0], bad[len(bad)-1] = 1, 0
+				}
+				return bad
+			}
+			seen[i] = true
+			out[j] = tags[i]
+		}
+		return out
+	}, opts)
+}
+
+// Permuter realizes a destination assignment; it returns the receives-from
+// permutation or an error.
+type Permuter func(dest []int) ([]int, error)
+
+// RearrangeableExhaustive checks every permutation of n lines is realized
+// (n! checks; n must be ≤ 8).
+func RearrangeableExhaustive(n int, route Permuter) (bool, []int, error) {
+	if n > 8 {
+		panic(fmt.Sprintf("verify: RearrangeableExhaustive with n=%d (max 8)", n))
+	}
+	dest := make([]int, n)
+	for i := range dest {
+		dest[i] = i
+	}
+	var bad []int
+	var badErr error
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == n {
+			p, err := route(dest)
+			if err != nil {
+				bad = append([]int(nil), dest...)
+				badErr = err
+				return false
+			}
+			for j, i := range p {
+				if dest[i] != j {
+					bad = append([]int(nil), dest...)
+					badErr = fmt.Errorf("dest %v not realized by %v", dest, p)
+					return false
+				}
+			}
+			return true
+		}
+		for i := k; i < n; i++ {
+			dest[k], dest[i] = dest[i], dest[k]
+			ok := rec(k + 1)
+			dest[k], dest[i] = dest[i], dest[k]
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if rec(0) {
+		return true, nil, nil
+	}
+	return false, bad, badErr
+}
+
+// RearrangeableSampled checks `samples` random permutations in parallel.
+func RearrangeableSampled(n int, route Permuter, samples int, seed int64, opts Options) (bool, []int, error) {
+	type job struct{ dest []int }
+	jobs := make(chan job, 32)
+	go func() {
+		defer close(jobs)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < samples; i++ {
+			jobs <- job{dest: rng.Perm(n)}
+		}
+	}()
+	var (
+		mu     sync.Mutex
+		bad    []int
+		badErr error
+	)
+	var wg sync.WaitGroup
+	for wi := 0; wi < opts.workers(); wi++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				p, err := route(j.dest)
+				ok := err == nil
+				if ok {
+					for jj, i := range p {
+						if j.dest[i] != jj {
+							ok = false
+							err = fmt.Errorf("dest not realized")
+							break
+						}
+					}
+				}
+				if !ok {
+					mu.Lock()
+					if bad == nil {
+						bad, badErr = j.dest, err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return bad == nil, bad, badErr
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,211 @@
+package verify
+
+import (
+	"errors"
+	"testing"
+
+	"absort/internal/bitvec"
+	"absort/internal/cmpnet"
+	"absort/internal/concentrator"
+	"absort/internal/core"
+	"absort/internal/permnet"
+	"absort/internal/prefixadd"
+)
+
+// TestSortsAllBinaryPositive certifies all three core networks at n = 16
+// with the parallel sweep.
+func TestSortsAllBinaryPositive(t *testing.T) {
+	sorters := map[string]BitSorter{
+		"prefix":     core.NewPrefixSorter(16, prefixadd.Prefix).Sort,
+		"mux-merger": core.NewMuxMergerSorter(16).Sort,
+		"fish":       core.NewFishSorter(16, 4).Sort,
+	}
+	for name, s := range sorters {
+		res := SortsAllBinary(16, s, Options{})
+		if !res.OK {
+			t.Errorf("%s: counterexample %s -> %s", name, res.Counterexample, res.Got)
+		}
+		if res.Checked != 1<<16 {
+			t.Errorf("%s: checked %d inputs, want %d", name, res.Checked, 1<<16)
+		}
+	}
+}
+
+// TestSortsAllBinaryNegative finds and minimizes a counterexample for a
+// deliberately broken sorter.
+func TestSortsAllBinaryNegative(t *testing.T) {
+	broken := func(v bitvec.Vector) bitvec.Vector {
+		out := v.Sorted()
+		if v.Ones() == 3 { // fails exactly on weight-3 inputs
+			return v.Clone()
+		}
+		return out
+	}
+	res := SortsAllBinary(10, broken, Options{Minimize: true})
+	if res.OK {
+		t.Fatal("broken sorter certified")
+	}
+	if res.Counterexample == nil || res.Counterexample.Ones() != 3 {
+		t.Errorf("counterexample %s not minimized to weight 3", res.Counterexample)
+	}
+	if res.Got == nil {
+		t.Error("missing Got")
+	}
+}
+
+// TestSortsSampled runs the sampled sweep on a correct and a broken
+// sorter.
+func TestSortsSampled(t *testing.T) {
+	good := core.NewMuxMergerSorter(64).Sort
+	res := SortsSampled(64, good, 500, 1, Options{Workers: 4})
+	if !res.OK {
+		t.Errorf("good sorter failed on %s", res.Counterexample)
+	}
+	if res.Checked < 500 {
+		t.Errorf("checked only %d inputs", res.Checked)
+	}
+	broken := func(v bitvec.Vector) bitvec.Vector { return v.Clone() }
+	res = SortsSampled(64, broken, 100, 1, Options{Minimize: true})
+	if res.OK {
+		t.Fatal("identity certified as sorter")
+	}
+	// Minimization drives the counterexample down to a single offending 1
+	// (any vector with one 1 not already in place still fails identity...
+	// the minimum failing weight is 1).
+	if res.Counterexample.Ones() > 1 {
+		t.Errorf("counterexample %s not minimal", res.Counterexample)
+	}
+}
+
+// TestConcentratesAll certifies the replay routers at n = 12.
+func TestConcentratesAll(t *testing.T) {
+	res := ConcentratesAll(12, func(tags bitvec.Vector) []int {
+		// Pad to the next power of two for the router, then strip.
+		padded := bitvec.Concat(tags, bitvec.New(4).Complement())
+		p := concentrator.RouteRanking(padded)
+		out := make([]int, 0, 12)
+		for _, i := range p {
+			if i < 12 {
+				out = append(out, i)
+			}
+		}
+		return out
+	}, Options{})
+	if !res.OK {
+		t.Errorf("ranking router failed: %s", res.Counterexample)
+	}
+	resMM := ConcentratesAll(16, concentrator.RouteMuxMerger, Options{})
+	if !resMM.OK {
+		t.Errorf("mux-merger router failed: %s", resMM.Counterexample)
+	}
+}
+
+// TestConcentratesAllNegative: a router that duplicates an input is
+// rejected.
+func TestConcentratesAllNegative(t *testing.T) {
+	res := ConcentratesAll(6, func(tags bitvec.Vector) []int {
+		return []int{0, 0, 1, 2, 3, 4}
+	}, Options{})
+	if res.OK {
+		t.Fatal("duplicating router certified")
+	}
+}
+
+// TestRearrangeableExhaustive certifies Beneš and the radix permuter on
+// all 8! permutations... n=6 isn't a power of two, use n=8.
+func TestRearrangeableExhaustive(t *testing.T) {
+	benes := func(dest []int) ([]int, error) {
+		cfg, _, err := permnet.RouteBenes(dest)
+		if err != nil {
+			return nil, err
+		}
+		in := make([]int, len(dest))
+		for i := range in {
+			in[i] = i
+		}
+		out := permnet.ApplyBenes(cfg, in)
+		p := make([]int, len(dest))
+		for j, x := range out {
+			p[j] = x
+		}
+		return p, nil
+	}
+	ok, bad, err := RearrangeableExhaustive(8, benes)
+	if !ok {
+		t.Errorf("Beneš not rearrangeable: %v (%v)", bad, err)
+	}
+	radix := permnet.NewRadixPermuter(8, concentrator.MuxMerger, 0)
+	ok, bad, err = RearrangeableExhaustive(8, radix.Route)
+	if !ok {
+		t.Errorf("radix permuter not rearrangeable: %v (%v)", bad, err)
+	}
+}
+
+// TestRearrangeableExhaustiveNegative: a single Batcher merge stage is not
+// a permuter.
+func TestRearrangeableExhaustiveNegative(t *testing.T) {
+	bogus := func(dest []int) ([]int, error) {
+		p := make([]int, len(dest))
+		for i := range p {
+			p[i] = i // identity: realizes only the identity assignment
+		}
+		return p, nil
+	}
+	ok, bad, err := RearrangeableExhaustive(4, bogus)
+	if ok {
+		t.Fatal("identity certified as rearrangeable")
+	}
+	if bad == nil || err == nil {
+		t.Error("missing counterexample")
+	}
+}
+
+// TestRearrangeableSampled: parallel sampled sweep over wide networks.
+func TestRearrangeableSampled(t *testing.T) {
+	radix := permnet.NewRadixPermuter(64, concentrator.Fish, 0)
+	ok, bad, err := RearrangeableSampled(64, radix.Route, 200, 7, Options{})
+	if !ok {
+		t.Errorf("radix permuter failed on %v: %v", bad, err)
+	}
+	failing := func(dest []int) ([]int, error) {
+		return nil, errors.New("router down")
+	}
+	ok, _, err = RearrangeableSampled(16, failing, 10, 7, Options{Workers: 2})
+	if ok || err == nil {
+		t.Error("failing router certified")
+	}
+}
+
+// TestCmpnetThroughVerify certifies the comparator networks through the
+// toolkit as well (same zero-one principle, parallel sweep).
+func TestCmpnetThroughVerify(t *testing.T) {
+	for _, nw := range []interface {
+		ApplyBits(bitvec.Vector) bitvec.Vector
+		Name() string
+	}{
+		cmpnet.OddEvenMergeSort(16), cmpnet.BitonicSort(16),
+		cmpnet.AlternativeOEMSort(16), cmpnet.PeriodicBalancedSort(16),
+	} {
+		res := SortsAllBinary(16, nw.ApplyBits, Options{Workers: 8})
+		if !res.OK {
+			t.Errorf("%s: counterexample %s", nw.Name(), res.Counterexample)
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("SortsAllBinary too wide", func() {
+		SortsAllBinary(31, func(v bitvec.Vector) bitvec.Vector { return v }, Options{})
+	})
+	mustPanic("RearrangeableExhaustive too wide", func() {
+		RearrangeableExhaustive(9, nil)
+	})
+}

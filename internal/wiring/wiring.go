@@ -1,0 +1,127 @@
+// Package wiring provides the fixed interconnection patterns (shuffles and
+// their inverses) used between switching stages in the paper's networks:
+// the two-way shuffle of Fig. 2(a), the four-way shuffle of Fig. 2(b), and
+// general k-way shuffles.
+//
+// A wiring pattern is represented as a permutation p of {0,...,n-1} in
+// "receives-from" form: output j is connected to input p[j]. Apply and
+// ApplyWires route values through a pattern in this convention.
+package wiring
+
+import "fmt"
+
+// Perm is a wiring permutation in receives-from form: output j carries
+// input Perm[j].
+type Perm []int
+
+// Identity returns the identity wiring on n lines.
+func Identity(n int) Perm {
+	p := make(Perm, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// Valid reports whether p is a permutation of {0,...,len(p)-1}.
+func (p Perm) Valid() bool {
+	seen := make([]bool, len(p))
+	for _, x := range p {
+		if x < 0 || x >= len(p) || seen[x] {
+			return false
+		}
+		seen[x] = true
+	}
+	return true
+}
+
+// Inverse returns the inverse wiring: if p routes input i to output j,
+// the inverse routes input j to output i.
+func (p Perm) Inverse() Perm {
+	q := make(Perm, len(p))
+	for j, i := range p {
+		q[i] = j
+	}
+	return q
+}
+
+// Compose returns the wiring equivalent to applying p first, then q:
+// out[j] = in[p[q[j]]], i.e. (q∘p)[j] = p[q[j]] in receives-from form.
+func Compose(p, q Perm) Perm {
+	if len(p) != len(q) {
+		panic(fmt.Sprintf("wiring: Compose of lengths %d and %d", len(p), len(q)))
+	}
+	r := make(Perm, len(p))
+	for j := range r {
+		r[j] = p[q[j]]
+	}
+	return r
+}
+
+// KWayShuffle returns the k-way shuffle on n lines: the n inputs are viewed
+// as k contiguous blocks of n/k, and output positions j*k+r receive input
+// r*(n/k)+j — i.e. the blocks are interleaved. KWayShuffle(n, 2) is the
+// perfect (two-way) shuffle.
+func KWayShuffle(n, k int) Perm {
+	if k <= 0 || n%k != 0 {
+		panic(fmt.Sprintf("wiring: KWayShuffle(%d, %d)", n, k))
+	}
+	m := n / k
+	p := make(Perm, n)
+	for j := 0; j < m; j++ {
+		for r := 0; r < k; r++ {
+			p[j*k+r] = r*m + j
+		}
+	}
+	return p
+}
+
+// PerfectShuffle returns the two-way shuffle connection of Fig. 2(a).
+func PerfectShuffle(n int) Perm { return KWayShuffle(n, 2) }
+
+// Unshuffle returns the reversed two-way shuffle connection.
+func Unshuffle(n int) Perm { return PerfectShuffle(n).Inverse() }
+
+// FourWayShuffle returns the four-way shuffle connection of Fig. 2(b).
+func FourWayShuffle(n int) Perm { return KWayShuffle(n, 4) }
+
+// Apply routes a value slice through the wiring: out[j] = in[p[j]].
+// The element type is generic so the same patterns route bits, wires,
+// packets, and integers.
+func Apply[T any](p Perm, in []T) []T {
+	if len(in) != len(p) {
+		panic(fmt.Sprintf("wiring: Apply perm of len %d to slice of len %d",
+			len(p), len(in)))
+	}
+	out := make([]T, len(in))
+	for j, i := range p {
+		out[j] = in[i]
+	}
+	return out
+}
+
+// BlockPerm lifts a permutation of k blocks to a wiring on n lines:
+// output block j (of size n/k) receives input block bp[j] intact.
+func BlockPerm(n int, bp []int) Perm {
+	k := len(bp)
+	if k == 0 || n%k != 0 {
+		panic(fmt.Sprintf("wiring: BlockPerm(%d) with %d blocks", n, k))
+	}
+	m := n / k
+	p := make(Perm, n)
+	for j, i := range bp {
+		for t := 0; t < m; t++ {
+			p[j*m+t] = i*m + t
+		}
+	}
+	return p
+}
+
+// Reverse returns the order-reversing wiring on n lines.
+func Reverse(n int) Perm {
+	p := make(Perm, n)
+	for i := range p {
+		p[i] = n - 1 - i
+	}
+	return p
+}

@@ -1,0 +1,211 @@
+package wiring
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"absort/internal/bitvec"
+)
+
+func TestIdentity(t *testing.T) {
+	p := Identity(8)
+	if !p.Valid() {
+		t.Fatal("identity not valid")
+	}
+	in := []int{5, 6, 7, 8, 9, 10, 11, 12}
+	out := Apply(p, in)
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("identity moved element %d", i)
+		}
+	}
+}
+
+func TestPerfectShuffleMatchesBitvec(t *testing.T) {
+	// bitvec.Vector.Shuffle is the reference semantic.
+	rng := rand.New(rand.NewSource(3))
+	for n := 2; n <= 64; n *= 2 {
+		v := bitvec.Random(rng, n)
+		got := Apply(PerfectShuffle(n), []bitvec.Bit(v))
+		want := v.Shuffle()
+		if !bitvec.Vector(got).Equal(want) {
+			t.Fatalf("n=%d: wiring shuffle %v != bitvec shuffle %v", n, got, want)
+		}
+	}
+}
+
+func TestUnshuffleInverse(t *testing.T) {
+	for n := 2; n <= 64; n *= 2 {
+		s := PerfectShuffle(n)
+		u := Unshuffle(n)
+		if c := Compose(s, u); !isIdentity(c) {
+			t.Fatalf("n=%d: shuffle∘unshuffle != id: %v", n, c)
+		}
+		if c := Compose(u, s); !isIdentity(c) {
+			t.Fatalf("n=%d: unshuffle∘shuffle != id: %v", n, c)
+		}
+	}
+}
+
+func isIdentity(p Perm) bool {
+	for i, x := range p {
+		if x != i {
+			return false
+		}
+	}
+	return true
+}
+
+func TestKWayShuffle(t *testing.T) {
+	// 4-way shuffle of 8 lines: blocks {0,1},{2,3},{4,5},{6,7} interleave to
+	// 0,2,4,6,1,3,5,7.
+	p := KWayShuffle(8, 4)
+	want := Perm{0, 2, 4, 6, 1, 3, 5, 7}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("KWayShuffle(8,4) = %v, want %v", p, want)
+		}
+	}
+	if !p.Valid() {
+		t.Fatal("not a permutation")
+	}
+	// k=n degenerates to identity; k=1 likewise.
+	if !isIdentity(KWayShuffle(6, 6)) {
+		t.Error("KWayShuffle(n,n) != identity")
+	}
+	if !isIdentity(KWayShuffle(6, 1)) {
+		t.Error("KWayShuffle(n,1) != identity")
+	}
+}
+
+func TestFourWayShuffleGroups(t *testing.T) {
+	// Output quartet j holds inputs (j, j+n/4, j+n/2, j+3n/4): that is what
+	// feeds 4×4 switch j in Fig. 2(b).
+	n := 16
+	p := FourWayShuffle(n)
+	for j := 0; j < n/4; j++ {
+		for r := 0; r < 4; r++ {
+			if p[4*j+r] != r*(n/4)+j {
+				t.Fatalf("four-way shuffle line %d = %d", 4*j+r, p[4*j+r])
+			}
+		}
+	}
+}
+
+func TestComposeAssociative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(12)
+		p := randPerm(rng, n)
+		q := randPerm(rng, n)
+		r := randPerm(rng, n)
+		lhs := Compose(Compose(p, q), r)
+		rhs := Compose(p, Compose(q, r))
+		for i := range lhs {
+			if lhs[i] != rhs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComposeSemantics(t *testing.T) {
+	// Apply(Compose(p,q), v) == Apply(q, Apply(p, v)).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(12)
+		p := randPerm(rng, n)
+		q := randPerm(rng, n)
+		v := make([]int, n)
+		for i := range v {
+			v[i] = rng.Int()
+		}
+		lhs := Apply(Compose(p, q), v)
+		rhs := Apply(q, Apply(p, v))
+		for i := range lhs {
+			if lhs[i] != rhs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func randPerm(rng *rand.Rand, n int) Perm {
+	p := Identity(n)
+	rng.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+func TestInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 50; i++ {
+		p := randPerm(rng, 3+rng.Intn(20))
+		if !isIdentity(Compose(p, p.Inverse())) {
+			t.Fatalf("p∘p⁻¹ != id for %v", p)
+		}
+	}
+}
+
+func TestBlockPerm(t *testing.T) {
+	// Swap halves of 8 lines as 2 blocks.
+	p := BlockPerm(8, []int{1, 0})
+	v := bitvec.MustFromString("00001111")
+	got := Apply(p, []bitvec.Bit(v))
+	if bitvec.Vector(got).String() != "11110000" {
+		t.Errorf("BlockPerm half swap = %v", got)
+	}
+	// Rotate quarters.
+	p4 := BlockPerm(8, []int{1, 2, 3, 0})
+	v2 := bitvec.MustFromString("00011011")
+	got2 := Apply(p4, []bitvec.Bit(v2))
+	if bitvec.Vector(got2).String() != "01101100" {
+		t.Errorf("BlockPerm rotate = %v", bitvec.Vector(got2))
+	}
+}
+
+func TestReverse(t *testing.T) {
+	v := []int{1, 2, 3, 4}
+	got := Apply(Reverse(4), v)
+	want := []int{4, 3, 2, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Reverse: %v", got)
+		}
+	}
+}
+
+func TestValid(t *testing.T) {
+	if (Perm{0, 0, 1}).Valid() {
+		t.Error("duplicate accepted")
+	}
+	if (Perm{0, 3}).Valid() {
+		t.Error("out of range accepted")
+	}
+	if !(Perm{}).Valid() {
+		t.Error("empty perm should be valid")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("KWayShuffle", func() { KWayShuffle(8, 3) })
+	mustPanic("Compose", func() { Compose(Identity(3), Identity(4)) })
+	mustPanic("Apply", func() { Apply(Identity(3), []int{1, 2}) })
+	mustPanic("BlockPerm", func() { BlockPerm(8, []int{0, 1, 2}) })
+}

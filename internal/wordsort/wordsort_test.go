@@ -1,0 +1,194 @@
+package wordsort
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"absort/internal/concentrator"
+)
+
+// TestSortRandom sorts random keys across widths and engines and checks
+// against the standard library.
+func TestSortRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(167))
+	for _, eng := range []Engine{concentrator.MuxMerger, concentrator.Fish} {
+		for _, tc := range []struct{ n, w int }{{16, 4}, {64, 8}, {256, 12}, {64, 1}} {
+			s, err := New(tc.n, tc.w, eng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for trial := 0; trial < 20; trial++ {
+				keys := make([]uint64, tc.n)
+				for i := range keys {
+					keys[i] = uint64(rng.Intn(1 << uint(tc.w)))
+				}
+				got, perm, err := s.Sort(keys)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := append([]uint64(nil), keys...)
+				sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("eng=%v n=%d w=%d: got %v want %v", eng, tc.n, tc.w, got, want)
+					}
+					if keys[perm[i]] != got[i] {
+						t.Fatalf("perm inconsistent at %d", i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSortStable verifies stability: equal keys keep input order, checked
+// by sorting (key, index) records.
+func TestSortStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(173))
+	s, err := New(64, 3, concentrator.MuxMerger) // only 8 distinct keys: many ties
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 30; trial++ {
+		keys := make([]uint64, 64)
+		for i := range keys {
+			keys[i] = uint64(rng.Intn(8))
+		}
+		_, perm, err := s.Sort(keys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 1; j < len(perm); j++ {
+			a, b := keys[perm[j-1]], keys[perm[j]]
+			if a > b {
+				t.Fatalf("not sorted at %d", j)
+			}
+			if a == b && perm[j-1] > perm[j] {
+				t.Fatalf("not stable: key %d, indices %d then %d", a, perm[j-1], perm[j])
+			}
+		}
+	}
+}
+
+// TestSortExhaustiveTinyKeys sorts every 2-bit key assignment on 8 lines.
+func TestSortExhaustiveTinyKeys(t *testing.T) {
+	s, err := New(8, 2, concentrator.Fish)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]uint64, 8)
+	var rec func(i int)
+	rec = func(i int) {
+		if t.Failed() {
+			return
+		}
+		if i == 8 {
+			got, _, err := s.Sort(keys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := 1; j < 8; j++ {
+				if got[j-1] > got[j] {
+					t.Fatalf("unsorted on %v: %v", keys, got)
+				}
+			}
+			return
+		}
+		for v := uint64(0); v < 4; v++ {
+			keys[i] = v
+			rec(i + 1)
+		}
+	}
+	rec(0)
+}
+
+// TestSortBy sorts records by key and checks payload integrity.
+func TestSortBy(t *testing.T) {
+	type rec struct {
+		key  uint64
+		name string
+	}
+	s, err := New(8, 4, concentrator.MuxMerger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := []rec{
+		{9, "i"}, {3, "c"}, {7, "g"}, {3, "c2"},
+		{1, "a"}, {15, "p"}, {0, "z"}, {7, "g2"},
+	}
+	out, err := SortBy(s, items, func(r rec) uint64 { return r.key })
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNames := []string{"z", "a", "c", "c2", "g", "g2", "i", "p"}
+	for i, w := range wantNames {
+		if out[i].name != w {
+			t.Fatalf("SortBy order = %v", out)
+		}
+	}
+}
+
+// TestSortProperty via testing/quick: output sorted, same multiset.
+func TestSortProperty(t *testing.T) {
+	s, err := New(32, 8, concentrator.Fish)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		keys := make([]uint64, 32)
+		counts := map[uint64]int{}
+		for i := range keys {
+			keys[i] = uint64(rng.Intn(256))
+			counts[keys[i]]++
+		}
+		got, _, err := s.Sort(keys)
+		if err != nil {
+			return false
+		}
+		for j := 1; j < len(got); j++ {
+			if got[j-1] > got[j] {
+				return false
+			}
+		}
+		for _, k := range got {
+			counts[k]--
+		}
+		for _, c := range counts {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(12, 4, concentrator.MuxMerger); err == nil {
+		t.Error("accepted non-power-of-two n")
+	}
+	if _, err := New(16, 0, concentrator.MuxMerger); err == nil {
+		t.Error("accepted zero key width")
+	}
+	if _, err := New(16, 65, concentrator.MuxMerger); err == nil {
+		t.Error("accepted key width > 64")
+	}
+	s, _ := New(16, 4, concentrator.MuxMerger)
+	if _, _, err := s.Sort(make([]uint64, 8)); err == nil {
+		t.Error("accepted wrong key count")
+	}
+	if _, err := SortBy(s, []int{1, 2}, func(int) uint64 { return 0 }); err == nil {
+		t.Error("SortBy accepted wrong item count")
+	}
+	if s.N() != 16 || s.W() != 4 || s.Passes() != 4 {
+		t.Error("accessors")
+	}
+	if s.CostModel(1000) != 4*(160+1000) {
+		t.Errorf("CostModel = %d", s.CostModel(1000))
+	}
+}

@@ -1,0 +1,140 @@
+// Benchmarks for the supporting subsystems: parallel batch evaluation and
+// verification sweeps, circuit-level tagged routing, the clocked machine,
+// and fault analysis.
+package absort_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"absort/internal/bitvec"
+	"absort/internal/cmpnet"
+	"absort/internal/concentrator"
+	"absort/internal/core"
+	"absort/internal/fault"
+	"absort/internal/fishhw"
+	"absort/internal/netlist"
+	"absort/internal/verify"
+)
+
+// BenchmarkEvalBatchWorkers measures the parallel netlist sweep at several
+// worker counts.
+func BenchmarkEvalBatchWorkers(b *testing.B) {
+	c := core.NewMuxMergerSorter(256).Circuit()
+	rng := rand.New(rand.NewSource(13))
+	inputs := make([]bitvec.Vector, 512)
+	for i := range inputs {
+		inputs[i] = bitvec.Random(rng, 256)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c.EvalBatch(inputs, workers)
+			}
+		})
+	}
+}
+
+// BenchmarkVerifyExhaustive measures the parallel exhaustive certification
+// of the mux-merger sorter at n = 16 (65536 inputs per iteration).
+func BenchmarkVerifyExhaustive(b *testing.B) {
+	s := core.NewMuxMergerSorter(16)
+	for _, workers := range []int{1, 4, 0} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if res := verify.SortsAllBinary(16, s.Sort, verify.Options{Workers: workers}); !res.OK {
+					b.Fatal("certification failed")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCircuitTaggedRouting measures payload routing through the real
+// netlists vs the behavioral replay.
+func BenchmarkCircuitTaggedRouting(b *testing.B) {
+	n := 128
+	rng := rand.New(rand.NewSource(17))
+	tags := bitvec.Random(rng, n)
+	b.Run("netlist-tagged", func(b *testing.B) {
+		r := concentrator.NewMuxMergerCircuitRouter(n)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := r.Route(tags); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("behavioral-replay", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			concentrator.RouteMuxMerger(tags)
+		}
+	})
+}
+
+// BenchmarkFishMachine measures the clocked gate-level machine in both
+// modes against problem size.
+func BenchmarkFishMachine(b *testing.B) {
+	for _, tc := range []struct{ n, k int }{{64, 4}, {256, 8}} {
+		m, err := fishhw.New(tc.n, tc.k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(19))
+		v := bitvec.Random(rng, tc.n)
+		b.Run(fmt.Sprintf("sort/n=%d", tc.n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := m.Sort(v); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("route/n=%d", tc.n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := m.Route(v); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFaultAnalysis measures the Rudolph-robustness sweep and
+// stuck-at coverage computation.
+func BenchmarkFaultAnalysis(b *testing.B) {
+	b.Run("dead-comparators", func(b *testing.B) {
+		nw := cmpnet.PeriodicBalancedSort(8)
+		for i := 0; i < b.N; i++ {
+			fault.AnalyzeDeadComparators(nw, true, 0, 0)
+		}
+	})
+	b.Run("stuck-at-coverage", func(b *testing.B) {
+		c := core.NewMuxMergerSorter(16).Circuit()
+		tests := fault.RandomTestSet(16, 32, 1)
+		b.ReportMetric(float64(2*c.NumWires()), "faults")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fault.StuckAtCoverage(c, tests)
+		}
+	})
+}
+
+// BenchmarkStuckAtEval measures single faulty evaluation overhead vs
+// fault-free.
+func BenchmarkStuckAtEval(b *testing.B) {
+	c := core.NewMuxMergerSorter(64).Circuit()
+	rng := rand.New(rand.NewSource(23))
+	v := bitvec.Random(rng, 64)
+	stuck := map[netlist.Wire]bitvec.Bit{5: 1}
+	b.Run("clean", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c.Eval(v)
+		}
+	})
+	b.Run("faulty", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c.EvalStuck(v, stuck)
+		}
+	})
+}
