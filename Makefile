@@ -1,0 +1,28 @@
+# CI entry points. `make ci` is the full gate: vet, build, race-enabled
+# tests, and a one-iteration benchmark smoke run of the evaluation-engine
+# comparison, which also refreshes BENCH_eval.json (ns/vector for the
+# interpreter, compiled, and wide engines at n ∈ {64, 256, 1024}).
+
+GO ?= go
+
+.PHONY: ci vet build test race bench clean
+
+ci: vet build race bench
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run 'TestWideSpeedupFloor' -bench 'EvalEngines' -benchtime 1x .
+
+clean:
+	$(GO) clean ./...

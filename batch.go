@@ -1,0 +1,54 @@
+package absort
+
+import (
+	"fmt"
+
+	"absort/internal/netlist"
+)
+
+// BatchSorter sorts many equal-length binary vectors through one compiled
+// gate-level sorting network. The circuit (a mux-merger sorter, Network 2)
+// is lowered once into the packed SWAR evaluation program; SortBatch then
+// streams inputs through it 64 vectors per traversal, parallelized across
+// cores. This is the throughput-oriented front door to the same netlists
+// the structural analyses measure.
+type BatchSorter struct {
+	n        int
+	circuit  *netlist.Circuit
+	compiled *netlist.Compiled
+}
+
+// NewBatchSorter returns a batch sorter for n-bit vectors (n a power of
+// two), backed by the n-input mux-merger sorter netlist.
+func NewBatchSorter(n int) (*BatchSorter, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("absort: NewBatchSorter(%d): n must be a power of two ≥ 2", n)
+	}
+	c := NewMuxMergerSorter(n).Circuit()
+	return &BatchSorter{n: n, circuit: c, compiled: c.Compile()}, nil
+}
+
+// N returns the vector width.
+func (s *BatchSorter) N() int { return s.n }
+
+// Circuit exposes the underlying netlist (for cost/depth statistics).
+func (s *BatchSorter) Circuit() *netlist.Circuit { return s.circuit }
+
+// Sort sorts a single vector through the compiled engine.
+func (s *BatchSorter) Sort(v Vector) (Vector, error) {
+	if len(v) != s.n {
+		return nil, fmt.Errorf("absort: BatchSorter.Sort: vector has %d bits, want %d", len(v), s.n)
+	}
+	return s.compiled.Eval(v), nil
+}
+
+// SortBatch sorts every vector, 64 per packed traversal, using workers
+// goroutines (≤ 0 means GOMAXPROCS). The result preserves input order.
+func (s *BatchSorter) SortBatch(vs []Vector, workers int) ([]Vector, error) {
+	for i, v := range vs {
+		if len(v) != s.n {
+			return nil, fmt.Errorf("absort: BatchSorter.SortBatch: vector %d has %d bits, want %d", i, len(v), s.n)
+		}
+	}
+	return s.compiled.EvalBatch(vs, workers), nil
+}

@@ -1,0 +1,65 @@
+package absort_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"absort"
+	"absort/internal/bitvec"
+)
+
+func TestBatchSorter(t *testing.T) {
+	for _, n := range []int{4, 16, 64, 256} {
+		s, err := absort.NewBatchSorter(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.N() != n {
+			t.Fatalf("N() = %d, want %d", s.N(), n)
+		}
+		rng := rand.New(rand.NewSource(int64(n)))
+		vs := make([]absort.Vector, 200)
+		for i := range vs {
+			vs[i] = bitvec.Random(rng, n)
+		}
+		out, err := s.SortBatch(vs, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range vs {
+			if !out[i].Equal(v.Sorted()) {
+				t.Errorf("n=%d vector %d: sorted %s to %s", n, i, v, out[i])
+			}
+			single, err := s.Sort(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !single.Equal(out[i]) {
+				t.Errorf("n=%d vector %d: Sort %s != SortBatch %s", n, i, single, out[i])
+			}
+		}
+	}
+}
+
+func TestBatchSorterErrors(t *testing.T) {
+	if _, err := absort.NewBatchSorter(3); err == nil {
+		t.Error("NewBatchSorter(3): want error")
+	}
+	if _, err := absort.NewBatchSorter(0); err == nil {
+		t.Error("NewBatchSorter(0): want error")
+	}
+	s, err := absort.NewBatchSorter(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Sort(bitvec.New(4)); err == nil {
+		t.Error("Sort with wrong width: want error")
+	}
+	if _, err := s.SortBatch([]absort.Vector{bitvec.New(8), bitvec.New(4)}, 1); err == nil {
+		t.Error("SortBatch with wrong width: want error")
+	}
+	out, err := s.SortBatch(nil, 4)
+	if err != nil || len(out) != 0 {
+		t.Errorf("SortBatch(nil) = %v, %v; want empty, nil", out, err)
+	}
+}

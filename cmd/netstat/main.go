@@ -94,10 +94,11 @@ func main() {
 		width := circuit.NumInputs()
 		var res verify.Result
 		if width <= 20 {
-			res = verify.SortsAllBinary(width, circuit.Eval, verify.Options{Minimize: true})
+			// Wide engine: all 2^width inputs, 64 lanes per compiled pass.
+			res = verify.SortsAllCircuit(circuit, verify.Options{Minimize: true})
 			fmt.Printf("verify:     exhaustive over %d inputs: ", uint64(1)<<uint(width))
 		} else {
-			res = verify.SortsSampled(width, circuit.Eval, 2000, 1, verify.Options{Minimize: true})
+			res = verify.SortsSampled(width, circuit.Compile().Eval, 2000, 1, verify.Options{Minimize: true})
 			fmt.Printf("verify:     sampled (%d inputs): ", res.Checked)
 		}
 		if res.OK {

@@ -1,0 +1,147 @@
+package absort_test
+
+// BenchmarkEvalEngines measures per-vector throughput of the three netlist
+// evaluation engines on the mux-merger sorter circuit (Network 2) at
+// n ∈ {64, 256, 1024}:
+//
+//   - legacy:   the gate-by-gate interpreter (Circuit.Eval)
+//   - compiled: the lowered instruction stream, one vector per pass
+//   - wide:     the packed SWAR engine, 64 vectors per pass
+//
+// Each sub-benchmark reports ns/vector via b.ReportMetric; the collected
+// numbers are persisted to BENCH_eval.json when the run completes so the CI
+// smoke run (`make bench`) leaves a machine-readable record of the speedup.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+
+	"absort/internal/bitvec"
+	"absort/internal/core"
+)
+
+// evalBenchRecord is one engine × size measurement.
+type evalBenchRecord struct {
+	Engine   string  `json:"engine"`
+	N        int     `json:"n"`
+	NsPerVec float64 `json:"ns_per_vector"`
+}
+
+var evalBench struct {
+	sync.Mutex
+	records []evalBenchRecord
+}
+
+// recordEvalBench stores a measurement and rewrites BENCH_eval.json with
+// everything collected so far (the final sub-run leaves the full table).
+func recordEvalBench(engine string, n int, nsPerVec float64) {
+	evalBench.Lock()
+	defer evalBench.Unlock()
+	for i, r := range evalBench.records {
+		if r.Engine == engine && r.N == n {
+			evalBench.records[i].NsPerVec = nsPerVec
+			writeEvalBench()
+			return
+		}
+	}
+	evalBench.records = append(evalBench.records, evalBenchRecord{engine, n, nsPerVec})
+	writeEvalBench()
+}
+
+func writeEvalBench() {
+	data, err := json.MarshalIndent(evalBench.records, "", "  ")
+	if err != nil {
+		return
+	}
+	_ = os.WriteFile("BENCH_eval.json", append(data, '\n'), 0o644)
+}
+
+func BenchmarkEvalEngines(b *testing.B) {
+	rng := rand.New(rand.NewSource(1992))
+	for _, n := range []int{64, 256, 1024} {
+		c := core.NewMuxMergerSorter(n).Circuit()
+		p := c.Compile()
+		vs := make([]bitvec.Vector, 64)
+		for i := range vs {
+			vs[i] = bitvec.Random(rng, n)
+		}
+		inW := make([]uint64, c.NumInputs())
+		outW := make([]uint64, c.NumOutputs())
+		p.PackInputs(inW, vs)
+
+		b.Run(fmt.Sprintf("legacy/n=%d", n), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Eval(vs[i&63])
+			}
+			b.StopTimer()
+			ns := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			b.ReportMetric(ns, "ns/vector")
+			recordEvalBench("legacy", n, ns)
+		})
+		b.Run(fmt.Sprintf("compiled/n=%d", n), func(b *testing.B) {
+			out := make(bitvec.Vector, c.NumOutputs())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.EvalInto(out, vs[i&63])
+			}
+			b.StopTimer()
+			ns := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			b.ReportMetric(ns, "ns/vector")
+			recordEvalBench("compiled", n, ns)
+		})
+		b.Run(fmt.Sprintf("wide/n=%d", n), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.EvalPackedInto(outW, inW) // 64 vectors per pass
+			}
+			b.StopTimer()
+			ns := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / 64
+			b.ReportMetric(ns, "ns/vector")
+			recordEvalBench("wide", n, ns)
+		})
+	}
+}
+
+// TestWideSpeedupFloor pins the acceptance criterion: the packed engine
+// must deliver at least 10× the legacy interpreter's per-vector throughput
+// on the n=1024 mux-merger sorter. Measured inline (not via the benchmark
+// harness) so `go test` enforces it on every run.
+func TestWideSpeedupFloor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing floor skipped in -short mode")
+	}
+	n := 1024
+	c := core.NewMuxMergerSorter(n).Circuit()
+	p := c.Compile()
+	rng := rand.New(rand.NewSource(5))
+	vs := make([]bitvec.Vector, 64)
+	for i := range vs {
+		vs[i] = bitvec.Random(rng, n)
+	}
+	inW := make([]uint64, c.NumInputs())
+	outW := make([]uint64, c.NumOutputs())
+	p.PackInputs(inW, vs)
+
+	legacy := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c.Eval(vs[i&63])
+		}
+	})
+	wide := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p.EvalPackedInto(outW, inW)
+		}
+	})
+	legacyNs := float64(legacy.NsPerOp())
+	wideNs := float64(wide.NsPerOp()) / 64
+	speedup := legacyNs / wideNs
+	t.Logf("n=%d: legacy %.0f ns/vector, wide %.1f ns/vector, speedup %.1f×", n, legacyNs, wideNs, speedup)
+	if speedup < 10 {
+		t.Errorf("wide engine speedup %.1f× < 10× floor (legacy %.0f ns/vec, wide %.1f ns/vec)", speedup, legacyNs, wideNs)
+	}
+}

@@ -1,0 +1,61 @@
+package analysis
+
+// Empirical input-population statistics. The structural analyses elsewhere
+// in this package are closed-form; the helpers here summarize concrete
+// vector populations (test sets, probe batches, verification samples).
+// Counting goes through the packed-word popcount (bitvec.PackWords +
+// math/bits.OnesCount64, 64 elements per instruction) rather than summing
+// vector elements one bit at a time.
+
+import (
+	"absort/internal/bitvec"
+)
+
+// OnesProfile summarizes the ones-counts of a vector population.
+type OnesProfile struct {
+	// Vectors is the population size; Width the vector length.
+	Vectors, Width int
+	// Min, Max bound the per-vector ones-counts; Total sums them.
+	Min, Max, Total int
+}
+
+// Mean returns the average ones-count per vector.
+func (p OnesProfile) Mean() float64 {
+	if p.Vectors == 0 {
+		return 0
+	}
+	return float64(p.Total) / float64(p.Vectors)
+}
+
+// Balance returns the mean ones fraction (0.5 = perfectly balanced), the
+// quantity stuck-at coverage of data paths is most sensitive to: an
+// all-zeros test can never excite a stuck-at-0 fault.
+func (p OnesProfile) Balance() float64 {
+	if p.Width == 0 {
+		return 0
+	}
+	return p.Mean() / float64(p.Width)
+}
+
+// ProfileOnes computes the ones-count profile of equal-length vectors via
+// the packed-word popcount.
+func ProfileOnes(vs []bitvec.Vector) OnesProfile {
+	if len(vs) == 0 {
+		return OnesProfile{}
+	}
+	n := len(vs[0])
+	stride := bitvec.WordsPer(n)
+	words := bitvec.PackWords(vs)
+	p := OnesProfile{Vectors: len(vs), Width: n, Min: n + 1}
+	for j := 0; j < len(vs); j++ {
+		ones := bitvec.PopCountWords(words[j*stride : (j+1)*stride])
+		p.Total += ones
+		if ones < p.Min {
+			p.Min = ones
+		}
+		if ones > p.Max {
+			p.Max = ones
+		}
+	}
+	return p
+}

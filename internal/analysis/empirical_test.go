@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+
+	"absort/internal/bitvec"
+)
+
+func TestProfileOnes(t *testing.T) {
+	if p := ProfileOnes(nil); p != (OnesProfile{}) {
+		t.Errorf("ProfileOnes(nil) = %+v, want zero", p)
+	}
+	vs := []bitvec.Vector{
+		bitvec.MustFromString("0000"),
+		bitvec.MustFromString("1111"),
+		bitvec.MustFromString("1010"),
+	}
+	p := ProfileOnes(vs)
+	want := OnesProfile{Vectors: 3, Width: 4, Min: 0, Max: 4, Total: 6}
+	if p != want {
+		t.Fatalf("ProfileOnes = %+v, want %+v", p, want)
+	}
+	if got := p.Mean(); got != 2 {
+		t.Errorf("Mean = %v, want 2", got)
+	}
+	if got := p.Balance(); got != 0.5 {
+		t.Errorf("Balance = %v, want 0.5", got)
+	}
+}
+
+// TestProfileOnesMatchesScalar cross-checks the packed popcount path
+// against a per-bit scalar count on random populations of odd widths.
+func TestProfileOnesMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 63, 64, 65, 200} {
+		vs := make([]bitvec.Vector, 37)
+		for i := range vs {
+			vs[i] = bitvec.Random(rng, n)
+		}
+		p := ProfileOnes(vs)
+		total, min, max := 0, n+1, 0
+		for _, v := range vs {
+			ones := 0
+			for _, b := range v {
+				ones += int(b)
+			}
+			total += ones
+			if ones < min {
+				min = ones
+			}
+			if ones > max {
+				max = ones
+			}
+		}
+		if p.Total != total || p.Min != min || p.Max != max {
+			t.Errorf("n=%d: ProfileOnes = %+v, scalar total=%d min=%d max=%d", n, p, total, min, max)
+		}
+	}
+}

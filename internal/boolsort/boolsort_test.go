@@ -8,20 +8,27 @@ import (
 	"absort/internal/core"
 	"absort/internal/netlist"
 	"absort/internal/prefixadd"
+	"absort/internal/verify"
 )
 
 // TestBoolsortExhaustive: the counting circuit sorts every binary input.
+// The sweep enumerates inputs 64 at a time through the compiled wide
+// engine (verify.SortsAllCircuit) and keeps a scalar interpreter anchor
+// per size for engines agreement.
 func TestBoolsortExhaustive(t *testing.T) {
 	for _, n := range []int{2, 4, 8, 16} {
 		c := Circuit(n)
-		bitvec.All(n, func(v bitvec.Vector) bool {
-			got := c.Eval(v)
-			if !got.Equal(v.Sorted()) {
+		if res := verify.SortsAllCircuit(c, verify.Options{}); !res.OK {
+			t.Errorf("n=%d: boolsort(%s) = %s, want sorted ascending",
+				n, res.Counterexample, res.Got)
+		}
+		rng := rand.New(rand.NewSource(int64(n)))
+		for i := 0; i < 16; i++ {
+			v := bitvec.Random(rng, n)
+			if got := c.Eval(v); !got.Equal(v.Sorted()) {
 				t.Errorf("n=%d: boolsort(%s) = %s, want %s", n, v, got, v.Sorted())
-				return false
 			}
-			return true
-		})
+		}
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"absort/internal/bitvec"
 	"absort/internal/cmpnet"
@@ -114,34 +115,73 @@ func AnalyzeDeadComparators(nw *cmpnet.Network, exhaustive bool, samples int, se
 // StuckAtCoverage measures single stuck-at-0/1 fault coverage of a test
 // set on a netlist: a fault is covered when at least one test input
 // produces an output different from the fault-free circuit. It returns
-// (covered, total) fault counts. Faults are enumerated on every wire;
-// evaluation parallelizes over faults.
+// (covered, total) fault counts.
+//
+// The campaign runs on the compiled SWAR engine: the test set is packed
+// into 64-lane blocks once, the fault-free outputs are computed packed,
+// and every fault site is then a single force-masked packed pass per
+// block — all test vectors against a fault in one traversal. Faults are
+// distributed across workers by an atomic cursor.
 func StuckAtCoverage(c *netlist.Circuit, tests []bitvec.Vector) (covered, total int) {
-	golden := make([]bitvec.Vector, len(tests))
-	for i, tv := range tests {
-		golden[i] = c.Eval(tv)
+	p := c.Compile()
+	nin, nout := c.NumInputs(), c.NumOutputs()
+	nblocks := (len(tests) + 63) / 64
+	inW := make([][]uint64, nblocks)
+	goldenW := make([][]uint64, nblocks)
+	counts := make([]int, nblocks) // live lanes per block
+	for b := 0; b < nblocks; b++ {
+		lo := b * 64
+		hi := lo + 64
+		if hi > len(tests) {
+			hi = len(tests)
+		}
+		inW[b] = make([]uint64, nin)
+		goldenW[b] = make([]uint64, nout)
+		p.PackInputs(inW[b], tests[lo:hi])
+		p.EvalPackedInto(goldenW[b], inW[b])
+		counts[b] = hi - lo
 	}
 	nw := c.NumWires()
 	total = 2 * nw
 	results := make([]bool, total)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > total {
+		workers = total
+	}
+	var cursor atomic.Int64
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for w := 0; w < nw; w++ {
-		for _, sa := range []bitvec.Bit{0, 1} {
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(w int, sa bitvec.Bit) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				stuck := map[netlist.Wire]bitvec.Bit{netlist.Wire(w): sa}
-				for i, tv := range tests {
-					if !c.EvalStuck(tv, stuck).Equal(golden[i]) {
-						results[2*w+int(sa)] = true
-						return
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out := make([]uint64, nout)
+			stuck := make(map[netlist.Wire]bitvec.Bit, 1)
+			for {
+				f := int(cursor.Add(1)) - 1
+				if f >= total {
+					return
+				}
+				w, sa := netlist.Wire(f/2), bitvec.Bit(f%2)
+				for k := range stuck {
+					delete(stuck, k)
+				}
+				stuck[w] = sa
+			blocks:
+				for b := 0; b < nblocks; b++ {
+					valid := ^uint64(0)
+					if counts[b] < 64 {
+						valid = (uint64(1) << uint(counts[b])) - 1
+					}
+					p.EvalPackedStuckInto(out, inW[b], stuck)
+					for i, g := range goldenW[b] {
+						if (out[i]^g)&valid != 0 {
+							results[f] = true
+							break blocks
+						}
 					}
 				}
-			}(w, sa)
-		}
+			}
+		}()
 	}
 	wg.Wait()
 	for _, r := range results {

@@ -143,11 +143,13 @@ type Stats struct {
 	RegisterBits int
 }
 
-// traverse runs one clocked traversal of a netlist. It counts the macro
-// step; unit delays are accumulated by the callers, which know whether
-// branches run in parallel (equation (13)'s max) or sequentially.
+// traverse runs one clocked traversal of a netlist through the compiled
+// SWAR engine (the program is compiled once per circuit and cached). It
+// counts the macro step; unit delays are accumulated by the callers, which
+// know whether branches run in parallel (equation (13)'s max) or
+// sequentially.
 func (m *Machine) traverse(c *netlist.Circuit, in bitvec.Vector) bitvec.Vector {
-	out := c.Eval(in)
+	out := c.Compile().Eval(in)
 	m.macroSteps++
 	return out
 }
@@ -229,7 +231,7 @@ func (m *Machine) mergeLevel(idx int, data bitvec.Vector) (bitvec.Vector, int) {
 // kSorterEval runs the boundary k-input sorter as a clocked traversal but
 // returns only the data (delay handled by the caller).
 func (m *Machine) kSorterEval(data bitvec.Vector) bitvec.Vector {
-	out := m.kSorter.Eval(data)
+	out := m.kSorter.Compile().Eval(data)
 	m.macroSteps++
 	return out
 }

@@ -1,0 +1,105 @@
+package fishhw
+
+import (
+	"math/rand"
+	"testing"
+
+	"absort/internal/bitvec"
+)
+
+// TestSortWideMatchesScalar pins the packed 64-lane clocked run to the
+// scalar machine: every lane must sort, and the run statistics must equal a
+// scalar run's (the clock does the same work regardless of occupancy).
+func TestSortWideMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, tc := range []struct{ n, k, lanes int }{
+		{8, 2, 1}, {8, 4, 64}, {16, 4, 17}, {16, 8, 64}, {64, 4, 64}, {128, 8, 33},
+	} {
+		m, err := New(tc.n, tc.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vs := make([]bitvec.Vector, tc.lanes)
+		for l := range vs {
+			vs[l] = bitvec.Random(rng, tc.n)
+		}
+		wide, wst, err := m.SortWide(vs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(wide) != tc.lanes {
+			t.Fatalf("n=%d k=%d: SortWide returned %d lanes, want %d", tc.n, tc.k, len(wide), tc.lanes)
+		}
+		var sst Stats
+		for l, v := range vs {
+			sc, st, err := m.Sort(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sst = st
+			if !wide[l].Equal(sc) {
+				t.Errorf("n=%d k=%d lane %d: wide %s != scalar %s", tc.n, tc.k, l, wide[l], sc)
+			}
+			if !wide[l].Equal(v.Sorted()) {
+				t.Errorf("n=%d k=%d lane %d: wide sorted %s to %s", tc.n, tc.k, l, v, wide[l])
+			}
+		}
+		if wst.MacroSteps != sst.MacroSteps || wst.UnitDelays != sst.UnitDelays {
+			t.Errorf("n=%d k=%d: wide stats %+v != scalar stats %+v", tc.n, tc.k, wst, sst)
+		}
+	}
+}
+
+// TestSortWideExhaustive runs every input of a small configuration through
+// the packed machine, 64 lanes per run.
+func TestSortWideExhaustive(t *testing.T) {
+	m, err := New(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch []bitvec.Vector
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		out, _, err := m.SortWide(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for l, v := range batch {
+			if !out[l].Equal(v.Sorted()) {
+				t.Errorf("lane %d: sorted %s to %s", l, v, out[l])
+			}
+		}
+		batch = batch[:0]
+	}
+	bitvec.All(8, func(v bitvec.Vector) bool {
+		batch = append(batch, v.Clone())
+		if len(batch) == 64 {
+			flush()
+		}
+		return true
+	})
+	flush()
+}
+
+// TestSortWideErrors covers the argument guards.
+func TestSortWideErrors(t *testing.T) {
+	m, err := New(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out, _, err := m.SortWide(nil); err != nil || out != nil {
+		t.Errorf("SortWide(nil) = %v, %v; want nil, nil", out, err)
+	}
+	vs := make([]bitvec.Vector, 65)
+	for i := range vs {
+		vs[i] = bitvec.New(8)
+	}
+	if _, _, err := m.SortWide(vs); err == nil {
+		t.Error("SortWide with 65 lanes: want error")
+	}
+	if _, _, err := m.SortWide([]bitvec.Vector{bitvec.New(4)}); err == nil {
+		t.Error("SortWide with wrong width: want error")
+	}
+}

@@ -3,16 +3,30 @@ package netlist
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"absort/internal/bitvec"
 )
 
-// EvalBatch evaluates the circuit on many inputs concurrently, fanning the
-// work across workers goroutines (GOMAXPROCS when workers ≤ 0). The
-// circuit is immutable, so evaluations share it safely; each worker keeps
-// its own wire-value scratch buffer across its inputs to avoid
-// per-evaluation allocation.
+// EvalBatch evaluates the circuit on many inputs concurrently. Inputs are
+// packed into 64-lane blocks and run through the compiled SWAR engine
+// (see compile.go), with blocks distributed across workers goroutines
+// (GOMAXPROCS when workers ≤ 0) by a lock-free atomic cursor. Each worker
+// reuses its own pack/unpack scratch, so the sweep does not allocate per
+// input beyond the returned vectors.
 func (c *Circuit) EvalBatch(inputs []bitvec.Vector, workers int) []bitvec.Vector {
+	return c.Compile().EvalBatch(inputs, workers)
+}
+
+// EvalBatchScalar is the legacy one-vector-at-a-time parallel sweep, kept
+// for engines-differential testing and as the reference point the wide
+// path is benchmarked against. Work is distributed by an atomic cursor in
+// grains of 16 inputs; each worker reuses a single wire-value scratch
+// buffer across all of its evaluations (via the compiled program's pool),
+// so the batch performs no per-evaluation allocation beyond the returned
+// vectors.
+func (c *Circuit) EvalBatchScalar(inputs []bitvec.Vector, workers int) []bitvec.Vector {
+	p := c.Compile()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -20,25 +34,25 @@ func (c *Circuit) EvalBatch(inputs []bitvec.Vector, workers int) []bitvec.Vector
 		workers = len(inputs)
 	}
 	out := make([]bitvec.Vector, len(inputs))
+	flat := make(bitvec.Vector, len(inputs)*len(p.outWires))
+	for i := range out {
+		out[i] = flat[i*len(p.outWires) : (i+1)*len(p.outWires)]
+	}
 	if workers <= 1 {
 		for i, in := range inputs {
-			out[i] = c.Eval(in)
+			p.EvalInto(out[i], in)
 		}
 		return out
 	}
-	var next int
-	var mu sync.Mutex
-	var wg sync.WaitGroup
 	const grain = 16
+	var next atomic.Int64
+	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
-				mu.Lock()
-				lo := next
-				next += grain
-				mu.Unlock()
+				lo := int(next.Add(grain)) - grain
 				if lo >= len(inputs) {
 					return
 				}
@@ -47,9 +61,70 @@ func (c *Circuit) EvalBatch(inputs []bitvec.Vector, workers int) []bitvec.Vector
 					hi = len(inputs)
 				}
 				for i := lo; i < hi; i++ {
-					out[i] = c.Eval(inputs[i])
+					p.EvalInto(out[i], inputs[i])
 				}
 			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// EvalBatch evaluates many inputs through the packed wide engine: inputs
+// are packed 64 to a block, each block is evaluated in one branch-free
+// pass, and the results are unpacked in order. Blocks are distributed
+// across workers goroutines (GOMAXPROCS when workers ≤ 0) with an atomic
+// cursor; each worker keeps its own pack/unpack word scratch.
+func (p *Compiled) EvalBatch(inputs []bitvec.Vector, workers int) []bitvec.Vector {
+	nin, nout := len(p.inputWires), len(p.outWires)
+	if len(inputs) == 0 {
+		return nil
+	}
+	out := make([]bitvec.Vector, len(inputs))
+	flat := make(bitvec.Vector, len(inputs)*nout)
+	for i := range out {
+		out[i] = flat[i*nout : (i+1)*nout]
+	}
+	blocks := (len(inputs) + 63) / 64
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > blocks {
+		workers = blocks
+	}
+	sweep := func(inW, outW []uint64, cursor *atomic.Int64) {
+		for {
+			blk := int(cursor.Add(1)) - 1
+			if blk >= blocks {
+				return
+			}
+			lo := blk * 64
+			hi := lo + 64
+			if hi > len(inputs) {
+				hi = len(inputs)
+			}
+			p.PackInputs(inW, inputs[lo:hi])
+			p.EvalPackedInto(outW, inW)
+			for j := lo; j < hi; j++ {
+				lane := uint(j - lo)
+				v := out[j]
+				for i, w := range outW {
+					v[i] = bitvec.Bit((w >> lane) & 1)
+				}
+			}
+		}
+	}
+	var cursor atomic.Int64
+	if workers <= 1 {
+		sweep(make([]uint64, nin), make([]uint64, nout), &cursor)
+		return out
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sweep(make([]uint64, nin), make([]uint64, nout), &cursor)
 		}()
 	}
 	wg.Wait()

@@ -1,0 +1,174 @@
+package netlist
+
+// Stuck-at fault evaluation on the compiled SWAR engine. The fault-free
+// and faulty paths share the same lowering (compile.go); a stuck wire
+// becomes a pair of per-wire force masks applied whenever the wire is
+// driven:
+//
+//	v' = (v & and[w]) | or[w]
+//
+// stuck-at-0 sets and[w] = 0 (or[w] = 0); stuck-at-1 sets or[w] = ^0
+// (and[w] = ^0 is then irrelevant). Healthy wires keep the identity masks
+// and[w] = ^0, or[w] = 0. The masks act on all 64 lanes, so a single
+// faulty pass evaluates a whole packed input block — this is what makes
+// full stuck-at campaigns (2·wires faults × test set) tractable.
+
+import (
+	"fmt"
+	"sync"
+
+	"absort/internal/bitvec"
+)
+
+// stuckBuf is the pooled per-evaluation force-mask state: identity masks
+// everywhere except the wires of the current fault set.
+type stuckBuf struct {
+	and, or []uint64
+}
+
+var stuckPool sync.Pool // *stuckBuf; resized per circuit on use
+
+func (p *Compiled) getStuckBuf() *stuckBuf {
+	sb, _ := stuckPool.Get().(*stuckBuf)
+	if sb == nil {
+		sb = &stuckBuf{}
+	}
+	if len(sb.and) < p.nwires {
+		sb.and = make([]uint64, p.nwires)
+		sb.or = make([]uint64, p.nwires)
+		for i := range sb.and {
+			sb.and[i] = ^uint64(0)
+		}
+	}
+	return sb
+}
+
+// set installs the force masks for a fault map and returns the touched
+// wires so they can be reset before the buffer is pooled again.
+func (sb *stuckBuf) set(p *Compiled, stuck map[Wire]bitvec.Bit) []Wire {
+	touched := make([]Wire, 0, len(stuck))
+	for w, v := range stuck {
+		if w < 0 || int(w) >= p.nwires {
+			panic(fmt.Sprintf("netlist %q: stuck fault on undefined wire %d", p.name, w))
+		}
+		if v&1 == 0 {
+			sb.and[w] = 0
+		} else {
+			sb.or[w] = ^uint64(0)
+		}
+		touched = append(touched, w)
+	}
+	return touched
+}
+
+func (sb *stuckBuf) reset(touched []Wire) {
+	for _, w := range touched {
+		sb.and[w] = ^uint64(0)
+		sb.or[w] = 0
+	}
+}
+
+// runStuck executes the instruction stream with force masks applied at
+// every wire-driving site, mirroring the legacy interpreter's semantics
+// (a fault overrides the driving component's output; downstream readers
+// see the forced value).
+func (p *Compiled) runStuck(val []uint64, and, or []uint64) {
+	opcode, aw, bw, sw, o0w, o1w := p.opcode, p.a, p.b, p.s, p.o0, p.o1
+	force := func(w int32, x uint64) {
+		val[w] = (x & and[w]) | or[w]
+	}
+	for i, op := range opcode {
+		switch op {
+		case opNot:
+			force(o0w[i], ^val[aw[i]])
+		case opAnd:
+			force(o0w[i], val[aw[i]]&val[bw[i]])
+		case opOr:
+			force(o0w[i], val[aw[i]]|val[bw[i]])
+		case opXor:
+			force(o0w[i], val[aw[i]]^val[bw[i]])
+		case opCmp:
+			a, b := val[aw[i]], val[bw[i]]
+			force(o0w[i], a&b)
+			force(o1w[i], a|b)
+		case opSwitch:
+			a, b := val[aw[i]], val[bw[i]]
+			d := (a ^ b) & val[sw[i]]
+			force(o0w[i], a^d)
+			force(o1w[i], b^d)
+		case opMux:
+			a0, a1 := val[aw[i]], val[bw[i]]
+			force(o0w[i], a0^((a0^a1)&val[sw[i]]))
+		case opDemux:
+			a, sel := val[aw[i]], val[sw[i]]
+			force(o0w[i], a&^sel)
+			force(o1w[i], a&sel)
+		case opSw4:
+			t := &p.sw4[aw[i]]
+			s1, s0 := val[t.s1], val[t.s0]
+			m3 := s1 & s0
+			m2 := s1 &^ s0
+			m1 := s0 &^ s1
+			m0 := ^(s1 | s0)
+			d := [4]uint64{val[t.data[0]], val[t.data[1]], val[t.data[2]], val[t.data[3]]}
+			for k := 0; k < 4; k++ {
+				force(t.out[k], d[t.perms[0][k]]&m0|d[t.perms[1][k]]&m1|
+					d[t.perms[2][k]]&m2|d[t.perms[3][k]]&m3)
+			}
+		}
+	}
+}
+
+// EvalPackedStuckInto evaluates 64 lane-packed inputs with stuck-at
+// faults injected and writes the packed outputs into dst. Input terminals
+// can be faulted too, matching Circuit.EvalStuck. Steady-state calls do
+// not allocate beyond the (pooled) force-mask state.
+func (p *Compiled) EvalPackedStuckInto(dst, in []uint64, stuck map[Wire]bitvec.Bit) []uint64 {
+	if len(in) != len(p.inputWires) {
+		panic(fmt.Sprintf("netlist %q: EvalPackedStuck with %d input words, want %d",
+			p.name, len(in), len(p.inputWires)))
+	}
+	if len(dst) != len(p.outWires) {
+		panic(fmt.Sprintf("netlist %q: EvalPackedStuck with %d output words, want %d",
+			p.name, len(dst), len(p.outWires)))
+	}
+	sb := p.getStuckBuf()
+	touched := sb.set(p, stuck)
+	buf := p.getScratch()
+	val := *buf
+	for i, w := range p.inputWires {
+		val[w] = (in[i] & sb.and[w]) | sb.or[w]
+	}
+	for _, cl := range p.consts {
+		val[cl.wire] = (cl.val & sb.and[cl.wire]) | sb.or[cl.wire]
+	}
+	p.runStuck(val, sb.and, sb.or)
+	for j, w := range p.outWires {
+		dst[j] = val[w]
+	}
+	p.putScratch(buf)
+	sb.reset(touched)
+	stuckPool.Put(sb)
+	return dst
+}
+
+// EvalStuck evaluates a single input vector with stuck-at faults injected
+// through the compiled lowering; it is the engine behind
+// Circuit.EvalStuck.
+func (p *Compiled) EvalStuck(in bitvec.Vector, stuck map[Wire]bitvec.Bit) bitvec.Vector {
+	if len(in) != len(p.inputWires) {
+		panic(fmt.Sprintf("netlist %q: EvalStuck with %d inputs, want %d",
+			p.name, len(in), len(p.inputWires)))
+	}
+	inW := make([]uint64, len(p.inputWires))
+	for i, b := range in {
+		inW[i] = uint64(b & 1)
+	}
+	outW := make([]uint64, len(p.outWires))
+	p.EvalPackedStuckInto(outW, inW, stuck)
+	out := make(bitvec.Vector, len(p.outWires))
+	for j, w := range outW {
+		out[j] = bitvec.Bit(w & 1)
+	}
+	return out
+}

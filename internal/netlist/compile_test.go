@@ -1,0 +1,152 @@
+package netlist
+
+import (
+	"math/rand"
+	"testing"
+
+	"absort/internal/bitvec"
+)
+
+// randomCircuit builds a random circuit over nin inputs exercising every
+// gate Kind, with nops internal operations drawn by rng. Every operation
+// draws its operands from the pool of already-defined wires (inputs, both
+// constants, and prior outputs), so the result is a valid DAG in builder
+// order; outputs are a random sample of the pool.
+func randomCircuit(rng *rand.Rand, nin, nops int) *Circuit {
+	b := NewBuilder("random")
+	pool := b.Inputs(nin)
+	pool = append(pool, b.Const(0), b.Const(1))
+	pick := func() Wire { return pool[rng.Intn(len(pool))] }
+	for i := 0; i < nops; i++ {
+		switch rng.Intn(8) {
+		case 0:
+			pool = append(pool, b.Not(pick()))
+		case 1:
+			pool = append(pool, b.And(pick(), pick()))
+		case 2:
+			pool = append(pool, b.Or(pick(), pick()))
+		case 3:
+			pool = append(pool, b.Xor(pick(), pick()))
+		case 4:
+			mn, mx := b.Comparator(pick(), pick())
+			pool = append(pool, mn, mx)
+		case 5:
+			o0, o1 := b.Switch(pick(), pick(), pick())
+			pool = append(pool, o0, o1)
+		case 6:
+			pool = append(pool, b.Mux(pick(), pick(), pick()))
+			o0, o1 := b.Demux(pick(), pick())
+			pool = append(pool, o0, o1)
+		case 7:
+			var perms [4]Perm4
+			for p := range perms {
+				perm := rng.Perm(4)
+				for j, v := range perm {
+					perms[p][j] = uint8(v)
+				}
+			}
+			out := b.Switch4(pick(), pick(), [4]Wire{pick(), pick(), pick(), pick()}, perms)
+			pool = append(pool, out[:]...)
+		}
+	}
+	nout := 1 + rng.Intn(len(pool))
+	outs := make([]Wire, nout)
+	for i := range outs {
+		outs[i] = pick()
+	}
+	b.SetOutputs(outs)
+	return b.MustBuild()
+}
+
+// checkEngines asserts legacy Eval ≡ compiled scalar ≡ packed lanes on the
+// given inputs (all the same width).
+func checkEngines(t *testing.T, c *Circuit, inputs []bitvec.Vector) {
+	t.Helper()
+	p := c.Compile()
+	// Wide: all inputs at once, 64 lanes per block.
+	for base := 0; base < len(inputs); base += 64 {
+		hi := base + 64
+		if hi > len(inputs) {
+			hi = len(inputs)
+		}
+		block := inputs[base:hi]
+		wide := p.EvalWide(block)
+		for l, in := range block {
+			want := c.Eval(in)
+			if got := p.Eval(in); !got.Equal(want) {
+				t.Fatalf("%s: compiled scalar %s -> %s, legacy %s", c.Name(), in, got, want)
+			}
+			if !wide[l].Equal(want) {
+				t.Fatalf("%s: wide lane %d %s -> %s, legacy %s", c.Name(), l, in, wide[l], want)
+			}
+			// Stuck engine with an empty fault map must match fault-free.
+			if got := p.EvalStuck(in, nil); !got.Equal(want) {
+				t.Fatalf("%s: EvalStuck(∅) %s -> %s, legacy %s", c.Name(), in, got, want)
+			}
+		}
+	}
+}
+
+// TestCompiledMatchesEvalRandomCircuits cross-checks the three engines on
+// random circuits exercising every Kind.
+func TestCompiledMatchesEvalRandomCircuits(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		nin := 1 + rng.Intn(10)
+		c := randomCircuit(rng, nin, 1+rng.Intn(40))
+		inputs := make([]bitvec.Vector, 70)
+		for i := range inputs {
+			inputs[i] = bitvec.Random(rng, nin)
+		}
+		checkEngines(t, c, inputs)
+	}
+}
+
+// TestCompiledMatchesEvalExhaustive sweeps all 2^n inputs of random small
+// circuits through every engine.
+func TestCompiledMatchesEvalExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		nin := 1 + rng.Intn(8)
+		c := randomCircuit(rng, nin, 1+rng.Intn(30))
+		var inputs []bitvec.Vector
+		bitvec.All(nin, func(v bitvec.Vector) bool {
+			inputs = append(inputs, v.Clone())
+			return true
+		})
+		checkEngines(t, c, inputs)
+	}
+}
+
+// TestCompiledCaching pins that Compile is cached on the circuit.
+func TestCompiledCaching(t *testing.T) {
+	c := randomCircuit(rand.New(rand.NewSource(1)), 4, 10)
+	if p1, p2 := c.Compile(), c.Compile(); p1 != p2 {
+		t.Error("Compile not cached: two calls returned distinct programs")
+	}
+}
+
+// FuzzCompiledVsEval feeds fuzzed seeds into the random-circuit generator
+// and cross-checks all engines on fuzzed input bits.
+func FuzzCompiledVsEval(f *testing.F) {
+	f.Add(int64(1), uint64(0x5555))
+	f.Add(int64(99), uint64(0))
+	f.Add(int64(-3), ^uint64(0))
+	f.Fuzz(func(t *testing.T, seed int64, bits uint64) {
+		rng := rand.New(rand.NewSource(seed))
+		nin := 1 + rng.Intn(12)
+		c := randomCircuit(rng, nin, 1+rng.Intn(50))
+		in := bitvec.FromUint(bits&((1<<uint(nin))-1), nin)
+		p := c.Compile()
+		want := c.Eval(in)
+		if got := p.Eval(in); !got.Equal(want) {
+			t.Fatalf("compiled scalar %s -> %s, legacy %s", in, got, want)
+		}
+		if wide := p.EvalWide([]bitvec.Vector{in}); !wide[0].Equal(want) {
+			t.Fatalf("wide %s -> %s, legacy %s", in, wide[0], want)
+		}
+		if got := p.EvalStuck(in, nil); !got.Equal(want) {
+			t.Fatalf("EvalStuck(∅) %s -> %s, legacy %s", in, got, want)
+		}
+	})
+}

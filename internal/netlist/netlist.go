@@ -330,6 +330,9 @@ type Circuit struct {
 	inputs []Wire
 	outs   []Wire
 	stats  Stats
+
+	// compiled caches the circuit's lowered SWAR program (see compile.go).
+	compiled compiledCache
 }
 
 // Stats reports size and delay of a circuit in both accounting conventions.
@@ -454,75 +457,12 @@ func (c *Circuit) NumWires() int { return c.nwires }
 // the given bit. Input terminals can be faulted too. This is the classical
 // single/multiple stuck-at fault model used for test-coverage analysis of
 // switching networks.
+//
+// The evaluation shares the compiled SWAR lowering (see compile.go and
+// compile_stuck.go): stuck wires become per-wire force masks rather than a
+// duplicated interpreter, so the faulty path stays in lock-step with the
+// fault-free one by construction. Use Compile().EvalPackedStuckInto for
+// 64-lane fault campaigns.
 func (c *Circuit) EvalStuck(in bitvec.Vector, stuck map[Wire]bitvec.Bit) bitvec.Vector {
-	if len(in) != len(c.inputs) {
-		panic(fmt.Sprintf("netlist %q: EvalStuck with %d inputs, want %d",
-			c.name, len(in), len(c.inputs)))
-	}
-	val := make([]bitvec.Bit, c.nwires)
-	force := func(ws []Wire) {
-		for _, w := range ws {
-			if v, ok := stuck[w]; ok {
-				val[w] = v & 1
-			}
-		}
-	}
-	ii := 0
-	for _, comp := range c.comps {
-		switch comp.kind {
-		case KindInput:
-			val[comp.out[0]] = in[ii] & 1
-			ii++
-		case KindConst0:
-			val[comp.out[0]] = 0
-		case KindConst1:
-			val[comp.out[0]] = 1
-		case KindNot:
-			val[comp.out[0]] = val[comp.in[0]] ^ 1
-		case KindAnd:
-			val[comp.out[0]] = val[comp.in[0]] & val[comp.in[1]]
-		case KindOr:
-			val[comp.out[0]] = val[comp.in[0]] | val[comp.in[1]]
-		case KindXor:
-			val[comp.out[0]] = val[comp.in[0]] ^ val[comp.in[1]]
-		case KindComparator:
-			a, b := val[comp.in[0]], val[comp.in[1]]
-			val[comp.out[0]] = a & b
-			val[comp.out[1]] = a | b
-		case KindSwitch2x2:
-			ctrl, a, b := val[comp.in[0]], val[comp.in[1]], val[comp.in[2]]
-			if ctrl == 0 {
-				val[comp.out[0]], val[comp.out[1]] = a, b
-			} else {
-				val[comp.out[0]], val[comp.out[1]] = b, a
-			}
-		case KindMux21:
-			if val[comp.in[0]] == 0 {
-				val[comp.out[0]] = val[comp.in[1]]
-			} else {
-				val[comp.out[0]] = val[comp.in[2]]
-			}
-		case KindDemux12:
-			sel, a := val[comp.in[0]], val[comp.in[1]]
-			if sel == 0 {
-				val[comp.out[0]], val[comp.out[1]] = a, 0
-			} else {
-				val[comp.out[0]], val[comp.out[1]] = 0, a
-			}
-		case KindSwitch4x4:
-			sel := 2*val[comp.in[0]] + val[comp.in[1]]
-			p := comp.perms[sel]
-			for i := 0; i < 4; i++ {
-				val[comp.out[i]] = val[comp.in[2+int(p[i])]]
-			}
-		default:
-			panic(fmt.Sprintf("netlist: unknown kind %v", comp.kind))
-		}
-		force(comp.out)
-	}
-	out := make(bitvec.Vector, len(c.outs))
-	for i, w := range c.outs {
-		out[i] = val[w]
-	}
-	return out
+	return c.Compile().EvalStuck(in, stuck)
 }

@@ -354,6 +354,9 @@ func faults() Report {
 	covered, total := fault.StuckAtCoverage(c, tests)
 	t.Note("stuck-at coverage of mux-merger-16 netlist with %d random tests: %d/%d (%.1f%%)",
 		len(tests), covered, total, 100*float64(covered)/float64(total))
+	prof := analysis.ProfileOnes(tests)
+	t.Note("test-set ones balance (packed-word popcount): mean %.1f/%d (%.0f%%), range [%d, %d]",
+		prof.Mean(), prof.Width, 100*prof.Balance(), prof.Min, prof.Max)
 	return Report{ID: "faults", Title: "[24] robustness and fault coverage", Tables: []Table{t}}
 }
 

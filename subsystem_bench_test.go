@@ -49,6 +49,18 @@ func BenchmarkVerifyExhaustive(b *testing.B) {
 			}
 		})
 	}
+	// The packed gate-level sweep: all 65536 inputs through the real
+	// netlist, 64 lanes per traversal.
+	c := s.Circuit()
+	for _, workers := range []int{1, 0} {
+		b.Run(fmt.Sprintf("circuit-wide/workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if res := verify.SortsAllCircuit(c, verify.Options{Workers: workers}); !res.OK {
+					b.Fatal("circuit certification failed")
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkCircuitTaggedRouting measures payload routing through the real
@@ -96,6 +108,19 @@ func BenchmarkFishMachine(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+		vs := make([]bitvec.Vector, 64)
+		for l := range vs {
+			vs[l] = bitvec.Random(rng, tc.n)
+		}
+		b.Run(fmt.Sprintf("sort-wide64/n=%d", tc.n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := m.SortWide(vs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Per-vector cost: one iteration sorts 64 lanes.
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/64, "ns/vector")
 		})
 	}
 }
