@@ -1,7 +1,9 @@
 # CI entry points. `make ci` is the full gate: vet, build, race-enabled
 # tests, and a one-iteration benchmark smoke run of the evaluation-engine
-# comparison, which also refreshes BENCH_eval.json (ns/vector for the
-# interpreter, compiled, and wide engines at n ∈ {64, 256, 1024}).
+# and routing-path comparisons, which also refreshes BENCH_eval.json
+# (ns/vector for the interpreter, compiled, and wide engines at
+# n ∈ {64, 256, 1024}) and BENCH_route.json (ns/route for scalar, planned,
+# and planned-parallel routing at n ∈ {64, 256, 1024, 4096}).
 
 GO ?= go
 
@@ -22,7 +24,7 @@ race:
 	$(GO) test -race ./...
 
 bench:
-	$(GO) test -run 'TestWideSpeedupFloor' -bench 'EvalEngines' -benchtime 1x .
+	$(GO) test -run 'TestWideSpeedupFloor|TestRouteSpeedupFloor' -bench 'EvalEngines|RouteEngines' -benchtime 1x .
 
 clean:
 	$(GO) clean ./...

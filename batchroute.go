@@ -1,0 +1,120 @@
+package absort
+
+import (
+	"fmt"
+
+	"absort/internal/concentrator"
+	"absort/internal/permnet"
+)
+
+// BatchPermuter routes many permutation requests through one compiled
+// route plan of the Fig. 10 radix permuter — the routing counterpart of
+// BatchSorter. The per-level distribution sorters are lowered once into
+// stage-ordered step programs (see internal/concentrator/plan.go);
+// Route then replays them allocation-free on pooled scratch, and
+// RouteBatch streams requests across cores on an atomic work cursor.
+type BatchPermuter struct {
+	rp   *permnet.RadixPermuter
+	plan *permnet.RoutePlan
+}
+
+// NewBatchPermuter returns a batch permuter for n-input assignments (n a
+// power of two) whose distribution stages use the given engine
+// (EngineFish gives the O(n lg n) bit-level cost configuration).
+func NewBatchPermuter(n int, engine Engine) (*BatchPermuter, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("absort: NewBatchPermuter(%d): n must be a power of two ≥ 2", n)
+	}
+	rp := permnet.NewRadixPermuter(n, engine, 0)
+	return &BatchPermuter{rp: rp, plan: rp.Compile()}, nil
+}
+
+// N returns the network width.
+func (b *BatchPermuter) N() int { return b.rp.N() }
+
+// Engine returns the distribution engine.
+func (b *BatchPermuter) Engine() Engine { return b.rp.Engine() }
+
+// Permuter exposes the underlying radix permuter (for the scalar Route
+// and the cost/time models).
+func (b *BatchPermuter) Permuter() *RadixPermuter { return b.rp }
+
+// Route computes, through the compiled plan, the permutation p realizing
+// "input i goes to output dest[i]" (receives-from form: out[j] = in[p[j]]).
+func (b *BatchPermuter) Route(dest []int) ([]int, error) {
+	return b.plan.Route(dest)
+}
+
+// RouteInto is Route writing into a caller-provided slice — zero
+// steady-state heap allocations.
+func (b *BatchPermuter) RouteInto(out []int, dest []int) error {
+	return b.plan.RouteInto(out, dest)
+}
+
+// RouteBatch routes every assignment concurrently using workers
+// goroutines (≤ 0 means GOMAXPROCS). Results preserve input order.
+func (b *BatchPermuter) RouteBatch(dests [][]int, workers int) ([][]int, error) {
+	return b.plan.RouteBatch(dests, workers)
+}
+
+// BatchConcentrator routes many concentration requests through one
+// compiled routing plan of an (n,m)-concentrator (Section IV). Like
+// BatchPermuter, single requests run allocation-free on pooled scratch
+// and batches stream across cores on an atomic work cursor.
+type BatchConcentrator struct {
+	c *concentrator.Concentrator
+}
+
+// NewBatchConcentrator returns a batch (n,m)-concentrator over the given
+// engine; k is the fish group count (≤ 0 selects the paper's k = lg n
+// choice; other engines ignore it).
+func NewBatchConcentrator(n, m int, engine Engine, k int) (*BatchConcentrator, error) {
+	if n < 1 || n&(n-1) != 0 || m <= 0 || m > n {
+		return nil, fmt.Errorf("absort: NewBatchConcentrator(%d, %d): need power-of-two n and 0 < m ≤ n", n, m)
+	}
+	c := concentrator.New(n, m, engine, k)
+	c.Compile()
+	return &BatchConcentrator{c: c}, nil
+}
+
+// N returns the input count; M the output capacity.
+func (b *BatchConcentrator) N() int { return b.c.N() }
+
+// M returns the output capacity.
+func (b *BatchConcentrator) M() int { return b.c.M() }
+
+// Engine returns the routing engine.
+func (b *BatchConcentrator) Engine() Engine { return b.c.Engine() }
+
+// Concentrator exposes the underlying concentrator (for the scalar Plan
+// method).
+func (b *BatchConcentrator) Concentrator() *Concentrator { return b.c }
+
+// Concentrate computes the routing for one request pattern through the
+// compiled plan: it returns the permutation p (out[j] = in[p[j]]) under
+// which the r marked inputs occupy outputs 0..r-1, and r.
+func (b *BatchConcentrator) Concentrate(marked []bool) ([]int, int, error) {
+	return b.c.Concentrate(marked)
+}
+
+// ConcentrateInto is Concentrate writing into a caller-provided slice —
+// zero steady-state heap allocations.
+func (b *BatchConcentrator) ConcentrateInto(p []int, marked []bool) (int, error) {
+	return b.c.ConcentrateInto(p, marked)
+}
+
+// ConcentrateBatch routes every request pattern concurrently using
+// workers goroutines (≤ 0 means GOMAXPROCS), returning the permutations
+// and request counts in input order.
+func (b *BatchConcentrator) ConcentrateBatch(marked [][]bool, workers int) ([][]int, []int, error) {
+	return b.c.ConcentrateBatch(marked, workers)
+}
+
+// SortWordsBatch sorts many independent key sets through one WordSorter's
+// compiled route plan, workers goroutines wide (≤ 0 means GOMAXPROCS):
+// the batch front door to the Section I word-sorting decomposition. It
+// returns, in input order, the sorted keys and the receives-from
+// permutations.
+func SortWordsBatch(s *WordSorter, keySets [][]uint64, workers int) ([][]uint64, [][]int, error) {
+	return s.SortBatch(keySets, workers)
+}

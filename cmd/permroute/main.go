@@ -3,6 +3,13 @@
 // reporting cost/time figures from Table II.
 //
 //	permroute -n 256 -trials 5 -engine fish
+//
+// With -batch, it switches to the throughput pipeline: the requested
+// number of random permutations is routed through the permuter's compiled
+// route plan across -workers goroutines, and scalar-seed vs planned vs
+// planned-parallel routing rates are reported.
+//
+//	permroute -n 1024 -engine fish -batch 4096 -workers 0
 package main
 
 import (
@@ -10,6 +17,8 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
+	"time"
 
 	"absort/internal/analysis"
 	"absort/internal/concentrator"
@@ -19,10 +28,12 @@ import (
 
 func main() {
 	var (
-		n      = flag.Int("n", 64, "network width (power of two)")
-		trials = flag.Int("trials", 3, "random permutations to route")
-		seed   = flag.Int64("seed", 1, "random seed")
-		engine = flag.String("engine", "fish", "fish | muxmerger | prefix")
+		n       = flag.Int("n", 64, "network width (power of two)")
+		trials  = flag.Int("trials", 3, "random permutations to route")
+		seed    = flag.Int64("seed", 1, "random seed")
+		engine  = flag.String("engine", "fish", "fish | muxmerger | prefix")
+		batch   = flag.Int("batch", 0, "batch size: route this many permutations through the compiled plan pipeline")
+		workers = flag.Int("workers", 0, "batch worker goroutines (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if !core.IsPow2(*n) {
@@ -50,6 +61,11 @@ func main() {
 		analysis.RadixPermuterCost(*n, kind), analysis.RadixPermuterTime(*n, kind))
 	fmt.Printf("Beneš baseline: %d switches, %d stages\n",
 		permnet.BenesCost(*n), permnet.BenesDepth(*n))
+
+	if *batch > 0 {
+		runBatch(rp, rng, *batch, *workers)
+		return
+	}
 
 	for t := 0; t < *trials; t++ {
 		dest := rng.Perm(*n)
@@ -79,4 +95,64 @@ func main() {
 		fmt.Printf("trial %d: radix delivered=%v   Beneš delivered=%v (looping steps %d)\n",
 			t+1, okRadix, okBenes, steps)
 	}
+}
+
+// runBatch drives the compiled routing pipeline: scalar-seed per-request
+// routing vs planned single-route vs planned-parallel batch routing over
+// the same request set.
+func runBatch(rp *permnet.RadixPermuter, rng *rand.Rand, batch, workers int) {
+	n := rp.N()
+	dests := make([][]int, batch)
+	for i := range dests {
+		dests[i] = rng.Perm(n)
+	}
+	plan := rp.Compile()
+	fmt.Printf("batch pipeline: %d permutations, %d levels/plan, workers=%d (GOMAXPROCS %d)\n",
+		batch, plan.NumLevels(), workers, runtime.GOMAXPROCS(0))
+
+	t0 := time.Now()
+	for _, dest := range dests {
+		if _, err := rp.Route(dest); err != nil {
+			fmt.Fprintln(os.Stderr, "permroute:", err)
+			os.Exit(1)
+		}
+	}
+	scalar := time.Since(t0)
+
+	out := make([]int, n)
+	t0 = time.Now()
+	for _, dest := range dests {
+		if err := plan.RouteInto(out, dest); err != nil {
+			fmt.Fprintln(os.Stderr, "permroute:", err)
+			os.Exit(1)
+		}
+	}
+	planned := time.Since(t0)
+
+	t0 = time.Now()
+	routed, err := plan.RouteBatch(dests, workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "permroute:", err)
+		os.Exit(1)
+	}
+	parallel := time.Since(t0)
+
+	for i, dest := range dests {
+		if !permnet.VerifyRouting(dest, routed[i]) {
+			fmt.Fprintf(os.Stderr, "permroute: batch request %d not delivered\n", i)
+			os.Exit(1)
+		}
+	}
+	rate := func(d time.Duration) float64 {
+		return float64(batch) / d.Seconds()
+	}
+	perRoute := func(d time.Duration) time.Duration {
+		return d / time.Duration(batch)
+	}
+	fmt.Printf("  scalar seed      %12v/route   %10.0f routes/sec\n", perRoute(scalar), rate(scalar))
+	fmt.Printf("  planned          %12v/route   %10.0f routes/sec   (%.1f× scalar)\n",
+		perRoute(planned), rate(planned), scalar.Seconds()/planned.Seconds())
+	fmt.Printf("  planned-parallel %12v/route   %10.0f routes/sec   (%.1f× scalar)\n",
+		perRoute(parallel), rate(parallel), scalar.Seconds()/parallel.Seconds())
+	fmt.Printf("  all %d batch routings delivered\n", batch)
 }

@@ -1,0 +1,127 @@
+// Batch routing pipeline: many independent requests streamed through one
+// compiled routing plan, distributed across a worker pool by a lock-free
+// atomic cursor — the same architecture as netlist's EvalBatch. Every
+// request executes on pooled per-plan scratch (at most one scratch state
+// live per worker at a time), so a batch performs no per-request
+// allocation beyond the returned permutations, which are carved out of one
+// flat backing array.
+package concentrator
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"absort/internal/bitvec"
+)
+
+// batchGrain is the number of requests a worker claims per cursor bump:
+// coarse enough to amortize the atomic, fine enough to balance skewed
+// request costs.
+const batchGrain = 8
+
+// RouteBatch routes every tag vector through the plan concurrently using
+// workers goroutines (≤ 0 means GOMAXPROCS). Results preserve input
+// order; result i is the permutation the network realizes on tags[i].
+func (p *Plan) RouteBatch(tagsBatch []bitvec.Vector, workers int) [][]int {
+	if len(tagsBatch) == 0 {
+		return nil
+	}
+	for i, tags := range tagsBatch {
+		if len(tags) != p.n {
+			panic(fmt.Sprintf("concentrator: Plan(%d).RouteBatch: vector %d has %d tags",
+				p.n, i, len(tags)))
+		}
+	}
+	out := make([][]int, len(tagsBatch))
+	flat := make([]int, len(tagsBatch)*p.n)
+	for i := range out {
+		out[i] = flat[i*p.n : (i+1)*p.n]
+	}
+	runBatch(len(tagsBatch), workers, func(i int) {
+		p.RouteInto(out[i], tagsBatch[i])
+	})
+	return out
+}
+
+// ConcentrateBatch routes every request pattern through the
+// concentrator's compiled plan concurrently using workers goroutines
+// (≤ 0 means GOMAXPROCS). It returns, in input order, the permutations
+// and the per-pattern request counts. The whole batch fails if any
+// pattern is malformed or exceeds capacity (err reports the first
+// offending pattern).
+func (c *Concentrator) ConcentrateBatch(markedBatch [][]bool, workers int) ([][]int, []int, error) {
+	if len(markedBatch) == 0 {
+		return nil, nil, nil
+	}
+	out := make([][]int, len(markedBatch))
+	flat := make([]int, len(markedBatch)*c.n)
+	for i := range out {
+		out[i] = flat[i*c.n : (i+1)*c.n]
+	}
+	rs := make([]int, len(markedBatch))
+	var firstErr atomic.Pointer[batchErr]
+	runBatch(len(markedBatch), workers, func(i int) {
+		r, err := c.ConcentrateInto(out[i], markedBatch[i])
+		if err != nil {
+			e := &batchErr{i: i, err: err}
+			for {
+				cur := firstErr.Load()
+				if cur != nil && cur.i <= i {
+					return
+				}
+				if firstErr.CompareAndSwap(cur, e) {
+					return
+				}
+			}
+		}
+		rs[i] = r
+	})
+	if e := firstErr.Load(); e != nil {
+		return nil, nil, fmt.Errorf("concentrator: batch pattern %d: %w", e.i, e.err)
+	}
+	return out, rs, nil
+}
+
+// batchErr records the earliest failing request of a batch.
+type batchErr struct {
+	i   int
+	err error
+}
+
+// runBatch executes fn(0..n-1) across workers goroutines with an atomic
+// work cursor claiming batchGrain items at a time.
+func runBatch(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > (n+batchGrain-1)/batchGrain {
+		workers = (n + batchGrain - 1) / batchGrain
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(batchGrain)) - batchGrain
+				if lo >= n {
+					return
+				}
+				hi := min(lo+batchGrain, n)
+				for i := lo; i < hi; i++ {
+					fn(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -266,15 +266,20 @@ func RouteRanking(tags bitvec.Vector) []int {
 type Concentrator struct {
 	n, m   int
 	engine Engine
-	k      int // fish group count
+	k      int     // fish group count
+	plan   planPtr // lazily compiled routing plan (see plan.go)
 }
 
 // New returns an (n,m)-concentrator using the given engine. For the Fish
-// engine, k is the group count (use core.Lg(n) for the paper's O(n)-cost
-// configuration); other engines ignore k.
+// engine, k is the group count; k ≤ 0 selects the paper's k = lg n choice
+// rounded to the model's power-of-two requirement (the same default the
+// radix permuter applies per level). Other engines ignore k.
 func New(n, m int, engine Engine, k int) *Concentrator {
 	if !core.IsPow2(n) || m <= 0 || m > n {
 		panic(fmt.Sprintf("concentrator: New(%d, %d)", n, m))
+	}
+	if engine == Fish && k <= 0 {
+		k = fishGroups(n)
 	}
 	return &Concentrator{n: n, m: m, engine: engine, k: k}
 }

@@ -1,0 +1,300 @@
+// Radix-permuter route plans: the Fig. 10 network's level structure is
+// fixed by (n, engine, k), so the per-level distribution sorters can be
+// lowered once into compiled concentrator plans (see
+// internal/concentrator/plan.go) and replayed allocation-free for every
+// routed permutation.
+//
+// A RoutePlan holds one shared concentrator plan per level size plus a
+// pool of per-route scratch: the packed packet-word array (index, local
+// destination, and per-level tag in one uint64 — see localShift) and the
+// permutation-validation stamp array. RouteBatch streams many independent
+// permutations through one plan on an atomic work cursor — each worker
+// claims requests in grains and executes them on pooled scratch, the same
+// batch architecture as netlist.EvalBatch.
+package permnet
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"absort/internal/concentrator"
+	"absort/internal/core"
+)
+
+// RoutePlan is the compiled routing program of a RadixPermuter: one
+// lowered distribution plan per level size, shared process-wide through
+// the concentrator plan cache. It is immutable and safe for concurrent
+// use; every route draws its working state from an internal pool.
+type RoutePlan struct {
+	n      int
+	levels []*concentrator.Plan // levels[d] routes the windows of size n >> d
+	pool   sync.Pool            // *routeScratch
+}
+
+// Packed packet-word layout for plan execution: the packet index occupies
+// the low 31 bits, the window-local destination the next 32, and
+// concentrator.TagBit (bit 63) the per-level routing tag, so every data
+// movement inside the per-level plans is a single-word move and no
+// gather/scatter step is needed between levels.
+const (
+	localShift = 31
+	idxMask    = uint64(1)<<localShift - 1
+)
+
+// routeScratch is the per-route working state of a RoutePlan.
+type routeScratch struct {
+	val   []uint64 // packed (tag, local destination, index) packet words
+	seen  []int32  // permutation-validation stamps
+	epoch int32    // current validation stamp
+}
+
+// Compile returns the permuter's route plan, lowering the per-level
+// distribution sorters on first use and caching the result behind an
+// atomic pointer (RadixPermuter is immutable, so the plan is shared
+// safely). Level plans are drawn from the process-wide concentrator plan
+// cache, so permuters and concentrators over the same engine share them.
+func (r *RadixPermuter) Compile() *RoutePlan {
+	if p := r.plan.Load(); p != nil {
+		return p
+	}
+	p := newRoutePlan(r.n, r.engine, r.k)
+	if !r.plan.CompareAndSwap(nil, p) {
+		return r.plan.Load()
+	}
+	return p
+}
+
+// newRoutePlan lowers the per-level distribution plans for an n-input
+// radix permuter over the given engine, mirroring routeLevel's engine
+// selection exactly: the Fish engine uses k at the top level when k > 0,
+// the paper's k = lg s group count deeper (and at the top when k ≤ 0),
+// and a mux-merger at the s = 2 base.
+func newRoutePlan(n int, engine concentrator.Engine, k int) *RoutePlan {
+	if !core.IsPow2(n) {
+		panic(fmt.Sprintf("permnet: newRoutePlan(%d)", n))
+	}
+	p := &RoutePlan{n: n}
+	for s := n; s >= 2; s /= 2 {
+		var lv *concentrator.Plan
+		switch engine {
+		case concentrator.MuxMerger, concentrator.PrefixAdder, concentrator.Ranking:
+			lv = concentrator.PlanFor(s, engine, 0)
+		case concentrator.Fish:
+			if s == 2 {
+				lv = concentrator.PlanFor(s, concentrator.MuxMerger, 0)
+			} else {
+				kk := k
+				if s < n || kk <= 0 {
+					kk = fishK(s)
+				}
+				lv = concentrator.PlanFor(s, concentrator.Fish, kk)
+			}
+		default:
+			panic(fmt.Sprintf("permnet: unknown engine %v", engine))
+		}
+		p.levels = append(p.levels, lv)
+	}
+	p.pool.New = func() any {
+		return &routeScratch{
+			val:  make([]uint64, n),
+			seen: make([]int32, n),
+		}
+	}
+	return p
+}
+
+// N returns the network width of the plan.
+func (p *RoutePlan) N() int { return p.n }
+
+// NumLevels returns the number of distribution levels (lg n).
+func (p *RoutePlan) NumLevels() int { return len(p.levels) }
+
+// RouteInto computes, allocation-free, the permutation the network
+// realizes for the assignment "input i goes to output dest[i]", writing
+// it into out (out[j] = in[p[j]], exactly as Route).
+func (p *RoutePlan) RouteInto(out []int, dest []int) error {
+	if len(dest) != p.n {
+		return fmt.Errorf("permnet: RouteInto with %d destinations, want %d",
+			len(dest), p.n)
+	}
+	if len(out) != p.n {
+		return fmt.Errorf("permnet: RouteInto into %d outputs, want %d",
+			len(out), p.n)
+	}
+	sc := p.pool.Get().(*routeScratch)
+	if !sc.checkPerm(dest) {
+		p.pool.Put(sc)
+		return fmt.Errorf("permnet: %v is not a permutation", dest)
+	}
+	for i, d := range dest {
+		sc.val[i] = uint64(d)<<localShift | uint64(i)
+	}
+	p.run(sc.val)
+	for j, v := range sc.val {
+		out[j] = int(v & idxMask)
+	}
+	p.pool.Put(sc)
+	return nil
+}
+
+// Route is RouteInto with a freshly allocated result.
+func (p *RoutePlan) Route(dest []int) ([]int, error) {
+	out := make([]int, p.n)
+	if err := p.RouteInto(out, dest); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// checkPerm validates dest as a permutation without allocating, using the
+// scratch's epoch-stamped seen array.
+func (sc *routeScratch) checkPerm(dest []int) bool {
+	sc.epoch++
+	if sc.epoch == 0 { // wrapped: reset stamps
+		for i := range sc.seen {
+			sc.seen[i] = 0
+		}
+		sc.epoch = 1
+	}
+	for _, d := range dest {
+		if d < 0 || d >= len(sc.seen) || sc.seen[d] == sc.epoch {
+			return false
+		}
+		sc.seen[d] = sc.epoch
+	}
+	return true
+}
+
+// run replays every distribution level over the packed packet words: at
+// level d, each window of size s = n >> d tags its packets with the
+// leading bit of their window-local destinations (TagBit), routes the
+// whole window in place through the level's compiled plan — index and
+// local destination ride along inside the packed word, so there is no
+// gather/scatter between levels — then clears the tags and rebases the
+// local destinations of the lower half-window.
+func (p *RoutePlan) run(val []uint64) {
+	n := int32(p.n)
+	s := n
+	for _, lv := range p.levels {
+		h := s / 2
+		hh := uint64(h) << localShift
+		for lo := int32(0); lo < n; lo += s {
+			win := val[lo : lo+s]
+			for j, v := range win {
+				if v&^idxMask >= hh {
+					win[j] = v | concentrator.TagBit
+				}
+			}
+			lv.RouteVals(win)
+			// The sorted window holds its h tag-0 packets first; strip the
+			// tags and rebase the lower half's local destinations by h.
+			for j := int32(0); j < h; j++ {
+				win[h+j] = (win[h+j] &^ concentrator.TagBit) - hh
+			}
+		}
+		s = h
+	}
+}
+
+// RoutePlanned is the compiled counterpart of Route: identical results,
+// zero steady-state allocations beyond the returned permutation.
+func (r *RadixPermuter) RoutePlanned(dest []int) ([]int, error) {
+	return r.Compile().Route(dest)
+}
+
+// RouteInto routes dest through the compiled plan into out,
+// allocation-free in steady state.
+func (r *RadixPermuter) RouteInto(out []int, dest []int) error {
+	return r.Compile().RouteInto(out, dest)
+}
+
+// routeGrain is the number of permutations a batch worker claims per
+// cursor bump.
+const routeGrain = 4
+
+// RouteBatch routes every destination assignment through the compiled
+// plan concurrently, using workers goroutines (≤ 0 means GOMAXPROCS)
+// coordinated by an atomic work cursor. Results preserve input order and
+// are identical to per-request Route. The whole batch fails on the first
+// malformed assignment (by input order).
+func (p *RoutePlan) RouteBatch(dests [][]int, workers int) ([][]int, error) {
+	if len(dests) == 0 {
+		return nil, nil
+	}
+	out := make([][]int, len(dests))
+	flat := make([]int, len(dests)*p.n)
+	for i := range out {
+		out[i] = flat[i*p.n : (i+1)*p.n]
+	}
+	nw := (len(dests) + routeGrain - 1) / routeGrain
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > nw {
+		workers = nw
+	}
+	var firstErr atomic.Pointer[routeBatchErr]
+	report := func(i int, err error) {
+		e := &routeBatchErr{i: i, err: err}
+		for {
+			cur := firstErr.Load()
+			if cur != nil && cur.i <= i {
+				return
+			}
+			if firstErr.CompareAndSwap(cur, e) {
+				return
+			}
+		}
+	}
+	if workers <= 1 {
+		for i, dest := range dests {
+			if err := p.RouteInto(out[i], dest); err != nil {
+				return nil, fmt.Errorf("permnet: batch request %d: %w", i, err)
+			}
+		}
+		return out, nil
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(routeGrain)) - routeGrain
+				if lo >= len(dests) {
+					return
+				}
+				hi := min(lo+routeGrain, len(dests))
+				for i := lo; i < hi; i++ {
+					if err := p.RouteInto(out[i], dests[i]); err != nil {
+						report(i, err)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if e := firstErr.Load(); e != nil {
+		return nil, fmt.Errorf("permnet: batch request %d: %w", e.i, e.err)
+	}
+	return out, nil
+}
+
+// routeBatchErr records the earliest failing request of a batch.
+type routeBatchErr struct {
+	i   int
+	err error
+}
+
+// routePlanPtr is the lazily-populated compiled plan of a RadixPermuter.
+// Declared as its own type so the zero RadixPermuter literal stays usable.
+type routePlanPtr = atomic.Pointer[RoutePlan]
+
+// RouteBatch routes many permutations through the permuter's compiled
+// plan; see RoutePlan.RouteBatch.
+func (r *RadixPermuter) RouteBatch(dests [][]int, workers int) ([][]int, error) {
+	return r.Compile().RouteBatch(dests, workers)
+}

@@ -1,9 +1,8 @@
 package permnet
 
 import (
-	"sync"
-
 	"fmt"
+	"sync"
 
 	"absort/internal/bitvec"
 	"absort/internal/cmpnet"
@@ -22,7 +21,8 @@ import (
 type RadixPermuter struct {
 	n      int
 	engine concentrator.Engine
-	k      int // fish group count at the top level
+	k      int          // fish group count at the top level
+	plan   routePlanPtr // lazily compiled route plan (see plan.go)
 }
 
 // NewRadixPermuter returns an n-input radix permuter whose distribution

@@ -1,0 +1,7 @@
+// Package race reports whether the race detector is enabled, mirroring
+// the standard library's internal/race. Tests that pin timing floors or
+// zero-allocation contracts consult Enabled: race instrumentation slows
+// packed-word loops far more than allocation-heavy paths (distorting
+// measured ratios), and sync.Pool deliberately drops a fraction of Puts
+// under the detector, so pooled paths allocate.
+package race

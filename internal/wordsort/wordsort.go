@@ -10,10 +10,19 @@
 // The resulting sorter is stable, handles duplicate keys, and has
 // bit-level cost w × O(n lg n) with the fish-based permuter — the
 // composition the paper's interconnection results exist to enable.
+//
+// All w radix passes of every Sort go through the permuter's compiled
+// route plan (see internal/permnet/plan.go), with per-pass working state
+// drawn from a pool: a Sort allocates only its two result slices, and
+// SortBatch streams many key sets through the same plan concurrently on
+// an atomic work cursor.
 package wordsort
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"absort/internal/bitvec"
 	"absort/internal/concentrator"
@@ -28,6 +37,17 @@ type Engine = concentrator.Engine
 type Sorter struct {
 	n, w    int
 	permute *permnet.RadixPermuter
+	pool    sync.Pool // *sortScratch
+}
+
+// sortScratch is the pooled per-Sort working state: one set for all w
+// passes.
+type sortScratch struct {
+	tags bitvec.Vector
+	dest []int
+	p    []int
+	keys []uint64
+	perm []int
 }
 
 // New returns a word sorter for n records (a power of two) with w-bit
@@ -40,7 +60,17 @@ func New(n, w int, engine Engine) (*Sorter, error) {
 	if w < 1 || w > 64 {
 		return nil, fmt.Errorf("wordsort: key width %d out of range [1,64]", w)
 	}
-	return &Sorter{n: n, w: w, permute: permnet.NewRadixPermuter(n, engine, 0)}, nil
+	s := &Sorter{n: n, w: w, permute: permnet.NewRadixPermuter(n, engine, 0)}
+	s.pool.New = func() any {
+		return &sortScratch{
+			tags: make(bitvec.Vector, n),
+			dest: make([]int, n),
+			p:    make([]int, n),
+			keys: make([]uint64, n),
+			perm: make([]int, n),
+		}
+	}
+	return s, nil
 }
 
 // N returns the record count; W the key width.
@@ -52,13 +82,12 @@ func (s *Sorter) W() int { return s.w }
 // Passes returns the number of binary sorting steps a Sort performs.
 func (s *Sorter) Passes() int { return s.w }
 
-// stableSplitDest computes, for one radix pass, the stable destination of
-// each record: 0-tagged records keep order in the leading positions,
+// stableSplitDestInto computes, for one radix pass, the stable destination
+// of each record: 0-tagged records keep order in the leading positions,
 // 1-tagged in the trailing ones. This is the ranking step — in hardware a
 // parallel-prefix ones counter (internal/prefixadd) per position.
-func stableSplitDest(tags bitvec.Vector) []int {
+func stableSplitDestInto(dest []int, tags bitvec.Vector) {
 	zeros := tags.Zeros()
-	dest := make([]int, len(tags))
 	z, o := 0, zeros
 	for i, t := range tags {
 		if t == 0 {
@@ -69,41 +98,133 @@ func stableSplitDest(tags bitvec.Vector) []int {
 			o++
 		}
 	}
+}
+
+// stableSplitDest is stableSplitDestInto with a fresh result (kept for
+// direct use and tests).
+func stableSplitDest(tags bitvec.Vector) []int {
+	dest := make([]int, len(tags))
+	stableSplitDestInto(dest, tags)
 	return dest
 }
 
 // Sort sorts keys ascending and returns (sortedKeys, perm) where perm is
 // in receives-from form: sortedKeys[j] == keys[perm[j]]. The sort is
 // stable: equal keys keep their input order. Every pass's data movement is
-// routed through the radix permutation network.
+// routed through the radix permutation network's compiled plan; the only
+// allocations are the two result slices.
 func (s *Sorter) Sort(keys []uint64) ([]uint64, []int, error) {
-	if len(keys) != s.n {
-		return nil, nil, fmt.Errorf("wordsort: %d keys for width-%d sorter", len(keys), s.n)
-	}
-	cur := append([]uint64(nil), keys...)
+	out := make([]uint64, s.n)
 	perm := make([]int, s.n)
+	if err := s.SortInto(out, perm, keys); err != nil {
+		return nil, nil, err
+	}
+	return out, perm, nil
+}
+
+// SortInto is Sort writing the sorted keys and the receives-from
+// permutation into caller-provided slices — zero steady-state heap
+// allocations. keys may alias out.
+func (s *Sorter) SortInto(out []uint64, perm []int, keys []uint64) error {
+	if len(keys) != s.n {
+		return fmt.Errorf("wordsort: %d keys for width-%d sorter", len(keys), s.n)
+	}
+	if len(out) != s.n || len(perm) != s.n {
+		return fmt.Errorf("wordsort: result buffers of %d/%d for width-%d sorter",
+			len(out), len(perm), s.n)
+	}
+	sc := s.pool.Get().(*sortScratch)
+	defer s.pool.Put(sc)
+	copy(out, keys)
 	for i := range perm {
 		perm[i] = i
 	}
-	tags := make(bitvec.Vector, s.n)
 	for b := 0; b < s.w; b++ {
-		for i, k := range cur {
-			tags[i] = bitvec.Bit((k >> uint(b)) & 1)
+		for i, k := range out {
+			sc.tags[i] = bitvec.Bit((k >> uint(b)) & 1)
 		}
-		dest := stableSplitDest(tags)
-		p, err := s.permute.Route(dest)
-		if err != nil {
-			return nil, nil, fmt.Errorf("wordsort: pass %d: %w", b, err)
+		stableSplitDestInto(sc.dest, sc.tags)
+		if err := s.permute.RouteInto(sc.p, sc.dest); err != nil {
+			return fmt.Errorf("wordsort: pass %d: %w", b, err)
 		}
-		next := make([]uint64, s.n)
-		nextPerm := make([]int, s.n)
-		for j, i := range p {
-			next[j] = cur[i]
-			nextPerm[j] = perm[i]
+		for j, i := range sc.p {
+			sc.keys[j] = out[i]
+			sc.perm[j] = perm[i]
 		}
-		cur, perm = next, nextPerm
+		copy(out, sc.keys)
+		copy(perm, sc.perm)
 	}
-	return cur, perm, nil
+	return nil
+}
+
+// sortBatchGrain is the number of key sets a batch worker claims per
+// cursor bump.
+const sortBatchGrain = 2
+
+// SortBatch sorts many independent key sets through one compiled route
+// plan, distributed across workers goroutines (≤ 0 means GOMAXPROCS) by
+// an atomic work cursor. Results preserve input order and are identical
+// to per-set Sort; result slices are carved out of flat backing arrays.
+func (s *Sorter) SortBatch(keySets [][]uint64, workers int) ([][]uint64, [][]int, error) {
+	if len(keySets) == 0 {
+		return nil, nil, nil
+	}
+	for i, keys := range keySets {
+		if len(keys) != s.n {
+			return nil, nil, fmt.Errorf("wordsort: key set %d has %d keys for width-%d sorter",
+				i, len(keys), s.n)
+		}
+	}
+	outs := make([][]uint64, len(keySets))
+	perms := make([][]int, len(keySets))
+	flatK := make([]uint64, len(keySets)*s.n)
+	flatP := make([]int, len(keySets)*s.n)
+	for i := range outs {
+		outs[i] = flatK[i*s.n : (i+1)*s.n]
+		perms[i] = flatP[i*s.n : (i+1)*s.n]
+	}
+	nw := (len(keySets) + sortBatchGrain - 1) / sortBatchGrain
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > nw {
+		workers = nw
+	}
+	if workers <= 1 {
+		for i, keys := range keySets {
+			if err := s.SortInto(outs[i], perms[i], keys); err != nil {
+				return nil, nil, fmt.Errorf("wordsort: batch set %d: %w", i, err)
+			}
+		}
+		return outs, perms, nil
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var firstErr atomic.Pointer[error]
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(sortBatchGrain)) - sortBatchGrain
+				if lo >= len(keySets) {
+					return
+				}
+				hi := min(lo+sortBatchGrain, len(keySets))
+				for i := lo; i < hi; i++ {
+					if err := s.SortInto(outs[i], perms[i], keySets[i]); err != nil {
+						e := fmt.Errorf("wordsort: batch set %d: %w", i, err)
+						firstErr.CompareAndSwap(nil, &e)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if e := firstErr.Load(); e != nil {
+		return nil, nil, *e
+	}
+	return outs, perms, nil
 }
 
 // SortBy sorts arbitrary records by a uint64 key, stably, routing through

@@ -6,7 +6,9 @@ import (
 	"testing"
 	"testing/quick"
 
+	"absort/internal/bitvec"
 	"absort/internal/concentrator"
+	"absort/internal/race"
 )
 
 // TestSortRandom sorts random keys across widths and engines and checks
@@ -190,5 +192,108 @@ func TestValidation(t *testing.T) {
 	}
 	if s.CostModel(1000) != 4*(160+1000) {
 		t.Errorf("CostModel = %d", s.CostModel(1000))
+	}
+}
+
+// TestSortBatchDifferential checks SortBatch against per-set Sort across
+// worker counts: identical keys and permutations, input order preserved.
+func TestSortBatchDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(401))
+	for _, eng := range []Engine{concentrator.MuxMerger, concentrator.Fish} {
+		s, err := New(64, 6, eng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sets := make([][]uint64, 40)
+		for i := range sets {
+			sets[i] = make([]uint64, 64)
+			for j := range sets[i] {
+				sets[i][j] = uint64(rng.Intn(64))
+			}
+		}
+		for _, workers := range []int{1, 4, 0} {
+			keys, perms, err := s.SortBatch(sets, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, set := range sets {
+				wantK, wantP, err := s.Sort(set)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for j := range wantK {
+					if keys[i][j] != wantK[j] || perms[i][j] != wantP[j] {
+						t.Fatalf("eng=%v workers=%d set %d: batch (%v,%v) != single (%v,%v)",
+							eng, workers, i, keys[i], perms[i], wantK, wantP)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSortIntoAllocFree pins the planned pipeline property: steady-state
+// SortInto performs zero heap allocations across all w radix passes.
+func TestSortIntoAllocFree(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation pin skipped under the race detector: sync.Pool drops a fraction of Puts when instrumented")
+	}
+	rng := rand.New(rand.NewSource(402))
+	s, err := New(128, 8, concentrator.Fish)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]uint64, 128)
+	for i := range keys {
+		keys[i] = uint64(rng.Intn(256))
+	}
+	out := make([]uint64, 128)
+	perm := make([]int, 128)
+	if err := s.SortInto(out, perm, keys); err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(50, func() {
+		if err := s.SortInto(out, perm, keys); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("SortInto allocates %.1f per run, want 0", avg)
+	}
+}
+
+// TestSortBatchValidation checks batch-path error handling.
+func TestSortBatchValidation(t *testing.T) {
+	s, err := New(16, 4, concentrator.MuxMerger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.SortBatch([][]uint64{make([]uint64, 8)}, 2); err == nil {
+		t.Error("SortBatch accepted a wrong-width key set")
+	}
+	if keys, perms, err := s.SortBatch(nil, 2); keys != nil || perms != nil || err != nil {
+		t.Error("SortBatch(nil) != (nil, nil, nil)")
+	}
+	if err := s.SortInto(make([]uint64, 8), make([]int, 16), make([]uint64, 16)); err == nil {
+		t.Error("SortInto accepted short output buffer")
+	}
+}
+
+// TestStableSplitDestInto checks the in-place ranking step against its
+// allocating counterpart.
+func TestStableSplitDestInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(403))
+	for trial := 0; trial < 20; trial++ {
+		tags := make(bitvec.Vector, 32)
+		for i := range tags {
+			tags[i] = bitvec.Bit(rng.Intn(2))
+		}
+		want := stableSplitDest(tags)
+		got := make([]int, len(tags))
+		stableSplitDestInto(got, tags)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: Into %v != alloc %v", trial, got, want)
+			}
+		}
 	}
 }

@@ -1,0 +1,164 @@
+package absort_test
+
+// BenchmarkRouteEngines measures per-route throughput of the Fig. 10 radix
+// permuter's routing paths on the fish engine at n ∈ {64, 256, 1024, 4096}:
+//
+//   - scalar:           the seed's recursive per-level router (Route)
+//   - planned:          the compiled route plan, one request per call
+//   - planned-parallel: the batch pipeline over the same compiled plan
+//
+// Each sub-benchmark reports ns/route via b.ReportMetric; the collected
+// numbers are persisted to BENCH_route.json when the run completes so the
+// CI smoke run (`make bench`) leaves a machine-readable record of the
+// speedup, alongside BENCH_eval.json.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+
+	"absort/internal/concentrator"
+	"absort/internal/permnet"
+	"absort/internal/race"
+)
+
+// routeBenchRecord is one path × size measurement.
+type routeBenchRecord struct {
+	Path       string  `json:"path"`
+	N          int     `json:"n"`
+	NsPerRoute float64 `json:"ns_per_route"`
+}
+
+var routeBench struct {
+	sync.Mutex
+	records []routeBenchRecord
+}
+
+// recordRouteBench stores a measurement and rewrites BENCH_route.json with
+// everything collected so far (the final sub-run leaves the full table).
+func recordRouteBench(path string, n int, nsPerRoute float64) {
+	routeBench.Lock()
+	defer routeBench.Unlock()
+	for i, r := range routeBench.records {
+		if r.Path == path && r.N == n {
+			routeBench.records[i].NsPerRoute = nsPerRoute
+			writeRouteBench()
+			return
+		}
+	}
+	routeBench.records = append(routeBench.records, routeBenchRecord{path, n, nsPerRoute})
+	writeRouteBench()
+}
+
+func writeRouteBench() {
+	data, err := json.MarshalIndent(routeBench.records, "", "  ")
+	if err != nil {
+		return
+	}
+	_ = os.WriteFile("BENCH_route.json", append(data, '\n'), 0o644)
+}
+
+// routeBenchBatch is the number of independent permutations routed per
+// planned-parallel benchmark iteration.
+const routeBenchBatch = 16
+
+func BenchmarkRouteEngines(b *testing.B) {
+	rng := rand.New(rand.NewSource(1992))
+	for _, n := range []int{64, 256, 1024, 4096} {
+		rp := permnet.NewRadixPermuter(n, concentrator.Fish, 0)
+		plan := rp.Compile()
+		dests := make([][]int, routeBenchBatch)
+		for i := range dests {
+			dests[i] = rng.Perm(n)
+		}
+
+		b.Run(fmt.Sprintf("scalar/n=%d", n), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := rp.Route(dests[i%routeBenchBatch]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			ns := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			b.ReportMetric(ns, "ns/route")
+			recordRouteBench("scalar", n, ns)
+		})
+		b.Run(fmt.Sprintf("planned/n=%d", n), func(b *testing.B) {
+			out := make([]int, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := plan.RouteInto(out, dests[i%routeBenchBatch]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			ns := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			b.ReportMetric(ns, "ns/route")
+			recordRouteBench("planned", n, ns)
+		})
+		b.Run(fmt.Sprintf("planned-parallel/n=%d", n), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := plan.RouteBatch(dests, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			ns := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / routeBenchBatch
+			b.ReportMetric(ns, "ns/route")
+			recordRouteBench("planned-parallel", n, ns)
+		})
+	}
+}
+
+// TestRouteSpeedupFloor pins the acceptance criterion: the compiled route
+// plan must deliver at least 5× the scalar router's per-route throughput on
+// the n=4096 fish permuter. Measured inline (not via the benchmark harness)
+// so `go test` enforces it on every run, mirroring TestWideSpeedupFloor.
+func TestRouteSpeedupFloor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing floor skipped in -short mode")
+	}
+	if race.Enabled {
+		t.Skip("timing floor skipped under the race detector: instrumentation " +
+			"slows the planned path's packed-word loops far more than the " +
+			"allocation-heavy scalar router, distorting the ratio")
+	}
+	n := 4096
+	rp := permnet.NewRadixPermuter(n, concentrator.Fish, 0)
+	plan := rp.Compile()
+	rng := rand.New(rand.NewSource(7))
+	dests := make([][]int, 4)
+	for i := range dests {
+		dests[i] = rng.Perm(n)
+	}
+	out := make([]int, n)
+
+	scalar := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := rp.Route(dests[i&3]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	planned := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := plan.RouteInto(out, dests[i&3]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	scalarNs := float64(scalar.NsPerOp())
+	plannedNs := float64(planned.NsPerOp())
+	speedup := scalarNs / plannedNs
+	t.Logf("n=%d: scalar %.0f ns/route, planned %.0f ns/route, speedup %.1f×",
+		n, scalarNs, plannedNs, speedup)
+	if speedup < 5 {
+		t.Errorf("planned route speedup %.1f× < 5× floor (scalar %.0f ns/route, planned %.0f ns/route)",
+			speedup, scalarNs, plannedNs)
+	}
+}
