@@ -1,13 +1,17 @@
 # CI entry points. `make ci` is the full gate: vet, build, race-enabled
-# tests, and a one-iteration benchmark smoke run of the evaluation-engine
-# and routing-path comparisons, which also refreshes BENCH_eval.json
-# (ns/vector for the interpreter, compiled, and wide engines at
-# n ∈ {64, 256, 1024}) and BENCH_route.json (ns/route for scalar, planned,
-# and planned-parallel routing at n ∈ {64, 256, 1024, 4096}).
+# tests (including the serve package's Close/drain and concurrency
+# tests), and a one-iteration benchmark smoke run of the
+# evaluation-engine, routing-path, and streaming-service comparisons,
+# which also refreshes BENCH_eval.json (ns/vector for the interpreter,
+# compiled, and wide engines at n ∈ {64, 256, 1024}), BENCH_route.json
+# (ns/route for scalar, planned, and planned-parallel routing at
+# n ∈ {64, 256, 1024, 4096}), and BENCH_serve.json (ns/request for the
+# streaming service vs the planned-parallel batch pipeline at
+# n ∈ {256, 1024, 4096}).
 
 GO ?= go
 
-.PHONY: ci vet build test race bench clean
+.PHONY: ci vet build test race serve-race bench clean
 
 ci: vet build race bench
 
@@ -23,8 +27,12 @@ test:
 race:
 	$(GO) test -race ./...
 
+serve-race:
+	$(GO) test -race ./internal/serve -run . -count=1
+	$(GO) test -race -run 'TestRoutingService' -count=1 .
+
 bench:
-	$(GO) test -run 'TestWideSpeedupFloor|TestRouteSpeedupFloor' -bench 'EvalEngines|RouteEngines' -benchtime 1x .
+	$(GO) test -run 'TestWideSpeedupFloor|TestRouteSpeedupFloor|TestServeThroughputFloor' -bench 'EvalEngines|RouteEngines|ServeThroughput' -benchtime 1x .
 
 clean:
 	$(GO) clean ./...

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"absort/internal/concentrator"
+	"absort/internal/core"
 	"absort/internal/permnet"
 )
 
@@ -67,10 +68,18 @@ type BatchConcentrator struct {
 
 // NewBatchConcentrator returns a batch (n,m)-concentrator over the given
 // engine; k is the fish group count (≤ 0 selects the paper's k = lg n
-// choice; other engines ignore it).
+// choice; other engines ignore it). The accepted domain matches
+// concentrator.New exactly: n any positive power of two — n = 1 (the
+// trivial single-wire concentrator) included — and 0 < m ≤ n.
 func NewBatchConcentrator(n, m int, engine Engine, k int) (*BatchConcentrator, error) {
-	if n < 1 || n&(n-1) != 0 || m <= 0 || m > n {
-		return nil, fmt.Errorf("absort: NewBatchConcentrator(%d, %d): need power-of-two n and 0 < m ≤ n", n, m)
+	if !core.IsPow2(n) {
+		return nil, fmt.Errorf("absort: NewBatchConcentrator(%d, %d): n must be a positive power of two", n, m)
+	}
+	if m <= 0 || m > n {
+		return nil, fmt.Errorf("absort: NewBatchConcentrator(%d, %d): need 0 < m ≤ n", n, m)
+	}
+	if engine == EngineFish && k > 0 && (!core.IsPow2(k) || k > n || (n > 1 && k < 2)) {
+		return nil, fmt.Errorf("absort: NewBatchConcentrator(%d, %d): fish group count k=%d must be a power of two with 2 ≤ k ≤ n", n, m, k)
 	}
 	c := concentrator.New(n, m, engine, k)
 	c.Compile()

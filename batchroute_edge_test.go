@@ -1,0 +1,169 @@
+package absort_test
+
+// Boundary-case and fuzz coverage for the public batch-routing error
+// paths: the constructors must accept exactly the domain of the
+// underlying networks (powers of two, n = 1 included for concentrators),
+// and malformed batch input must surface as errors — never panics — from
+// every public entry point.
+
+import (
+	"math/rand"
+	"testing"
+
+	"absort"
+)
+
+// TestNewBatchConcentratorBoundary tables the constructor over the
+// boundary (n, m) cases for every engine, checking acceptance matches
+// concentrator.New's domain: n a positive power of two and 0 < m ≤ n.
+func TestNewBatchConcentratorBoundary(t *testing.T) {
+	engines := []absort.Engine{
+		absort.EngineMuxMerger, absort.EnginePrefix, absort.EngineFish, absort.EngineRanking,
+	}
+	cases := []struct {
+		n, m int
+		ok   bool
+	}{
+		{-4, 1, false},
+		{0, 0, false},
+		{0, 1, false},
+		{1, 0, false},
+		{1, 1, true}, // the trivial single-wire concentrator
+		{1, 2, false},
+		{2, 1, true},
+		{2, 2, true},
+		{2, 3, false},
+		{3, 1, false},
+		{3, 3, false},
+		{4, 0, false},
+		{4, 4, true},
+		{4, 5, false},
+		{6, 4, false},
+		{8, 3, true},
+	}
+	for _, engine := range engines {
+		for _, tc := range cases {
+			bc, err := absort.NewBatchConcentrator(tc.n, tc.m, engine, 0)
+			if (err == nil) != tc.ok {
+				t.Errorf("NewBatchConcentrator(%d, %d, %v): err=%v, want ok=%v",
+					tc.n, tc.m, engine, err, tc.ok)
+				continue
+			}
+			if err != nil {
+				continue
+			}
+			// Accepted boundary configurations must actually route.
+			marked := make([]bool, tc.n)
+			marked[0] = true
+			p, r, err := bc.Concentrate(marked)
+			if err != nil || r != 1 || p[0] != 0 {
+				t.Errorf("(%d, %d, %v): Concentrate = (%v, %d, %v)", tc.n, tc.m, engine, p, r, err)
+			}
+		}
+	}
+	// Bad fish group counts are rejected up front instead of panicking at
+	// plan compile time.
+	for _, k := range []int{3, 5, 32} {
+		if _, err := absort.NewBatchConcentrator(16, 8, absort.EngineFish, k); err == nil {
+			t.Errorf("NewBatchConcentrator(16, 8, fish, k=%d): accepted", k)
+		}
+	}
+	if _, err := absort.NewBatchConcentrator(16, 8, absort.EngineFish, 4); err != nil {
+		t.Errorf("NewBatchConcentrator(16, 8, fish, k=4): %v", err)
+	}
+}
+
+// FuzzBatchPermuterRouteBatch fuzzes the public batch permuter with
+// mismatched lengths and non-permutations: every outcome must be a clean
+// (results, nil) or (nil, error) — no panics, no partial results.
+func FuzzBatchPermuterRouteBatch(f *testing.F) {
+	f.Add(8, 3, -1, 0)
+	f.Add(8, 0, 4, 1)
+	f.Add(8, 9, 9, 2)
+	f.Add(8, 7, 2, 3)
+	bp, err := absort.NewBatchPermuter(8, absort.EngineMuxMerger)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, n, badLen, badAt, workers int) {
+		rng := rand.New(rand.NewSource(int64(n)*31 + int64(badLen)))
+		batch := make([][]int, 1+abs(n)%8)
+		for i := range batch {
+			batch[i] = rng.Perm(bp.N())
+		}
+		malformed := false
+		if len(batch) > 0 && badAt >= 0 && badAt < len(batch) {
+			if bl := abs(badLen) % 16; bl != bp.N() {
+				batch[badAt] = make([]int, bl)
+				malformed = true
+			} else {
+				batch[badAt][0] = batch[badAt][1] // duplicate: not a permutation
+				malformed = true
+			}
+		}
+		out, err := bp.RouteBatch(batch, workers%8)
+		if malformed {
+			if err == nil {
+				t.Fatalf("malformed batch accepted (badAt=%d badLen=%d)", badAt, badLen)
+			}
+			if out != nil {
+				t.Fatal("error with non-nil results")
+			}
+		} else if err != nil {
+			t.Fatalf("well-formed batch rejected: %v", err)
+		}
+	})
+}
+
+// FuzzBatchConcentratorBatch fuzzes ConcentrateBatch with wrong-length
+// and over-capacity patterns.
+func FuzzBatchConcentratorBatch(f *testing.F) {
+	f.Add(4, 0, 2)
+	f.Add(9, 1, 0)
+	f.Add(16, 2, 5)
+	bc, err := absort.NewBatchConcentrator(8, 4, absort.EnginePrefix, 0)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, badLen, badAt, markCount int) {
+		rng := rand.New(rand.NewSource(int64(badLen)*17 + int64(markCount)))
+		batch := make([][]bool, 4)
+		for i := range batch {
+			batch[i] = make([]bool, bc.N())
+			for _, j := range rng.Perm(bc.N())[:bc.M()/2] {
+				batch[i][j] = true
+			}
+		}
+		malformed := false
+		if badAt >= 0 && badAt < len(batch) {
+			switch {
+			case abs(badLen)%16 != bc.N():
+				batch[badAt] = make([]bool, abs(badLen)%16)
+				malformed = true
+			case abs(markCount)%(bc.N()+1) > bc.M():
+				batch[badAt] = make([]bool, bc.N())
+				for j := 0; j <= bc.M(); j++ {
+					batch[badAt][j] = true
+				}
+				malformed = true
+			}
+		}
+		perms, rs, err := bc.ConcentrateBatch(batch, 2)
+		if malformed && err == nil {
+			t.Fatalf("malformed batch accepted (badAt=%d badLen=%d marks=%d)", badAt, badLen, markCount)
+		}
+		if !malformed && err != nil {
+			t.Fatalf("well-formed batch rejected: %v", err)
+		}
+		if err != nil && (perms != nil || rs != nil) {
+			t.Fatal("error with non-nil results")
+		}
+	})
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -10,30 +10,53 @@
 // planned-parallel routing rates are reported.
 //
 //	permroute -n 1024 -engine fish -batch 4096 -workers 0
+//
+// With -serve, it replays a workload file through the streaming routing
+// service (internal/serve): every line is one request submitted with
+// backpressure through the bounded admission queue, and throughput plus
+// the service's latency histogram are reported at the end. The workload
+// format is one request per line ('#' starts a comment):
+//
+//	permute d0 d1 d2 ...          route the assignment i -> d_i
+//	concentrate 0110...           concentrate the '1'-marked inputs
+//	sortwords k0 k1 k2 ...        sort the keys
+//
+// Use -serve rand to generate -batch random permutation requests instead
+// of reading a file.
+//
+//	permroute -n 1024 -engine fish -serve workload.txt -workers 8 -queue 64
+//	permroute -n 4096 -engine fish -serve rand -batch 512
 package main
 
 import (
+	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"absort/internal/analysis"
 	"absort/internal/concentrator"
 	"absort/internal/core"
 	"absort/internal/permnet"
+	"absort/internal/serve"
 )
 
 func main() {
 	var (
-		n       = flag.Int("n", 64, "network width (power of two)")
-		trials  = flag.Int("trials", 3, "random permutations to route")
-		seed    = flag.Int64("seed", 1, "random seed")
-		engine  = flag.String("engine", "fish", "fish | muxmerger | prefix")
-		batch   = flag.Int("batch", 0, "batch size: route this many permutations through the compiled plan pipeline")
-		workers = flag.Int("workers", 0, "batch worker goroutines (0 = GOMAXPROCS)")
+		n        = flag.Int("n", 64, "network width (power of two)")
+		trials   = flag.Int("trials", 3, "random permutations to route")
+		seed     = flag.Int64("seed", 1, "random seed")
+		engine   = flag.String("engine", "fish", "fish | muxmerger | prefix")
+		batch    = flag.Int("batch", 0, "batch size: route this many permutations through the compiled plan pipeline")
+		workers  = flag.Int("workers", 0, "batch worker goroutines (0 = GOMAXPROCS)")
+		serveArg = flag.String("serve", "", "replay a workload file through the streaming routing service ('rand' generates -batch random permutes)")
+		queue    = flag.Int("queue", 0, "streaming service admission queue depth (0 = 4x workers)")
 	)
 	flag.Parse()
 	if !core.IsPow2(*n) {
@@ -55,6 +78,10 @@ func main() {
 	}
 
 	rng := rand.New(rand.NewSource(*seed))
+	if *serveArg != "" {
+		runServe(*n, eng, rng, *serveArg, *batch, *workers, *queue)
+		return
+	}
 	rp := permnet.NewRadixPermuter(*n, eng, 0)
 	fmt.Printf("radix permuter (Fig. 10), n=%d, engine=%s\n", *n, eng)
 	fmt.Printf("  bit-level cost (model): %d   permutation time (model): %d\n",
@@ -155,4 +182,144 @@ func runBatch(rp *permnet.RadixPermuter, rng *rand.Rand, batch, workers int) {
 	fmt.Printf("  planned-parallel %12v/route   %10.0f routes/sec   (%.1f× scalar)\n",
 		perRoute(parallel), rate(parallel), scalar.Seconds()/parallel.Seconds())
 	fmt.Printf("  all %d batch routings delivered\n", batch)
+}
+
+// runServe replays a workload through the streaming routing service and
+// reports throughput and the service's latency histogram.
+func runServe(n int, eng concentrator.Engine, rng *rand.Rand, src string, batch, workers, queue int) {
+	reqs, err := loadWorkload(n, rng, src, batch)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "permroute:", err)
+		os.Exit(1)
+	}
+	svc, err := serve.New(serve.Config{
+		N: n, Engine: eng, Workers: workers, QueueDepth: queue,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "permroute:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("streaming service: %d requests, n=%d, engine=%s, workers=%d, queue=%d\n",
+		len(reqs), n, eng, svc.Workers(), svc.QueueDepth())
+
+	ctx := context.Background()
+	futs := make([]*serve.Future, 0, len(reqs))
+	t0 := time.Now()
+	for i, req := range reqs {
+		fut, err := svc.Submit(ctx, req) // blocks on backpressure
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "permroute: request %d: %v\n", i, err)
+			os.Exit(1)
+		}
+		futs = append(futs, fut)
+	}
+	for i, fut := range futs {
+		res, err := fut.Wait(ctx)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "permroute: request %d: %v\n", i, err)
+			os.Exit(1)
+		}
+		if reqs[i].Kind == serve.Permute && !permnet.VerifyRouting(reqs[i].Dest, res.Perm) {
+			fmt.Fprintf(os.Stderr, "permroute: request %d not delivered\n", i)
+			os.Exit(1)
+		}
+	}
+	elapsed := time.Since(t0)
+	svc.Close()
+
+	st := svc.Stats()
+	fmt.Printf("  %d submitted, %d completed, %d failed, %d rejected\n",
+		st.Submitted, st.Completed, st.Failed, st.Rejected)
+	fmt.Printf("  wall time %v   %.0f requests/sec\n",
+		elapsed, float64(len(reqs))/elapsed.Seconds())
+	fmt.Printf("  latency: mean %v   p50 ≤ %v   p99 ≤ %v\n",
+		st.MeanLatency(), st.ApproxQuantile(0.50), st.ApproxQuantile(0.99))
+	fmt.Printf("  all %d requests resolved\n", len(reqs))
+}
+
+// loadWorkload parses the workload source: "rand" generates count random
+// permutation requests, anything else is read as a workload file.
+func loadWorkload(n int, rng *rand.Rand, src string, count int) ([]serve.Request, error) {
+	if src == "rand" {
+		if count <= 0 {
+			count = 256
+		}
+		reqs := make([]serve.Request, count)
+		for i := range reqs {
+			reqs[i] = serve.Request{Kind: serve.Permute, Dest: rng.Perm(n)}
+		}
+		return reqs, nil
+	}
+	f, err := os.Open(src)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var reqs []serve.Request
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		req, err := parseRequest(fields)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", src, line, err)
+		}
+		reqs = append(reqs, req)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("%s: empty workload", src)
+	}
+	return reqs, nil
+}
+
+// parseRequest parses one workload line already split into fields.
+func parseRequest(fields []string) (serve.Request, error) {
+	switch fields[0] {
+	case "permute":
+		dest := make([]int, 0, len(fields)-1)
+		for _, f := range fields[1:] {
+			d, err := strconv.Atoi(f)
+			if err != nil {
+				return serve.Request{}, fmt.Errorf("bad destination %q", f)
+			}
+			dest = append(dest, d)
+		}
+		return serve.Request{Kind: serve.Permute, Dest: dest}, nil
+	case "concentrate":
+		if len(fields) != 2 {
+			return serve.Request{}, fmt.Errorf("concentrate wants one 0/1 pattern")
+		}
+		marked := make([]bool, 0, len(fields[1]))
+		for _, c := range fields[1] {
+			switch c {
+			case '0':
+				marked = append(marked, false)
+			case '1':
+				marked = append(marked, true)
+			default:
+				return serve.Request{}, fmt.Errorf("bad mark %q", string(c))
+			}
+		}
+		return serve.Request{Kind: serve.Concentrate, Marked: marked}, nil
+	case "sortwords":
+		keys := make([]uint64, 0, len(fields)-1)
+		for _, f := range fields[1:] {
+			k, err := strconv.ParseUint(f, 10, 64)
+			if err != nil {
+				return serve.Request{}, fmt.Errorf("bad key %q", f)
+			}
+			keys = append(keys, k)
+		}
+		return serve.Request{Kind: serve.SortWords, Keys: keys}, nil
+	}
+	return serve.Request{}, fmt.Errorf("unknown request kind %q", fields[0])
 }

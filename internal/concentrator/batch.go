@@ -24,14 +24,17 @@ const batchGrain = 8
 // RouteBatch routes every tag vector through the plan concurrently using
 // workers goroutines (≤ 0 means GOMAXPROCS). Results preserve input
 // order; result i is the permutation the network realizes on tags[i].
-func (p *Plan) RouteBatch(tagsBatch []bitvec.Vector, workers int) [][]int {
+// A malformed tag vector fails the whole batch with an error before any
+// routing starts — it never panics, so one bad request cannot take down
+// a serving process.
+func (p *Plan) RouteBatch(tagsBatch []bitvec.Vector, workers int) ([][]int, error) {
 	if len(tagsBatch) == 0 {
-		return nil
+		return nil, nil
 	}
 	for i, tags := range tagsBatch {
 		if len(tags) != p.n {
-			panic(fmt.Sprintf("concentrator: Plan(%d).RouteBatch: vector %d has %d tags",
-				p.n, i, len(tags)))
+			return nil, fmt.Errorf("concentrator: Plan(%d).RouteBatch: vector %d has %d tags",
+				p.n, i, len(tags))
 		}
 	}
 	out := make([][]int, len(tagsBatch))
@@ -39,18 +42,20 @@ func (p *Plan) RouteBatch(tagsBatch []bitvec.Vector, workers int) [][]int {
 	for i := range out {
 		out[i] = flat[i*p.n : (i+1)*p.n]
 	}
-	runBatch(len(tagsBatch), workers, func(i int) {
+	runBatch(len(tagsBatch), workers, func(i int) bool {
 		p.RouteInto(out[i], tagsBatch[i])
+		return true
 	})
-	return out
+	return out, nil
 }
 
 // ConcentrateBatch routes every request pattern through the
 // concentrator's compiled plan concurrently using workers goroutines
 // (≤ 0 means GOMAXPROCS). It returns, in input order, the permutations
-// and the per-pattern request counts. The whole batch fails if any
-// pattern is malformed or exceeds capacity (err reports the first
-// offending pattern).
+// and the per-pattern request counts. A poisoned batch fails fast: as
+// soon as any worker observes a malformed or over-capacity pattern the
+// remaining work is abandoned, and err reports the earliest offending
+// pattern among those attempted.
 func (c *Concentrator) ConcentrateBatch(markedBatch [][]bool, workers int) ([][]int, []int, error) {
 	if len(markedBatch) == 0 {
 		return nil, nil, nil
@@ -62,21 +67,25 @@ func (c *Concentrator) ConcentrateBatch(markedBatch [][]bool, workers int) ([][]
 	}
 	rs := make([]int, len(markedBatch))
 	var firstErr atomic.Pointer[batchErr]
-	runBatch(len(markedBatch), workers, func(i int) {
+	runBatch(len(markedBatch), workers, func(i int) bool {
+		if firstErr.Load() != nil {
+			return false // poisoned batch: abort instead of burning workers
+		}
 		r, err := c.ConcentrateInto(out[i], markedBatch[i])
 		if err != nil {
 			e := &batchErr{i: i, err: err}
 			for {
 				cur := firstErr.Load()
 				if cur != nil && cur.i <= i {
-					return
+					return false
 				}
 				if firstErr.CompareAndSwap(cur, e) {
-					return
+					return false
 				}
 			}
 		}
 		rs[i] = r
+		return true
 	})
 	if e := firstErr.Load(); e != nil {
 		return nil, nil, fmt.Errorf("concentrator: batch pattern %d: %w", e.i, e.err)
@@ -91,8 +100,11 @@ type batchErr struct {
 }
 
 // runBatch executes fn(0..n-1) across workers goroutines with an atomic
-// work cursor claiming batchGrain items at a time.
-func runBatch(n, workers int, fn func(i int)) {
+// work cursor claiming batchGrain items at a time. fn returning false
+// aborts the batch: every worker stops claiming new items as soon as the
+// shared stop flag is raised (items already claimed in the same grain are
+// also skipped), so a poisoned batch fails fast.
+func runBatch(n, workers int, fn func(i int) bool) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -101,10 +113,13 @@ func runBatch(n, workers int, fn func(i int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			if !fn(i) {
+				return
+			}
 		}
 		return
 	}
+	var stop atomic.Bool
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -112,13 +127,22 @@ func runBatch(n, workers int, fn func(i int)) {
 		go func() {
 			defer wg.Done()
 			for {
+				if stop.Load() {
+					return
+				}
 				lo := int(next.Add(batchGrain)) - batchGrain
 				if lo >= n {
 					return
 				}
 				hi := min(lo+batchGrain, n)
 				for i := lo; i < hi; i++ {
-					fn(i)
+					if stop.Load() {
+						return
+					}
+					if !fn(i) {
+						stop.Store(true)
+						return
+					}
 				}
 			}
 		}()

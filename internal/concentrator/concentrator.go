@@ -184,6 +184,9 @@ func patchUpItems(x []item, m int) []item {
 // sorter with k groups on the given tags.
 func RouteFish(tags bitvec.Vector, k int) []int {
 	n := len(tags)
+	if n == 1 {
+		return []int{0} // a 1-input network is a wire
+	}
 	if !core.IsPow2(n) || !core.IsPow2(k) || k < 2 || k > n {
 		panic(fmt.Sprintf("concentrator: RouteFish(%d tags, k=%d)", n, k))
 	}

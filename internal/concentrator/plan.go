@@ -20,6 +20,7 @@
 package concentrator
 
 import (
+	"container/list"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -113,6 +114,9 @@ func NewPlan(n int, engine Engine, k int) *Plan {
 	case PrefixAdder:
 		c.prefixSort(0, int32(n))
 	case Fish:
+		if n == 1 {
+			break // a 1-input network is a wire: empty program
+		}
 		if !core.IsPow2(k) || k < 2 || k > n {
 			panic(fmt.Sprintf("concentrator: NewPlan(%d, fish, k=%d)", n, k))
 		}
@@ -453,27 +457,114 @@ type planKey struct {
 	k      int
 }
 
+// planCacheCap bounds the process-wide plan cache: a k-sweep or an
+// adversarial (n, k) request stream recompiles cold plans instead of
+// growing memory without limit. 64 entries comfortably cover every
+// power-of-two n a process routes in practice (a full fish permuter at
+// one n needs lg n level plans), while capping worst-case cache memory.
+const planCacheCap = 64
+
+// planLRU is a small mutex-guarded LRU of compiled plans. Eviction only
+// drops the cache's reference: Plans are immutable and every holder
+// (Concentrator.Compile's atomic pointer, RoutePlan level slices) keeps
+// its own pointer, so evicted plans stay fully usable.
+type planLRU struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // of *planCacheEntry, front = most recently used
+	m   map[planKey]*list.Element
+}
+
+type planCacheEntry struct {
+	key  planKey
+	plan *Plan
+}
+
+func newPlanLRU(capacity int) *planLRU {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &planLRU{cap: capacity, ll: list.New(), m: make(map[planKey]*list.Element)}
+}
+
+// get returns the cached plan for key, marking it most recently used.
+func (c *planLRU) get(key planKey) (*Plan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*planCacheEntry).plan, true
+}
+
+// add inserts p under key (LoadOrStore semantics: a racing earlier insert
+// wins and is returned), evicting the least recently used entries beyond
+// the capacity.
+func (c *planLRU) add(key planKey, p *Plan) *Plan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*planCacheEntry).plan
+	}
+	c.m[key] = c.ll.PushFront(&planCacheEntry{key: key, plan: p})
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.m, last.Value.(*planCacheEntry).key)
+	}
+	return p
+}
+
+// len reports the number of cached plans.
+func (c *planLRU) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// setCap rebounds the cache (test hook), evicting down to the new
+// capacity, and returns the previous bound.
+func (c *planLRU) setCap(capacity int) int {
+	if capacity < 1 {
+		capacity = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	prev := c.cap
+	c.cap = capacity
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.m, last.Value.(*planCacheEntry).key)
+	}
+	return prev
+}
+
 // planCache shares compiled plans process-wide: every concentrator, radix
 // permuter level, and word-sort pass over the same (n, engine, k) reuses
-// one Plan (and therefore one scratch pool).
-var planCache sync.Map // planKey -> *Plan
+// one Plan (and therefore one scratch pool). Bounded by planCacheCap with
+// LRU eviction.
+var planCache = newPlanLRU(planCacheCap)
 
 // PlanFor returns the shared compiled plan for (n, engine, k), lowering it
 // on first use. Non-fish engines normalize k to 0 so equivalent requests
-// share one entry.
+// share one entry. The backing cache is a bounded LRU: a cold (n, engine,
+// k) beyond the capacity recompiles rather than growing memory.
 func PlanFor(n int, engine Engine, k int) *Plan {
 	if engine != Fish {
 		k = 0
 	}
 	key := planKey{n: n, engine: engine, k: k}
-	if p, ok := planCache.Load(key); ok {
-		return p.(*Plan)
+	if p, ok := planCache.get(key); ok {
+		return p
 	}
-	p := NewPlan(n, engine, k)
-	if prev, loaded := planCache.LoadOrStore(key, p); loaded {
-		return prev.(*Plan)
-	}
-	return p
+	// Compile outside the cache lock: lowering large plans is slow and
+	// must not serialize unrelated lookups. A concurrent duplicate
+	// compilation is harmless — add resolves the race LoadOrStore-style.
+	return planCache.add(key, NewPlan(n, engine, k))
 }
 
 // Compile returns the concentrator's routing plan, lowering it on first

@@ -241,7 +241,10 @@ func TestPlanRouteBatch(t *testing.T) {
 	}{{MuxMerger, 0}, {PrefixAdder, 0}, {Fish, 4}, {Ranking, 0}} {
 		p := NewPlan(n, cfg.engine, cfg.k)
 		for _, workers := range []int{1, 4, 0} {
-			got := p.RouteBatch(batch, workers)
+			got, err := p.RouteBatch(batch, workers)
+			if err != nil {
+				t.Fatalf("%v workers=%d: %v", cfg.engine, workers, err)
+			}
 			if len(got) != len(batch) {
 				t.Fatalf("%v workers=%d: %d results for %d inputs",
 					cfg.engine, workers, len(got), len(batch))
@@ -254,8 +257,8 @@ func TestPlanRouteBatch(t *testing.T) {
 			}
 		}
 	}
-	if p := NewPlan(n, MuxMerger, 0); p.RouteBatch(nil, 4) != nil {
-		t.Error("RouteBatch(nil) != nil")
+	if out, err := NewPlan(n, MuxMerger, 0).RouteBatch(nil, 4); out != nil || err != nil {
+		t.Error("RouteBatch(nil) != (nil, nil)")
 	}
 }
 
@@ -305,9 +308,13 @@ func TestPlanBatchAmortizedAllocs(t *testing.T) {
 	for i := range batch {
 		batch[i] = bitvec.Random(rng, n)
 	}
-	p.RouteBatch(batch, 1) // warm the pool
+	if _, err := p.RouteBatch(batch, 1); err != nil { // warm the pool
+		t.Fatal(err)
+	}
 	avg := testing.AllocsPerRun(20, func() {
-		p.RouteBatch(batch, 1)
+		if _, err := p.RouteBatch(batch, 1); err != nil {
+			t.Fatal(err)
+		}
 	})
 	perItem := avg / float64(len(batch))
 	if perItem > 0.05 {

@@ -217,8 +217,10 @@ const routeGrain = 4
 // RouteBatch routes every destination assignment through the compiled
 // plan concurrently, using workers goroutines (≤ 0 means GOMAXPROCS)
 // coordinated by an atomic work cursor. Results preserve input order and
-// are identical to per-request Route. The whole batch fails on the first
-// malformed assignment (by input order).
+// are identical to per-request Route. A malformed assignment fails the
+// whole batch fast — workers stop claiming new requests as soon as an
+// error is reported — and err names the earliest offending request among
+// those attempted.
 func (p *RoutePlan) RouteBatch(dests [][]int, workers int) ([][]int, error) {
 	if len(dests) == 0 {
 		return nil, nil
@@ -263,6 +265,11 @@ func (p *RoutePlan) RouteBatch(dests [][]int, workers int) ([][]int, error) {
 		go func() {
 			defer wg.Done()
 			for {
+				// Fail fast: once any worker has reported an error, the
+				// batch result is discarded anyway, so stop claiming work.
+				if firstErr.Load() != nil {
+					return
+				}
 				lo := int(next.Add(routeGrain)) - routeGrain
 				if lo >= len(dests) {
 					return
@@ -271,6 +278,7 @@ func (p *RoutePlan) RouteBatch(dests [][]int, workers int) ([][]int, error) {
 				for i := lo; i < hi; i++ {
 					if err := p.RouteInto(out[i], dests[i]); err != nil {
 						report(i, err)
+						return
 					}
 				}
 			}

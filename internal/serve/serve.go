@@ -1,0 +1,417 @@
+// Package serve is the streaming routing service in front of the compiled
+// routing plans: one long-lived worker pool owning one plan set — the
+// Fig. 10 radix permuter's route plan, an (n,m)-concentrator plan
+// (Section IV), and a word sorter (the Section I radix decomposition) —
+// replayed over an unbounded request stream with bounded admission.
+//
+// This is the serving regime of a fixed small network: the same compiled
+// structure is reused across many inputs, exactly the periodic operation
+// studied for constant-periodic merging networks. Where the batch
+// pipelines (concentrator.ConcentrateBatch, permnet.RouteBatch) fan a
+// one-shot slice of requests across cores and return, a Service accepts
+// requests asynchronously:
+//
+//   - Submit blocks while the bounded queue is full (backpressure),
+//     honouring context cancellation; TrySubmit fails fast with
+//     ErrQueueFull.
+//   - Every admitted request gets a Future that is always resolved —
+//     with a result, a routing error, or a cancellation error — never
+//     dropped, even across Close.
+//   - Close rejects new admissions, drains everything already admitted,
+//     and returns only after the workers have exited.
+//   - Stats exposes admission/completion counters and a power-of-two
+//     latency histogram.
+//
+// Workers execute on the plans' pooled scratch, so steady-state service
+// throughput matches the batch pipelines: the only per-request
+// allocations are the task envelope and the result slices handed to the
+// caller.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"absort/internal/concentrator"
+	"absort/internal/core"
+	"absort/internal/permnet"
+	"absort/internal/wordsort"
+)
+
+// Engine selects the routing engine backing the service's plan set.
+type Engine = concentrator.Engine
+
+// Service errors.
+var (
+	// ErrQueueFull is returned by TrySubmit when the admission queue is at
+	// QueueDepth.
+	ErrQueueFull = errors.New("serve: queue full")
+	// ErrClosed is returned by Submit/TrySubmit after Close has started.
+	ErrClosed = errors.New("serve: service closed")
+	// ErrDeadlineExceeded resolves a Future whose request deadline passed
+	// before a worker picked it up.
+	ErrDeadlineExceeded = errors.New("serve: request deadline exceeded before execution")
+)
+
+// Config configures a Service.
+type Config struct {
+	// N is the network width (a power of two).
+	N int
+	// Engine selects the routing engine for the whole plan set.
+	Engine Engine
+	// K is the fish group count (≤ 0 selects the paper's k = lg n choice;
+	// other engines ignore it).
+	K int
+	// M is the concentrator output capacity (≤ 0 means N: the
+	// (n,n)-concentrator every binary sorter forms).
+	M int
+	// WordBits is the word-sort key width (≤ 0 means 64).
+	WordBits int
+	// Workers is the worker pool size (≤ 0 means GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the admission queue (≤ 0 means 4 × Workers).
+	QueueDepth int
+}
+
+// Kind selects what a Request asks the plan set to route.
+type Kind uint8
+
+// Request kinds.
+const (
+	// Permute routes Dest (a permutation in "input i goes to output
+	// dest[i]" form) through the radix permuter's compiled plan.
+	Permute Kind = iota
+	// Concentrate routes Marked through the concentrator's compiled plan.
+	Concentrate
+	// SortWords sorts Keys through the word sorter's compiled plan.
+	SortWords
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Permute:
+		return "permute"
+	case Concentrate:
+		return "concentrate"
+	case SortWords:
+		return "sortwords"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Request is one unit of work submitted to a Service. Exactly the field
+// matching Kind must be populated with length N.
+type Request struct {
+	Kind   Kind
+	Dest   []int    // Permute: destination assignment (a permutation)
+	Marked []bool   // Concentrate: request pattern
+	Keys   []uint64 // SortWords: keys to sort
+
+	// Deadline, when nonzero, drops the request (resolving its Future
+	// with ErrDeadlineExceeded) if no worker has started it by then.
+	Deadline time.Time
+}
+
+// Result is the outcome of a successfully routed Request.
+type Result struct {
+	// Perm is the realized permutation in receives-from form
+	// (out[j] = in[Perm[j]]); set for every kind.
+	Perm []int
+	// Count is the number of concentrated inputs (Concentrate only).
+	Count int
+	// Keys are the sorted keys (SortWords only).
+	Keys []uint64
+}
+
+// Future is the handle of an admitted request. It is resolved exactly
+// once — the service never drops an admitted Future, even across Close.
+type Future struct {
+	done chan struct{}
+	res  Result
+	err  error
+}
+
+// Done is closed when the Future has been resolved.
+func (f *Future) Done() <-chan struct{} { return f.done }
+
+// Wait blocks until the Future resolves or ctx is done, returning the
+// result or the first error (routing error, cancellation, or ctx error).
+func (f *Future) Wait(ctx context.Context) (Result, error) {
+	select {
+	case <-f.done:
+		return f.res, f.err
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
+}
+
+// Result returns the resolved outcome. It must only be called after Done
+// is closed (Wait does this for you).
+func (f *Future) Result() (Result, error) { return f.res, f.err }
+
+// task is the queue envelope of an admitted request.
+type task struct {
+	req       Request
+	ctx       context.Context
+	fut       *Future
+	submitted time.Time
+}
+
+// Service is a streaming routing service: a bounded admission queue in
+// front of a long-lived worker pool replaying one compiled plan set. It
+// is safe for concurrent use.
+type Service struct {
+	cfg  Config
+	perm *permnet.RoutePlan
+	conc *concentrator.Concentrator
+	word *wordsort.Sorter
+
+	queue chan *task
+	quit  chan struct{} // closed by Close: wakes blocked submitters
+
+	mu         sync.Mutex // guards closed + submitters.Add
+	closed     bool
+	submitters sync.WaitGroup // Submits between admission check and send
+	workers    sync.WaitGroup
+
+	stats statsCounters
+
+	// testBeforeExec, when set (tests only), runs in the worker before
+	// each task executes; it lets tests hold workers busy deterministically.
+	testBeforeExec func()
+}
+
+// New validates cfg, compiles the plan set, and starts the worker pool.
+func New(cfg Config) (*Service, error) {
+	if !core.IsPow2(cfg.N) {
+		return nil, fmt.Errorf("serve: New: n=%d is not a positive power of two", cfg.N)
+	}
+	switch cfg.Engine {
+	case concentrator.MuxMerger, concentrator.PrefixAdder, concentrator.Fish, concentrator.Ranking:
+	default:
+		return nil, fmt.Errorf("serve: New: unknown engine %v", cfg.Engine)
+	}
+	if cfg.Engine == concentrator.Fish && cfg.K > 0 &&
+		(!core.IsPow2(cfg.K) || cfg.K > cfg.N || (cfg.N > 1 && cfg.K < 2)) {
+		return nil, fmt.Errorf("serve: New: fish group count k=%d must be a power of two with 2 ≤ k ≤ n=%d",
+			cfg.K, cfg.N)
+	}
+	if cfg.M <= 0 {
+		cfg.M = cfg.N
+	}
+	if cfg.M > cfg.N {
+		return nil, fmt.Errorf("serve: New: concentrator capacity m=%d exceeds n=%d", cfg.M, cfg.N)
+	}
+	if cfg.WordBits <= 0 {
+		cfg.WordBits = 64
+	}
+	if cfg.WordBits > 64 {
+		return nil, fmt.Errorf("serve: New: key width %d out of range [1,64]", cfg.WordBits)
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4 * cfg.Workers
+	}
+
+	word, err := wordsort.New(cfg.N, cfg.WordBits, cfg.Engine)
+	if err != nil {
+		return nil, fmt.Errorf("serve: New: %w", err)
+	}
+	conc := concentrator.New(cfg.N, cfg.M, cfg.Engine, cfg.K)
+	conc.Compile()
+	s := &Service{
+		cfg:   cfg,
+		perm:  permnet.NewRadixPermuter(cfg.N, cfg.Engine, cfg.K).Compile(),
+		conc:  conc,
+		word:  word,
+		queue: make(chan *task, cfg.QueueDepth),
+		quit:  make(chan struct{}),
+	}
+	s.workers.Add(cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// N returns the network width; Engine, Workers, QueueDepth the resolved
+// configuration; QueueLen the current admission queue occupancy.
+func (s *Service) N() int          { return s.cfg.N }
+func (s *Service) Engine() Engine  { return s.cfg.Engine }
+func (s *Service) Workers() int    { return s.cfg.Workers }
+func (s *Service) QueueDepth() int { return s.cfg.QueueDepth }
+func (s *Service) QueueLen() int   { return len(s.queue) }
+
+// validate rejects malformed requests at admission so a bad request can
+// never reach (let alone crash) a worker.
+func (s *Service) validate(req Request) error {
+	switch req.Kind {
+	case Permute:
+		if len(req.Dest) != s.cfg.N {
+			return fmt.Errorf("serve: permute request with %d destinations, want %d",
+				len(req.Dest), s.cfg.N)
+		}
+	case Concentrate:
+		if len(req.Marked) != s.cfg.N {
+			return fmt.Errorf("serve: concentrate request with %d marks, want %d",
+				len(req.Marked), s.cfg.N)
+		}
+	case SortWords:
+		if len(req.Keys) != s.cfg.N {
+			return fmt.Errorf("serve: sortwords request with %d keys, want %d",
+				len(req.Keys), s.cfg.N)
+		}
+	default:
+		return fmt.Errorf("serve: unknown request kind %v", req.Kind)
+	}
+	return nil
+}
+
+// Submit admits req, blocking while the queue is full. It returns a
+// Future that is always resolved, or an error when the request is
+// malformed, ctx is done before admission, or the service is closed.
+func (s *Service) Submit(ctx context.Context, req Request) (*Future, error) {
+	return s.submit(ctx, req, true)
+}
+
+// TrySubmit is Submit without blocking: a full queue returns ErrQueueFull
+// immediately.
+func (s *Service) TrySubmit(ctx context.Context, req Request) (*Future, error) {
+	return s.submit(ctx, req, false)
+}
+
+func (s *Service) submit(ctx context.Context, req Request, block bool) (*Future, error) {
+	if err := s.validate(req); err != nil {
+		s.stats.rejected.Add(1)
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		s.stats.rejected.Add(1)
+		return nil, err
+	}
+	// Enter the submitter gate: Close waits for everyone inside it before
+	// closing the queue channel, so a send can never hit a closed channel.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.stats.rejected.Add(1)
+		return nil, ErrClosed
+	}
+	s.submitters.Add(1)
+	s.mu.Unlock()
+	defer s.submitters.Done()
+
+	t := &task{
+		req:       req,
+		ctx:       ctx,
+		fut:       &Future{done: make(chan struct{})},
+		submitted: time.Now(),
+	}
+	if block {
+		select {
+		case s.queue <- t:
+		case <-ctx.Done():
+			s.stats.rejected.Add(1)
+			return nil, ctx.Err()
+		case <-s.quit:
+			s.stats.rejected.Add(1)
+			return nil, ErrClosed
+		}
+	} else {
+		select {
+		case s.queue <- t:
+		default:
+			s.stats.rejected.Add(1)
+			return nil, ErrQueueFull
+		}
+	}
+	s.stats.submitted.Add(1)
+	s.stats.inFlight.Add(1)
+	return t.fut, nil
+}
+
+// Close stops admission, drains every admitted request (each Future
+// resolves), and returns once all workers have exited. It is idempotent
+// and safe to call concurrently.
+func (s *Service) Close() {
+	s.mu.Lock()
+	first := !s.closed
+	s.closed = true
+	s.mu.Unlock()
+	if first {
+		close(s.quit)       // wake submitters blocked on a full queue
+		s.submitters.Wait() // no Submit is mid-send any more
+		close(s.queue)      // workers drain the remainder and exit
+	}
+	s.workers.Wait()
+}
+
+// worker drains the admission queue until it is closed and empty.
+func (s *Service) worker() {
+	defer s.workers.Done()
+	for t := range s.queue {
+		if s.testBeforeExec != nil {
+			s.testBeforeExec()
+		}
+		s.exec(t)
+	}
+}
+
+// exec resolves one task: cancellation and deadline are honoured before
+// any routing work is spent on the request.
+func (s *Service) exec(t *task) {
+	var res Result
+	var err error
+	switch {
+	case t.ctx.Err() != nil:
+		err = t.ctx.Err()
+	case !t.req.Deadline.IsZero() && !time.Now().Before(t.req.Deadline):
+		err = ErrDeadlineExceeded
+	default:
+		res, err = s.route(t.req)
+	}
+	t.fut.res, t.fut.err = res, err
+	close(t.fut.done)
+	s.stats.inFlight.Add(-1)
+	s.stats.completed.Add(1)
+	if err != nil {
+		s.stats.failed.Add(1)
+	}
+	s.stats.observe(time.Since(t.submitted))
+}
+
+// route replays the request through the matching compiled plan. Lengths
+// were validated at admission; the plans re-validate semantic properties
+// (permutation validity, concentrator capacity) and return errors — no
+// routing path here can panic on malformed input.
+func (s *Service) route(req Request) (Result, error) {
+	switch req.Kind {
+	case Permute:
+		out := make([]int, s.cfg.N)
+		if err := s.perm.RouteInto(out, req.Dest); err != nil {
+			return Result{}, err
+		}
+		return Result{Perm: out}, nil
+	case Concentrate:
+		out := make([]int, s.cfg.N)
+		r, err := s.conc.ConcentrateInto(out, req.Marked)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Perm: out, Count: r}, nil
+	case SortWords:
+		keys := make([]uint64, s.cfg.N)
+		perm := make([]int, s.cfg.N)
+		if err := s.word.SortInto(keys, perm, req.Keys); err != nil {
+			return Result{}, err
+		}
+		return Result{Perm: perm, Keys: keys}, nil
+	}
+	return Result{}, fmt.Errorf("serve: unknown request kind %v", req.Kind)
+}

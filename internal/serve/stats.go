@@ -1,0 +1,116 @@
+// Service counters and the completion-latency histogram. Everything is
+// lock-free: plain atomic counters plus a fixed array of power-of-two
+// latency buckets, so recording a completion costs two atomic adds and
+// Stats() is a consistent-enough snapshot for monitoring.
+package serve
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of power-of-two latency buckets: bucket i
+// counts completions with latency in [2^(i-1), 2^i) nanoseconds (bucket 0
+// is < 1 ns), so 48 buckets span beyond three days.
+const histBuckets = 48
+
+// statsCounters is the service's internal mutable state.
+type statsCounters struct {
+	submitted atomic.Int64
+	completed atomic.Int64
+	rejected  atomic.Int64
+	failed    atomic.Int64
+	inFlight  atomic.Int64
+	latency   [histBuckets]atomic.Int64
+	latSumNs  atomic.Int64
+}
+
+// observe records one completion latency.
+func (c *statsCounters) observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	b := bits.Len64(uint64(ns))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	c.latency[b].Add(1)
+	c.latSumNs.Add(ns)
+}
+
+// Stats is a point-in-time snapshot of a Service's counters.
+type Stats struct {
+	// Submitted counts admitted requests; Completed counts resolved
+	// Futures (including those resolved with an error); Rejected counts
+	// Submit/TrySubmit calls that returned an error (malformed request,
+	// queue full, cancelled, closed); Failed counts Futures resolved with
+	// an error; InFlight = Submitted − Completed.
+	Submitted, Completed, Rejected, Failed, InFlight int64
+	// Latency[i] counts completions with submit-to-resolve latency in
+	// [2^(i-1), 2^i) ns.
+	Latency [histBuckets]int64
+	// LatencySumNs is the sum of all completion latencies in nanoseconds.
+	LatencySumNs int64
+}
+
+// Stats snapshots the service counters. Individual fields are each
+// atomically read; the snapshot as a whole is not a single atomic cut.
+func (s *Service) Stats() Stats {
+	st := Stats{
+		Submitted:    s.stats.submitted.Load(),
+		Completed:    s.stats.completed.Load(),
+		Rejected:     s.stats.rejected.Load(),
+		Failed:       s.stats.failed.Load(),
+		InFlight:     s.stats.inFlight.Load(),
+		LatencySumNs: s.stats.latSumNs.Load(),
+	}
+	for i := range st.Latency {
+		st.Latency[i] = s.stats.latency[i].Load()
+	}
+	return st
+}
+
+// LatencyCount returns the number of recorded completions.
+func (st *Stats) LatencyCount() int64 {
+	var n int64
+	for _, c := range st.Latency {
+		n += c
+	}
+	return n
+}
+
+// MeanLatency returns the average completion latency.
+func (st *Stats) MeanLatency() time.Duration {
+	n := st.LatencyCount()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(st.LatencySumNs / n)
+}
+
+// ApproxQuantile returns the upper bound of the histogram bucket holding
+// the q-quantile completion latency (q in [0,1]); 0 when nothing has
+// completed. Power-of-two buckets make this exact to within 2×.
+func (st *Stats) ApproxQuantile(q float64) time.Duration {
+	n := st.LatencyCount()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(n-1))
+	var seen int64
+	for i, c := range st.Latency {
+		seen += c
+		if seen > rank {
+			return time.Duration(uint64(1) << uint(i))
+		}
+	}
+	return time.Duration(uint64(1) << (histBuckets - 1))
+}

@@ -1,0 +1,135 @@
+package absort_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"absort"
+	"absort/internal/permnet"
+)
+
+// TestRoutingServicePublic drives the public streaming front door: mixed
+// request kinds through one service, each result checked for delivery.
+func TestRoutingServicePublic(t *testing.T) {
+	n := 64
+	rng := rand.New(rand.NewSource(51))
+	svc, err := absort.NewRoutingService(absort.ServeConfig{
+		N: n, Engine: absort.EngineFish, Workers: 4, QueueDepth: 16, WordBits: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ctx := context.Background()
+
+	var permFuts []*absort.ServeFuture
+	var dests [][]int
+	for i := 0; i < 20; i++ {
+		dest := rng.Perm(n)
+		fut, err := svc.Submit(ctx, absort.PermuteRequest(dest))
+		if err != nil {
+			t.Fatal(err)
+		}
+		permFuts = append(permFuts, fut)
+		dests = append(dests, dest)
+	}
+	marked := make([]bool, n)
+	for i := 0; i < n/4; i++ {
+		marked[rng.Intn(n)] = true
+	}
+	concFut, err := svc.Submit(ctx, absort.ConcentrateRequest(marked))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(rng.Intn(1 << 16))
+	}
+	sortFut, err := svc.Submit(ctx, absort.SortWordsRequest(keys))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i, fut := range permFuts {
+		res, err := fut.Wait(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !permnet.VerifyRouting(dests[i], res.Perm) {
+			t.Fatalf("permute request %d not delivered", i)
+		}
+	}
+	res, err := concFut.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, m := range marked {
+		if m {
+			want++
+		}
+	}
+	if res.Count != want {
+		t.Fatalf("concentrated %d, want %d", res.Count, want)
+	}
+	for j := 0; j < res.Count; j++ {
+		if !marked[res.Perm[j]] {
+			t.Fatalf("output %d receives unmarked input %d", j, res.Perm[j])
+		}
+	}
+	res, err = sortFut.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 1; j < n; j++ {
+		if res.Keys[j-1] > res.Keys[j] {
+			t.Fatalf("sorted keys out of order at %d", j)
+		}
+	}
+
+	st := svc.Stats()
+	if st.Submitted != int64(len(permFuts)+2) || st.InFlight != 0 || st.Failed != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestRoutingServiceMalformedNoPanic is the acceptance gate: malformed
+// input returns an error — never a panic — from every public serve entry
+// point, and a deadline-stamped request resolves with ErrServeDeadline.
+func TestRoutingServiceMalformedNoPanic(t *testing.T) {
+	if _, err := absort.NewRoutingService(absort.ServeConfig{N: 12}); err == nil {
+		t.Error("NewRoutingService accepted non-power-of-two n")
+	}
+	svc, err := absort.NewRoutingService(absort.ServeConfig{
+		N: 16, Engine: absort.EngineMuxMerger, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ctx := context.Background()
+	for i, req := range []absort.ServeRequest{
+		absort.PermuteRequest([]int{0, 1, 2}),
+		absort.ConcentrateRequest(make([]bool, 15)),
+		absort.SortWordsRequest(nil),
+		{Kind: 42},
+	} {
+		if _, err := svc.Submit(ctx, req); err == nil {
+			t.Errorf("request %d: malformed input admitted", i)
+		}
+		if _, err := svc.TrySubmit(ctx, req); err == nil {
+			t.Errorf("request %d: malformed input admitted by TrySubmit", i)
+		}
+	}
+	fut, err := absort.SubmitWithDeadline(ctx, svc, absort.PermuteRequest(rand.Perm(16)),
+		time.Now().Add(-time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fut.Wait(ctx); !errors.Is(err, absort.ErrServeDeadline) {
+		t.Errorf("expired deadline resolved with %v, want ErrServeDeadline", err)
+	}
+}
