@@ -4,14 +4,22 @@
 # evaluation-engine, routing-path, and streaming-service comparisons,
 # which also refreshes BENCH_eval.json (ns/vector for the interpreter,
 # compiled, and wide engines at n ∈ {64, 256, 1024}), BENCH_route.json
-# (ns/route for scalar, planned, and planned-parallel routing at
-# n ∈ {64, 256, 1024, 4096}), and BENCH_serve.json (ns/request for the
-# streaming service vs the planned-parallel batch pipeline at
-# n ∈ {256, 1024, 4096}).
+# (ns/route for scalar, planned, and planned-parallel routing plus
+# ns/pattern for the conc-planned-parallel and conc-packed SWAR batch
+# concentrator paths at n ∈ {64, 256, 1024, 4096}), and BENCH_serve.json
+# (ns/request for the streaming service vs the planned-parallel batch
+# pipeline at n ∈ {256, 1024, 4096}).
+#
+# The bench smoke run also enforces the timing floors, including
+# TestPackedSpeedupFloor: the SWAR lane-packed concentrator must hold at
+# least 3× the planned-parallel per-pattern throughput on 64-wide
+# batches at n=4096. `make bench-packed` runs just that gate plus the
+# packed-vs-planned benchmark columns, with full calibration instead of
+# the one-iteration smoke.
 
 GO ?= go
 
-.PHONY: ci vet build test race serve-race bench clean
+.PHONY: ci vet build test race serve-race bench bench-packed clean
 
 ci: vet build race bench
 
@@ -32,7 +40,10 @@ serve-race:
 	$(GO) test -race -run 'TestRoutingService' -count=1 .
 
 bench:
-	$(GO) test -run 'TestWideSpeedupFloor|TestRouteSpeedupFloor|TestServeThroughputFloor' -bench 'EvalEngines|RouteEngines|ServeThroughput' -benchtime 1x .
+	$(GO) test -run 'TestWideSpeedupFloor|TestRouteSpeedupFloor|TestServeThroughputFloor|TestPackedSpeedupFloor' -bench 'EvalEngines|RouteEngines|ServeThroughput' -benchtime 1x .
+
+bench-packed:
+	$(GO) test -run 'TestPackedSpeedupFloor' -bench 'RouteEngines/conc' -count=1 .
 
 clean:
 	$(GO) clean ./...

@@ -114,9 +114,31 @@ func (b *BatchConcentrator) ConcentrateInto(p []int, marked []bool) (int, error)
 
 // ConcentrateBatch routes every request pattern concurrently using
 // workers goroutines (≤ 0 means GOMAXPROCS), returning the permutations
-// and request counts in input order.
+// and request counts in input order. Batches at least PackedLanes wide
+// automatically route 64 patterns per plan replay through the SWAR
+// lane-packed engine (except on EngineRanking, whose stable partition
+// gains nothing from packing); results are bit-for-bit identical to the
+// per-pattern path.
 func (b *BatchConcentrator) ConcentrateBatch(marked [][]bool, workers int) ([][]int, []int, error) {
 	return b.c.ConcentrateBatch(marked, workers)
+}
+
+// Packed lane-group widths of the SWAR batch engine (see
+// internal/concentrator): PackedLanes patterns ride one packed plan
+// replay; groups narrower than MinPackedLanes route per-pattern.
+const (
+	PackedLanes    = concentrator.PackedLanes
+	MinPackedLanes = concentrator.MinPackedLanes
+)
+
+// ConcentratePacked routes up to PackedLanes request patterns through
+// one SWAR plan replay, writing the permutations into perms and the
+// request counts into counts (all length n, one per pattern). It is the
+// explicit single-lane-group form of ConcentrateBatch's packed fast
+// path — exactly the results len(marked) ConcentrateInto calls would
+// produce, at a fraction of the data movement.
+func (b *BatchConcentrator) ConcentratePacked(perms [][]int, counts []int, marked [][]bool) error {
+	return b.c.ConcentratePacked(perms, counts, marked)
 }
 
 // SortWordsBatch sorts many independent key sets through one WordSorter's

@@ -91,6 +91,7 @@ func main() {
 
 	if *batch > 0 {
 		runBatch(rp, rng, *batch, *workers)
+		runConcentrateBatch(*n, eng, rng, *batch, *workers)
 		return
 	}
 
@@ -182,6 +183,67 @@ func runBatch(rp *permnet.RadixPermuter, rng *rand.Rand, batch, workers int) {
 	fmt.Printf("  planned-parallel %12v/route   %10.0f routes/sec   (%.1f× scalar)\n",
 		perRoute(parallel), rate(parallel), scalar.Seconds()/parallel.Seconds())
 	fmt.Printf("  all %d batch routings delivered\n", batch)
+}
+
+// runConcentrateBatch drives the concentrate batch pipeline over the
+// same request count: per-pattern planned routing vs ConcentrateBatch's
+// SWAR lane-packed engine (64 patterns per plan replay), with a full
+// bit-for-bit cross-check between the two paths.
+func runConcentrateBatch(n int, eng concentrator.Engine, rng *rand.Rand, batch, workers int) {
+	c := concentrator.New(n, n, eng, 0)
+	c.Compile()
+	marked := make([][]bool, batch)
+	for i := range marked {
+		m := make([]bool, n)
+		for j := range m {
+			m[j] = rng.Intn(2) == 0
+		}
+		marked[i] = m
+	}
+	fmt.Printf("concentrate pipeline: %d patterns, n=%d, engine=%s, workers=%d\n",
+		batch, n, eng, workers)
+
+	t0 := time.Now()
+	plannedP, plannedR, err := c.ConcentrateBatchPlanned(marked, workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "permroute:", err)
+		os.Exit(1)
+	}
+	planned := time.Since(t0)
+
+	t0 = time.Now()
+	packedP, packedR, err := c.ConcentrateBatch(marked, workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "permroute:", err)
+		os.Exit(1)
+	}
+	packed := time.Since(t0)
+
+	for i := range marked {
+		if plannedR[i] != packedR[i] {
+			fmt.Fprintf(os.Stderr, "permroute: pattern %d: planned count %d, packed count %d\n",
+				i, plannedR[i], packedR[i])
+			os.Exit(1)
+		}
+		for j := range plannedP[i] {
+			if plannedP[i][j] != packedP[i][j] {
+				fmt.Fprintf(os.Stderr, "permroute: pattern %d: planned and packed permutations differ\n", i)
+				os.Exit(1)
+			}
+		}
+	}
+	rate := func(d time.Duration) float64 { return float64(batch) / d.Seconds() }
+	fmt.Printf("  planned          %12v/pattern  %10.0f patterns/sec\n",
+		planned/time.Duration(batch), rate(planned))
+	if batch >= concentrator.PackedLanes {
+		fmt.Printf("  packed (SWAR)    %12v/pattern  %10.0f patterns/sec   (%.1f× planned, %d lanes/replay)\n",
+			packed/time.Duration(batch), rate(packed), planned.Seconds()/packed.Seconds(),
+			concentrator.PackedLanes)
+	} else {
+		fmt.Printf("  packed engine needs a batch ≥ %d patterns; ConcentrateBatch stayed on the planned path\n",
+			concentrator.PackedLanes)
+	}
+	fmt.Printf("  both paths agree on all %d patterns\n", batch)
 }
 
 // runServe replays a workload through the streaming routing service and

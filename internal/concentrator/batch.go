@@ -42,10 +42,19 @@ func (p *Plan) RouteBatch(tagsBatch []bitvec.Vector, workers int) ([][]int, erro
 	for i := range out {
 		out[i] = flat[i*p.n : (i+1)*p.n]
 	}
+	var firstErr atomic.Pointer[batchErr]
 	runBatch(len(tagsBatch), workers, func(i int) bool {
-		p.RouteInto(out[i], tagsBatch[i])
+		if err := p.RouteInto(out[i], tagsBatch[i]); err != nil {
+			// Unreachable after the up-front validation, but kept on the
+			// same fail-fast error path as ConcentrateBatch for defense.
+			recordBatchErr(&firstErr, i, err)
+			return false
+		}
 		return true
 	})
+	if e := firstErr.Load(); e != nil {
+		return nil, fmt.Errorf("concentrator: batch vector %d: %w", e.i, e.err)
+	}
 	return out, nil
 }
 
@@ -56,16 +65,31 @@ func (p *Plan) RouteBatch(tagsBatch []bitvec.Vector, workers int) ([][]int, erro
 // soon as any worker observes a malformed or over-capacity pattern the
 // remaining work is abandoned, and err reports the earliest offending
 // pattern among those attempted.
+//
+// Batches at least one lane group wide (≥ 64 patterns) automatically
+// switch to the 64-lane SWAR engine: full groups route through
+// ConcentratePacked, one plan replay per 64 patterns, and a remainder
+// narrower than MinPackedLanes falls back to the planned path. The
+// Ranking engine always takes the planned path — its single stable
+// partition gains nothing from lane packing. Results are bit-for-bit
+// identical either way.
 func (c *Concentrator) ConcentrateBatch(markedBatch [][]bool, workers int) ([][]int, []int, error) {
+	if len(markedBatch) >= PackedLanes && c.engine != Ranking {
+		return c.concentrateBatchPacked(markedBatch, workers)
+	}
+	return c.ConcentrateBatchPlanned(markedBatch, workers)
+}
+
+// ConcentrateBatchPlanned is the per-request planned batch pipeline:
+// every pattern replays the compiled plan on pooled scalar scratch, one
+// packet word per input. It is the path ConcentrateBatch takes below the
+// packed threshold, and the baseline the packed engine's throughput
+// floor is measured against.
+func (c *Concentrator) ConcentrateBatchPlanned(markedBatch [][]bool, workers int) ([][]int, []int, error) {
 	if len(markedBatch) == 0 {
 		return nil, nil, nil
 	}
-	out := make([][]int, len(markedBatch))
-	flat := make([]int, len(markedBatch)*c.n)
-	for i := range out {
-		out[i] = flat[i*c.n : (i+1)*c.n]
-	}
-	rs := make([]int, len(markedBatch))
+	out, rs := makeBatchResults(len(markedBatch), c.n)
 	var firstErr atomic.Pointer[batchErr]
 	runBatch(len(markedBatch), workers, func(i int) bool {
 		if firstErr.Load() != nil {
@@ -73,16 +97,8 @@ func (c *Concentrator) ConcentrateBatch(markedBatch [][]bool, workers int) ([][]
 		}
 		r, err := c.ConcentrateInto(out[i], markedBatch[i])
 		if err != nil {
-			e := &batchErr{i: i, err: err}
-			for {
-				cur := firstErr.Load()
-				if cur != nil && cur.i <= i {
-					return false
-				}
-				if firstErr.CompareAndSwap(cur, e) {
-					return false
-				}
-			}
+			recordBatchErr(&firstErr, i, err)
+			return false
 		}
 		rs[i] = r
 		return true
@@ -93,10 +109,74 @@ func (c *Concentrator) ConcentrateBatch(markedBatch [][]bool, workers int) ([][]
 	return out, rs, nil
 }
 
+// concentrateBatchPacked carves the batch into 64-pattern lane groups
+// and routes every full group through one packed plan replay; a final
+// remainder below MinPackedLanes routes per-pattern on the planned path.
+// Groups are distributed across workers exactly as the planned pipeline
+// distributes single patterns.
+func (c *Concentrator) concentrateBatchPacked(markedBatch [][]bool, workers int) ([][]int, []int, error) {
+	out, rs := makeBatchResults(len(markedBatch), c.n)
+	groups := (len(markedBatch) + PackedLanes - 1) / PackedLanes
+	var firstErr atomic.Pointer[batchErr]
+	runBatch(groups, workers, func(g int) bool {
+		if firstErr.Load() != nil {
+			return false // poisoned batch: abort instead of burning workers
+		}
+		lo := g * PackedLanes
+		hi := min(lo+PackedLanes, len(markedBatch))
+		if hi-lo < MinPackedLanes {
+			for i := lo; i < hi; i++ {
+				r, err := c.ConcentrateInto(out[i], markedBatch[i])
+				if err != nil {
+					recordBatchErr(&firstErr, i, err)
+					return false
+				}
+				rs[i] = r
+			}
+			return true
+		}
+		if idx, err := c.concentratePackedAt(out[lo:hi], rs[lo:hi], markedBatch[lo:hi], lo); err != nil {
+			recordBatchErr(&firstErr, idx, err)
+			return false
+		}
+		return true
+	})
+	if e := firstErr.Load(); e != nil {
+		return nil, nil, e.err
+	}
+	return out, rs, nil
+}
+
+// makeBatchResults carves the per-pattern permutations out of one flat
+// backing array, plus the request-count slice.
+func makeBatchResults(batch, n int) ([][]int, []int) {
+	out := make([][]int, batch)
+	flat := make([]int, batch*n)
+	for i := range out {
+		out[i] = flat[i*n : (i+1)*n]
+	}
+	return out, make([]int, batch)
+}
+
 // batchErr records the earliest failing request of a batch.
 type batchErr struct {
 	i   int
 	err error
+}
+
+// recordBatchErr CAS-publishes err for request i unless an earlier
+// request already failed.
+func recordBatchErr(firstErr *atomic.Pointer[batchErr], i int, err error) {
+	e := &batchErr{i: i, err: err}
+	for {
+		cur := firstErr.Load()
+		if cur != nil && cur.i <= i {
+			return
+		}
+		if firstErr.CompareAndSwap(cur, e) {
+			return
+		}
+	}
 }
 
 // runBatch executes fn(0..n-1) across workers goroutines with an atomic

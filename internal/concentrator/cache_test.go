@@ -58,7 +58,7 @@ func TestPlanForBounded(t *testing.T) {
 	first := PlanFor(16, MuxMerger, 0)
 	rng := rand.New(rand.NewSource(61))
 	tags := bitvec.Random(rng, 16)
-	want := first.Route(tags)
+	want := mustRoute(t, first, tags)
 
 	// Sweep enough distinct configurations to evict everything.
 	for _, n := range []int{2, 4, 8, 32, 64, 128} {
@@ -70,12 +70,12 @@ func TestPlanForBounded(t *testing.T) {
 		t.Fatalf("plan cache grew to %d entries past its bound of 4", got)
 	}
 	// The evicted plan pointer we hold is still fully usable...
-	if got := first.Route(tags); !equalPerm(got, want) {
+	if got := mustRoute(t, first, tags); !equalPerm(got, want) {
 		t.Fatalf("evicted plan routes %v, want %v", got, want)
 	}
 	// ...and a fresh PlanFor recompiles an identical plan.
 	again := PlanFor(16, MuxMerger, 0)
-	if got := again.Route(tags); !equalPerm(got, want) {
+	if got := mustRoute(t, again, tags); !equalPerm(got, want) {
 		t.Fatalf("recompiled plan routes %v, want %v", got, want)
 	}
 	// A k-sweep over fish configurations stays bounded too.

@@ -276,13 +276,24 @@ type Concentrator struct {
 // New returns an (n,m)-concentrator using the given engine. For the Fish
 // engine, k is the group count; k ≤ 0 selects the paper's k = lg n choice
 // rounded to the model's power-of-two requirement (the same default the
-// radix permuter applies per level). Other engines ignore k.
+// radix permuter applies per level). Other engines ignore k. New panics
+// on malformed constructor arguments (the usual constructor contract);
+// every routing method on the returned Concentrator reports malformed
+// requests through validated error returns instead.
 func New(n, m int, engine Engine, k int) *Concentrator {
 	if !core.IsPow2(n) || m <= 0 || m > n {
 		panic(fmt.Sprintf("concentrator: New(%d, %d)", n, m))
 	}
-	if engine == Fish && k <= 0 {
-		k = fishGroups(n)
+	switch engine {
+	case MuxMerger, PrefixAdder, Ranking:
+	case Fish:
+		if k <= 0 {
+			k = fishGroups(n)
+		} else if n > 1 && (!core.IsPow2(k) || k < 2 || k > n) {
+			panic(fmt.Sprintf("concentrator: New(%d, %d, fish, k=%d)", n, m, k))
+		}
+	default:
+		panic(fmt.Sprintf("concentrator: New: unknown engine %v", engine))
 	}
 	return &Concentrator{n: n, m: m, engine: engine, k: k}
 }

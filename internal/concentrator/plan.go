@@ -88,6 +88,7 @@ type Plan struct {
 	steps  []step
 	nsel   int // select-replay slots needed per execution
 	pool   sync.Pool
+	packed atomic.Pointer[PackedPlan] // lazily built 64-lane SWAR engine
 }
 
 // planScratch is the per-execution state of a Plan: the packed-word
@@ -245,11 +246,18 @@ func (c *planCompiler) fishKMerge(lo, hi, k int32) {
 
 // RouteInto computes the permutation (receives-from form, as the scalar
 // Route* functions) realized by the plan's network on the given tags,
-// writing it into out. It performs no steady-state heap allocations.
-func (p *Plan) RouteInto(out []int, tags bitvec.Vector) {
-	if len(tags) != p.n || len(out) != p.n {
-		panic(fmt.Sprintf("concentrator: Plan(%d).RouteInto with %d tags into %d outputs",
-			p.n, len(tags), len(out)))
+// writing it into out. It performs no steady-state heap allocations and
+// returns a validated error — never a panic — on a malformed tag vector
+// or output buffer, so one bad request cannot take down a serving
+// process (the same contract as RouteBatch).
+func (p *Plan) RouteInto(out []int, tags bitvec.Vector) error {
+	if len(tags) != p.n {
+		return fmt.Errorf("concentrator: Plan(%d).RouteInto: vector has %d tags",
+			p.n, len(tags))
+	}
+	if len(out) != p.n {
+		return fmt.Errorf("concentrator: Plan(%d).RouteInto: output buffer has %d slots",
+			p.n, len(out))
 	}
 	sc := p.pool.Get().(*planScratch)
 	for i, t := range tags {
@@ -260,20 +268,25 @@ func (p *Plan) RouteInto(out []int, tags bitvec.Vector) {
 		out[j] = int(v &^ TagBit)
 	}
 	p.pool.Put(sc)
+	return nil
 }
 
 // Route is RouteInto with a freshly allocated result.
-func (p *Plan) Route(tags bitvec.Vector) []int {
+func (p *Plan) Route(tags bitvec.Vector) ([]int, error) {
 	out := make([]int, p.n)
-	p.RouteInto(out, tags)
-	return out
+	if err := p.RouteInto(out, tags); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // RouteVals runs the compiled step program in place over vals, whose
 // TagBit carries each packet's routing tag while the low 63 bits ride
 // along as opaque payload — the low-level entry the radix permuter's
 // route plans execute per window, with zero steady-state allocations.
-// len(vals) must equal N.
+// len(vals) must equal N: unlike the validated public entry points
+// (RouteInto, RouteBatch, ConcentrateInto), this hot-loop internal hook
+// treats a length mismatch as a caller bug and panics.
 func (p *Plan) RouteVals(vals []uint64) {
 	if len(vals) != p.n {
 		panic(fmt.Sprintf("concentrator: Plan(%d).RouteVals over %d values", p.n, len(vals)))
@@ -570,16 +583,44 @@ func PlanFor(n int, engine Engine, k int) *Plan {
 // Compile returns the concentrator's routing plan, lowering it on first
 // use and caching it behind an atomic pointer (mirroring
 // netlist.Circuit.Compile; Concentrator is immutable, so the plan is
-// shared safely).
+// shared safely). It panics only on a concentrator that could not have
+// come out of New (unknown engine, malformed fish group count); the
+// validated routing entry points (ConcentrateInto, ConcentratePacked)
+// reach the plan through compileChecked and return errors instead.
 func (c *Concentrator) Compile() *Plan {
+	p, err := c.compileChecked()
+	if err != nil {
+		panic(fmt.Sprintf("concentrator: Compile: %v", err))
+	}
+	return p
+}
+
+// compileChecked is Compile with validated error returns: an unknown
+// engine or a malformed fish group count — states only reachable by
+// constructing a Concentrator literal around New — yields an error with
+// the same message the other routing entry points use, never a panic.
+func (c *Concentrator) compileChecked() (*Plan, error) {
 	if p := c.plan.Load(); p != nil {
-		return p
+		return p, nil
+	}
+	if !core.IsPow2(c.n) {
+		return nil, fmt.Errorf("concentrator: n=%d is not a positive power of two", c.n)
+	}
+	switch c.engine {
+	case MuxMerger, PrefixAdder, Ranking:
+	case Fish:
+		if c.n > 1 && (!core.IsPow2(c.k) || c.k < 2 || c.k > c.n) {
+			return nil, fmt.Errorf("concentrator: fish group count k=%d must be a power of two with 2 ≤ k ≤ n=%d",
+				c.k, c.n)
+		}
+	default:
+		return nil, fmt.Errorf("concentrator: unknown engine %v", c.engine)
 	}
 	p := PlanFor(c.n, c.engine, c.k)
 	if !c.plan.CompareAndSwap(nil, p) {
-		return c.plan.Load()
+		return c.plan.Load(), nil
 	}
-	return p
+	return p, nil
 }
 
 // fishGroups is the paper's k = lg n group-count choice rounded to the
@@ -600,7 +641,9 @@ func fishGroups(n int) int {
 // ConcentrateInto is the planned, allocation-free equivalent of
 // Concentrator.Plan: it computes the routing for a request pattern into p
 // (out[j] = in[p[j]]) and returns the number of concentrated inputs r.
-// The r marked inputs occupy outputs 0..r-1.
+// The r marked inputs occupy outputs 0..r-1. Malformed input — wrong
+// lengths, over-capacity patterns, or a concentrator configuration that
+// cannot route — always returns a validated error, never a panic.
 func (c *Concentrator) ConcentrateInto(p []int, marked []bool) (int, error) {
 	if len(marked) != c.n {
 		return 0, fmt.Errorf("concentrator: %d requests for %d inputs", len(marked), c.n)
@@ -608,7 +651,10 @@ func (c *Concentrator) ConcentrateInto(p []int, marked []bool) (int, error) {
 	if len(p) != c.n {
 		return 0, fmt.Errorf("concentrator: permutation buffer of %d for %d inputs", len(p), c.n)
 	}
-	plan := c.Compile()
+	plan, err := c.compileChecked()
+	if err != nil {
+		return 0, err
+	}
 	sc := plan.pool.Get().(*planScratch)
 	r := 0
 	for i, m := range marked {

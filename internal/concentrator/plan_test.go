@@ -8,6 +8,18 @@ import (
 	"absort/internal/race"
 )
 
+// mustRoute routes tags through p, failing the test on a validation
+// error — the helper form of Route for tests that construct well-formed
+// vectors by definition.
+func mustRoute(t *testing.T, p *Plan, tags bitvec.Vector) []int {
+	t.Helper()
+	got, err := p.Route(tags)
+	if err != nil {
+		t.Fatalf("Route(%v): %v", tags, err)
+	}
+	return got
+}
+
 // scalarRoute dispatches to the seed per-request routing functions.
 func scalarRoute(engine Engine, k int, tags bitvec.Vector) []int {
 	switch engine {
@@ -71,7 +83,7 @@ func TestPlanExhaustiveDifferential(t *testing.T) {
 		for x := uint64(0); x < 1<<cfg.n; x++ {
 			tags := bitvec.FromUint(x, cfg.n)
 			want := scalarRoute(cfg.engine, cfg.k, tags)
-			got := p.Route(tags)
+			got := mustRoute(t, p, tags)
 			if !equalPerm(got, want) {
 				t.Fatalf("%v n=%d k=%d tags=%v: plan %v, scalar %v",
 					cfg.engine, cfg.n, cfg.k, tags, got, want)
@@ -94,7 +106,7 @@ func TestPlanRandomDifferential(t *testing.T) {
 			for trial := 0; trial < 50; trial++ {
 				tags := bitvec.Random(rng, n)
 				want := scalarRoute(cfg.engine, cfg.k, tags)
-				got := p.Route(tags)
+				got := mustRoute(t, p, tags)
 				if !equalPerm(got, want) {
 					t.Fatalf("%v n=%d k=%d trial %d: plan %v, scalar %v",
 						cfg.engine, n, cfg.k, trial, got, want)
@@ -250,7 +262,7 @@ func TestPlanRouteBatch(t *testing.T) {
 					cfg.engine, workers, len(got), len(batch))
 			}
 			for i, tags := range batch {
-				if want := p.Route(tags); !equalPerm(got[i], want) {
+				if want := mustRoute(t, p, tags); !equalPerm(got[i], want) {
 					t.Fatalf("%v workers=%d input %d: batch %v, single %v",
 						cfg.engine, workers, i, got[i], want)
 				}

@@ -26,6 +26,16 @@
 // throughput matches the batch pipelines: the only per-request
 // allocations are the task envelope and the result slices handed to the
 // caller.
+//
+// Under a concentrate burst the service additionally matches the packed
+// batch pipeline: a worker that picks up a Concentrate request greedily
+// drains further queued Concentrate requests (never blocking) and, when
+// the drained group is at least concentrator.MinPackedLanes wide, routes
+// the whole group through one SWAR plan replay (ConcentratePacked) —
+// up to 64 requests per replay. Results are bit-for-bit identical to the
+// per-request path, and every drained task still honours its own context,
+// deadline, and capacity check individually. The Ranking engine always
+// takes the per-request path, exactly as ConcentrateBatch does.
 package serve
 
 import (
@@ -170,6 +180,12 @@ type Service struct {
 	conc *concentrator.Concentrator
 	word *wordsort.Sorter
 
+	// packed enables the concentrate burst fast path: drained groups of
+	// queued Concentrate requests ride one SWAR plan replay. Disabled for
+	// the Ranking engine (its single stable partition gains nothing from
+	// lane packing) and for the trivial n = 1 wire.
+	packed bool
+
 	queue chan *task
 	quit  chan struct{} // closed by Close: wakes blocked submitters
 
@@ -180,8 +196,10 @@ type Service struct {
 
 	stats statsCounters
 
-	// testBeforeExec, when set (tests only), runs in the worker before
-	// each task executes; it lets tests hold workers busy deterministically.
+	// testBeforeExec, when set (tests only), runs in the worker once per
+	// task taken off the queue (including tasks drained into a packed
+	// burst) before the task executes; it lets tests hold workers busy
+	// deterministically.
 	testBeforeExec func()
 }
 
@@ -226,12 +244,13 @@ func New(cfg Config) (*Service, error) {
 	conc := concentrator.New(cfg.N, cfg.M, cfg.Engine, cfg.K)
 	conc.Compile()
 	s := &Service{
-		cfg:   cfg,
-		perm:  permnet.NewRadixPermuter(cfg.N, cfg.Engine, cfg.K).Compile(),
-		conc:  conc,
-		word:  word,
-		queue: make(chan *task, cfg.QueueDepth),
-		quit:  make(chan struct{}),
+		cfg:    cfg,
+		perm:   permnet.NewRadixPermuter(cfg.N, cfg.Engine, cfg.K).Compile(),
+		conc:   conc,
+		word:   word,
+		packed: cfg.Engine != concentrator.Ranking && cfg.N > 1,
+		queue:  make(chan *task, cfg.QueueDepth),
+		quit:   make(chan struct{}),
 	}
 	s.workers.Add(cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
@@ -352,15 +371,138 @@ func (s *Service) Close() {
 	s.workers.Wait()
 }
 
-// worker drains the admission queue until it is closed and empty.
+// worker drains the admission queue until it is closed and empty. With
+// the packed fast path enabled, a Concentrate task triggers a greedy
+// non-blocking drain of further queued Concentrate tasks so the group
+// rides one SWAR plan replay.
 func (s *Service) worker() {
 	defer s.workers.Done()
+	var burst []*task
+	var marked [][]bool
+	if s.packed {
+		burst = make([]*task, 0, concentrator.PackedLanes)
+		marked = make([][]bool, 0, concentrator.PackedLanes)
+	}
 	for t := range s.queue {
 		if s.testBeforeExec != nil {
 			s.testBeforeExec()
 		}
-		s.exec(t)
+		if !s.packed || t.req.Kind != Concentrate {
+			s.exec(t)
+			continue
+		}
+		burst = append(burst[:0], t)
+		tail := s.drainConcentrate(&burst)
+		s.execConcentrateBurst(burst, marked)
+		if tail != nil {
+			s.exec(tail)
+		}
 	}
+}
+
+// drainConcentrate greedily claims further queued Concentrate tasks up
+// to one full lane group, never blocking: under a request burst the
+// queue is hot and the claimed group rides one packed plan replay; on an
+// idle queue the select falls through immediately and the single task
+// routes on the per-request path. Claim order matches queue order, so
+// FIFO ordering within the worker is preserved. The first
+// non-Concentrate task claimed, if any, ends the drain and is returned
+// to execute right after the burst.
+func (s *Service) drainConcentrate(burst *[]*task) *task {
+	for len(*burst) < concentrator.PackedLanes {
+		select {
+		case nt, ok := <-s.queue:
+			if !ok {
+				return nil
+			}
+			if s.testBeforeExec != nil {
+				s.testBeforeExec()
+			}
+			if nt.req.Kind != Concentrate {
+				return nt
+			}
+			*burst = append(*burst, nt)
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// execConcentrateBurst resolves a drained group of Concentrate tasks.
+// Groups at least MinPackedLanes wide route through one packed plan
+// replay; narrower groups take the per-request path (the packing
+// overhead would not pay for itself). Each task is still pre-checked
+// individually — cancellation, deadline, and concentrator capacity — so
+// one dead or over-capacity request resolves alone with its own error
+// and never poisons its burst neighbours; the pre-checked failures take
+// the same scalar path exec would, producing identical error messages.
+func (s *Service) execConcentrateBurst(burst []*task, marked [][]bool) {
+	if len(burst) < concentrator.MinPackedLanes {
+		for _, t := range burst {
+			s.exec(t)
+		}
+		return
+	}
+	live := burst[:0] // compact forward: reads stay ahead of writes
+	for _, t := range burst {
+		switch {
+		case t.ctx.Err() != nil:
+			s.resolve(t, Result{}, t.ctx.Err())
+		case !t.req.Deadline.IsZero() && !time.Now().Before(t.req.Deadline):
+			s.resolve(t, Result{}, ErrDeadlineExceeded)
+		case s.overCapacity(t.req.Marked):
+			res, err := s.route(t.req) // canonical capacity error text
+			s.resolve(t, res, err)
+		default:
+			live = append(live, t)
+		}
+	}
+	if len(live) < concentrator.MinPackedLanes {
+		for _, t := range live {
+			res, err := s.route(t.req)
+			s.resolve(t, res, err)
+		}
+		return
+	}
+	n := s.cfg.N
+	flat := make([]int, len(live)*n)
+	perms := make([][]int, len(live))
+	counts := make([]int, len(live))
+	marked = marked[:0]
+	for i, t := range live {
+		perms[i] = flat[i*n : (i+1)*n]
+		marked = append(marked, t.req.Marked)
+	}
+	if err := s.conc.ConcentratePacked(perms, counts, marked); err != nil {
+		// Unreachable after the per-task pre-checks, but kept as a
+		// defensive fallback: resolve every task on the scalar path so
+		// each Future still gets its own result or error.
+		for _, t := range live {
+			res, rerr := s.route(t.req)
+			s.resolve(t, res, rerr)
+		}
+		return
+	}
+	for i, t := range live {
+		s.resolve(t, Result{Perm: perms[i], Count: counts[i]}, nil)
+	}
+}
+
+// overCapacity reports whether a concentrate pattern requests more than
+// the capacity m. For the (n,n)-concentrator (m = n) no pattern can
+// exceed capacity, so the scan is skipped.
+func (s *Service) overCapacity(marked []bool) bool {
+	if s.cfg.M >= s.cfg.N {
+		return false
+	}
+	r := 0
+	for _, mk := range marked {
+		if mk {
+			r++
+		}
+	}
+	return r > s.cfg.M
 }
 
 // exec resolves one task: cancellation and deadline are honoured before
@@ -376,6 +518,12 @@ func (s *Service) exec(t *task) {
 	default:
 		res, err = s.route(t.req)
 	}
+	s.resolve(t, res, err)
+}
+
+// resolve publishes a task's outcome exactly once and records it in the
+// service counters and latency histogram.
+func (s *Service) resolve(t *task, res Result, err error) {
 	t.fut.res, t.fut.err = res, err
 	close(t.fut.done)
 	s.stats.inFlight.Add(-1)

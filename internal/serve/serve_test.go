@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"math/rand"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -214,6 +215,198 @@ func TestConcentrateOverCapacity(t *testing.T) {
 	}
 	if _, err := fut.Wait(context.Background()); err == nil {
 		t.Error("over-capacity pattern resolved without error")
+	}
+}
+
+// TestServePackedBurst holds the single worker, floods the queue with
+// Concentrate requests so the drain claims full lane groups, and checks
+// the packed burst path end to end: results bit-for-bit equal to the
+// scalar plan, over-capacity and expired-deadline requests resolving
+// individually with their own errors (never poisoning burst
+// neighbours), and a trailing non-Concentrate task executing after the
+// burst.
+func TestServePackedBurst(t *testing.T) {
+	for _, engine := range []Engine{concentrator.MuxMerger, concentrator.PrefixAdder, concentrator.Fish} {
+		engine := engine
+		t.Run(engine.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			n := 64
+			m := n / 2
+			release := make(chan struct{})
+			s, err := New(Config{N: n, Engine: engine, M: m, Workers: 1, QueueDepth: 128})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			released := false
+			releaseOnce := func() {
+				if !released {
+					released = true
+					close(release)
+				}
+			}
+			defer releaseOnce() // a failing assertion must still unblock the worker
+			if !s.packed {
+				t.Fatalf("packed burst path disabled for %v", engine)
+			}
+			var held atomic.Bool
+			s.testBeforeExec = func() {
+				if held.CompareAndSwap(false, true) {
+					<-release
+				}
+			}
+			ctx := context.Background()
+
+			// Occupy the worker so everything below queues up behind it.
+			hold, err := s.Submit(ctx, Request{Kind: Permute, Dest: rng.Perm(n)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for !held.Load() {
+				time.Sleep(time.Millisecond)
+			}
+
+			conc := concentrator.New(n, m, engine, 0)
+			type pending struct {
+				fut      *Future
+				wantPerm []int
+				wantR    int
+				wantErr  error // nil: success expected; non-nil sentinel or capacity
+				overCap  bool
+			}
+			var reqs []pending
+			const total = 90 // > one full lane group + a sub-minimum remainder
+			for i := 0; i < total; i++ {
+				marked := make([]bool, n)
+				switch {
+				case i == 10 || i == 70: // over-capacity inside and outside the first group
+					for j := range marked {
+						marked[j] = true
+					}
+					fut, err := s.Submit(ctx, Request{Kind: Concentrate, Marked: marked})
+					if err != nil {
+						t.Fatal(err)
+					}
+					reqs = append(reqs, pending{fut: fut, overCap: true})
+				case i == 20: // expired deadline inside the first group
+					fut, err := s.Submit(ctx, Request{
+						Kind: Concentrate, Marked: marked, Deadline: time.Now().Add(-time.Second),
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					reqs = append(reqs, pending{fut: fut, wantErr: ErrDeadlineExceeded})
+				default:
+					for _, j := range rng.Perm(n)[:rng.Intn(m+1)] {
+						marked[j] = true // r ≤ m marks: always within capacity
+					}
+					wantP, wantR, err := conc.Concentrate(marked)
+					if err != nil {
+						t.Fatal(err)
+					}
+					fut, err := s.Submit(ctx, Request{Kind: Concentrate, Marked: marked})
+					if err != nil {
+						t.Fatal(err)
+					}
+					reqs = append(reqs, pending{fut: fut, wantPerm: wantP, wantR: wantR})
+				}
+			}
+			// A non-Concentrate task lands mid-queue territory: the drain
+			// must stop at it and still execute it.
+			dest := rng.Perm(n)
+			permFut, err := s.Submit(ctx, Request{Kind: Permute, Dest: dest})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			releaseOnce()
+			if _, err := hold.Wait(ctx); err != nil {
+				t.Fatal(err)
+			}
+			for i, p := range reqs {
+				res, err := p.fut.Wait(ctx)
+				switch {
+				case p.overCap:
+					if err == nil || !strings.Contains(err.Error(), "exceed capacity") {
+						t.Fatalf("request %d: err=%v, want capacity error", i, err)
+					}
+				case p.wantErr != nil:
+					if !errors.Is(err, p.wantErr) {
+						t.Fatalf("request %d: err=%v, want %v", i, err, p.wantErr)
+					}
+				default:
+					if err != nil {
+						t.Fatalf("request %d: %v", i, err)
+					}
+					if res.Count != p.wantR {
+						t.Fatalf("request %d: count %d want %d", i, res.Count, p.wantR)
+					}
+					for j := range res.Perm {
+						if res.Perm[j] != p.wantPerm[j] {
+							t.Fatalf("request %d: perm %v want %v", i, res.Perm, p.wantPerm)
+						}
+					}
+				}
+			}
+			if res, err := permFut.Wait(ctx); err != nil || len(res.Perm) != n {
+				t.Fatalf("trailing permute: res=%+v err=%v", res, err)
+			}
+			st := s.Stats()
+			if st.Failed != 3 { // two over-capacity + one expired deadline
+				t.Fatalf("failed = %d, want 3", st.Failed)
+			}
+			if st.InFlight != 0 || st.Completed != int64(total)+2 {
+				t.Fatalf("stats after drain: %+v", st)
+			}
+			if st.ApproxQuantile(1) != time.Duration(st.LatencyMaxNs) {
+				t.Fatalf("ApproxQuantile(1) = %v, observed max %dns", st.ApproxQuantile(1), st.LatencyMaxNs)
+			}
+		})
+	}
+}
+
+// TestServeRankingStaysScalar checks the Ranking engine never takes the
+// packed burst path (its stable partition gains nothing from packing)
+// yet still resolves a flood of Concentrate requests correctly.
+func TestServeRankingStaysScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 64
+	s := newTestService(t, Config{N: n, Engine: concentrator.Ranking, Workers: 2, QueueDepth: 128})
+	if s.packed {
+		t.Fatal("packed burst path enabled for ranking engine")
+	}
+	conc := concentrator.New(n, n, concentrator.Ranking, 0)
+	ctx := context.Background()
+	type pending struct {
+		fut      *Future
+		wantPerm []int
+	}
+	var reqs []pending
+	for i := 0; i < 80; i++ {
+		marked := make([]bool, n)
+		for j := range marked {
+			marked[j] = rng.Intn(2) == 0
+		}
+		wantP, _, err := conc.Concentrate(marked)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fut, err := s.Submit(ctx, Request{Kind: Concentrate, Marked: marked})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqs = append(reqs, pending{fut: fut, wantPerm: wantP})
+	}
+	for i, p := range reqs {
+		res, err := p.fut.Wait(ctx)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		for j := range res.Perm {
+			if res.Perm[j] != p.wantPerm[j] {
+				t.Fatalf("request %d: perm %v want %v", i, res.Perm, p.wantPerm)
+			}
+		}
 	}
 }
 

@@ -10,9 +10,10 @@ import (
 	"time"
 )
 
-// histBuckets is the number of power-of-two latency buckets: bucket i
-// counts completions with latency in [2^(i-1), 2^i) nanoseconds (bucket 0
-// is < 1 ns), so 48 buckets span beyond three days.
+// histBuckets is the number of power-of-two latency buckets: bucket 0
+// counts completions of exactly 0 ns (a clock that did not tick between
+// submit and resolve), and bucket i ≥ 1 counts completions with latency
+// in [2^(i-1), 2^i) nanoseconds, so 48 buckets span beyond three days.
 const histBuckets = 48
 
 // statsCounters is the service's internal mutable state.
@@ -24,6 +25,7 @@ type statsCounters struct {
 	inFlight  atomic.Int64
 	latency   [histBuckets]atomic.Int64
 	latSumNs  atomic.Int64
+	latMaxNs  atomic.Int64
 }
 
 // observe records one completion latency.
@@ -38,6 +40,15 @@ func (c *statsCounters) observe(d time.Duration) {
 	}
 	c.latency[b].Add(1)
 	c.latSumNs.Add(ns)
+	// CAS-maximise the observed-latency high-water mark; quantile upper
+	// bounds are clamped to it so a single slow request cannot make the
+	// histogram report a latency 2× above anything actually seen.
+	for {
+		cur := c.latMaxNs.Load()
+		if ns <= cur || c.latMaxNs.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
 }
 
 // Stats is a point-in-time snapshot of a Service's counters.
@@ -46,17 +57,27 @@ type Stats struct {
 	// Futures (including those resolved with an error); Rejected counts
 	// Submit/TrySubmit calls that returned an error (malformed request,
 	// queue full, cancelled, closed); Failed counts Futures resolved with
-	// an error; InFlight = Submitted − Completed.
+	// an error; InFlight is the number of admitted, not-yet-resolved
+	// requests (Submitted − Completed at a single instant; never
+	// negative in a snapshot).
 	Submitted, Completed, Rejected, Failed, InFlight int64
-	// Latency[i] counts completions with submit-to-resolve latency in
-	// [2^(i-1), 2^i) ns.
+	// Latency[0] counts completions that resolved within the clock's
+	// resolution (exactly 0 ns); Latency[i] for i ≥ 1 counts completions
+	// with submit-to-resolve latency in [2^(i-1), 2^i) ns.
 	Latency [histBuckets]int64
 	// LatencySumNs is the sum of all completion latencies in nanoseconds.
 	LatencySumNs int64
+	// LatencyMaxNs is the largest single completion latency observed, in
+	// nanoseconds. Quantile upper bounds are clamped to it.
+	LatencyMaxNs int64
 }
 
-// Stats snapshots the service counters. Individual fields are each
-// atomically read; the snapshot as a whole is not a single atomic cut.
+// Stats snapshots the service counters. Each field is atomically read,
+// but the snapshot as a whole is not a single atomic cut: a completion
+// landing mid-snapshot can make cross-field identities (for example
+// Submitted = Completed + InFlight, or LatencyCount = Completed) off by
+// the number of in-progress updates. Every field is monotone except
+// InFlight, so successive snapshots never see a counter move backwards.
 func (s *Service) Stats() Stats {
 	st := Stats{
 		Submitted:    s.stats.submitted.Load(),
@@ -65,6 +86,15 @@ func (s *Service) Stats() Stats {
 		Failed:       s.stats.failed.Load(),
 		InFlight:     s.stats.inFlight.Load(),
 		LatencySumNs: s.stats.latSumNs.Load(),
+		LatencyMaxNs: s.stats.latMaxNs.Load(),
+	}
+	// inFlight is incremented by the submitter after the queue send and
+	// decremented by the resolver, so a worker racing ahead of its
+	// submitter can drive the internal counter transiently negative.
+	// That transient is an artifact of the update order, not a real
+	// state — clamp it out of the snapshot.
+	if st.InFlight < 0 {
+		st.InFlight = 0
 	}
 	for i := range st.Latency {
 		st.Latency[i] = s.stats.latency[i].Load()
@@ -92,7 +122,10 @@ func (st *Stats) MeanLatency() time.Duration {
 
 // ApproxQuantile returns the upper bound of the histogram bucket holding
 // the q-quantile completion latency (q in [0,1]); 0 when nothing has
-// completed. Power-of-two buckets make this exact to within 2×.
+// completed. Power-of-two buckets make this exact to within 2×, and the
+// bound is additionally clamped to the largest latency actually
+// observed, so ApproxQuantile(1) never reports a value above the true
+// maximum (an unclamped bucket upper bound can sit up to 2× above it).
 func (st *Stats) ApproxQuantile(q float64) time.Duration {
 	n := st.LatencyCount()
 	if n == 0 {
@@ -106,11 +139,19 @@ func (st *Stats) ApproxQuantile(q float64) time.Duration {
 	}
 	rank := int64(q * float64(n-1))
 	var seen int64
+	bound := time.Duration(uint64(1) << (histBuckets - 1))
 	for i, c := range st.Latency {
 		seen += c
 		if seen > rank {
-			return time.Duration(uint64(1) << uint(i))
+			if i == 0 {
+				return 0 // bucket 0 holds exactly-0ns completions
+			}
+			bound = time.Duration(uint64(1) << uint(i))
+			break
 		}
 	}
-	return time.Duration(uint64(1) << (histBuckets - 1))
+	if mx := time.Duration(st.LatencyMaxNs); mx < bound {
+		return mx
+	}
+	return bound
 }
