@@ -4,22 +4,26 @@
 # evaluation-engine, routing-path, and streaming-service comparisons,
 # which also refreshes BENCH_eval.json (ns/vector for the interpreter,
 # compiled, and wide engines at n ∈ {64, 256, 1024}), BENCH_route.json
-# (ns/route for scalar, planned, and planned-parallel routing plus
-# ns/pattern for the conc-planned-parallel and conc-packed SWAR batch
-# concentrator paths at n ∈ {64, 256, 1024, 4096}), and BENCH_serve.json
-# (ns/request for the streaming service vs the planned-parallel batch
-# pipeline at n ∈ {256, 1024, 4096}).
+# (ns/route for scalar, planned, and planned-parallel routing, the
+# perm-planned-parallel vs perm-packed 64-wide permuter batch paths, the
+# benes-planned compiled Beneš replay baseline, plus ns/pattern for the
+# conc-planned-parallel and conc-packed SWAR batch concentrator paths,
+# all at n ∈ {64, 256, 1024, 4096}), and BENCH_serve.json (ns/request
+# for the streaming service vs the planned-parallel batch pipeline at
+# n ∈ {256, 1024, 4096}).
 #
 # The bench smoke run also enforces the timing floors, including
 # TestPackedSpeedupFloor: the SWAR lane-packed concentrator must hold at
 # least 3× the planned-parallel per-pattern throughput on 64-wide
-# batches at n=4096. `make bench-packed` runs just that gate plus the
-# packed-vs-planned benchmark columns, with full calibration instead of
-# the one-iteration smoke.
+# batches at n=4096 — and TestPermPackedSpeedupFloor: the lane-packed
+# fused permuter must hold at least 2× planned-parallel per-route
+# throughput on the same batch shape. `make bench-packed` /
+# `make bench-permpacked` run just those gates plus their benchmark
+# columns, with full calibration instead of the one-iteration smoke.
 
 GO ?= go
 
-.PHONY: ci vet build test race serve-race bench bench-packed clean
+.PHONY: ci vet build test race serve-race bench bench-packed bench-permpacked clean
 
 ci: vet build race bench
 
@@ -40,10 +44,13 @@ serve-race:
 	$(GO) test -race -run 'TestRoutingService' -count=1 .
 
 bench:
-	$(GO) test -run 'TestWideSpeedupFloor|TestRouteSpeedupFloor|TestServeThroughputFloor|TestPackedSpeedupFloor' -bench 'EvalEngines|RouteEngines|ServeThroughput' -benchtime 1x .
+	$(GO) test -run 'TestWideSpeedupFloor|TestRouteSpeedupFloor|TestServeThroughputFloor|TestPackedSpeedupFloor|TestPermPackedSpeedupFloor' -bench 'EvalEngines|RouteEngines|ServeThroughput' -benchtime 1x .
 
 bench-packed:
-	$(GO) test -run 'TestPackedSpeedupFloor' -bench 'RouteEngines/conc' -count=1 .
+	$(GO) test -run 'TestPackedSpeedupFloor$$' -bench 'RouteEngines/conc' -count=1 .
+
+bench-permpacked:
+	$(GO) test -run 'TestPermPackedSpeedupFloor' -bench 'RouteEngines/(perm|benes)' -count=1 .
 
 clean:
 	$(GO) clean ./...

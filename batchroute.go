@@ -10,10 +10,11 @@ import (
 
 // BatchPermuter routes many permutation requests through one compiled
 // route plan of the Fig. 10 radix permuter — the routing counterpart of
-// BatchSorter. The per-level distribution sorters are lowered once into
-// stage-ordered step programs (see internal/concentrator/plan.go);
-// Route then replays them allocation-free on pooled scratch, and
-// RouteBatch streams requests across cores on an atomic work cursor.
+// BatchSorter. All lg n radix levels are lowered once into a single
+// fused stage-ordered step program (see internal/planner); Route then
+// replays it allocation-free on pooled scratch, and RouteBatch streams
+// requests across cores on an atomic work cursor, switching wide batches
+// onto the 64-lane SWAR packed engine automatically.
 type BatchPermuter struct {
 	rp   *permnet.RadixPermuter
 	plan *permnet.RoutePlan
@@ -54,8 +55,26 @@ func (b *BatchPermuter) RouteInto(out []int, dest []int) error {
 
 // RouteBatch routes every assignment concurrently using workers
 // goroutines (≤ 0 means GOMAXPROCS). Results preserve input order.
+// Batches at least PackedLanes wide automatically route 64 assignments
+// per plan replay through the SWAR lane-packed engine; results are
+// bit-for-bit identical to the per-assignment path.
 func (b *BatchPermuter) RouteBatch(dests [][]int, workers int) ([][]int, error) {
 	return b.plan.RouteBatch(dests, workers)
+}
+
+// RouteBatchPlanned is RouteBatch pinned to the per-assignment planned
+// path — the baseline the packed engine's throughput is measured
+// against. Results are identical to RouteBatch.
+func (b *BatchPermuter) RouteBatchPlanned(dests [][]int, workers int) ([][]int, error) {
+	return b.plan.RouteBatchPlanned(dests, workers)
+}
+
+// RoutePacked routes up to PackedLanes destination assignments through
+// one SWAR plan replay, writing the realized permutations into out (one
+// length-n slice per assignment). It is the explicit single-lane-group
+// form of RouteBatch's packed fast path.
+func (b *BatchPermuter) RoutePacked(out [][]int, dests [][]int) error {
+	return b.plan.RoutePacked(out, dests)
 }
 
 // BatchConcentrator routes many concentration requests through one

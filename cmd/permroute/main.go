@@ -7,7 +7,8 @@
 // With -batch, it switches to the throughput pipeline: the requested
 // number of random permutations is routed through the permuter's compiled
 // route plan across -workers goroutines, and scalar-seed vs planned vs
-// planned-parallel routing rates are reported.
+// planned-parallel vs packed (64-lane SWAR) routing rates are reported,
+// alongside the compiled Beneš replay baseline (benes-planned).
 //
 //	permroute -n 1024 -engine fish -batch 4096 -workers 0
 //
@@ -126,8 +127,9 @@ func main() {
 }
 
 // runBatch drives the compiled routing pipeline: scalar-seed per-request
-// routing vs planned single-route vs planned-parallel batch routing over
-// the same request set.
+// routing vs planned single-route vs planned-parallel batch routing vs
+// the 64-lane SWAR packed engine over the same request set, with the
+// compiled Beneš replay (benes-planned) as the rearrangeable baseline.
 func runBatch(rp *permnet.RadixPermuter, rng *rand.Rand, batch, workers int) {
 	n := rp.N()
 	dests := make([][]int, batch)
@@ -158,17 +160,48 @@ func runBatch(rp *permnet.RadixPermuter, rng *rand.Rand, batch, workers int) {
 	planned := time.Since(t0)
 
 	t0 = time.Now()
-	routed, err := plan.RouteBatch(dests, workers)
+	routedPlanned, err := plan.RouteBatchPlanned(dests, workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "permroute:", err)
 		os.Exit(1)
 	}
 	parallel := time.Since(t0)
 
+	t0 = time.Now()
+	routed, err := plan.RouteBatch(dests, workers) // ≥ 64: packed lane groups
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "permroute:", err)
+		os.Exit(1)
+	}
+	packed := time.Since(t0)
+
+	bp, err := permnet.CompileBenes(n)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "permroute:", err)
+		os.Exit(1)
+	}
+	t0 = time.Now()
+	routedBenes, err := bp.RouteBatch(dests, workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "permroute:", err)
+		os.Exit(1)
+	}
+	benes := time.Since(t0)
+
 	for i, dest := range dests {
 		if !permnet.VerifyRouting(dest, routed[i]) {
 			fmt.Fprintf(os.Stderr, "permroute: batch request %d not delivered\n", i)
 			os.Exit(1)
+		}
+		if !permnet.VerifyRouting(dest, routedBenes[i]) {
+			fmt.Fprintf(os.Stderr, "permroute: Beneš batch request %d not delivered\n", i)
+			os.Exit(1)
+		}
+		for j := range routed[i] {
+			if routed[i][j] != routedPlanned[i][j] {
+				fmt.Fprintf(os.Stderr, "permroute: request %d: planned and packed permutations differ\n", i)
+				os.Exit(1)
+			}
 		}
 	}
 	rate := func(d time.Duration) float64 {
@@ -182,7 +215,16 @@ func runBatch(rp *permnet.RadixPermuter, rng *rand.Rand, batch, workers int) {
 		perRoute(planned), rate(planned), scalar.Seconds()/planned.Seconds())
 	fmt.Printf("  planned-parallel %12v/route   %10.0f routes/sec   (%.1f× scalar)\n",
 		perRoute(parallel), rate(parallel), scalar.Seconds()/parallel.Seconds())
-	fmt.Printf("  all %d batch routings delivered\n", batch)
+	if batch >= permnet.PackedLanes {
+		fmt.Printf("  packed (SWAR)    %12v/route   %10.0f routes/sec   (%.1f× planned-parallel, %d lanes/replay)\n",
+			perRoute(packed), rate(packed), parallel.Seconds()/packed.Seconds(), permnet.PackedLanes)
+	} else {
+		fmt.Printf("  packed engine needs a batch ≥ %d assignments; RouteBatch stayed on the planned path\n",
+			permnet.PackedLanes)
+	}
+	fmt.Printf("  benes-planned    %12v/route   %10.0f routes/sec   (%d switches/route)\n",
+		perRoute(benes), rate(benes), bp.NumSwitches())
+	fmt.Printf("  all %d batch routings delivered on both networks\n", batch)
 }
 
 // runConcentrateBatch drives the concentrate batch pipeline over the

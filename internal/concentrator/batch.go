@@ -9,11 +9,10 @@ package concentrator
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 	"sync/atomic"
 
 	"absort/internal/bitvec"
+	"absort/internal/planner"
 )
 
 // batchGrain is the number of requests a worker claims per cursor bump:
@@ -53,7 +52,7 @@ func (p *Plan) RouteBatch(tagsBatch []bitvec.Vector, workers int) ([][]int, erro
 		return true
 	})
 	if e := firstErr.Load(); e != nil {
-		return nil, fmt.Errorf("concentrator: batch vector %d: %w", e.i, e.err)
+		return nil, fmt.Errorf("concentrator: batch vector %d: %w", e.I, e.Err)
 	}
 	return out, nil
 }
@@ -104,7 +103,7 @@ func (c *Concentrator) ConcentrateBatchPlanned(markedBatch [][]bool, workers int
 		return true
 	})
 	if e := firstErr.Load(); e != nil {
-		return nil, nil, fmt.Errorf("concentrator: batch pattern %d: %w", e.i, e.err)
+		return nil, nil, fmt.Errorf("concentrator: batch pattern %d: %w", e.I, e.Err)
 	}
 	return out, rs, nil
 }
@@ -142,7 +141,7 @@ func (c *Concentrator) concentrateBatchPacked(markedBatch [][]bool, workers int)
 		return true
 	})
 	if e := firstErr.Load(); e != nil {
-		return nil, nil, e.err
+		return nil, nil, e.Err
 	}
 	return out, rs, nil
 }
@@ -159,73 +158,17 @@ func makeBatchResults(batch, n int) ([][]int, []int) {
 }
 
 // batchErr records the earliest failing request of a batch.
-type batchErr struct {
-	i   int
-	err error
-}
+type batchErr = planner.BatchErr
 
 // recordBatchErr CAS-publishes err for request i unless an earlier
-// request already failed.
+// request already failed (see planner.RecordBatchErr).
 func recordBatchErr(firstErr *atomic.Pointer[batchErr], i int, err error) {
-	e := &batchErr{i: i, err: err}
-	for {
-		cur := firstErr.Load()
-		if cur != nil && cur.i <= i {
-			return
-		}
-		if firstErr.CompareAndSwap(cur, e) {
-			return
-		}
-	}
+	planner.RecordBatchErr(firstErr, i, err)
 }
 
 // runBatch executes fn(0..n-1) across workers goroutines with an atomic
-// work cursor claiming batchGrain items at a time. fn returning false
-// aborts the batch: every worker stops claiming new items as soon as the
-// shared stop flag is raised (items already claimed in the same grain are
-// also skipped), so a poisoned batch fails fast.
+// work cursor claiming batchGrain items at a time, with fail-fast abort —
+// the shared batch executor of internal/planner.
 func runBatch(n, workers int, fn func(i int) bool) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > (n+batchGrain-1)/batchGrain {
-		workers = (n + batchGrain - 1) / batchGrain
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if !fn(i) {
-				return
-			}
-		}
-		return
-	}
-	var stop atomic.Bool
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				if stop.Load() {
-					return
-				}
-				lo := int(next.Add(batchGrain)) - batchGrain
-				if lo >= n {
-					return
-				}
-				hi := min(lo+batchGrain, n)
-				for i := lo; i < hi; i++ {
-					if stop.Load() {
-						return
-					}
-					if !fn(i) {
-						stop.Store(true)
-						return
-					}
-				}
-			}
-		}()
-	}
-	wg.Wait()
+	planner.RunBatch(n, workers, batchGrain, fn)
 }

@@ -12,39 +12,43 @@ import (
 	"testing"
 
 	"absort/internal/bitvec"
+	"absort/internal/planner"
 )
 
-// TestPlanLRUEviction exercises the LRU mechanics directly.
+// TestPlanLRUEviction exercises the shared LRU's mechanics directly,
+// instantiated over concentrator plans exactly as PlanFor uses it.
 func TestPlanLRUEviction(t *testing.T) {
-	lru := newPlanLRU(2)
-	k := func(n int) planKey { return planKey{n: n, engine: MuxMerger} }
+	lru := planner.NewCache[planner.PlanKey, *Plan](2)
+	k := func(n int) planner.PlanKey {
+		return planner.PlanKey{Kind: planner.KindConcentrator, N: n, Engine: int8(MuxMerger)}
+	}
 	p2, p4, p8 := NewPlan(2, MuxMerger, 0), NewPlan(4, MuxMerger, 0), NewPlan(8, MuxMerger, 0)
-	lru.add(k(2), p2)
-	lru.add(k(4), p4)
-	if got, ok := lru.get(k(2)); !ok || got != p2 {
+	lru.Add(k(2), p2)
+	lru.Add(k(4), p4)
+	if got, ok := lru.Get(k(2)); !ok || got != p2 {
 		t.Fatal("k(2) missing after two inserts")
 	}
 	// k(2) is now most recent, so inserting k(8) must evict k(4).
-	lru.add(k(8), p8)
-	if lru.len() != 2 {
-		t.Fatalf("len = %d, want 2", lru.len())
+	lru.Add(k(8), p8)
+	if lru.Len() != 2 {
+		t.Fatalf("len = %d, want 2", lru.Len())
 	}
-	if _, ok := lru.get(k(4)); ok {
+	if _, ok := lru.Get(k(4)); ok {
 		t.Error("least recently used entry survived eviction")
 	}
-	if _, ok := lru.get(k(2)); !ok {
+	if _, ok := lru.Get(k(2)); !ok {
 		t.Error("recently used entry evicted")
 	}
 	// LoadOrStore semantics: re-adding an existing key keeps the original.
-	if got := lru.add(k(8), NewPlan(8, MuxMerger, 0)); got != p8 {
+	if got := lru.Add(k(8), NewPlan(8, MuxMerger, 0)); got != p8 {
 		t.Error("add replaced an existing entry")
 	}
-	// setCap trims immediately.
-	if prev := lru.setCap(1); prev != 2 {
-		t.Errorf("setCap returned %d, want 2", prev)
+	// SetCap trims immediately.
+	if prev := lru.SetCap(1); prev != 2 {
+		t.Errorf("SetCap returned %d, want 2", prev)
 	}
-	if lru.len() != 1 {
-		t.Errorf("len after setCap(1) = %d", lru.len())
+	if lru.Len() != 1 {
+		t.Errorf("len after SetCap(1) = %d", lru.Len())
 	}
 }
 
@@ -52,8 +56,8 @@ func TestPlanLRUEviction(t *testing.T) {
 // cache holds and checks the bound, plus correctness of a plan that was
 // evicted and recompiled.
 func TestPlanForBounded(t *testing.T) {
-	prev := planCache.setCap(4)
-	defer planCache.setCap(prev)
+	prev := planner.Shared.SetCap(4)
+	defer planner.Shared.SetCap(prev)
 
 	first := PlanFor(16, MuxMerger, 0)
 	rng := rand.New(rand.NewSource(61))
@@ -66,7 +70,7 @@ func TestPlanForBounded(t *testing.T) {
 			PlanFor(n, e, 0)
 		}
 	}
-	if got := planCache.len(); got > 4 {
+	if got := planner.Shared.Len(); got > 4 {
 		t.Fatalf("plan cache grew to %d entries past its bound of 4", got)
 	}
 	// The evicted plan pointer we hold is still fully usable...
@@ -82,7 +86,7 @@ func TestPlanForBounded(t *testing.T) {
 	for _, k := range []int{2, 4, 8, 16} {
 		PlanFor(64, Fish, k)
 	}
-	if got := planCache.len(); got > 4 {
+	if got := planner.Shared.Len(); got > 4 {
 		t.Fatalf("fish k-sweep grew the cache to %d entries", got)
 	}
 }
@@ -90,8 +94,8 @@ func TestPlanForBounded(t *testing.T) {
 // TestPlanForConcurrent hammers PlanFor from many goroutines across a
 // window wider than the cache (run with -race to check the LRU locking).
 func TestPlanForConcurrent(t *testing.T) {
-	prev := planCache.setCap(3)
-	defer planCache.setCap(prev)
+	prev := planner.Shared.SetCap(3)
+	defer planner.Shared.SetCap(prev)
 	var wg sync.WaitGroup
 	for w := 0; w < 8; w++ {
 		wg.Add(1)

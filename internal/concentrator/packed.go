@@ -1,46 +1,28 @@
 // SWAR lane-packed routing: evaluate up to 64 independent tag patterns
-// through one compiled routing plan in a single pass — the routing
-// analogue of the netlist package's EvalPacked. The paper's binary
-// sorters route payloads by inspecting one tag bit per packet, so 64
-// request patterns can share a plan replay with one uint64 bit lane per
-// pattern:
+// through one compiled routing plan in a single pass. The bit-plane
+// engine itself — position-major packed planes, masked-XOR swaps under
+// per-lane select masks, carry-save counters, plane-bound analysis, and
+// the two-stage transpose extraction — is the shared packed runner of
+// internal/planner; this file contributes only the concentrator-specific
+// surface: tag-lane packing, the request-count/capacity validation, and
+// the error messages of the batch contract.
 //
-//   - The working state is position-major bit-plane packed: each of the
-//     n network positions owns np = lg n + 1 consecutive uint64 words —
-//     plane 0 carries the 64 routing-tag lanes, planes 1..np-1 the bits
-//     of the packet index riding through the switches. Bit l of every
-//     word belongs to request lane l.
-//   - Every select-replay decision of the scalar plan becomes a per-lane
-//     mask: a compare-swap moves exactly the lanes in taga &^ tagb, a
-//     four-way swapper decomposes into masked quarter swaps under the
-//     three non-identity select masks, and the prefix patch-up's running
-//     ones count lives in bit-sliced counter planes updated with
-//     carry-save adds — no branches depend on tag data.
-//   - At the end the per-lane permutations are read back out of the
-//     payload planes (64×64 bit-block transposes, one per plane and
-//     position chunk).
-//
-// A PackedPlan performs zero steady-state heap allocations: all working
-// state (plane array, copy scratch, select-mask replay buffer, counter
-// planes) lives in a sync.Pool of per-execution scratch, exactly like the
-// scalar Plan. Throughput: one packed pass costs roughly np word
-// operations where the scalar plan costs 64 packet-word moves, so wide
-// batches route ≥ 3× faster than the planned-parallel pipeline (see
-// BENCH_route.json and TestPackedSpeedupFloor).
+// Throughput: one packed pass costs roughly live-plane word operations
+// where the scalar plan costs 64 packet-word moves, so wide batches route
+// ≥ 3× faster than the planned-parallel pipeline (see BENCH_route.json
+// and TestPackedSpeedupFloor).
 package concentrator
 
 import (
 	"fmt"
-	"math/bits"
-	"sync"
 
 	"absort/internal/bitvec"
-	"absort/internal/core"
+	"absort/internal/planner"
 )
 
 // PackedLanes is the number of independent request patterns a packed
 // plan evaluates per pass: one bit lane of every plane word per pattern.
-const PackedLanes = 64
+const PackedLanes = planner.PackedLanes
 
 // MinPackedLanes is the batch-width threshold at which the packed engine
 // overtakes per-request planned routing: a packed pass costs about
@@ -51,24 +33,16 @@ const PackedLanes = 64
 // pass beats k scalar passes from roughly k = 24 upward across
 // n ∈ {64 .. 4096}; ConcentrateBatch falls back to the planned path for
 // narrower remainders.
-const MinPackedLanes = 24
+const MinPackedLanes = planner.MinPackedLanes
 
 // PackedPlan is the 64-lane SWAR evaluation engine of a compiled routing
-// Plan. It is immutable after construction and safe for concurrent use:
-// every execution draws its working state from an internal pool.
+// Plan: a thin concentrator-facing wrapper over the planner's shared
+// packed runner. It is immutable after construction and safe for
+// concurrent use: every execution draws its working state from the
+// runner's pool.
 type PackedPlan struct {
 	plan *Plan
-	np   int     // planes per position: 1 tag plane + lg n payload planes
-	npl  []int32 // per-step plane bound (see planeBounds)
-	pool sync.Pool
-}
-
-// packedScratch is the per-execution state of a PackedPlan.
-type packedScratch struct {
-	val []uint64 // n × np position-major plane words
-	tmp []uint64 // copy scratch (shuffles, fish splits, per-lane ranks)
-	sel []uint64 // select-mask replay buffer, 2 words per slot
-	cnt []uint64 // bit-sliced per-lane ones counter (np planes)
+	pp   *planner.Packed
 }
 
 // Packed returns the plan's 64-lane SWAR engine, building it on first
@@ -78,62 +52,11 @@ func (p *Plan) Packed() *PackedPlan {
 	if pp := p.packed.Load(); pp != nil {
 		return pp
 	}
-	pp := newPackedPlan(p)
+	pp := &PackedPlan{plan: p, pp: p.prog.Packed()}
 	if !p.packed.CompareAndSwap(nil, pp) {
 		return p.packed.Load()
 	}
 	return pp
-}
-
-// newPackedPlan builds the packed engine for a compiled plan.
-func newPackedPlan(p *Plan) *PackedPlan {
-	np := core.Lg(p.n) + 1
-	pp := &PackedPlan{plan: p, np: np, npl: planeBounds(p, np)}
-	pp.pool.New = func() any {
-		return &packedScratch{
-			val: make([]uint64, p.n*np),
-			tmp: make([]uint64, p.n*np),
-			sel: make([]uint64, 2*max(p.nsel, 1)),
-			cnt: make([]uint64, np),
-		}
-	}
-	return pp
-}
-
-// planeBounds computes, per step, how many planes the step's data
-// movement must touch. Every step moves packets only within its window,
-// so a packet's origin index is always confined to the union of the
-// windows it has passed through. Index bits above that union's common
-// prefix are broadcast constants — identical words at every position of
-// the window — and a masked swap of equal words is a no-op, so those
-// planes can be skipped. The analysis tracks one origin interval per
-// position (movement preserves intervalness: each step replaces its
-// window's intervals with their union) and bounds each step at
-// 1 + (number of index bits varying over the union). The early small
-// windows of a sorter — most of its data movement — touch only a few
-// planes, which is where the packed engine's throughput margin over the
-// scalar plan comes from.
-func planeBounds(p *Plan, np int) []int32 {
-	olo := make([]int32, p.n)
-	ohi := make([]int32, p.n)
-	for i := range olo {
-		olo[i] = int32(i)
-		ohi[i] = int32(i + 1)
-	}
-	npl := make([]int32, len(p.steps))
-	for si, st := range p.steps {
-		uLo, uHi := olo[st.lo], ohi[st.lo]
-		for i := st.lo + 1; i < st.hi; i++ {
-			uLo = min(uLo, olo[i])
-			uHi = max(uHi, ohi[i])
-		}
-		for i := st.lo; i < st.hi; i++ {
-			olo[i], ohi[i] = uLo, uHi
-		}
-		w := int32(bits.Len32(uint32(uLo^(uHi-1)))) + 1
-		npl[si] = min(w, int32(np))
-	}
-	return npl
 }
 
 // N returns the input width of the packed plan.
@@ -195,11 +118,11 @@ func (pp *PackedPlan) RoutePacked(out [][]int, tags []uint64) error {
 				n, l, len(o))
 		}
 	}
-	sc := pp.pool.Get().(*packedScratch)
-	pp.load(sc.val, tags)
-	pp.run(sc)
-	pp.extract(out, sc.val)
-	pp.pool.Put(sc)
+	sc := pp.pp.Get()
+	pp.pp.LoadTagWords(sc.Val, tags)
+	pp.pp.Run(sc)
+	pp.pp.Extract(out, sc.Val)
+	pp.pp.Put(sc)
 	return nil
 }
 
@@ -218,393 +141,15 @@ func (pp *PackedPlan) RouteLanes(out [][]int, tagsBatch []bitvec.Vector) error {
 				n, l, len(tags))
 		}
 	}
-	sc := pp.pool.Get().(*packedScratch)
-	words := sc.tmp[:n] // borrow copy scratch for the packed tag words
+	sc := pp.pp.Get()
+	words := sc.Tmp[:n] // borrow copy scratch for the packed tag words
 	if err := PackTagLanes(words, tagsBatch); err != nil {
-		pp.pool.Put(sc)
+		pp.pp.Put(sc)
 		return err
 	}
 	err := pp.RoutePacked(out, words)
-	pp.pool.Put(sc)
+	pp.pp.Put(sc)
 	return err
-}
-
-// load initializes the plane array: position i starts with the packed
-// tag lanes in plane 0 and the lane-broadcast bits of index i in the
-// payload planes.
-func (pp *PackedPlan) load(val, tags []uint64) {
-	P := pp.np
-	for i, t := range tags {
-		base := i * P
-		val[base] = t
-		for b := 1; b < P; b++ {
-			val[base+b] = -uint64(i >> uint(b-1) & 1) // 0 or all-ones broadcast
-		}
-	}
-}
-
-// extract reads the per-lane permutations back out of the payload
-// planes: out[l][j] is the index whose bits lane l carries at position j.
-// Positions are processed in 64-wide chunks through two transpose
-// stages: one 64×64 bit-block transpose per payload plane turns 64
-// position-words into 64 lane-words, then per lane a four-wide 16×16
-// SWAR transpose turns up to 16 plane rows into 64 ready permutation
-// values — about five word operations per extracted index, instead of
-// one shift-mask-or per (lane, position, plane).
-func (pp *PackedPlan) extract(out [][]int, val []uint64) {
-	P := pp.np
-	n := pp.plan.n
-	lanes := len(out)
-	if n < 64 || P == 1 || P-1 > 16 {
-		// Ragged width (n < 64), the trivial 1-input plan, or more index
-		// bits than the 16-row stage-two transpose carries (n > 65536):
-		// gather bit-by-bit.
-		pp.extractSlow(out, val)
-		return
-	}
-	var lanePl [16][64]uint64
-	for base := 0; base < n; base += 64 {
-		// Stage 1: one transpose per payload plane; lanePl[b-1][l] bit j
-		// is lane l's plane-b bit at position base+j.
-		for b := 1; b < P; b++ {
-			blk := &lanePl[b-1]
-			for j := 0; j < 64; j++ {
-				blk[j] = val[(base+j)*P+b]
-			}
-			transpose64(blk)
-		}
-		// Stage 2: per lane, rows 0..P-2 hold index bit b across 64
-		// positions; the 16×16 block transpose flips them into 16-bit
-		// index values, four positions per word quarter.
-		for l := 0; l < lanes; l++ {
-			var a [16]uint64
-			for b := 0; b+1 < P; b++ {
-				a[b] = lanePl[b][l]
-			}
-			transpose16x4(&a)
-			o := out[l][base : base+64]
-			for i := 0; i < 16; i++ {
-				ai := a[i]
-				o[i] = int(ai & 0xFFFF)
-				o[16+i] = int(ai >> 16 & 0xFFFF)
-				o[32+i] = int(ai >> 32 & 0xFFFF)
-				o[48+i] = int(ai >> 48 & 0xFFFF)
-			}
-		}
-	}
-}
-
-// extractSlow is the bit-gather fallback of extract for plans too narrow
-// (or too wide) for the block-transpose fast path.
-func (pp *PackedPlan) extractSlow(out [][]int, val []uint64) {
-	P := pp.np
-	n := pp.plan.n
-	lanes := len(out)
-	for j := 0; j < n; j++ {
-		w := val[j*P+1 : (j+1)*P]
-		for l := 0; l < lanes; l++ {
-			v := 0
-			for b, wb := range w {
-				v |= int(wb>>uint(l)&1) << uint(b)
-			}
-			out[l][j] = v
-		}
-	}
-}
-
-// transpose64 transposes a 64×64 bit matrix in place (row r bit c ↔
-// row c bit r) by recursive block swaps — the classic Hacker's Delight
-// construction, three XOR passes per halving level: at block size j, the
-// high-j bits of row k exchange with the low-j bits of row k+j within
-// every 2j×2j diagonal block.
-func transpose64(a *[64]uint64) {
-	// Each level: j is the block size, the mask selects the low j bits of
-	// every 2j bit group. Levels are unrolled so shifts and masks are
-	// compile-time constants.
-	for k := 0; k < 32; k++ {
-		t := ((a[k] >> 32) ^ a[k+32]) & 0x00000000FFFFFFFF
-		a[k] ^= t << 32
-		a[k+32] ^= t
-	}
-	for k0 := 0; k0 < 64; k0 += 32 {
-		for k := k0; k < k0+16; k++ {
-			t := ((a[k] >> 16) ^ a[k+16]) & 0x0000FFFF0000FFFF
-			a[k] ^= t << 16
-			a[k+16] ^= t
-		}
-	}
-	for k0 := 0; k0 < 64; k0 += 16 {
-		for k := k0; k < k0+8; k++ {
-			t := ((a[k] >> 8) ^ a[k+8]) & 0x00FF00FF00FF00FF
-			a[k] ^= t << 8
-			a[k+8] ^= t
-		}
-	}
-	for k0 := 0; k0 < 64; k0 += 8 {
-		for k := k0; k < k0+4; k++ {
-			t := ((a[k] >> 4) ^ a[k+4]) & 0x0F0F0F0F0F0F0F0F
-			a[k] ^= t << 4
-			a[k+4] ^= t
-		}
-	}
-	for k0 := 0; k0 < 64; k0 += 4 {
-		for k := k0; k < k0+2; k++ {
-			t := ((a[k] >> 2) ^ a[k+2]) & 0x3333333333333333
-			a[k] ^= t << 2
-			a[k+2] ^= t
-		}
-	}
-	for k := 0; k < 64; k += 2 {
-		t := ((a[k] >> 1) ^ a[k+1]) & 0x5555555555555555
-		a[k] ^= t << 1
-		a[k+1] ^= t
-	}
-}
-
-// transpose16x4 transposes four 16×16 bit matrices at once: each 16-bit
-// quarter of the 16 words is one matrix, and the butterfly masks repeat
-// per quarter so all four flip in the same three passes per level. Used
-// by extract's stage two, where row b of quarter g is index bit b of
-// positions 16g..16g+15 and the transposed row i yields four finished
-// 16-bit index values.
-func transpose16x4(a *[16]uint64) {
-	for j, m := uint(8), uint64(0x00FF00FF00FF00FF); j != 0; j, m = j>>1, m^(m<<(j>>1)) {
-		for k := uint(0); k < 16; k = (k + j + 1) &^ j {
-			t := ((a[k] >> j) ^ a[k+j]) & m
-			a[k] ^= t << j
-			a[k+j] ^= t
-		}
-	}
-}
-
-// run executes the step program over the packed plane array. Every
-// movement op consults the compile-time plane bound npl[step]: planes
-// above the bound are broadcast constants across the step's window (see
-// planeBounds), so swaps and copies skip them.
-func (pp *PackedPlan) run(sc *packedScratch) {
-	P := pp.np
-	val, tmp, cnt := sc.val, sc.tmp, sc.cnt
-	for si, st := range pp.plan.steps {
-		lo, hi := int(st.lo), int(st.hi)
-		s := hi - lo
-		w := int(pp.npl[si])
-		switch st.op {
-		case opCmpSwap:
-			// Inlined single-position masked swap: cmp-swaps are the most
-			// frequent step by far (every merge bottoms out in one), and a
-			// call per pair would cost more than the swap itself.
-			x := val[lo*P : lo*P+w]
-			y := val[(lo+1)*P : (lo+1)*P+w]
-			if m := x[0] &^ y[0]; m != 0 {
-				for p, xv := range x {
-					t := (xv ^ y[p]) & m
-					x[p] = xv ^ t
-					y[p] ^= t
-				}
-			}
-		case opEndsSwap:
-			for i := 0; i < s/2; i++ {
-				a, b := lo+i, hi-1-i
-				x := val[a*P : a*P+w]
-				y := val[b*P : b*P+w]
-				if m := x[0] &^ y[0]; m != 0 {
-					for p, xv := range x {
-						t := (xv ^ y[p]) & m
-						x[p] = xv ^ t
-						y[p] ^= t
-					}
-				}
-			}
-		case opFourIn:
-			q := s / 4
-			h1, h2 := val[(lo+q)*P], val[(lo+3*q)*P]
-			sc.sel[2*st.aux] = h1
-			sc.sel[2*st.aux+1] = h2
-			m0 := ^h1 & ^h2
-			m2 := h1 & ^h2
-			m3 := h1 & h2
-			// INSwap per select (see swapper.INSwap): sel 0 rotates the
-			// upper three quarters right, sel 1 is the identity, sel 2
-			// swaps the halves, sel 3 swaps the first two quarters.
-			maskedSwap(val, P, w, lo+2*q, lo+3*q, q, m0) // rot right: swap q2,q3
-			maskedSwap(val, P, w, lo+q, lo+2*q, q, m0)   // then swap q1,q2
-			maskedSwap(val, P, w, lo, lo+2*q, 2*q, m2)   // swap halves
-			maskedSwap(val, P, w, lo, lo+q, q, m3)       // swap q0,q1
-		case opFourOut:
-			q := s / 4
-			h1, h2 := sc.sel[2*st.aux], sc.sel[2*st.aux+1]
-			m0 := ^h1 & ^h2
-			m3 := h1 & h2
-			// OUTSwap per select: sel 0 rotates the upper three quarters
-			// right, sel 3 the lower three left; 1 and 2 are identities.
-			maskedSwap(val, P, w, lo+2*q, lo+3*q, q, m0) // rot right: swap q2,q3
-			maskedSwap(val, P, w, lo+q, lo+2*q, q, m0)   // then swap q1,q2
-			maskedSwap(val, P, w, lo, lo+q, q, m3)       // rot left: swap q0,q1
-			maskedSwap(val, P, w, lo+q, lo+2*q, q, m3)   // then swap q1,q2
-		case opShuffleCount:
-			h := s / 2
-			if w+4 >= P { // same copy-overhead tradeoff as maskedSwap
-				copy(tmp[:s*P], val[lo*P:hi*P])
-				for i := 0; i < h; i++ {
-					copy(val[(lo+2*i)*P:(lo+2*i+1)*P], tmp[i*P:(i+1)*P])
-					copy(val[(lo+2*i+1)*P:(lo+2*i+2)*P], tmp[(h+i)*P:(h+i+1)*P])
-				}
-			} else {
-				for i := 0; i < s; i++ {
-					src, dst := (lo+i)*P, i*P
-					for b := 0; b < w; b++ {
-						tmp[dst+b] = val[src+b]
-					}
-				}
-				for i := 0; i < h; i++ {
-					da, db := (lo+2*i)*P, (lo+2*i+1)*P
-					sa, sb := i*P, (h+i)*P
-					for b := 0; b < w; b++ {
-						val[da+b] = tmp[sa+b]
-						val[db+b] = tmp[sb+b]
-					}
-				}
-			}
-			// Reset the bit-sliced ones counter and carry-save add every
-			// tag word of the window: amortized O(1) plane updates per
-			// word, exactly a 64-lane binary counter increment.
-			for b := range cnt {
-				cnt[b] = 0
-			}
-			for i := lo; i < hi; i++ {
-				c := val[i*P]
-				for b := 0; c != 0; b++ {
-					carry := cnt[b] & c
-					cnt[b] ^= c
-					c = carry
-				}
-			}
-		case opCondIn:
-			p := core.Lg(s)
-			// Per-lane m ≥ s/2 ⇔ counter bit p-1 or p set (m ≤ s).
-			d := cnt[p-1] | cnt[p]
-			sc.sel[2*st.aux] = d
-			// m -= s/2 on the selected lanes: bit p-1 becomes bit p
-			// (1 only in the m = s case), bit p clears.
-			cnt[p-1] = (cnt[p-1] &^ d) | (cnt[p] & d)
-			cnt[p] &^= d
-			maskedSwap(val, P, w, lo, lo+s/2, s/2, d)
-		case opCondOut:
-			d := sc.sel[2*st.aux]
-			maskedSwap(val, P, w, lo, lo+s/2, s/2, d)
-		case opFishSplit:
-			k := int(st.aux)
-			bs := s / k
-			half := bs / 2
-			copy(tmp[:s*P], val[lo*P:hi*P])
-			up, dn := lo, lo+s/2
-			for j := 0; j < k; j++ {
-				blo := j * bs          // block offset within tmp
-				d := tmp[(blo+half)*P] // middle-bit tag lanes
-				// Lanes in d send the upper (clean) half of the block up
-				// and the lower half down; the rest the reverse.
-				blendRange(val[up*P:], tmp[blo*P:], tmp[(blo+half)*P:], half*P, d)
-				blendRange(val[dn*P:], tmp[(blo+half)*P:], tmp[blo*P:], half*P, d)
-				up += half
-				dn += half
-			}
-		case opFishClean:
-			k := int(st.aux)
-			bs := s / k
-			// Stable per-lane partition of the k clean blocks by their
-			// common tag: k rounds of odd-even transposition with masked
-			// block swaps. Equal tags never swap, so the partition is
-			// stable, matching the scalar fishCleanSort exactly.
-			for round := 0; round < k; round++ {
-				for j := round & 1; j+1 < k; j += 2 {
-					a, b := lo+j*bs, lo+(j+1)*bs
-					m := val[a*P] &^ val[b*P]
-					maskedSwap(val, P, w, a, b, bs, m)
-				}
-			}
-		case opRank:
-			// Element-wise stable partition: inherently per-lane (each
-			// lane's packet order differs), so gather/scatter lane by
-			// lane. Only the Ranking baseline engine emits this op.
-			pp.rankLanes(val, tmp, lo, hi)
-		default:
-			panic(fmt.Sprintf("concentrator: packed plan: unknown op %d", st.op))
-		}
-	}
-}
-
-// rankLanes applies opRank — the stable 0s-before-1s partition — to every
-// lane of [lo,hi) independently: lane l's bits are gathered from the copy
-// scratch in partition order and rewritten bit by bit.
-func (pp *PackedPlan) rankLanes(val, tmp []uint64, lo, hi int) {
-	P := pp.np
-	s := hi - lo
-	copy(tmp[:s*P], val[lo*P:hi*P])
-	for i := lo * P; i < hi*P; i++ {
-		val[i] = 0
-	}
-	for l := uint(0); l < PackedLanes; l++ {
-		bit := uint64(1) << l
-		z := lo
-		for i := 0; i < s; i++ { // 0-tagged packets keep order up front
-			if tmp[i*P]&bit == 0 {
-				copyLane(val[z*P:(z+1)*P], tmp[i*P:(i+1)*P], bit)
-				z++
-			}
-		}
-		for i := 0; i < s; i++ { // 1-tagged packets keep order behind
-			if tmp[i*P]&bit != 0 {
-				copyLane(val[z*P:(z+1)*P], tmp[i*P:(i+1)*P], bit)
-				z++
-			}
-		}
-	}
-}
-
-// copyLane ORs the single lane selected by bit from src into dst across
-// all planes (dst's lane bits start zeroed).
-func copyLane(dst, src []uint64, bit uint64) {
-	for p := range dst {
-		dst[p] |= src[p] & bit
-	}
-}
-
-// maskedSwap exchanges the q-position ranges at a and b on exactly the
-// lanes in m — three XOR passes per plane word, no branches on tag data —
-// touching only the w low planes of each position (planes above w are
-// broadcast constants across the step's window, so swapping them would
-// be a no-op; see planeBounds). At the full bound w == P the two ranges
-// are contiguous plane runs and swap in one flat pass.
-func maskedSwap(val []uint64, P, w, a, b, q int, m uint64) {
-	if m == 0 {
-		return
-	}
-	// Swapping a broadcast-constant plane is a no-op, so running the
-	// contiguous flat pass over all P planes is always correct; the
-	// per-position bounded path only wins once it skips enough planes to
-	// repay its per-position loop setup (~4 word-ops).
-	if w+4 >= P {
-		x := val[a*P : (a+q)*P]
-		y := val[b*P : (b+q)*P]
-		for p, xv := range x {
-			t := (xv ^ y[p]) & m
-			x[p] = xv ^ t
-			y[p] ^= t
-		}
-		return
-	}
-	ai, bi := a*P, b*P
-	for i := 0; i < q; i++ {
-		x := val[ai : ai+w]
-		y := val[bi : bi+w]
-		for p, xv := range x {
-			t := (xv ^ y[p]) & m
-			x[p] = xv ^ t
-			y[p] ^= t
-		}
-		ai += P
-		bi += P
-	}
 }
 
 // ConcentratePacked routes up to PackedLanes request patterns through
@@ -648,9 +193,9 @@ func (c *Concentrator) concentratePackedAt(perms [][]int, counts []int, markedBa
 				base+l, len(perms[l]), c.n)
 		}
 	}
-	pp := plan.Packed()
-	sc := pp.pool.Get().(*packedScratch)
-	words := sc.tmp[:c.n] // borrow copy scratch for the packed tag words
+	pp := plan.prog.Packed()
+	sc := pp.Get()
+	words := sc.Tmp[:c.n] // borrow copy scratch for the packed tag words
 	for i := range words {
 		words[i] = 0
 	}
@@ -670,26 +215,15 @@ func (c *Concentrator) concentratePackedAt(perms [][]int, counts []int, markedBa
 			words[i] |= (u ^ 1) << uint(l)
 		}
 		if r > c.m {
-			pp.pool.Put(sc)
+			pp.Put(sc)
 			return base + l, fmt.Errorf("concentrator: batch pattern %d: concentrator: %d requests exceed capacity %d",
 				base+l, r, c.m)
 		}
 		counts[l] = r
 	}
-	pp.load(sc.val, words)
-	pp.run(sc)
-	pp.extract(perms, sc.val)
-	pp.pool.Put(sc)
+	pp.LoadTagWords(sc.Val, words)
+	pp.Run(sc)
+	pp.Extract(perms, sc.Val)
+	pp.Put(sc)
 	return 0, nil
-}
-
-// blendRange writes w words of dst as a per-lane select between two
-// sources: lanes in d read from src1, the rest from src0.
-func blendRange(dst, src0, src1 []uint64, w int, d uint64) {
-	dst = dst[:w]
-	src0 = src0[:w]
-	src1 = src1[:w]
-	for p, a := range src0 {
-		dst[p] = a ^ ((a ^ src1[p]) & d)
-	}
 }

@@ -10,30 +10,9 @@ import (
 	"absort/internal/race"
 )
 
-// TestTranspose64 pins the bit-block transpose convention the packed
-// extractor depends on: after transpose, row r bit c equals the original
-// row c bit r.
-func TestTranspose64(t *testing.T) {
-	rng := rand.New(rand.NewSource(40))
-	var a, orig [64]uint64
-	for i := range a {
-		a[i] = rng.Uint64()
-		orig[i] = a[i]
-	}
-	transpose64(&a)
-	for r := 0; r < 64; r++ {
-		for c := 0; c < 64; c++ {
-			if a[r]>>uint(c)&1 != orig[c]>>uint(r)&1 {
-				t.Fatalf("transpose64: row %d bit %d = %d, want original row %d bit %d = %d",
-					r, c, a[r]>>uint(c)&1, c, r, orig[c]>>uint(r)&1)
-			}
-		}
-	}
-	transpose64(&a)
-	if a != orig {
-		t.Fatal("transpose64 is not an involution")
-	}
-}
+// The bit-block transpose convention the packed extractor depends on is
+// pinned by TestTranspose64 in internal/planner, next to the shared
+// packed runner the transpose now lives in.
 
 // TestRoutePackedDifferential checks the 64-lane SWAR engine against the
 // scalar plan on every engine, across widths and every lane count 1..64
@@ -270,13 +249,13 @@ func TestPackedErrors(t *testing.T) {
 	if err := pp.RoutePacked(good, make([]uint64, n-1)); err == nil {
 		t.Error("RoutePacked accepted short tag words")
 	}
-	if err := pp.RoutePacked([][]int{make([]int, n - 1)}, make([]uint64, n)); err == nil {
+	if err := pp.RoutePacked([][]int{make([]int, n-1)}, make([]uint64, n)); err == nil {
 		t.Error("RoutePacked accepted short output")
 	}
 	if err := pp.RouteLanes(good, make([]bitvec.Vector, 2)); err == nil {
 		t.Error("RouteLanes accepted output/pattern count mismatch")
 	}
-	if err := pp.RouteLanes(good, []bitvec.Vector{make(bitvec.Vector, n - 1)}); err == nil {
+	if err := pp.RouteLanes(good, []bitvec.Vector{make(bitvec.Vector, n-1)}); err == nil {
 		t.Error("RouteLanes accepted short tag vector")
 	}
 	if err := PackTagLanes(make([]uint64, n), nil); err == nil {
@@ -291,7 +270,7 @@ func TestPackedErrors(t *testing.T) {
 	if err := c.ConcentratePacked(perms, counts, nil); err == nil {
 		t.Error("ConcentratePacked accepted 0 patterns")
 	}
-	if err := c.ConcentratePacked(perms, counts, [][]bool{make([]bool, n - 1)}); err == nil ||
+	if err := c.ConcentratePacked(perms, counts, [][]bool{make([]bool, n-1)}); err == nil ||
 		!strings.Contains(err.Error(), "pattern 0") {
 		t.Errorf("ConcentratePacked wrong-width error = %v", err)
 	}

@@ -1,103 +1,44 @@
-// Routing-plan compiler: lowers each routing engine's recursive replay
-// (mmSort / prefixSort / fishKMerge / ranking) into a flat, stage-ordered
-// step program computed once per (n, engine, k). Executing a Plan walks the
-// step stream in-place over pooled scratch arrays — the routing analogue of
-// the netlist package's compiled SWAR engine: the recursion structure of
-// every adaptive binary sorter is data-independent (only the switch
-// settings depend on the tags), so the control flow can be precomputed and
-// the data-dependent decisions replayed branch-locally per step.
+// Compiled routing plans: each routing engine's recursive replay
+// (mmSort / prefixSort / fishKMerge / ranking) lowers once per
+// (n, engine, k) into a flat step program on the shared routing-plan IR
+// of internal/planner — this package contributes only the lowering
+// (engine → builder calls) and the concentrator-specific packet-word
+// packing; the step walk itself, the scratch pooling, and the 64-lane
+// SWAR replay all live in the planner.
 //
 // Execution runs over packed packet words: bit 63 carries the routing tag
-// and the low 63 bits ride along as opaque payload (the packet index, and
-// for the radix permuter the window-local destination as well), so every
-// data movement is a single-word move. A Plan performs zero steady-state
-// heap allocations per route: all per-route state (the packed value
-// array, the copy scratch used by shuffles and quarter permutations, and
-// the select-replay buffer that carries four-way swapper settings from
-// the IN stage to the matching OUT stage) lives in a sync.Pool of
-// per-execution scratch, exactly as compiled netlist programs pool their
-// wire-value buffers.
+// and the low 63 bits ride along as opaque payload (the packet index), so
+// every data movement is a single-word move. A Plan performs zero
+// steady-state heap allocations per route: all per-route state lives in
+// the program's scratch pool.
 package concentrator
 
 import (
-	"container/list"
 	"fmt"
-	"sync"
 	"sync/atomic"
 
 	"absort/internal/bitvec"
 	"absort/internal/core"
+	"absort/internal/planner"
 )
 
 // TagBit is the packed-word bit that carries a packet's routing tag
 // through plan execution; the low 63 bits are opaque payload.
 const TagBit = uint64(1) << 63
 
-// stepOp is one lowered routing operation over a window of the working
-// array.
-type stepOp uint8
+// tagShift is the packet-word bit position of TagBit.
+const tagShift = 63
 
-const (
-	// opCmpSwap compare-swaps the adjacent pair at lo (size-2 merge).
-	opCmpSwap stepOp = iota
-	// opFourIn samples the two select bits at lo+q and lo+3q, records the
-	// select value in the replay buffer at aux, and applies the IN-SWAP
-	// quarter permutation to [lo,hi).
-	opFourIn
-	// opFourOut replays the select value recorded at aux and applies the
-	// OUT-SWAP quarter permutation to [lo,hi).
-	opFourOut
-	// opShuffleCount perfect-shuffles [lo,hi) and loads the running ones
-	// count m for the patch-up chain that follows.
-	opShuffleCount
-	// opEndsSwap compare-swaps opposite ends of [lo,hi): (lo+i, hi-1-i).
-	opEndsSwap
-	// opCondIn evaluates the patch-up select m ≥ s/2, records it at aux,
-	// and on select swaps the halves of [lo,hi) and reduces m by s/2.
-	opCondIn
-	// opCondOut replays the select recorded at aux: on select, swaps the
-	// halves of [lo,hi).
-	opCondOut
-	// opFishSplit performs the fish sorter's middle-bit block split over
-	// [lo,hi) with aux blocks: each block contributes its clean half to the
-	// upper half-window and its dirty half to the lower half-window.
-	opFishSplit
-	// opFishClean stably partitions the aux clean blocks of [lo,hi) by
-	// their (common) tag: all-0 blocks first, all-1 blocks last.
-	opFishClean
-	// opRank stably partitions [lo,hi) element-wise: 0-tagged entries keep
-	// order in the leading positions, 1-tagged in the trailing ones.
-	opRank
-)
-
-// step is one lowered routing operation: an opcode, the window it operates
-// on, and an auxiliary operand (select-replay slot or fish block count).
-type step struct {
-	op     stepOp
-	lo, hi int32
-	aux    int32
-}
-
-// Plan is a compiled routing program for one (n, engine, k) configuration.
-// It is immutable after construction and safe for concurrent use: every
-// execution draws its scratch state from an internal pool.
+// Plan is a compiled routing program for one (n, engine, k)
+// configuration. It is immutable after construction and safe for
+// concurrent use: every execution draws its scratch state from the
+// underlying program's pool.
 type Plan struct {
 	n      int
 	engine Engine
 	k      int
-	steps  []step
-	nsel   int // select-replay slots needed per execution
-	pool   sync.Pool
-	packed atomic.Pointer[PackedPlan] // lazily built 64-lane SWAR engine
-}
-
-// planScratch is the per-execution state of a Plan: the packed-word
-// working array, the copy scratch used by shuffles / quarter permutations
-// / fish block moves, and the select-replay buffer.
-type planScratch struct {
-	val []uint64
-	tmp []uint64
-	sel []uint8
+	prog   *planner.Program
+	packed atomic.Pointer[PackedPlan] // lazily built 64-lane SWAR wrapper
 }
 
 // NewPlan compiles the routing plan for an n-input concentrating sort over
@@ -108,12 +49,12 @@ func NewPlan(n int, engine Engine, k int) *Plan {
 	if !core.IsPow2(n) {
 		panic(fmt.Sprintf("concentrator: NewPlan(%d): n not a power of two", n))
 	}
-	c := &planCompiler{}
+	var b planner.Builder
 	switch engine {
 	case MuxMerger:
-		c.mmSort(0, int32(n))
+		b.MMSort(0, int32(n))
 	case PrefixAdder:
-		c.prefixSort(0, int32(n))
+		b.PrefixSort(0, int32(n))
 	case Fish:
 		if n == 1 {
 			break // a 1-input network is a wire: empty program
@@ -121,25 +62,19 @@ func NewPlan(n int, engine Engine, k int) *Plan {
 		if !core.IsPow2(k) || k < 2 || k > n {
 			panic(fmt.Sprintf("concentrator: NewPlan(%d, fish, k=%d)", n, k))
 		}
-		g := int32(n / k)
-		for t := int32(0); t < int32(k); t++ {
-			c.mmSort(t*g, (t+1)*g)
-		}
-		c.fishKMerge(0, int32(n), int32(k))
+		b.FishSort(0, int32(n), int32(k))
 	case Ranking:
-		c.emit(opRank, 0, int32(n), 0)
+		b.Rank(0, int32(n))
 	default:
 		panic(fmt.Sprintf("concentrator: NewPlan: unknown engine %v", engine))
 	}
-	p := &Plan{n: n, engine: engine, k: k, steps: c.steps, nsel: c.nsel}
-	p.pool.New = func() any {
-		return &planScratch{
-			val: make([]uint64, n),
-			tmp: make([]uint64, n),
-			sel: make([]uint8, max(p.nsel, 1)),
-		}
-	}
-	return p
+	prog := b.Compile(planner.Layout{
+		N:           n,
+		FrontPlanes: 1,
+		TagShift:    tagShift,
+		TagPlane:    0,
+	})
+	return &Plan{n: n, engine: engine, k: k, prog: prog}
 }
 
 // N returns the input width of the plan.
@@ -152,97 +87,10 @@ func (p *Plan) Engine() Engine { return p.engine }
 func (p *Plan) K() int { return p.k }
 
 // NumSteps returns the length of the lowered step program.
-func (p *Plan) NumSteps() int { return len(p.steps) }
+func (p *Plan) NumSteps() int { return p.prog.NumSteps() }
 
-// planCompiler accumulates the step program during lowering.
-type planCompiler struct {
-	steps []step
-	nsel  int
-}
-
-func (c *planCompiler) emit(op stepOp, lo, hi, aux int32) {
-	c.steps = append(c.steps, step{op: op, lo: lo, hi: hi, aux: aux})
-}
-
-func (c *planCompiler) newSel() int32 {
-	id := int32(c.nsel)
-	c.nsel++
-	return id
-}
-
-// mmSort lowers the mux-merger binary sorter over [lo,hi): sort both
-// halves, then merge (post-order, exactly the recursion of mmSort).
-func (c *planCompiler) mmSort(lo, hi int32) {
-	s := hi - lo
-	if s == 1 {
-		return
-	}
-	c.mmSort(lo, lo+s/2)
-	c.mmSort(lo+s/2, hi)
-	c.mmMerge(lo, hi)
-}
-
-// mmMerge lowers one mux-merger merge over [lo,hi): a four-way IN-SWAP,
-// the recursive middle-half merge, and the matching four-way OUT-SWAP
-// replaying the same select value.
-func (c *planCompiler) mmMerge(lo, hi int32) {
-	s := hi - lo
-	if s == 2 {
-		c.emit(opCmpSwap, lo, hi, 0)
-		return
-	}
-	id := c.newSel()
-	c.emit(opFourIn, lo, hi, id)
-	c.mmMerge(lo+s/4, lo+3*s/4)
-	c.emit(opFourOut, lo, hi, id)
-}
-
-// prefixSort lowers the prefix binary sorter over [lo,hi): sort both
-// halves, shuffle and count ones, then run the patch-up chain.
-func (c *planCompiler) prefixSort(lo, hi int32) {
-	s := hi - lo
-	if s == 1 {
-		return
-	}
-	c.prefixSort(lo, lo+s/2)
-	c.prefixSort(lo+s/2, hi)
-	c.emit(opShuffleCount, lo, hi, 0)
-	c.patchUp(lo, hi)
-}
-
-// patchUp lowers one patch-up level over [lo,hi): opposite-ends
-// compare-swaps, then (for s > 2) the conditional half-exchange steered by
-// the running ones count, the recursive patch-up of the lower half, and
-// the replayed conditional half-exchange on the way out.
-func (c *planCompiler) patchUp(lo, hi int32) {
-	s := hi - lo
-	if s == 1 {
-		return
-	}
-	c.emit(opEndsSwap, lo, hi, 0)
-	if s == 2 {
-		return
-	}
-	id := c.newSel()
-	c.emit(opCondIn, lo, hi, id)
-	c.patchUp(lo+s/2, hi)
-	c.emit(opCondOut, lo, hi, id)
-}
-
-// fishKMerge lowers the time-multiplexed fish merge over [lo,hi) with k
-// groups: middle-bit block split, clean-block sort of the upper half, the
-// recursive merge of the lower half, and a final mux-merge of the window.
-func (c *planCompiler) fishKMerge(lo, hi, k int32) {
-	s := hi - lo
-	if s == k {
-		c.mmSort(lo, hi)
-		return
-	}
-	c.emit(opFishSplit, lo, hi, k)
-	c.emit(opFishClean, lo, lo+s/2, k)
-	c.fishKMerge(lo+s/2, hi, k)
-	c.mmMerge(lo, hi)
-}
+// Program returns the underlying planner-IR program (shared, immutable).
+func (p *Plan) Program() *planner.Program { return p.prog }
 
 // RouteInto computes the permutation (receives-from form, as the scalar
 // Route* functions) realized by the plan's network on the given tags,
@@ -259,15 +107,15 @@ func (p *Plan) RouteInto(out []int, tags bitvec.Vector) error {
 		return fmt.Errorf("concentrator: Plan(%d).RouteInto: output buffer has %d slots",
 			p.n, len(out))
 	}
-	sc := p.pool.Get().(*planScratch)
+	sc := p.prog.Get()
 	for i, t := range tags {
-		sc.val[i] = uint64(t&1)<<63 | uint64(i)
+		sc.Val[i] = uint64(t&1)<<tagShift | uint64(i)
 	}
-	p.run(sc.val, sc)
-	for j, v := range sc.val {
+	p.prog.RunScratch(sc)
+	for j, v := range sc.Val {
 		out[j] = int(v &^ TagBit)
 	}
-	p.pool.Put(sc)
+	p.prog.Put(sc)
 	return nil
 }
 
@@ -282,302 +130,36 @@ func (p *Plan) Route(tags bitvec.Vector) ([]int, error) {
 
 // RouteVals runs the compiled step program in place over vals, whose
 // TagBit carries each packet's routing tag while the low 63 bits ride
-// along as opaque payload — the low-level entry the radix permuter's
-// route plans execute per window, with zero steady-state allocations.
-// len(vals) must equal N: unlike the validated public entry points
-// (RouteInto, RouteBatch, ConcentrateInto), this hot-loop internal hook
-// treats a length mismatch as a caller bug and panics.
+// along as opaque payload — the low-level replay entry, with zero
+// steady-state allocations. len(vals) must equal N: unlike the validated
+// public entry points (RouteInto, RouteBatch, ConcentrateInto), this
+// hot-loop internal hook treats a length mismatch as a caller bug and
+// panics.
 func (p *Plan) RouteVals(vals []uint64) {
 	if len(vals) != p.n {
 		panic(fmt.Sprintf("concentrator: Plan(%d).RouteVals over %d values", p.n, len(vals)))
 	}
-	sc := p.pool.Get().(*planScratch)
-	p.run(vals, sc)
-	p.pool.Put(sc)
+	p.prog.Run(vals)
 }
-
-// run executes the step program over the packed working array vals,
-// using sc for copy scratch and select replay.
-func (p *Plan) run(vals []uint64, sc *planScratch) {
-	tmp := sc.tmp
-	m := int32(0) // running ones count for the active patch-up chain
-	for _, st := range p.steps {
-		lo, hi := st.lo, st.hi
-		s := hi - lo
-		switch st.op {
-		case opCmpSwap:
-			if a, b := vals[lo], vals[lo+1]; a>>63 > b>>63 {
-				vals[lo], vals[lo+1] = b, a
-			}
-		case opFourIn:
-			q := s / 4
-			sel := uint8(2*(vals[lo+q]>>63) + vals[lo+3*q]>>63)
-			sc.sel[st.aux] = sel
-			// INSwap specialized per select: {0,3,1,2}, id, {2,3,0,1},
-			// {1,0,2,3} (see swapper.INSwap).
-			switch sel {
-			case 0:
-				rotRightQuarters(vals, tmp, lo+q, q) // new(q1,q2,q3) = old(q3,q1,q2)
-			case 2:
-				swapRanges(vals, lo, lo+2*q, 2*q) // swap halves
-			case 3:
-				swapRanges(vals, lo, lo+q, q) // swap q0, q1
-			}
-		case opFourOut:
-			q := s / 4
-			// OUTSwap specialized per select: {0,3,1,2}, id, id,
-			// {1,2,0,3} (see swapper.OUTSwap).
-			switch sc.sel[st.aux] {
-			case 0:
-				rotRightQuarters(vals, tmp, lo+q, q) // new(q1,q2,q3) = old(q3,q1,q2)
-			case 3:
-				rotLeftQuarters(vals, tmp, lo, q) // new(q0,q1,q2) = old(q1,q2,q0)
-			}
-		case opShuffleCount:
-			h := s / 2
-			copy(tmp[lo:hi], vals[lo:hi])
-			m = 0
-			for i := int32(0); i < h; i++ {
-				a, b := tmp[lo+i], tmp[lo+h+i]
-				vals[lo+2*i] = a
-				vals[lo+2*i+1] = b
-				m += int32(a>>63) + int32(b>>63)
-			}
-		case opEndsSwap:
-			for i := int32(0); i < s/2; i++ {
-				a, b := lo+i, hi-1-i
-				if va, vb := vals[a], vals[b]; va>>63 > vb>>63 {
-					vals[a], vals[b] = vb, va
-				}
-			}
-		case opCondIn:
-			if m >= s/2 {
-				m -= s / 2
-				sc.sel[st.aux] = 1
-				swapHalves(vals, lo, hi)
-			} else {
-				sc.sel[st.aux] = 0
-			}
-		case opCondOut:
-			if sc.sel[st.aux] == 1 {
-				swapHalves(vals, lo, hi)
-			}
-		case opFishSplit:
-			k := st.aux
-			bs := s / k
-			half := bs / 2
-			copy(tmp[lo:hi], vals[lo:hi])
-			up, dn := lo, lo+s/2
-			for j := int32(0); j < k; j++ {
-				blo := lo + j*bs
-				a, b := blo, blo+half // clean half, dirty half
-				if tmp[blo+half]>>63 == 1 {
-					a, b = blo+half, blo
-				}
-				copy(vals[up:up+half], tmp[a:a+half])
-				copy(vals[dn:dn+half], tmp[b:b+half])
-				up += half
-				dn += half
-			}
-		case opFishClean:
-			k := st.aux
-			bs := s / k
-			copy(tmp[lo:hi], vals[lo:hi])
-			zeros := int32(0)
-			for j := int32(0); j < k; j++ {
-				if tmp[lo+j*bs]>>63 == 0 {
-					zeros++
-				}
-			}
-			nextZero, nextOne := int32(0), zeros
-			for j := int32(0); j < k; j++ {
-				blo := lo + j*bs
-				pos := nextOne
-				if tmp[blo]>>63 == 0 {
-					pos = nextZero
-					nextZero++
-				} else {
-					nextOne++
-				}
-				dst := lo + pos*bs
-				copy(vals[dst:dst+bs], tmp[blo:blo+bs])
-			}
-		case opRank:
-			copy(tmp[lo:hi], vals[lo:hi])
-			zeros := int32(0)
-			for i := lo; i < hi; i++ {
-				zeros += int32(1 - tmp[i]>>63)
-			}
-			z, o := lo, lo+zeros
-			for i := lo; i < hi; i++ {
-				v := tmp[i]
-				if v>>63 == 0 {
-					vals[z] = v
-					z++
-				} else {
-					vals[o] = v
-					o++
-				}
-			}
-		default:
-			panic(fmt.Sprintf("concentrator: plan: unknown op %d", st.op))
-		}
-	}
-}
-
-// rotRightQuarters rotates the three consecutive quarters A, B, C at
-// base right by one: new(A, B, C) = old(C, A, B), using one quarter of
-// copy scratch.
-func rotRightQuarters(vals, tmp []uint64, base, q int32) {
-	a, b, c := base, base+q, base+2*q
-	copy(tmp[:q], vals[b:b+q])     // save old B
-	copy(vals[b:b+q], vals[a:a+q]) // B ← old A
-	copy(vals[a:a+q], vals[c:c+q]) // A ← old C
-	copy(vals[c:c+q], tmp[:q])     // C ← old B
-}
-
-// rotLeftQuarters rotates the three consecutive quarters A, B, C at base
-// left by one: new(A, B, C) = old(B, C, A), using one quarter of copy
-// scratch.
-func rotLeftQuarters(vals, tmp []uint64, base, q int32) {
-	a, b, c := base, base+q, base+2*q
-	copy(tmp[:q], vals[a:a+q])     // save old A
-	copy(vals[a:a+q], vals[b:b+q]) // A ← old B
-	copy(vals[b:b+q], vals[c:c+q]) // B ← old C
-	copy(vals[c:c+q], tmp[:q])     // C ← old A
-}
-
-// swapRanges exchanges vals[a:a+q] and vals[b:b+q] element-wise.
-func swapRanges(vals []uint64, a, b, q int32) {
-	for i := int32(0); i < q; i++ {
-		vals[a+i], vals[b+i] = vals[b+i], vals[a+i]
-	}
-}
-
-// swapHalves exchanges the two halves of [lo,hi) element-wise.
-func swapHalves(vals []uint64, lo, hi int32) {
-	h := (hi - lo) / 2
-	for i := int32(0); i < h; i++ {
-		a, b := lo+i, lo+h+i
-		vals[a], vals[b] = vals[b], vals[a]
-	}
-}
-
-// planKey identifies a cached plan.
-type planKey struct {
-	n      int
-	engine Engine
-	k      int
-}
-
-// planCacheCap bounds the process-wide plan cache: a k-sweep or an
-// adversarial (n, k) request stream recompiles cold plans instead of
-// growing memory without limit. 64 entries comfortably cover every
-// power-of-two n a process routes in practice (a full fish permuter at
-// one n needs lg n level plans), while capping worst-case cache memory.
-const planCacheCap = 64
-
-// planLRU is a small mutex-guarded LRU of compiled plans. Eviction only
-// drops the cache's reference: Plans are immutable and every holder
-// (Concentrator.Compile's atomic pointer, RoutePlan level slices) keeps
-// its own pointer, so evicted plans stay fully usable.
-type planLRU struct {
-	mu  sync.Mutex
-	cap int
-	ll  *list.List // of *planCacheEntry, front = most recently used
-	m   map[planKey]*list.Element
-}
-
-type planCacheEntry struct {
-	key  planKey
-	plan *Plan
-}
-
-func newPlanLRU(capacity int) *planLRU {
-	if capacity < 1 {
-		capacity = 1
-	}
-	return &planLRU{cap: capacity, ll: list.New(), m: make(map[planKey]*list.Element)}
-}
-
-// get returns the cached plan for key, marking it most recently used.
-func (c *planLRU) get(key planKey) (*Plan, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.m[key]
-	if !ok {
-		return nil, false
-	}
-	c.ll.MoveToFront(el)
-	return el.Value.(*planCacheEntry).plan, true
-}
-
-// add inserts p under key (LoadOrStore semantics: a racing earlier insert
-// wins and is returned), evicting the least recently used entries beyond
-// the capacity.
-func (c *planLRU) add(key planKey, p *Plan) *Plan {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.m[key]; ok {
-		c.ll.MoveToFront(el)
-		return el.Value.(*planCacheEntry).plan
-	}
-	c.m[key] = c.ll.PushFront(&planCacheEntry{key: key, plan: p})
-	for c.ll.Len() > c.cap {
-		last := c.ll.Back()
-		c.ll.Remove(last)
-		delete(c.m, last.Value.(*planCacheEntry).key)
-	}
-	return p
-}
-
-// len reports the number of cached plans.
-func (c *planLRU) len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.ll.Len()
-}
-
-// setCap rebounds the cache (test hook), evicting down to the new
-// capacity, and returns the previous bound.
-func (c *planLRU) setCap(capacity int) int {
-	if capacity < 1 {
-		capacity = 1
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	prev := c.cap
-	c.cap = capacity
-	for c.ll.Len() > c.cap {
-		last := c.ll.Back()
-		c.ll.Remove(last)
-		delete(c.m, last.Value.(*planCacheEntry).key)
-	}
-	return prev
-}
-
-// planCache shares compiled plans process-wide: every concentrator, radix
-// permuter level, and word-sort pass over the same (n, engine, k) reuses
-// one Plan (and therefore one scratch pool). Bounded by planCacheCap with
-// LRU eviction.
-var planCache = newPlanLRU(planCacheCap)
 
 // PlanFor returns the shared compiled plan for (n, engine, k), lowering it
 // on first use. Non-fish engines normalize k to 0 so equivalent requests
-// share one entry. The backing cache is a bounded LRU: a cold (n, engine,
-// k) beyond the capacity recompiles rather than growing memory.
+// share one entry. The backing store is the process-wide bounded LRU of
+// internal/planner: a cold (n, engine, k) beyond the capacity recompiles
+// rather than growing memory, and evicted plans stay valid for existing
+// holders (plans are immutable).
 func PlanFor(n int, engine Engine, k int) *Plan {
 	if engine != Fish {
 		k = 0
 	}
-	key := planKey{n: n, engine: engine, k: k}
-	if p, ok := planCache.get(key); ok {
-		return p
+	key := planner.PlanKey{Kind: planner.KindConcentrator, N: n, Engine: int8(engine), K: k}
+	if p, ok := planner.Shared.Get(key); ok {
+		return p.(*Plan)
 	}
 	// Compile outside the cache lock: lowering large plans is slow and
 	// must not serialize unrelated lookups. A concurrent duplicate
-	// compilation is harmless — add resolves the race LoadOrStore-style.
-	return planCache.add(key, NewPlan(n, engine, k))
+	// compilation is harmless — Add resolves the race LoadOrStore-style.
+	return planner.Shared.Add(key, NewPlan(n, engine, k)).(*Plan)
 }
 
 // Compile returns the concentrator's routing plan, lowering it on first
@@ -655,25 +237,25 @@ func (c *Concentrator) ConcentrateInto(p []int, marked []bool) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	sc := plan.pool.Get().(*planScratch)
+	sc := plan.prog.Get()
 	r := 0
 	for i, m := range marked {
 		if m {
 			r++
-			sc.val[i] = uint64(i)
+			sc.Val[i] = uint64(i)
 		} else {
-			sc.val[i] = TagBit | uint64(i)
+			sc.Val[i] = TagBit | uint64(i)
 		}
 	}
 	if r > c.m {
-		plan.pool.Put(sc)
+		plan.prog.Put(sc)
 		return 0, fmt.Errorf("concentrator: %d requests exceed capacity %d", r, c.m)
 	}
-	plan.run(sc.val, sc)
-	for j, v := range sc.val {
+	plan.prog.RunScratch(sc)
+	for j, v := range sc.Val {
 		p[j] = int(v &^ TagBit)
 	}
-	plan.pool.Put(sc)
+	plan.prog.Put(sc)
 	return r, nil
 }
 

@@ -1,0 +1,175 @@
+// Compiled Beneš replay: the rearrangeable baseline's switch WIRING is
+// data-independent — only the 2×2 switch settings depend on the routed
+// permutation — so the whole network lowers once per width into a
+// planner-IR program of preset-select swaps (OpSelSwap) separated by the
+// perfect shuffle/unshuffle stages of the recursive construction. Per
+// route, the classical looping algorithm computes the switch settings,
+// they are flattened into the program's select buffer in compile
+// pre-order, and one linear replay moves the packets — the batched
+// baseline the radix permuter's fused plans are benchmarked against
+// (benes-planned in BenchmarkRouteEngines and cmd/permroute -batch).
+package permnet
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"absort/internal/core"
+	"absort/internal/planner"
+)
+
+// BenesPlan is the compiled replay program of an n-input Beneš network:
+// the fixed switch wiring as planner IR, with per-route switch settings
+// supplied through the select buffer. It is immutable and safe for
+// concurrent use; every route draws its working state from the program's
+// scratch pool.
+type BenesPlan struct {
+	n    int
+	prog *planner.Program
+}
+
+// CompileBenes returns the shared Beneš replay program for width n
+// (a power of two ≥ 2), lowering it on first use into the process-wide
+// bounded plan cache of internal/planner.
+func CompileBenes(n int) (*BenesPlan, error) {
+	if !core.IsPow2(n) || n < 2 {
+		return nil, fmt.Errorf("permnet: Beneš width %d not a power of two ≥ 2", n)
+	}
+	key := planner.PlanKey{Kind: planner.KindBenes, N: n}
+	if p, ok := planner.Shared.Get(key); ok {
+		return p.(*BenesPlan), nil
+	}
+	var b planner.Builder
+	lowerBenes(&b, 0, int32(n))
+	prog := b.Compile(planner.Layout{N: n, FrontPlanes: 1, TagShift: 63, TagPlane: 0})
+	return planner.Shared.Add(key, &BenesPlan{n: n, prog: prog}).(*BenesPlan), nil
+}
+
+// lowerBenes emits the switch wiring of a Beneš network over [lo,hi) in
+// compile pre-order: input column, unshuffle into the two half-size
+// subnetworks, upper recursion, lower recursion, shuffle back, output
+// column. The select-slot allocation order is the flattening order
+// loadBenesSel walks, so slot i is always switch i of the pre-order.
+func lowerBenes(b *planner.Builder, lo, hi int32) {
+	s := hi - lo
+	if s == 2 {
+		b.SelSwap(lo, b.NewSel())
+		return
+	}
+	for i := int32(0); i < s/2; i++ {
+		b.SelSwap(lo+2*i, b.NewSel())
+	}
+	b.Unshuffle(lo, hi)
+	h := s / 2
+	lowerBenes(b, lo, lo+h)
+	lowerBenes(b, lo+h, hi)
+	b.Shuffle(lo, hi)
+	for j := int32(0); j < s/2; j++ {
+		b.SelSwap(lo+2*j, b.NewSel())
+	}
+}
+
+// N returns the network width of the plan.
+func (bp *BenesPlan) N() int { return bp.n }
+
+// NumSwitches returns the number of preset 2×2 switches in the program:
+// (n/2)(2 lg n − 1), exactly BenesCost(n).
+func (bp *BenesPlan) NumSwitches() int { return bp.prog.NumSel() }
+
+// Program returns the underlying planner-IR program (shared, immutable).
+func (bp *BenesPlan) Program() *planner.Program { return bp.prog }
+
+// loadBenesSel flattens a routed configuration's switch settings into
+// sel in compile pre-order (input column, upper, lower, output column)
+// and returns the next free slot.
+func loadBenesSel(cfg *BenesConfig, sel []uint8, pos int) int {
+	if cfg.n == 2 {
+		sel[pos] = b2u(cfg.cross)
+		return pos + 1
+	}
+	for _, c := range cfg.inSet {
+		sel[pos] = b2u(c)
+		pos++
+	}
+	pos = loadBenesSel(cfg.upper, sel, pos)
+	pos = loadBenesSel(cfg.lower, sel, pos)
+	for _, c := range cfg.outSet {
+		sel[pos] = b2u(c)
+		pos++
+	}
+	return pos
+}
+
+func b2u(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// RouteInto computes the permutation the Beneš network realizes for the
+// assignment "input i goes to output dest[i]" — the looping algorithm
+// sets the switches, the compiled program replays them — writing it into
+// out (out[j] = in[p[j]], exactly as RoutePlan.RouteInto). Identical
+// results to ApplyBenes over the same configuration.
+func (bp *BenesPlan) RouteInto(out []int, dest []int) error {
+	if len(dest) != bp.n {
+		return fmt.Errorf("permnet: RouteInto with %d destinations, want %d",
+			len(dest), bp.n)
+	}
+	if len(out) != bp.n {
+		return fmt.Errorf("permnet: RouteInto into %d outputs, want %d",
+			len(out), bp.n)
+	}
+	cfg, _, err := RouteBenes(dest)
+	if err != nil {
+		return err
+	}
+	sc := bp.prog.Get()
+	loadBenesSel(cfg, sc.Sel(), 0)
+	for i := range sc.Val {
+		sc.Val[i] = uint64(i)
+	}
+	bp.prog.RunScratch(sc)
+	for j, v := range sc.Val {
+		out[j] = int(v)
+	}
+	bp.prog.Put(sc)
+	return nil
+}
+
+// Route is RouteInto with a freshly allocated result.
+func (bp *BenesPlan) Route(dest []int) ([]int, error) {
+	out := make([]int, bp.n)
+	if err := bp.RouteInto(out, dest); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RouteBatch routes every destination assignment through the compiled
+// Beneš replay concurrently, using workers goroutines (≤ 0 means
+// GOMAXPROCS) on the shared batch executor — the same contract as
+// RoutePlan.RouteBatch, including fail-fast on the earliest malformed
+// request.
+func (bp *BenesPlan) RouteBatch(dests [][]int, workers int) ([][]int, error) {
+	if len(dests) == 0 {
+		return nil, nil
+	}
+	out := makeRouteResults(len(dests), bp.n)
+	var firstErr atomic.Pointer[planner.BatchErr]
+	planner.RunBatch(len(dests), workers, routeGrain, func(i int) bool {
+		if firstErr.Load() != nil {
+			return false // poisoned batch: abort instead of burning workers
+		}
+		if err := bp.RouteInto(out[i], dests[i]); err != nil {
+			planner.RecordBatchErr(&firstErr, i, err)
+			return false
+		}
+		return true
+	})
+	if e := firstErr.Load(); e != nil {
+		return nil, fmt.Errorf("permnet: batch request %d: %w", e.I, e.Err)
+	}
+	return out, nil
+}

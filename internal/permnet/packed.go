@@ -1,0 +1,179 @@
+// SWAR lane-packed permutation routing and the batch pipeline riding it:
+// up to 64 independent destination assignments evaluate through one fused
+// route plan in a single pass. The bit-plane engine — lg n destination
+// front planes whose per-level tag plane OpSetTag selects, masked-XOR
+// swaps under per-lane select masks, live-plane analysis, and the
+// two-stage transpose load/extract — is the shared packed runner of
+// internal/planner; this file contributes only the permuter-specific
+// surface: per-lane permutation validation, the auto-switch policy of
+// RouteBatch, and the error messages of the batch contract.
+//
+// Throughput: one packed pass costs roughly live-plane word operations
+// (2 lg n − d planes at level d) where the planned path pays 64 packet
+// moves, so wide batches route ≥ 2× faster than the planned-parallel
+// pipeline (see BENCH_route.json and TestPermPackedSpeedupFloor).
+package permnet
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"absort/internal/planner"
+)
+
+// PackedLanes is the number of independent destination assignments a
+// packed route plan evaluates per pass.
+const PackedLanes = planner.PackedLanes
+
+// MinPackedLanes is the batch-width threshold at which the packed engine
+// overtakes per-request planned routing; narrower batch remainders fall
+// back to the planned path.
+const MinPackedLanes = planner.MinPackedLanes
+
+// routeGrain is the number of permutations a batch worker claims per
+// cursor bump.
+const routeGrain = 4
+
+// RouteBatch routes every destination assignment through the compiled
+// plan concurrently, using workers goroutines (≤ 0 means GOMAXPROCS)
+// coordinated by an atomic work cursor. Results preserve input order and
+// are identical to per-request Route. A malformed assignment fails the
+// whole batch fast — workers stop claiming new requests as soon as an
+// error is reported — and err names the earliest offending request among
+// those attempted.
+//
+// Batches at least one lane group wide (≥ 64 assignments) automatically
+// switch to the 64-lane SWAR engine: full groups route through
+// RoutePacked, one fused-plan replay per 64 assignments, and a remainder
+// narrower than MinPackedLanes falls back to the planned path. Results
+// are bit-for-bit identical either way.
+func (p *RoutePlan) RouteBatch(dests [][]int, workers int) ([][]int, error) {
+	if len(dests) == 0 {
+		return nil, nil
+	}
+	if len(dests) >= PackedLanes {
+		return p.routeBatchPacked(dests, workers)
+	}
+	return p.RouteBatchPlanned(dests, workers)
+}
+
+// RouteBatchPlanned is the per-request planned batch pipeline: every
+// assignment replays the fused program on pooled scalar scratch, one
+// packet word per input. It is the path RouteBatch takes below the
+// packed threshold, and the baseline the packed engine's throughput
+// floor is measured against.
+func (p *RoutePlan) RouteBatchPlanned(dests [][]int, workers int) ([][]int, error) {
+	if len(dests) == 0 {
+		return nil, nil
+	}
+	out := makeRouteResults(len(dests), p.n)
+	var firstErr atomic.Pointer[planner.BatchErr]
+	planner.RunBatch(len(dests), workers, routeGrain, func(i int) bool {
+		if firstErr.Load() != nil {
+			return false // poisoned batch: abort instead of burning workers
+		}
+		if err := p.RouteInto(out[i], dests[i]); err != nil {
+			planner.RecordBatchErr(&firstErr, i, err)
+			return false
+		}
+		return true
+	})
+	if e := firstErr.Load(); e != nil {
+		return nil, fmt.Errorf("permnet: batch request %d: %w", e.I, e.Err)
+	}
+	return out, nil
+}
+
+// routeBatchPacked carves the batch into 64-assignment lane groups and
+// routes every full group through one packed fused-plan replay; a final
+// remainder below MinPackedLanes routes per-request on the planned path.
+// Groups are distributed across workers exactly as the planned pipeline
+// distributes single assignments.
+func (p *RoutePlan) routeBatchPacked(dests [][]int, workers int) ([][]int, error) {
+	out := makeRouteResults(len(dests), p.n)
+	groups := (len(dests) + PackedLanes - 1) / PackedLanes
+	var firstErr atomic.Pointer[planner.BatchErr]
+	planner.RunBatch(groups, workers, 1, func(g int) bool {
+		if firstErr.Load() != nil {
+			return false // poisoned batch: abort instead of burning workers
+		}
+		lo := g * PackedLanes
+		hi := min(lo+PackedLanes, len(dests))
+		if hi-lo < MinPackedLanes {
+			for i := lo; i < hi; i++ {
+				if err := p.RouteInto(out[i], dests[i]); err != nil {
+					planner.RecordBatchErr(&firstErr, i, err)
+					return false
+				}
+			}
+			return true
+		}
+		if idx, err := p.routePackedAt(out[lo:hi], dests[lo:hi], lo); err != nil {
+			planner.RecordBatchErr(&firstErr, idx, err)
+			return false
+		}
+		return true
+	})
+	if e := firstErr.Load(); e != nil {
+		return nil, fmt.Errorf("permnet: batch request %d: %w", e.I, e.Err)
+	}
+	return out, nil
+}
+
+// RoutePacked routes up to PackedLanes destination assignments through
+// the fused plan in one SWAR pass: assignment l's destination bits ride
+// bit lane l of every plane word. It writes, assignment by assignment,
+// the realized permutations into out — exactly the results len(dests)
+// RouteInto calls would produce, at a fraction of the data movement. A
+// malformed assignment returns a validated error naming the earliest
+// offending request before any routing starts; it never panics.
+func (p *RoutePlan) RoutePacked(out [][]int, dests [][]int) error {
+	_, err := p.routePackedAt(out, dests, 0)
+	return err
+}
+
+// routePackedAt is RoutePacked with the assignments' global batch offset
+// (for error messages of grouped batch execution); it returns the global
+// index of the offending request alongside the error.
+func (p *RoutePlan) routePackedAt(out [][]int, dests [][]int, base int) (int, error) {
+	lanes := len(dests)
+	if lanes == 0 || lanes > PackedLanes {
+		return base, fmt.Errorf("permnet: RoutePacked: %d assignments, want 1..%d",
+			lanes, PackedLanes)
+	}
+	if len(out) != lanes {
+		return base, fmt.Errorf("permnet: RoutePacked: %d outputs for %d assignments",
+			len(out), lanes)
+	}
+	for l, dest := range dests {
+		if len(dest) != p.n {
+			return base + l, fmt.Errorf("permnet: RouteInto with %d destinations, want %d",
+				len(dest), p.n)
+		}
+		if len(out[l]) != p.n {
+			return base + l, fmt.Errorf("permnet: RouteInto into %d outputs, want %d",
+				len(out[l]), p.n)
+		}
+		if err := p.validate(dest); err != nil {
+			return base + l, err
+		}
+	}
+	pp := p.prog.Packed()
+	sc := pp.Get()
+	pp.LoadDestLanes(sc.Val, dests)
+	pp.Run(sc)
+	pp.Extract(out, sc.Val)
+	pp.Put(sc)
+	return 0, nil
+}
+
+// makeRouteResults carves the per-request permutations out of one flat
+// backing array.
+func makeRouteResults(batch, n int) [][]int {
+	out := make([][]int, batch)
+	flat := make([]int, batch*n)
+	for i := range out {
+		out[i] = flat[i*n : (i+1)*n]
+	}
+	return out
+}

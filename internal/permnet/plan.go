@@ -1,106 +1,156 @@
 // Radix-permuter route plans: the Fig. 10 network's level structure is
-// fixed by (n, engine, k), so the per-level distribution sorters can be
-// lowered once into compiled concentrator plans (see
-// internal/concentrator/plan.go) and replayed allocation-free for every
-// routed permutation.
+// fixed by (n, engine, k), so the whole network — every window of every
+// distribution level — is lowered once into ONE flat program on the
+// shared routing-plan IR of internal/planner and replayed allocation-free
+// for every routed permutation.
 //
-// A RoutePlan holds one shared concentrator plan per level size plus a
-// pool of per-route scratch: the packed packet-word array (index, local
-// destination, and per-level tag in one uint64 — see localShift) and the
-// permutation-validation stamp array. RouteBatch streams many independent
-// permutations through one plan on an atomic work cursor — each worker
-// claims requests in grains and executes them on pooled scratch, the same
-// batch architecture as netlist.EvalBatch.
+// The lowering fuses the per-level tag/strip/rebase passes the previous
+// per-level plans paid into nothing at all: at level d, a packet's
+// routing tag is simply bit (lg n − 1 − d) of its ORIGINAL destination
+// address (the window-local destination is dest mod s, and rebasing
+// merely cleared the bit the level just consumed), so an OpSetTag
+// meta-instruction retargets the runner's tag read between levels and no
+// pass over the packet words happens outside the sorters themselves. The
+// packed packet word carries the full destination address above
+// localShift and the origin index below it; both ride unchanged through
+// every switch.
+//
+// RouteBatch streams many independent permutations through one plan on
+// the shared batch executor of internal/planner; batches one lane group
+// or wider additionally switch to the 64-lane SWAR replay (see
+// packed.go).
 package permnet
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"absort/internal/concentrator"
 	"absort/internal/core"
+	"absort/internal/planner"
 )
 
-// RoutePlan is the compiled routing program of a RadixPermuter: one
-// lowered distribution plan per level size, shared process-wide through
-// the concentrator plan cache. It is immutable and safe for concurrent
-// use; every route draws its working state from an internal pool.
+// RoutePlan is the compiled routing program of a RadixPermuter: the
+// entire level structure lowered into one flat planner-IR program,
+// shared process-wide through the bounded plan cache of
+// internal/planner. It is immutable and safe for concurrent use; every
+// route draws its working state from the program's scratch pool.
 type RoutePlan struct {
-	n      int
-	levels []*concentrator.Plan // levels[d] routes the windows of size n >> d
-	pool   sync.Pool            // *routeScratch
+	n       int
+	nlevels int
+	prog    *planner.Program
+	vpool   sync.Pool // *validScratch
 }
 
 // Packed packet-word layout for plan execution: the packet index occupies
-// the low 31 bits, the window-local destination the next 32, and
-// concentrator.TagBit (bit 63) the per-level routing tag, so every data
-// movement inside the per-level plans is a single-word move and no
-// gather/scatter step is needed between levels.
+// the low 31 bits and the destination address the bits above localShift,
+// so every data movement inside the fused program is a single-word move
+// and no tagging, stripping, or rebasing pass runs between levels — the
+// level-d routing tag is read in place at bit localShift + lg n − 1 − d.
 const (
 	localShift = 31
 	idxMask    = uint64(1)<<localShift - 1
 )
 
-// routeScratch is the per-route working state of a RoutePlan.
-type routeScratch struct {
-	val   []uint64 // packed (tag, local destination, index) packet words
-	seen  []int32  // permutation-validation stamps
-	epoch int32    // current validation stamp
+// validScratch is the pooled permutation-validation state of a RoutePlan.
+type validScratch struct {
+	seen  []int32 // permutation-validation stamps
+	epoch int32   // current validation stamp
 }
 
-// Compile returns the permuter's route plan, lowering the per-level
-// distribution sorters on first use and caching the result behind an
-// atomic pointer (RadixPermuter is immutable, so the plan is shared
-// safely). Level plans are drawn from the process-wide concentrator plan
-// cache, so permuters and concentrators over the same engine share them.
+// Compile returns the permuter's route plan, lowering the fused program
+// on first use and caching the result behind an atomic pointer
+// (RadixPermuter is immutable, so the plan is shared safely). Plans are
+// drawn from the process-wide bounded plan cache of internal/planner, so
+// permuters over the same (n, engine, k) share one program.
 func (r *RadixPermuter) Compile() *RoutePlan {
 	if p := r.plan.Load(); p != nil {
 		return p
 	}
-	p := newRoutePlan(r.n, r.engine, r.k)
+	p := planFor(r.n, r.engine, r.k)
 	if !r.plan.CompareAndSwap(nil, p) {
 		return r.plan.Load()
 	}
 	return p
 }
 
-// newRoutePlan lowers the per-level distribution plans for an n-input
-// radix permuter over the given engine, mirroring routeLevel's engine
-// selection exactly: the Fish engine uses k at the top level when k > 0,
-// the paper's k = lg s group count deeper (and at the top when k ≤ 0),
-// and a mux-merger at the s = 2 base.
+// planFor returns the shared fused route plan for (n, engine, k),
+// lowering it on first use. Non-fish engines and the k ≤ 0 "paper
+// default" normalize k to 0 so equivalent requests share one entry. The
+// backing store is the process-wide bounded LRU of internal/planner.
+func planFor(n int, engine concentrator.Engine, k int) *RoutePlan {
+	if engine != concentrator.Fish || k <= 0 {
+		k = 0
+	}
+	key := planner.PlanKey{Kind: planner.KindPermuter, N: n, Engine: int8(engine), K: k}
+	if p, ok := planner.Shared.Get(key); ok {
+		return p.(*RoutePlan)
+	}
+	// Compile outside the cache lock: lowering large fused programs is
+	// slow and must not serialize unrelated lookups. A concurrent
+	// duplicate compilation is harmless — Add resolves the race
+	// LoadOrStore-style.
+	return planner.Shared.Add(key, newRoutePlan(n, engine, k)).(*RoutePlan)
+}
+
+// newRoutePlan lowers the whole n-input radix permuter over the given
+// engine into one fused program, mirroring routeLevel's engine selection
+// exactly: the Fish engine uses k at the top level when k > 0, the
+// paper's k = lg s group count deeper (and at the top when k ≤ 0), and a
+// mux-merger at the s = 2 base. Before each level below the top an
+// OpSetTag retargets the tag read to the destination bit that level
+// consumes — the only inter-level "work" in the program.
 func newRoutePlan(n int, engine concentrator.Engine, k int) *RoutePlan {
 	if !core.IsPow2(n) {
 		panic(fmt.Sprintf("permnet: newRoutePlan(%d)", n))
 	}
-	p := &RoutePlan{n: n}
+	lgn := core.Lg(n)
+	var b planner.Builder
+	d := 0
 	for s := n; s >= 2; s /= 2 {
-		var lv *concentrator.Plan
-		switch engine {
-		case concentrator.MuxMerger, concentrator.PrefixAdder, concentrator.Ranking:
-			lv = concentrator.PlanFor(s, engine, 0)
-		case concentrator.Fish:
-			if s == 2 {
-				lv = concentrator.PlanFor(s, concentrator.MuxMerger, 0)
-			} else {
-				kk := k
-				if s < n || kk <= 0 {
-					kk = fishK(s)
+		bit := lgn - 1 - d // destination bit this level consumes
+		if d > 0 {
+			b.SetTag(uint(localShift+bit), int32(bit))
+		}
+		for lo := 0; lo < n; lo += s {
+			lo32, hi32 := int32(lo), int32(lo+s)
+			switch engine {
+			case concentrator.MuxMerger:
+				b.MMSort(lo32, hi32)
+			case concentrator.PrefixAdder:
+				b.PrefixSort(lo32, hi32)
+			case concentrator.Ranking:
+				b.Rank(lo32, hi32)
+			case concentrator.Fish:
+				if s == 2 {
+					b.MMSort(lo32, hi32)
+				} else {
+					kk := k
+					if s < n || kk <= 0 {
+						kk = fishK(s)
+					}
+					b.FishSort(lo32, hi32, int32(kk))
 				}
-				lv = concentrator.PlanFor(s, concentrator.Fish, kk)
+			default:
+				panic(fmt.Sprintf("permnet: unknown engine %v", engine))
 			}
-		default:
-			panic(fmt.Sprintf("permnet: unknown engine %v", engine))
 		}
-		p.levels = append(p.levels, lv)
+		d++
 	}
-	p.pool.New = func() any {
-		return &routeScratch{
-			val:  make([]uint64, n),
-			seen: make([]int32, n),
-		}
+	front := lgn
+	if front < 1 {
+		front = 1 // n = 1: empty program, single placeholder plane
+	}
+	prog := b.Compile(planner.Layout{
+		N:           n,
+		FrontPlanes: front,
+		TagShift:    uint(localShift + lgn - 1),
+		TagPlane:    lgn - 1,
+	})
+	p := &RoutePlan{n: n, nlevels: lgn, prog: prog}
+	p.vpool.New = func() any {
+		return &validScratch{seen: make([]int32, n)}
 	}
 	return p
 }
@@ -109,7 +159,13 @@ func newRoutePlan(n int, engine concentrator.Engine, k int) *RoutePlan {
 func (p *RoutePlan) N() int { return p.n }
 
 // NumLevels returns the number of distribution levels (lg n).
-func (p *RoutePlan) NumLevels() int { return len(p.levels) }
+func (p *RoutePlan) NumLevels() int { return p.nlevels }
+
+// NumSteps returns the length of the fused step program.
+func (p *RoutePlan) NumSteps() int { return p.prog.NumSteps() }
+
+// Program returns the underlying planner-IR program (shared, immutable).
+func (p *RoutePlan) Program() *planner.Program { return p.prog }
 
 // RouteInto computes, allocation-free, the permutation the network
 // realizes for the assignment "input i goes to output dest[i]", writing
@@ -123,19 +179,18 @@ func (p *RoutePlan) RouteInto(out []int, dest []int) error {
 		return fmt.Errorf("permnet: RouteInto into %d outputs, want %d",
 			len(out), p.n)
 	}
-	sc := p.pool.Get().(*routeScratch)
-	if !sc.checkPerm(dest) {
-		p.pool.Put(sc)
-		return fmt.Errorf("permnet: %v is not a permutation", dest)
+	if err := p.validate(dest); err != nil {
+		return err
 	}
+	sc := p.prog.Get()
 	for i, d := range dest {
-		sc.val[i] = uint64(d)<<localShift | uint64(i)
+		sc.Val[i] = uint64(d)<<localShift | uint64(i)
 	}
-	p.run(sc.val)
-	for j, v := range sc.val {
+	p.prog.RunScratch(sc)
+	for j, v := range sc.Val {
 		out[j] = int(v & idxMask)
 	}
-	p.pool.Put(sc)
+	p.prog.Put(sc)
 	return nil
 }
 
@@ -148,54 +203,35 @@ func (p *RoutePlan) Route(dest []int) ([]int, error) {
 	return out, nil
 }
 
-// checkPerm validates dest as a permutation without allocating, using the
-// scratch's epoch-stamped seen array.
-func (sc *routeScratch) checkPerm(dest []int) bool {
-	sc.epoch++
-	if sc.epoch == 0 { // wrapped: reset stamps
-		for i := range sc.seen {
-			sc.seen[i] = 0
-		}
-		sc.epoch = 1
+// validate checks dest as a permutation without allocating, using the
+// pooled epoch-stamped validation scratch.
+func (p *RoutePlan) validate(dest []int) error {
+	vs := p.vpool.Get().(*validScratch)
+	ok := vs.checkPerm(dest)
+	p.vpool.Put(vs)
+	if !ok {
+		return fmt.Errorf("permnet: %v is not a permutation", dest)
 	}
-	for _, d := range dest {
-		if d < 0 || d >= len(sc.seen) || sc.seen[d] == sc.epoch {
-			return false
-		}
-		sc.seen[d] = sc.epoch
-	}
-	return true
+	return nil
 }
 
-// run replays every distribution level over the packed packet words: at
-// level d, each window of size s = n >> d tags its packets with the
-// leading bit of their window-local destinations (TagBit), routes the
-// whole window in place through the level's compiled plan — index and
-// local destination ride along inside the packed word, so there is no
-// gather/scatter between levels — then clears the tags and rebases the
-// local destinations of the lower half-window.
-func (p *RoutePlan) run(val []uint64) {
-	n := int32(p.n)
-	s := n
-	for _, lv := range p.levels {
-		h := s / 2
-		hh := uint64(h) << localShift
-		for lo := int32(0); lo < n; lo += s {
-			win := val[lo : lo+s]
-			for j, v := range win {
-				if v&^idxMask >= hh {
-					win[j] = v | concentrator.TagBit
-				}
-			}
-			lv.RouteVals(win)
-			// The sorted window holds its h tag-0 packets first; strip the
-			// tags and rebase the lower half's local destinations by h.
-			for j := int32(0); j < h; j++ {
-				win[h+j] = (win[h+j] &^ concentrator.TagBit) - hh
-			}
+// checkPerm validates dest as a permutation against the scratch's
+// epoch-stamped seen array.
+func (vs *validScratch) checkPerm(dest []int) bool {
+	vs.epoch++
+	if vs.epoch == 0 { // wrapped: reset stamps
+		for i := range vs.seen {
+			vs.seen[i] = 0
 		}
-		s = h
+		vs.epoch = 1
 	}
+	for _, d := range dest {
+		if d < 0 || d >= len(vs.seen) || vs.seen[d] == vs.epoch {
+			return false
+		}
+		vs.seen[d] = vs.epoch
+	}
+	return true
 }
 
 // RoutePlanned is the compiled counterpart of Route: identical results,
@@ -210,93 +246,6 @@ func (r *RadixPermuter) RouteInto(out []int, dest []int) error {
 	return r.Compile().RouteInto(out, dest)
 }
 
-// routeGrain is the number of permutations a batch worker claims per
-// cursor bump.
-const routeGrain = 4
-
-// RouteBatch routes every destination assignment through the compiled
-// plan concurrently, using workers goroutines (≤ 0 means GOMAXPROCS)
-// coordinated by an atomic work cursor. Results preserve input order and
-// are identical to per-request Route. A malformed assignment fails the
-// whole batch fast — workers stop claiming new requests as soon as an
-// error is reported — and err names the earliest offending request among
-// those attempted.
-func (p *RoutePlan) RouteBatch(dests [][]int, workers int) ([][]int, error) {
-	if len(dests) == 0 {
-		return nil, nil
-	}
-	out := make([][]int, len(dests))
-	flat := make([]int, len(dests)*p.n)
-	for i := range out {
-		out[i] = flat[i*p.n : (i+1)*p.n]
-	}
-	nw := (len(dests) + routeGrain - 1) / routeGrain
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > nw {
-		workers = nw
-	}
-	var firstErr atomic.Pointer[routeBatchErr]
-	report := func(i int, err error) {
-		e := &routeBatchErr{i: i, err: err}
-		for {
-			cur := firstErr.Load()
-			if cur != nil && cur.i <= i {
-				return
-			}
-			if firstErr.CompareAndSwap(cur, e) {
-				return
-			}
-		}
-	}
-	if workers <= 1 {
-		for i, dest := range dests {
-			if err := p.RouteInto(out[i], dest); err != nil {
-				return nil, fmt.Errorf("permnet: batch request %d: %w", i, err)
-			}
-		}
-		return out, nil
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				// Fail fast: once any worker has reported an error, the
-				// batch result is discarded anyway, so stop claiming work.
-				if firstErr.Load() != nil {
-					return
-				}
-				lo := int(next.Add(routeGrain)) - routeGrain
-				if lo >= len(dests) {
-					return
-				}
-				hi := min(lo+routeGrain, len(dests))
-				for i := lo; i < hi; i++ {
-					if err := p.RouteInto(out[i], dests[i]); err != nil {
-						report(i, err)
-						return
-					}
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	if e := firstErr.Load(); e != nil {
-		return nil, fmt.Errorf("permnet: batch request %d: %w", e.i, e.err)
-	}
-	return out, nil
-}
-
-// routeBatchErr records the earliest failing request of a batch.
-type routeBatchErr struct {
-	i   int
-	err error
-}
-
 // routePlanPtr is the lazily-populated compiled plan of a RadixPermuter.
 // Declared as its own type so the zero RadixPermuter literal stays usable.
 type routePlanPtr = atomic.Pointer[RoutePlan]
@@ -305,4 +254,11 @@ type routePlanPtr = atomic.Pointer[RoutePlan]
 // plan; see RoutePlan.RouteBatch.
 func (r *RadixPermuter) RouteBatch(dests [][]int, workers int) ([][]int, error) {
 	return r.Compile().RouteBatch(dests, workers)
+}
+
+// RouteBatchPlanned routes many permutations through the per-request
+// planned pipeline regardless of batch width; see
+// RoutePlan.RouteBatchPlanned.
+func (r *RadixPermuter) RouteBatchPlanned(dests [][]int, workers int) ([][]int, error) {
+	return r.Compile().RouteBatchPlanned(dests, workers)
 }

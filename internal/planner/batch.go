@@ -1,0 +1,94 @@
+// Shared batch executor: many independent requests distributed across a
+// worker pool by a lock-free atomic cursor — the architecture every batch
+// routing path (concentrator batches, permuter batches, word-sort
+// batches) rides, consolidated here so the fail-fast semantics stay
+// identical everywhere.
+package planner
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// RunBatch executes fn(0..n-1) across workers goroutines (≤ 0 means
+// GOMAXPROCS) with an atomic work cursor claiming grain items at a time:
+// coarse enough to amortize the atomic, fine enough to balance skewed
+// request costs. fn returning false aborts the batch: every worker stops
+// claiming new items as soon as the shared stop flag is raised (items
+// already claimed in the same grain are also skipped), so a poisoned
+// batch fails fast.
+func RunBatch(n, workers, grain int, fn func(i int) bool) {
+	if grain < 1 {
+		grain = 1
+	}
+	// Copy into a never-reassigned local: the worker closures then capture
+	// it by value, so the sequential fast path stays allocation-free (a
+	// mutated parameter captured by a closure is moved to the heap at
+	// function entry, on every call).
+	g := grain
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > (n+g-1)/g {
+		workers = (n + g - 1) / g
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if !fn(i) {
+				return
+			}
+		}
+		return
+	}
+	var stop atomic.Bool
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if stop.Load() {
+					return
+				}
+				lo := int(next.Add(int64(g))) - g
+				if lo >= n {
+					return
+				}
+				hi := min(lo+g, n)
+				for i := lo; i < hi; i++ {
+					if stop.Load() {
+						return
+					}
+					if !fn(i) {
+						stop.Store(true)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// BatchErr records the earliest failing request of a batch.
+type BatchErr struct {
+	I   int
+	Err error
+}
+
+// RecordBatchErr CAS-publishes err for request i unless an earlier
+// request already failed.
+func RecordBatchErr(firstErr *atomic.Pointer[BatchErr], i int, err error) {
+	e := &BatchErr{I: i, Err: err}
+	for {
+		cur := firstErr.Load()
+		if cur != nil && cur.I <= i {
+			return
+		}
+		if firstErr.CompareAndSwap(cur, e) {
+			return
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// The process-wide compiled-plan cache: one bounded LRU shared by every
+// plan-compiling layer (concentrator plans, fused radix-permuter route
+// plans, Beneš replay programs), replacing the per-package caches that
+// used to duplicate the same mutex + container/list machinery. Eviction
+// only drops the cache's reference: compiled plans are immutable and
+// every holder keeps its own pointer, so evicted plans stay fully usable.
+package planner
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a small mutex-guarded LRU keyed by K. The zero Cache is not
+// usable; construct with NewCache.
+type Cache[K comparable, V any] struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // of *cacheEntry[K, V], front = most recently used
+	m   map[K]*list.Element
+}
+
+type cacheEntry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// NewCache returns an LRU bounded at capacity entries (minimum 1).
+func NewCache[K comparable, V any](capacity int) *Cache[K, V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache[K, V]{cap: capacity, ll: list.New(), m: make(map[K]*list.Element)}
+}
+
+// Get returns the cached value for key, marking it most recently used.
+func (c *Cache[K, V]) Get(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry[K, V]).val, true
+}
+
+// Add inserts v under key (LoadOrStore semantics: a racing earlier insert
+// wins and is returned), evicting the least recently used entries beyond
+// the capacity.
+func (c *Cache[K, V]) Add(key K, v V) V {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*cacheEntry[K, V]).val
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry[K, V]{key: key, val: v})
+	c.evict()
+	return v
+}
+
+// Len reports the number of cached entries.
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// SetCap rebounds the cache (test hook), evicting down to the new
+// capacity, and returns the previous bound.
+func (c *Cache[K, V]) SetCap(capacity int) int {
+	if capacity < 1 {
+		capacity = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	prev := c.cap
+	c.cap = capacity
+	c.evict()
+	return prev
+}
+
+// evict drops least-recently-used entries beyond the capacity. Caller
+// holds c.mu.
+func (c *Cache[K, V]) evict() {
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.m, last.Value.(*cacheEntry[K, V]).key)
+	}
+}
+
+// PlanKind tags the client layer of a shared-cache entry.
+type PlanKind uint8
+
+const (
+	// KindConcentrator keys an (n, engine, k) concentrator plan.
+	KindConcentrator PlanKind = iota
+	// KindPermuter keys an (n, engine, k) fused radix-permuter route plan.
+	KindPermuter
+	// KindBenes keys an n-input Beneš replay program (engine/k unused).
+	KindBenes
+)
+
+// PlanKey identifies one compiled plan in the shared cache. Engine is the
+// client's routing-engine discriminant (concentrator.Engine values); K is
+// the fish group count, 0 where inapplicable.
+type PlanKey struct {
+	Kind   PlanKind
+	N      int
+	Engine int8
+	K      int
+}
+
+// SharedCacheCap bounds the process-wide plan cache: a k-sweep or an
+// adversarial (n, engine, k) request stream recompiles cold plans instead
+// of growing memory without limit. 64 entries comfortably cover every
+// power-of-two n a process routes in practice, while capping worst-case
+// cache memory.
+const SharedCacheCap = 64
+
+// Shared is the one process-wide plan cache. Values are the client
+// layers' plan types (*concentrator.Plan, *permnet.RoutePlan,
+// *permnet.BenesPlan); each client asserts its own type back out.
+var Shared = NewCache[PlanKey, any](SharedCacheCap)

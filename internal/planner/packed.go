@@ -1,0 +1,726 @@
+// SWAR lane-packed execution of routing-plan programs: up to 64
+// independent request patterns replay one compiled program in a single
+// pass, one uint64 bit lane per pattern — the shared engine behind the
+// concentrator's ConcentratePacked and the radix permuter's packed
+// RouteBatch path.
+//
+//   - The working state is position-major bit-plane packed: each of the
+//     n network positions owns P = F + I consecutive uint64 words. The F
+//     front planes carry tag data (one plane of request tags for
+//     concentrator programs; the lg n destination-address bits for the
+//     fused radix permuter, whose per-level tag is just one of those
+//     planes, selected by OpSetTag). The I = lg n index planes carry the
+//     bits of the packet's origin index riding through the switches. Bit
+//     l of every word belongs to request lane l.
+//   - Every select decision becomes a per-lane mask: a compare-swap moves
+//     exactly the lanes whose tags order as (1, 0), four-way swappers
+//     decompose into masked quarter swaps under the three non-identity
+//     select masks, and the prefix patch-up's running ones count lives in
+//     bit-sliced counter planes updated with carry-save adds — no
+//     branches depend on tag data.
+//   - Data movements touch only the live planes of each step: front
+//     planes above the current tag plane are consumed (window-constant)
+//     and the index planes above the window's origin-interval width are
+//     broadcast constants, so swaps and copies skip the dead middle —
+//     the compile-time analysis in planeBounds.
+//
+// A Packed engine performs zero steady-state heap allocations: plane
+// array, copy scratch, select-mask replay buffer, and counter planes all
+// live in a sync.Pool of per-execution scratch.
+package planner
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"absort/internal/core"
+)
+
+// PackedLanes is the number of independent request patterns a packed
+// program evaluates per pass: one bit lane of every plane word per
+// pattern.
+const PackedLanes = 64
+
+// MinPackedLanes is the batch-width threshold at which packed replay
+// overtakes per-request scalar replay: a packed pass costs about
+// live-planes word operations per data movement regardless of how many
+// lanes are occupied, while the scalar program pays one packet-word move
+// per request, so the crossover sits near the live-plane count with the
+// masked-swap constant folded in. Batch paths fall back to per-request
+// replay for narrower remainders.
+const MinPackedLanes = 24
+
+// Packed is the 64-lane SWAR evaluation engine of a compiled Program. It
+// is immutable after construction and safe for concurrent use: every
+// execution draws its working state from an internal pool.
+type Packed struct {
+	prog   *Program
+	P      int     // planes per position: F front planes + I index planes
+	F      int     // front (tag-data) plane count
+	I      int     // index plane count (lg n)
+	wFront []int16 // per-step live front planes (current tag plane + 1)
+	wIdx   []int16 // per-step live index planes (origin-interval width)
+	pool   sync.Pool
+}
+
+// PackedScratch is the per-execution state of a Packed engine. Val holds
+// the n × P position-major plane words; Tmp is copy scratch clients may
+// borrow between Get and Put (e.g. to stage packed tag words).
+type PackedScratch struct {
+	Val []uint64
+	Tmp []uint64
+	sel []uint64 // select-mask replay buffer, 2 words per slot
+	cnt []uint64 // bit-sliced per-lane ones counter
+}
+
+// Packed returns the program's 64-lane SWAR engine, building it on first
+// use and caching it behind an atomic pointer (Programs are immutable, so
+// the engine is shared safely).
+func (p *Program) Packed() *Packed {
+	if pp := p.packed.Load(); pp != nil {
+		return pp
+	}
+	pp := newPacked(p)
+	if !p.packed.CompareAndSwap(nil, pp) {
+		return p.packed.Load()
+	}
+	return pp
+}
+
+// newPacked builds the packed engine for a compiled program.
+func newPacked(p *Program) *Packed {
+	n := p.layout.N
+	F := p.layout.FrontPlanes
+	I := core.Lg(n)
+	pp := &Packed{prog: p, P: F + I, F: F, I: I}
+	pp.planeBounds()
+	P := pp.P
+	pp.pool.New = func() any {
+		return &PackedScratch{
+			Val: make([]uint64, n*P),
+			Tmp: make([]uint64, n*P),
+			sel: make([]uint64, 2*max(p.nsel, 1)),
+			cnt: make([]uint64, I+2),
+		}
+	}
+	return pp
+}
+
+// planeBounds computes, per step, which planes the step's data movement
+// must touch. Two independent analyses:
+//
+// Front planes: the tag plane of a radix-permuter level d is destination
+// bit lg(n)−1−d, and once a level has routed, that bit is constant across
+// every deeper window (all packets of a window share their destination
+// prefix), so only planes [0, tagPlane] are live. The bound follows the
+// OpSetTag stream: wFront = current tag plane + 1. Single-tag programs
+// (F = 1) always carry exactly their one tag plane.
+//
+// Index planes: every step moves packets only within its window, so a
+// packet's origin index is confined to the union of the windows it has
+// passed through. Index bits above that union's common prefix are
+// broadcast constants — identical words at every position of the window —
+// and a masked swap or copy of equal words is a no-op, so those planes
+// can be skipped. The analysis tracks one origin interval per position
+// (movement preserves intervalness: each step replaces its window's
+// intervals with their union) and bounds each step at the number of index
+// bits varying over the union. The early small windows of a sorter — most
+// of its data movement — touch only a few planes, which is where the
+// packed engine's throughput margin over scalar replay comes from.
+func (pp *Packed) planeBounds() {
+	p := pp.prog
+	n := p.layout.N
+	olo := make([]int32, n)
+	ohi := make([]int32, n)
+	for i := range olo {
+		olo[i] = int32(i)
+		ohi[i] = int32(i + 1)
+	}
+	pp.wFront = make([]int16, len(p.steps))
+	pp.wIdx = make([]int16, len(p.steps))
+	fl := int16(p.layout.TagPlane + 1)
+	for si, st := range p.steps {
+		if st.Op == OpSetTag {
+			fl = int16(st.Aux + 1)
+			continue // moves no data; bounds stay zero
+		}
+		uLo, uHi := olo[st.Lo], ohi[st.Lo]
+		for i := st.Lo + 1; i < st.Hi; i++ {
+			uLo = min(uLo, olo[i])
+			uHi = max(uHi, ohi[i])
+		}
+		for i := st.Lo; i < st.Hi; i++ {
+			olo[i], ohi[i] = uLo, uHi
+		}
+		pp.wFront[si] = fl
+		pp.wIdx[si] = int16(min(int32(bits.Len32(uint32(uLo^(uHi-1)))), int32(pp.I)))
+	}
+}
+
+// N returns the input width of the packed engine.
+func (pp *Packed) N() int { return pp.prog.layout.N }
+
+// Lanes returns the number of patterns evaluated per pass (64).
+func (pp *Packed) Lanes() int { return PackedLanes }
+
+// Program returns the scalar program the packed engine replays.
+func (pp *Packed) Program() *Program { return pp.prog }
+
+// Get borrows a pooled PackedScratch; Put returns it.
+func (pp *Packed) Get() *PackedScratch   { return pp.pool.Get().(*PackedScratch) }
+func (pp *Packed) Put(sc *PackedScratch) { pp.pool.Put(sc) }
+
+// LoadTagWords initializes the plane array for a single-tag program
+// (F = 1): position i starts with the packed tag lanes tags[i] in plane 0
+// and the lane-broadcast bits of index i in the index planes.
+func (pp *Packed) LoadTagWords(val, tags []uint64) {
+	P := pp.P
+	for i, t := range tags {
+		base := i * P
+		val[base] = t
+		for b := 1; b < P; b++ {
+			val[base+b] = -uint64(i >> uint(b-pp.F) & 1) // 0 or all-ones broadcast
+		}
+	}
+}
+
+// LoadDestLanes initializes the plane array for a destination-riding
+// program (F = lg n front planes): front plane b of position i carries,
+// in lane l, bit b of dests[l][i]; the index planes broadcast i. Lanes
+// beyond len(dests) are zeroed. Positions are packed in 64-wide chunks
+// through the same two transpose stages Extract uses in reverse — about
+// five word operations per packed destination.
+func (pp *Packed) LoadDestLanes(val []uint64, dests [][]int) {
+	P, F := pp.P, pp.F
+	n := pp.prog.layout.N
+	lanes := len(dests)
+	if n < 64 || F > 16 {
+		pp.loadDestSlow(val, dests)
+		return
+	}
+	for base := 0; base < n; base += 64 {
+		// Stage 1 (inverse of Extract's stage 2): per lane, pack 64
+		// destination values into 16 words four-per-quarter and flip them
+		// into front-plane rows with the 16×16×4 block transpose.
+		var lanePl [16][64]uint64 // lanePl[b][l]: lane l's plane-b bits, positions base..base+63
+		for l := 0; l < lanes; l++ {
+			var a [16]uint64
+			d := dests[l][base : base+64]
+			for i := 0; i < 16; i++ {
+				a[i] = uint64(uint16(d[i])) |
+					uint64(uint16(d[16+i]))<<16 |
+					uint64(uint16(d[32+i]))<<32 |
+					uint64(uint16(d[48+i]))<<48
+			}
+			Transpose16x4(&a)
+			for b := 0; b < F; b++ {
+				lanePl[b][l] = a[b]
+			}
+		}
+		// Stage 2 (inverse of Extract's stage 1): one 64×64 transpose per
+		// front plane turns 64 lane-words into 64 position-words.
+		for b := 0; b < F; b++ {
+			blk := &lanePl[b]
+			Transpose64(blk)
+			for j := 0; j < 64; j++ {
+				val[(base+j)*P+b] = blk[j]
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		base := i * P
+		for b := F; b < P; b++ {
+			val[base+b] = -uint64(i >> uint(b-F) & 1)
+		}
+	}
+}
+
+// loadDestSlow is the bit-scatter fallback of LoadDestLanes for programs
+// too narrow (or too wide) for the block-transpose fast path.
+func (pp *Packed) loadDestSlow(val []uint64, dests [][]int) {
+	P, F := pp.P, pp.F
+	n := pp.prog.layout.N
+	for i := 0; i < n; i++ {
+		base := i * P
+		for b := 0; b < F; b++ {
+			w := uint64(0)
+			for l, d := range dests {
+				w |= uint64(d[i]>>uint(b)&1) << uint(l)
+			}
+			val[base+b] = w
+		}
+		for b := F; b < P; b++ {
+			val[base+b] = -uint64(i >> uint(b-F) & 1)
+		}
+	}
+}
+
+// Extract reads the per-lane permutations back out of the index planes:
+// out[l][j] is the origin index whose bits lane l carries at position j.
+// Positions are processed in 64-wide chunks through two transpose stages:
+// one 64×64 bit-block transpose per index plane turns 64 position-words
+// into 64 lane-words, then per lane a four-wide 16×16 SWAR transpose
+// turns up to 16 plane rows into 64 ready permutation values — about
+// five word operations per extracted index, instead of one shift-mask-or
+// per (lane, position, plane).
+func (pp *Packed) Extract(out [][]int, val []uint64) {
+	P, F, I := pp.P, pp.F, pp.I
+	n := pp.prog.layout.N
+	lanes := len(out)
+	if n < 64 || I == 0 || I > 16 {
+		// Ragged width (n < 64), the trivial 1-input program, or more
+		// index bits than the 16-row stage-two transpose carries
+		// (n > 65536): gather bit-by-bit.
+		pp.extractSlow(out, val)
+		return
+	}
+	var lanePl [16][64]uint64
+	for base := 0; base < n; base += 64 {
+		// Stage 1: one transpose per index plane; lanePl[b][l] bit j is
+		// lane l's plane-b bit at position base+j.
+		for b := 0; b < I; b++ {
+			blk := &lanePl[b]
+			for j := 0; j < 64; j++ {
+				blk[j] = val[(base+j)*P+F+b]
+			}
+			Transpose64(blk)
+		}
+		// Stage 2: per lane, rows 0..I-1 hold index bit b across 64
+		// positions; the 16×16 block transpose flips them into 16-bit
+		// index values, four positions per word quarter.
+		for l := 0; l < lanes; l++ {
+			var a [16]uint64
+			for b := 0; b < I; b++ {
+				a[b] = lanePl[b][l]
+			}
+			Transpose16x4(&a)
+			o := out[l][base : base+64]
+			for i := 0; i < 16; i++ {
+				ai := a[i]
+				o[i] = int(ai & 0xFFFF)
+				o[16+i] = int(ai >> 16 & 0xFFFF)
+				o[32+i] = int(ai >> 32 & 0xFFFF)
+				o[48+i] = int(ai >> 48 & 0xFFFF)
+			}
+		}
+	}
+}
+
+// extractSlow is the bit-gather fallback of Extract.
+func (pp *Packed) extractSlow(out [][]int, val []uint64) {
+	P, F := pp.P, pp.F
+	n := pp.prog.layout.N
+	lanes := len(out)
+	for j := 0; j < n; j++ {
+		w := val[j*P+F : (j+1)*P]
+		for l := 0; l < lanes; l++ {
+			v := 0
+			for b, wb := range w {
+				v |= int(wb>>uint(l)&1) << uint(b)
+			}
+			out[l][j] = v
+		}
+	}
+}
+
+// Run executes the step program over the packed plane array in sc. Every
+// movement op consults the compile-time plane bounds (see planeBounds):
+// dead front and index planes are skipped.
+func (pp *Packed) Run(sc *PackedScratch) {
+	P := pp.P
+	val, tmp, cnt := sc.Val, sc.Tmp, sc.cnt
+	for si, st := range pp.prog.steps {
+		lo, hi := int(st.Lo), int(st.Hi)
+		s := hi - lo
+		wf := int(pp.wFront[si])
+		wi := int(pp.wIdx[si])
+		tp := wf - 1
+		switch st.Op {
+		case OpCmpSwap:
+			// Inlined single-position masked swap: cmp-swaps are the most
+			// frequent step by far (every merge bottoms out in one), and a
+			// call per pair would cost more than the swap itself.
+			x := val[lo*P : (lo+1)*P]
+			y := val[(lo+1)*P : (lo+2)*P]
+			if m := x[tp] &^ y[tp]; m != 0 {
+				pp.swapPos(x, y, m, wf, wi)
+			}
+		case OpEndsSwap:
+			for i := 0; i < s/2; i++ {
+				a, b := lo+i, hi-1-i
+				x := val[a*P : (a+1)*P]
+				y := val[b*P : (b+1)*P]
+				if m := x[tp] &^ y[tp]; m != 0 {
+					pp.swapPos(x, y, m, wf, wi)
+				}
+			}
+		case OpFourIn:
+			q := s / 4
+			h1, h2 := val[(lo+q)*P+tp], val[(lo+3*q)*P+tp]
+			sc.sel[2*st.Aux] = h1
+			sc.sel[2*st.Aux+1] = h2
+			m0 := ^h1 & ^h2
+			m2 := h1 & ^h2
+			m3 := h1 & h2
+			// INSwap per select (see swapper.INSwap): sel 0 rotates the
+			// upper three quarters right, sel 1 is the identity, sel 2
+			// swaps the halves, sel 3 swaps the first two quarters.
+			pp.maskedSwap(val, lo+2*q, lo+3*q, q, m0, wf, wi) // rot right: swap q2,q3
+			pp.maskedSwap(val, lo+q, lo+2*q, q, m0, wf, wi)   // then swap q1,q2
+			pp.maskedSwap(val, lo, lo+2*q, 2*q, m2, wf, wi)   // swap halves
+			pp.maskedSwap(val, lo, lo+q, q, m3, wf, wi)       // swap q0,q1
+		case OpFourOut:
+			q := s / 4
+			h1, h2 := sc.sel[2*st.Aux], sc.sel[2*st.Aux+1]
+			m0 := ^h1 & ^h2
+			m3 := h1 & h2
+			// OUTSwap per select: sel 0 rotates the upper three quarters
+			// right, sel 3 the lower three left; 1 and 2 are identities.
+			pp.maskedSwap(val, lo+2*q, lo+3*q, q, m0, wf, wi) // rot right: swap q2,q3
+			pp.maskedSwap(val, lo+q, lo+2*q, q, m0, wf, wi)   // then swap q1,q2
+			pp.maskedSwap(val, lo, lo+q, q, m3, wf, wi)       // rot left: swap q0,q1
+			pp.maskedSwap(val, lo+q, lo+2*q, q, m3, wf, wi)   // then swap q1,q2
+		case OpShuffleCount, OpShuffle:
+			pp.shuffle(val, tmp, lo, hi, wf, wi)
+			if st.Op == OpShuffle {
+				break
+			}
+			// Reset the bit-sliced ones counter and carry-save add every
+			// tag word of the window: amortized O(1) plane updates per
+			// word, exactly a 64-lane binary counter increment.
+			for b := range cnt {
+				cnt[b] = 0
+			}
+			for i := lo; i < hi; i++ {
+				c := val[i*P+tp]
+				for b := 0; c != 0; b++ {
+					carry := cnt[b] & c
+					cnt[b] ^= c
+					c = carry
+				}
+			}
+		case OpUnshuffle:
+			pp.unshuffle(val, tmp, lo, hi, wf, wi)
+		case OpCondIn:
+			pw := core.Lg(s)
+			// Per-lane m ≥ s/2 ⇔ counter bit pw-1 or pw set (m ≤ s).
+			d := cnt[pw-1] | cnt[pw]
+			sc.sel[2*st.Aux] = d
+			// m -= s/2 on the selected lanes: bit pw-1 becomes bit pw
+			// (1 only in the m = s case), bit pw clears.
+			cnt[pw-1] = (cnt[pw-1] &^ d) | (cnt[pw] & d)
+			cnt[pw] &^= d
+			pp.maskedSwap(val, lo, lo+s/2, s/2, d, wf, wi)
+		case OpCondOut:
+			d := sc.sel[2*st.Aux]
+			pp.maskedSwap(val, lo, lo+s/2, s/2, d, wf, wi)
+		case OpFishSplit:
+			k := int(st.Aux)
+			bs := s / k
+			half := bs / 2
+			copy(tmp[:s*P], val[lo*P:hi*P])
+			up, dn := lo, lo+s/2
+			for j := 0; j < k; j++ {
+				blo := j * bs             // block offset within tmp
+				d := tmp[(blo+half)*P+tp] // middle-bit tag lanes
+				// Lanes in d send the upper (clean) half of the block up
+				// and the lower half down; the rest the reverse.
+				blendRange(val[up*P:], tmp[blo*P:], tmp[(blo+half)*P:], half*P, d)
+				blendRange(val[dn*P:], tmp[(blo+half)*P:], tmp[blo*P:], half*P, d)
+				up += half
+				dn += half
+			}
+		case OpFishClean:
+			k := int(st.Aux)
+			bs := s / k
+			// Stable per-lane partition of the k clean blocks by their
+			// common tag: k rounds of odd-even transposition with masked
+			// block swaps. Equal tags never swap, so the partition is
+			// stable, matching the scalar fishCleanSort exactly.
+			for round := 0; round < k; round++ {
+				for j := round & 1; j+1 < k; j += 2 {
+					a, b := lo+j*bs, lo+(j+1)*bs
+					m := val[a*P+tp] &^ val[b*P+tp]
+					pp.maskedSwap(val, a, b, bs, m, wf, wi)
+				}
+			}
+		case OpRank:
+			// Element-wise stable partition: inherently per-lane (each
+			// lane's packet order differs), so gather/scatter lane by
+			// lane. Only the Ranking baseline engine emits this op.
+			pp.rankLanes(val, tmp, lo, hi, tp)
+		case OpSetTag:
+			// Tag retargeting is folded into the per-step bounds at
+			// compile time; nothing to execute.
+		case OpSelSwap:
+			// Preset-select programs (Beneš) replay scalar-only: their
+			// switch settings are per-request scalars, not tag data, so
+			// lane packing has nothing to share.
+			panic("planner: packed run: OpSelSwap has no packed form")
+		default:
+			panic(fmt.Sprintf("planner: packed run: unknown op %d", st.Op))
+		}
+	}
+}
+
+// swapPos exchanges the live planes of two single positions on exactly
+// the lanes in m: the two live ranges are the wf leading front planes and
+// the wi leading index planes, merged into one run when they abut.
+func (pp *Packed) swapPos(x, y []uint64, m uint64, wf, wi int) {
+	P, F := pp.P, pp.F
+	w1 := wf
+	if wf == F {
+		w1 = F + wi
+		wi = 0
+	}
+	if w1+wi+4 >= P {
+		for p, xv := range x {
+			t := (xv ^ y[p]) & m
+			x[p] = xv ^ t
+			y[p] ^= t
+		}
+		return
+	}
+	for p := 0; p < w1; p++ {
+		t := (x[p] ^ y[p]) & m
+		x[p] ^= t
+		y[p] ^= t
+	}
+	for p := F; p < F+wi; p++ {
+		t := (x[p] ^ y[p]) & m
+		x[p] ^= t
+		y[p] ^= t
+	}
+}
+
+// maskedSwap exchanges the q-position ranges at a and b on exactly the
+// lanes in m — three XOR passes per plane word, no branches on tag data —
+// touching only the live planes of the step: the wf leading front planes
+// and the wi leading index planes (dead planes hold broadcast constants
+// across the step's window, so swapping them would be a no-op; see
+// planeBounds). When the live total approaches P the two ranges collapse
+// into one flat contiguous pass.
+func (pp *Packed) maskedSwap(val []uint64, a, b, q int, m uint64, wf, wi int) {
+	if m == 0 {
+		return
+	}
+	P, F := pp.P, pp.F
+	w1 := wf
+	if wf == F {
+		w1 = F + wi
+		wi = 0
+	}
+	// Swapping a dead plane is a no-op, so running the contiguous flat
+	// pass over all P planes is always correct; the per-position bounded
+	// path only wins once it skips enough planes to repay its
+	// per-position loop setup (~4 word-ops).
+	if w1+wi+4 >= P {
+		x := val[a*P : (a+q)*P]
+		y := val[b*P : (b+q)*P]
+		for p, xv := range x {
+			t := (xv ^ y[p]) & m
+			x[p] = xv ^ t
+			y[p] ^= t
+		}
+		return
+	}
+	ai, bi := a*P, b*P
+	for i := 0; i < q; i++ {
+		x := val[ai : ai+w1]
+		y := val[bi : bi+w1]
+		for p, xv := range x {
+			t := (xv ^ y[p]) & m
+			x[p] = xv ^ t
+			y[p] ^= t
+		}
+		for p := F; p < F+wi; p++ {
+			xv, yv := val[ai+p], val[bi+p]
+			t := (xv ^ yv) & m
+			val[ai+p] = xv ^ t
+			val[bi+p] = yv ^ t
+		}
+		ai += P
+		bi += P
+	}
+}
+
+// shuffle perfect-shuffles the live planes of [lo,hi): position lo+i
+// goes to lo+2i, lo+h+i to lo+2i+1. Dead planes are window-constant, so
+// copying only live planes preserves them.
+func (pp *Packed) shuffle(val, tmp []uint64, lo, hi, wf, wi int) {
+	P, F := pp.P, pp.F
+	s := hi - lo
+	h := s / 2
+	w1 := wf
+	if wf == F {
+		w1 = F + wi
+		wi = 0
+	}
+	if w1+wi+4 >= P { // same copy-overhead tradeoff as maskedSwap
+		copy(tmp[:s*P], val[lo*P:hi*P])
+		for i := 0; i < h; i++ {
+			copy(val[(lo+2*i)*P:(lo+2*i+1)*P], tmp[i*P:(i+1)*P])
+			copy(val[(lo+2*i+1)*P:(lo+2*i+2)*P], tmp[(h+i)*P:(h+i+1)*P])
+		}
+		return
+	}
+	for i := 0; i < s; i++ {
+		copyLive(tmp[i*P:], val[(lo+i)*P:], w1, F, wi)
+	}
+	for i := 0; i < h; i++ {
+		copyLive(val[(lo+2*i)*P:], tmp[i*P:], w1, F, wi)
+		copyLive(val[(lo+2*i+1)*P:], tmp[(h+i)*P:], w1, F, wi)
+	}
+}
+
+// unshuffle inverts shuffle over [lo,hi): even positions gather into the
+// first half, odd into the second.
+func (pp *Packed) unshuffle(val, tmp []uint64, lo, hi, wf, wi int) {
+	P, F := pp.P, pp.F
+	s := hi - lo
+	h := s / 2
+	w1 := wf
+	if wf == F {
+		w1 = F + wi
+		wi = 0
+	}
+	if w1+wi+4 >= P {
+		copy(tmp[:s*P], val[lo*P:hi*P])
+		for i := 0; i < h; i++ {
+			copy(val[(lo+i)*P:(lo+i+1)*P], tmp[2*i*P:(2*i+1)*P])
+			copy(val[(lo+h+i)*P:(lo+h+i+1)*P], tmp[(2*i+1)*P:(2*i+2)*P])
+		}
+		return
+	}
+	for i := 0; i < s; i++ {
+		copyLive(tmp[i*P:], val[(lo+i)*P:], w1, F, wi)
+	}
+	for i := 0; i < h; i++ {
+		copyLive(val[(lo+i)*P:], tmp[2*i*P:], w1, F, wi)
+		copyLive(val[(lo+h+i)*P:], tmp[(2*i+1)*P:], w1, F, wi)
+	}
+}
+
+// copyLive copies one position's live planes: the w1 leading planes and
+// the wi planes at offset F.
+func copyLive(dst, src []uint64, w1, F, wi int) {
+	copy(dst[:w1], src[:w1])
+	for p := F; p < F+wi; p++ {
+		dst[p] = src[p]
+	}
+}
+
+// rankLanes applies OpRank — the stable 0s-before-1s partition — to every
+// lane of [lo,hi) independently: lane l's bits are gathered from the copy
+// scratch in partition order and rewritten bit by bit. tp is the tag
+// plane.
+func (pp *Packed) rankLanes(val, tmp []uint64, lo, hi, tp int) {
+	P := pp.P
+	s := hi - lo
+	copy(tmp[:s*P], val[lo*P:hi*P])
+	for i := lo * P; i < hi*P; i++ {
+		val[i] = 0
+	}
+	for l := uint(0); l < PackedLanes; l++ {
+		bit := uint64(1) << l
+		z := lo
+		for i := 0; i < s; i++ { // 0-tagged packets keep order up front
+			if tmp[i*P+tp]&bit == 0 {
+				copyLane(val[z*P:(z+1)*P], tmp[i*P:(i+1)*P], bit)
+				z++
+			}
+		}
+		for i := 0; i < s; i++ { // 1-tagged packets keep order behind
+			if tmp[i*P+tp]&bit != 0 {
+				copyLane(val[z*P:(z+1)*P], tmp[i*P:(i+1)*P], bit)
+				z++
+			}
+		}
+	}
+}
+
+// copyLane ORs the single lane selected by bit from src into dst across
+// all planes (dst's lane bits start zeroed).
+func copyLane(dst, src []uint64, bit uint64) {
+	for p := range dst {
+		dst[p] |= src[p] & bit
+	}
+}
+
+// blendRange writes w words of dst as a per-lane select between two
+// sources: lanes in d read from src1, the rest from src0.
+func blendRange(dst, src0, src1 []uint64, w int, d uint64) {
+	dst = dst[:w]
+	src0 = src0[:w]
+	src1 = src1[:w]
+	for p, a := range src0 {
+		dst[p] = a ^ ((a ^ src1[p]) & d)
+	}
+}
+
+// Transpose64 transposes a 64×64 bit matrix in place (row r bit c ↔
+// row c bit r) by recursive block swaps — the classic Hacker's Delight
+// construction, three XOR passes per halving level: at block size j, the
+// high-j bits of row k exchange with the low-j bits of row k+j within
+// every 2j×2j diagonal block.
+func Transpose64(a *[64]uint64) {
+	// Each level: j is the block size, the mask selects the low j bits of
+	// every 2j bit group. Levels are unrolled so shifts and masks are
+	// compile-time constants.
+	for k := 0; k < 32; k++ {
+		t := ((a[k] >> 32) ^ a[k+32]) & 0x00000000FFFFFFFF
+		a[k] ^= t << 32
+		a[k+32] ^= t
+	}
+	for k0 := 0; k0 < 64; k0 += 32 {
+		for k := k0; k < k0+16; k++ {
+			t := ((a[k] >> 16) ^ a[k+16]) & 0x0000FFFF0000FFFF
+			a[k] ^= t << 16
+			a[k+16] ^= t
+		}
+	}
+	for k0 := 0; k0 < 64; k0 += 16 {
+		for k := k0; k < k0+8; k++ {
+			t := ((a[k] >> 8) ^ a[k+8]) & 0x00FF00FF00FF00FF
+			a[k] ^= t << 8
+			a[k+8] ^= t
+		}
+	}
+	for k0 := 0; k0 < 64; k0 += 8 {
+		for k := k0; k < k0+4; k++ {
+			t := ((a[k] >> 4) ^ a[k+4]) & 0x0F0F0F0F0F0F0F0F
+			a[k] ^= t << 4
+			a[k+4] ^= t
+		}
+	}
+	for k0 := 0; k0 < 64; k0 += 4 {
+		for k := k0; k < k0+2; k++ {
+			t := ((a[k] >> 2) ^ a[k+2]) & 0x3333333333333333
+			a[k] ^= t << 2
+			a[k+2] ^= t
+		}
+	}
+	for k := 0; k < 64; k += 2 {
+		t := ((a[k] >> 1) ^ a[k+1]) & 0x5555555555555555
+		a[k] ^= t << 1
+		a[k+1] ^= t
+	}
+}
+
+// Transpose16x4 transposes four 16×16 bit matrices at once: each 16-bit
+// quarter of the 16 words is one matrix, and the butterfly masks repeat
+// per quarter so all four flip in the same three passes per level. Used
+// by Extract's stage two, where row b of quarter g is index bit b of
+// positions 16g..16g+15 and the transposed row i yields four finished
+// 16-bit index values (and by LoadDestLanes for the inverse packing —
+// bit-matrix transposition is an involution).
+func Transpose16x4(a *[16]uint64) {
+	for j, m := uint(8), uint64(0x00FF00FF00FF00FF); j != 0; j, m = j>>1, m^(m<<(j>>1)) {
+		for k := uint(0); k < 16; k = (k + j + 1) &^ j {
+			t := ((a[k] >> j) ^ a[k+j]) & m
+			a[k] ^= t << j
+			a[k+j] ^= t
+		}
+	}
+}

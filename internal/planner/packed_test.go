@@ -1,0 +1,63 @@
+package planner
+
+// Pins for the bit-block transposes the packed runner's load/extract
+// stages depend on. Both transposes are involutions, which is what lets
+// LoadDestLanes and Extract share them in opposite directions.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestTranspose64 pins the 64×64 bit-block transpose convention: after
+// transpose, row r bit c equals the original row c bit r.
+func TestTranspose64(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	var a, orig [64]uint64
+	for i := range a {
+		a[i] = rng.Uint64()
+		orig[i] = a[i]
+	}
+	Transpose64(&a)
+	for r := 0; r < 64; r++ {
+		for c := 0; c < 64; c++ {
+			if a[r]>>uint(c)&1 != orig[c]>>uint(r)&1 {
+				t.Fatalf("Transpose64: row %d bit %d = %d, want original row %d bit %d = %d",
+					r, c, a[r]>>uint(c)&1, c, r, orig[c]>>uint(r)&1)
+			}
+		}
+	}
+	Transpose64(&a)
+	if a != orig {
+		t.Fatal("Transpose64 is not an involution")
+	}
+}
+
+// TestTranspose16x4 pins the lane-packing fast path's transpose: four
+// parallel 16×16 bit transposes, one per 16-bit field of the 16 rows —
+// row r bit (16q + c) swaps with row c bit (16q + r) for every field q.
+func TestTranspose16x4(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	var a, orig [16]uint64
+	for i := range a {
+		a[i] = rng.Uint64()
+		orig[i] = a[i]
+	}
+	Transpose16x4(&a)
+	for q := 0; q < 4; q++ {
+		for r := 0; r < 16; r++ {
+			for c := 0; c < 16; c++ {
+				got := a[r] >> uint(16*q+c) & 1
+				want := orig[c] >> uint(16*q+r) & 1
+				if got != want {
+					t.Fatalf("Transpose16x4: field %d row %d bit %d = %d, want original row %d bit %d = %d",
+						q, r, c, got, c, r, want)
+				}
+			}
+		}
+	}
+	Transpose16x4(&a)
+	if a != orig {
+		t.Fatal("Transpose16x4 is not an involution")
+	}
+}

@@ -1,0 +1,306 @@
+// Package planner is the routing-plan intermediate representation shared
+// by every compiled routing path in the repository: the (n,n)-concentrator
+// plans of internal/concentrator, the Fig. 10 radix permuter's fused
+// whole-network route plans of internal/permnet, the Beneš baseline's
+// replayable switch programs, and — through the permuter — the word
+// sorter's radix passes.
+//
+// The IR is a flat, stage-ordered step program: every adaptive binary
+// sorter of the paper has data-independent control flow (only the switch
+// settings depend on the routing tags), so the recursion of
+// mmSort / prefixSort / fishKMerge — and the radix permuter's recursion of
+// those sorters — lowers once per configuration into a linear instruction
+// stream that replays branch-locally over packed packet words. One scalar
+// runner and one 64-lane SWAR bit-plane runner execute every program, so
+// improvements to either engine reach all clients at once; the per-package
+// layers contain only IR compilation.
+//
+// Packet words are laid out by the client through a Layout: the routing
+// tag of the current stage sits at a client-chosen bit (bit 63 for
+// concentrator tag words, a destination-address bit for the radix
+// permuter), and the OpSetTag meta-instruction retargets it mid-program —
+// this is what fuses the permuter's per-level tag/strip/rebase passes away
+// entirely: the tag of level d is bit lg(s)−1 of the window-local
+// destination, which equals bit lg(n)−1−d of the original destination
+// riding unchanged in the packet word, so no pass ever needs to write
+// tags, strip them, or rebase local destinations.
+package planner
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"absort/internal/core"
+)
+
+// Op is one lowered routing operation over a window of the working array.
+type Op uint8
+
+const (
+	// OpCmpSwap compare-swaps the adjacent pair at lo (size-2 merge):
+	// the pair exchanges exactly when the tag order is (1, 0).
+	OpCmpSwap Op = iota
+	// OpFourIn samples the two select tags at lo+q and lo+3q, records the
+	// select value in the replay buffer at aux, and applies the IN-SWAP
+	// quarter permutation to [lo,hi).
+	OpFourIn
+	// OpFourOut replays the select value recorded at aux and applies the
+	// OUT-SWAP quarter permutation to [lo,hi).
+	OpFourOut
+	// OpShuffleCount perfect-shuffles [lo,hi) and loads the running ones
+	// count m for the patch-up chain that follows.
+	OpShuffleCount
+	// OpEndsSwap compare-swaps opposite ends of [lo,hi): (lo+i, hi-1-i).
+	OpEndsSwap
+	// OpCondIn evaluates the patch-up select m ≥ s/2, records it at aux,
+	// and on select swaps the halves of [lo,hi) and reduces m by s/2.
+	OpCondIn
+	// OpCondOut replays the select recorded at aux: on select, swaps the
+	// halves of [lo,hi).
+	OpCondOut
+	// OpFishSplit performs the fish sorter's middle-bit block split over
+	// [lo,hi) with aux blocks: each block contributes its clean half to the
+	// upper half-window and its dirty half to the lower half-window.
+	OpFishSplit
+	// OpFishClean stably partitions the aux clean blocks of [lo,hi) by
+	// their (common) tag: all-0 blocks first, all-1 blocks last.
+	OpFishClean
+	// OpRank stably partitions [lo,hi) element-wise: 0-tagged entries keep
+	// order in the leading positions, 1-tagged in the trailing ones.
+	OpRank
+	// OpSetTag retargets the running tag position: lo is the new scalar
+	// tag shift, aux the new packed tag plane. It moves no data — emitted
+	// once per radix-permuter level, it is how the per-level tag passes
+	// fuse into the level's plan.
+	OpSetTag
+	// OpShuffle perfect-shuffles [lo,hi) without counting: position lo+i
+	// of the first half goes to lo+2i, position lo+h+i to lo+2i+1.
+	OpShuffle
+	// OpUnshuffle inverts OpShuffle over [lo,hi): even positions gather
+	// into the first half, odd into the second (the Beneš input fan-out).
+	OpUnshuffle
+	// OpSelSwap conditionally swaps the adjacent pair at lo when the
+	// preset select byte at aux is nonzero — a Beneš 2×2 switch whose
+	// setting was computed by the looping algorithm, not by tag data.
+	OpSelSwap
+)
+
+// Step is one lowered routing operation: an opcode, the window [Lo,Hi) it
+// operates on, and an auxiliary operand (select-replay slot, fish block
+// count, or OpSetTag's packed tag plane).
+type Step struct {
+	Op     Op
+	Lo, Hi int32
+	Aux    int32
+}
+
+// Layout fixes how a program's packet words and bit planes are organized.
+type Layout struct {
+	// N is the network width (a power of two).
+	N int
+	// FrontPlanes is the number of leading bit planes in the packed
+	// engine that carry tag data: 1 for single-tag programs
+	// (concentrator), lg n destination-bit planes for the fused radix
+	// permuter. The origin-index planes follow at offset FrontPlanes.
+	FrontPlanes int
+	// TagShift is the packet-word bit of the routing tag before the first
+	// OpSetTag (63 for concentrator tag words).
+	TagShift uint
+	// TagPlane is the packed bit plane of the routing tag before the
+	// first OpSetTag (0 for single-tag programs).
+	TagPlane int
+}
+
+// Program is a compiled routing program. It is immutable after
+// construction and safe for concurrent use: every execution draws its
+// scratch state from an internal pool.
+type Program struct {
+	layout Layout
+	steps  []Step
+	nsel   int
+	pool   sync.Pool // *Scratch
+	packed atomic.Pointer[Packed]
+}
+
+// Scratch is the per-execution state of a Program: the packed-word
+// working array Val, copy scratch used by shuffles / quarter permutations
+// / fish block moves, and the select-replay buffer. Clients that load
+// packet words themselves (concentrators packing tag bits, permuters
+// packing destinations) borrow Val between Get and Put.
+type Scratch struct {
+	Val []uint64
+	tmp []uint64
+	sel []uint8
+}
+
+// Sel returns the scratch's select buffer (len ≥ NumSel): preset-select
+// clients (the Beneš replay) fill it between Get and RunScratch;
+// tag-driven programs record into and replay from it internally.
+func (sc *Scratch) Sel() []uint8 { return sc.sel }
+
+// Builder accumulates a step program during lowering. The zero Builder is
+// ready to use.
+type Builder struct {
+	steps []Step
+	nsel  int
+}
+
+// Emit appends one raw step.
+func (b *Builder) Emit(op Op, lo, hi, aux int32) {
+	b.steps = append(b.steps, Step{Op: op, Lo: lo, Hi: hi, Aux: aux})
+}
+
+// NewSel allocates a select-replay slot and returns its id.
+func (b *Builder) NewSel() int32 {
+	id := int32(b.nsel)
+	b.nsel++
+	return id
+}
+
+// NumSel returns the number of select-replay slots allocated so far.
+func (b *Builder) NumSel() int { return b.nsel }
+
+// SetTag emits the tag-retarget meta-instruction: subsequent steps read
+// the routing tag at packet-word bit shift (scalar) and bit plane plane
+// (packed).
+func (b *Builder) SetTag(shift uint, plane int32) {
+	b.Emit(OpSetTag, int32(shift), 0, plane)
+}
+
+// MMSort lowers the mux-merger binary sorter over [lo,hi): sort both
+// halves, then merge (post-order, exactly the recursion of mmSort).
+func (b *Builder) MMSort(lo, hi int32) {
+	s := hi - lo
+	if s == 1 {
+		return
+	}
+	b.MMSort(lo, lo+s/2)
+	b.MMSort(lo+s/2, hi)
+	b.MMMerge(lo, hi)
+}
+
+// MMMerge lowers one mux-merger merge over [lo,hi): a four-way IN-SWAP,
+// the recursive middle-half merge, and the matching four-way OUT-SWAP
+// replaying the same select value.
+func (b *Builder) MMMerge(lo, hi int32) {
+	s := hi - lo
+	if s == 2 {
+		b.Emit(OpCmpSwap, lo, hi, 0)
+		return
+	}
+	id := b.NewSel()
+	b.Emit(OpFourIn, lo, hi, id)
+	b.MMMerge(lo+s/4, lo+3*s/4)
+	b.Emit(OpFourOut, lo, hi, id)
+}
+
+// PrefixSort lowers the prefix binary sorter over [lo,hi): sort both
+// halves, shuffle and count ones, then run the patch-up chain.
+func (b *Builder) PrefixSort(lo, hi int32) {
+	s := hi - lo
+	if s == 1 {
+		return
+	}
+	b.PrefixSort(lo, lo+s/2)
+	b.PrefixSort(lo+s/2, hi)
+	b.Emit(OpShuffleCount, lo, hi, 0)
+	b.patchUp(lo, hi)
+}
+
+// patchUp lowers one patch-up level over [lo,hi): opposite-ends
+// compare-swaps, then (for s > 2) the conditional half-exchange steered by
+// the running ones count, the recursive patch-up of the lower half, and
+// the replayed conditional half-exchange on the way out.
+func (b *Builder) patchUp(lo, hi int32) {
+	s := hi - lo
+	if s == 1 {
+		return
+	}
+	b.Emit(OpEndsSwap, lo, hi, 0)
+	if s == 2 {
+		return
+	}
+	id := b.NewSel()
+	b.Emit(OpCondIn, lo, hi, id)
+	b.patchUp(lo+s/2, hi)
+	b.Emit(OpCondOut, lo, hi, id)
+}
+
+// FishKMerge lowers the time-multiplexed fish merge over [lo,hi) with k
+// groups: middle-bit block split, clean-block sort of the upper half, the
+// recursive merge of the lower half, and a final mux-merge of the window.
+func (b *Builder) FishKMerge(lo, hi, k int32) {
+	s := hi - lo
+	if s == k {
+		b.MMSort(lo, hi)
+		return
+	}
+	b.Emit(OpFishSplit, lo, hi, k)
+	b.Emit(OpFishClean, lo, lo+s/2, k)
+	b.FishKMerge(lo+s/2, hi, k)
+	b.MMMerge(lo, hi)
+}
+
+// FishSort lowers the full fish binary sorter over [lo,hi): k group
+// mux-merger sorts followed by the time-multiplexed k-group merge.
+func (b *Builder) FishSort(lo, hi, k int32) {
+	g := (hi - lo) / k
+	for t := int32(0); t < k; t++ {
+		b.MMSort(lo+t*g, lo+(t+1)*g)
+	}
+	b.FishKMerge(lo, hi, k)
+}
+
+// Rank lowers the ranking engine's single stable partition over [lo,hi).
+func (b *Builder) Rank(lo, hi int32) {
+	b.Emit(OpRank, lo, hi, 0)
+}
+
+// SelSwap emits one preset 2×2 switch over the adjacent pair at lo,
+// reading its setting from select slot sel at replay time.
+func (b *Builder) SelSwap(lo, sel int32) {
+	b.Emit(OpSelSwap, lo, lo+2, sel)
+}
+
+// Shuffle emits the perfect shuffle of [lo,hi); Unshuffle its inverse.
+func (b *Builder) Shuffle(lo, hi int32)   { b.Emit(OpShuffle, lo, hi, 0) }
+func (b *Builder) Unshuffle(lo, hi int32) { b.Emit(OpUnshuffle, lo, hi, 0) }
+
+// Compile freezes the builder's step stream into an executable Program
+// with the given layout. The builder must not be reused afterwards.
+func (b *Builder) Compile(layout Layout) *Program {
+	if !core.IsPow2(layout.N) {
+		panic(fmt.Sprintf("planner: Compile: n=%d not a power of two", layout.N))
+	}
+	if layout.FrontPlanes < 1 {
+		layout.FrontPlanes = 1
+	}
+	p := &Program{layout: layout, steps: b.steps, nsel: b.nsel}
+	n := layout.N
+	p.pool.New = func() any {
+		return &Scratch{
+			Val: make([]uint64, n),
+			tmp: make([]uint64, n),
+			sel: make([]uint8, max(p.nsel, 1)),
+		}
+	}
+	return p
+}
+
+// N returns the network width of the program.
+func (p *Program) N() int { return p.layout.N }
+
+// NumSteps returns the length of the step stream.
+func (p *Program) NumSteps() int { return len(p.steps) }
+
+// NumSel returns the number of select-replay slots one execution needs.
+func (p *Program) NumSel() int { return p.nsel }
+
+// Layout returns the program's packet-word / bit-plane layout.
+func (p *Program) Layout() Layout { return p.layout }
+
+// Get borrows a pooled Scratch (Val is n packet words, contents
+// unspecified); Put returns it.
+func (p *Program) Get() *Scratch   { return p.pool.Get().(*Scratch) }
+func (p *Program) Put(sc *Scratch) { p.pool.Put(sc) }

@@ -27,15 +27,18 @@
 // allocations are the task envelope and the result slices handed to the
 // caller.
 //
-// Under a concentrate burst the service additionally matches the packed
-// batch pipeline: a worker that picks up a Concentrate request greedily
-// drains further queued Concentrate requests (never blocking) and, when
-// the drained group is at least concentrator.MinPackedLanes wide, routes
-// the whole group through one SWAR plan replay (ConcentratePacked) —
-// up to 64 requests per replay. Results are bit-for-bit identical to the
-// per-request path, and every drained task still honours its own context,
-// deadline, and capacity check individually. The Ranking engine always
-// takes the per-request path, exactly as ConcentrateBatch does.
+// Under a request burst the service additionally matches the packed
+// batch pipelines: a worker that picks up a Concentrate or Permute
+// request greedily drains further queued requests of the same kind
+// (never blocking) and, when the drained group is at least
+// MinPackedLanes wide, routes the whole group through one SWAR plan
+// replay (ConcentratePacked / RoutePacked) — up to 64 requests per
+// replay. Results are bit-for-bit identical to the per-request path, and
+// every drained task still honours its own context, deadline, and (for
+// Concentrate) capacity check individually; a malformed permutation in a
+// Permute burst resolves alone with its own error and never poisons its
+// burst neighbours. The Ranking engine's Concentrate requests always
+// take the per-request path, exactly as ConcentrateBatch does.
 package serve
 
 import (
@@ -185,6 +188,12 @@ type Service struct {
 	// the Ranking engine (its single stable partition gains nothing from
 	// lane packing) and for the trivial n = 1 wire.
 	packed bool
+	// packedPerm enables the permute burst fast path: drained groups of
+	// queued Permute requests ride one packed fused-plan replay
+	// (permnet.RoutePacked). Unlike the concentrator, the permuter packs
+	// every engine — each radix level's rank runs lane-parallel — so only
+	// the trivial n = 1 wire disables it.
+	packedPerm bool
 
 	queue chan *task
 	quit  chan struct{} // closed by Close: wakes blocked submitters
@@ -244,13 +253,14 @@ func New(cfg Config) (*Service, error) {
 	conc := concentrator.New(cfg.N, cfg.M, cfg.Engine, cfg.K)
 	conc.Compile()
 	s := &Service{
-		cfg:    cfg,
-		perm:   permnet.NewRadixPermuter(cfg.N, cfg.Engine, cfg.K).Compile(),
-		conc:   conc,
-		word:   word,
-		packed: cfg.Engine != concentrator.Ranking && cfg.N > 1,
-		queue:  make(chan *task, cfg.QueueDepth),
-		quit:   make(chan struct{}),
+		cfg:        cfg,
+		perm:       permnet.NewRadixPermuter(cfg.N, cfg.Engine, cfg.K).Compile(),
+		conc:       conc,
+		word:       word,
+		packed:     cfg.Engine != concentrator.Ranking && cfg.N > 1,
+		packedPerm: cfg.N > 1,
+		queue:      make(chan *task, cfg.QueueDepth),
+		quit:       make(chan struct{}),
 	}
 	s.workers.Add(cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
@@ -372,43 +382,57 @@ func (s *Service) Close() {
 }
 
 // worker drains the admission queue until it is closed and empty. With
-// the packed fast path enabled, a Concentrate task triggers a greedy
-// non-blocking drain of further queued Concentrate tasks so the group
-// rides one SWAR plan replay.
+// the matching packed fast path enabled, a Concentrate or Permute task
+// triggers a greedy non-blocking drain of further queued tasks of the
+// same kind so the group rides one SWAR plan replay.
 func (s *Service) worker() {
 	defer s.workers.Done()
 	var burst []*task
 	var marked [][]bool
-	if s.packed {
+	var dests [][]int
+	if s.packed || s.packedPerm {
 		burst = make([]*task, 0, concentrator.PackedLanes)
+	}
+	if s.packed {
 		marked = make([][]bool, 0, concentrator.PackedLanes)
+	}
+	if s.packedPerm {
+		dests = make([][]int, 0, permnet.PackedLanes)
 	}
 	for t := range s.queue {
 		if s.testBeforeExec != nil {
 			s.testBeforeExec()
 		}
-		if !s.packed || t.req.Kind != Concentrate {
+		switch {
+		case s.packed && t.req.Kind == Concentrate:
+			burst = append(burst[:0], t)
+			tail := s.drainKind(Concentrate, &burst)
+			s.execConcentrateBurst(burst, marked)
+			if tail != nil {
+				s.exec(tail)
+			}
+		case s.packedPerm && t.req.Kind == Permute:
+			burst = append(burst[:0], t)
+			tail := s.drainKind(Permute, &burst)
+			s.execPermuteBurst(burst, dests)
+			if tail != nil {
+				s.exec(tail)
+			}
+		default:
 			s.exec(t)
-			continue
-		}
-		burst = append(burst[:0], t)
-		tail := s.drainConcentrate(&burst)
-		s.execConcentrateBurst(burst, marked)
-		if tail != nil {
-			s.exec(tail)
 		}
 	}
 }
 
-// drainConcentrate greedily claims further queued Concentrate tasks up
-// to one full lane group, never blocking: under a request burst the
-// queue is hot and the claimed group rides one packed plan replay; on an
-// idle queue the select falls through immediately and the single task
-// routes on the per-request path. Claim order matches queue order, so
-// FIFO ordering within the worker is preserved. The first
-// non-Concentrate task claimed, if any, ends the drain and is returned
-// to execute right after the burst.
-func (s *Service) drainConcentrate(burst *[]*task) *task {
+// drainKind greedily claims further queued tasks of the same kind up to
+// one full lane group, never blocking: under a request burst the queue
+// is hot and the claimed group rides one packed plan replay; on an idle
+// queue the select falls through immediately and the single task routes
+// on the per-request path. Claim order matches queue order, so FIFO
+// ordering within the worker is preserved. The first other-kind task
+// claimed, if any, ends the drain and is returned to execute right
+// after the burst.
+func (s *Service) drainKind(kind Kind, burst *[]*task) *task {
 	for len(*burst) < concentrator.PackedLanes {
 		select {
 		case nt, ok := <-s.queue:
@@ -418,7 +442,7 @@ func (s *Service) drainConcentrate(burst *[]*task) *task {
 			if s.testBeforeExec != nil {
 				s.testBeforeExec()
 			}
-			if nt.req.Kind != Concentrate {
+			if nt.req.Kind != kind {
 				return nt
 			}
 			*burst = append(*burst, nt)
@@ -486,6 +510,65 @@ func (s *Service) execConcentrateBurst(burst []*task, marked [][]bool) {
 	}
 	for i, t := range live {
 		s.resolve(t, Result{Perm: perms[i], Count: counts[i]}, nil)
+	}
+}
+
+// execPermuteBurst resolves a drained group of Permute tasks. Groups at
+// least MinPackedLanes wide route through one packed fused-plan replay;
+// narrower groups take the per-request path (the packing overhead would
+// not pay for itself). Each task is still pre-checked individually —
+// cancellation and deadline — so a dead request resolves alone with its
+// own error. Unlike the concentrate burst, the packed-group fallback IS
+// reachable: admission validates only lengths, so a non-permutation
+// destination assignment surfaces inside RoutePacked — the group then
+// re-routes per-request so each task gets its own canonical result or
+// error and a bad request never poisons its burst neighbours.
+func (s *Service) execPermuteBurst(burst []*task, dests [][]int) {
+	if len(burst) < permnet.MinPackedLanes {
+		for _, t := range burst {
+			s.exec(t)
+		}
+		return
+	}
+	live := burst[:0] // compact forward: reads stay ahead of writes
+	for _, t := range burst {
+		switch {
+		case t.ctx.Err() != nil:
+			s.resolve(t, Result{}, t.ctx.Err())
+		case !t.req.Deadline.IsZero() && !time.Now().Before(t.req.Deadline):
+			s.resolve(t, Result{}, ErrDeadlineExceeded)
+		default:
+			live = append(live, t)
+		}
+	}
+	if len(live) < permnet.MinPackedLanes {
+		for _, t := range live {
+			res, err := s.route(t.req)
+			s.resolve(t, res, err)
+		}
+		return
+	}
+	n := s.cfg.N
+	flat := make([]int, len(live)*n)
+	perms := make([][]int, len(live))
+	dests = dests[:0]
+	for i, t := range live {
+		perms[i] = flat[i*n : (i+1)*n]
+		dests = append(dests, t.req.Dest)
+	}
+	if err := s.perm.RoutePacked(perms, dests); err != nil {
+		// Reachable: a destination assignment that is not a permutation
+		// fails the packed replay before any routing starts. Resolve every
+		// task on the scalar path so each Future gets its own result or its
+		// own canonical validation error.
+		for _, t := range live {
+			res, rerr := s.route(t.req)
+			s.resolve(t, res, rerr)
+		}
+		return
+	}
+	for i, t := range live {
+		s.resolve(t, Result{Perm: perms[i]}, nil)
 	}
 }
 

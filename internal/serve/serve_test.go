@@ -410,6 +410,140 @@ func TestServeRankingStaysScalar(t *testing.T) {
 	}
 }
 
+// TestServePermutePackedBurst holds the single worker, floods the queue
+// with Permute requests so the drain claims full lane groups, and checks
+// the packed permute burst path end to end: results bit-for-bit equal to
+// the planned path, non-permutation and expired-deadline requests
+// resolving individually with their own errors (the malformed-request
+// fallback is reachable here: admission validates lengths only, so a
+// non-permutation surfaces inside the packed replay and the group
+// re-routes per-request), and a trailing non-Permute task executing
+// after the burst. Ranking is included: the permuter packs every engine.
+func TestServePermutePackedBurst(t *testing.T) {
+	for _, engine := range []Engine{concentrator.MuxMerger, concentrator.Fish, concentrator.Ranking} {
+		engine := engine
+		t.Run(engine.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(13))
+			n := 64
+			release := make(chan struct{})
+			s, err := New(Config{N: n, Engine: engine, Workers: 1, QueueDepth: 128})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			released := false
+			releaseOnce := func() {
+				if !released {
+					released = true
+					close(release)
+				}
+			}
+			defer releaseOnce() // a failing assertion must still unblock the worker
+			if !s.packedPerm {
+				t.Fatalf("packed permute burst path disabled for %v", engine)
+			}
+			var held atomic.Bool
+			s.testBeforeExec = func() {
+				if held.CompareAndSwap(false, true) {
+					<-release
+				}
+			}
+			ctx := context.Background()
+
+			// Occupy the worker so everything below queues up behind it.
+			hold, err := s.Submit(ctx, Request{Kind: Concentrate, Marked: make([]bool, n)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for !held.Load() {
+				time.Sleep(time.Millisecond)
+			}
+
+			rp := permnet.NewRadixPermuter(n, engine, 0)
+			type pending struct {
+				fut      *Future
+				wantPerm []int
+				wantErr  error // ErrDeadlineExceeded sentinel
+				badPerm  bool  // non-permutation: expect validation error
+			}
+			var reqs []pending
+			const total = 90 // > one full lane group + a sub-maximum second group
+			for i := 0; i < total; i++ {
+				switch {
+				case i == 10 || i == 70: // non-permutation inside both groups
+					fut, err := s.Submit(ctx, Request{Kind: Permute, Dest: make([]int, n)})
+					if err != nil {
+						t.Fatal(err)
+					}
+					reqs = append(reqs, pending{fut: fut, badPerm: true})
+				case i == 20: // expired deadline inside the first group
+					fut, err := s.Submit(ctx, Request{
+						Kind: Permute, Dest: rng.Perm(n), Deadline: time.Now().Add(-time.Second),
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					reqs = append(reqs, pending{fut: fut, wantErr: ErrDeadlineExceeded})
+				default:
+					dest := rng.Perm(n)
+					want, err := rp.RoutePlanned(dest)
+					if err != nil {
+						t.Fatal(err)
+					}
+					fut, err := s.Submit(ctx, Request{Kind: Permute, Dest: dest})
+					if err != nil {
+						t.Fatal(err)
+					}
+					reqs = append(reqs, pending{fut: fut, wantPerm: want})
+				}
+			}
+			// A non-Permute task lands behind the burst: the drain must stop
+			// at it and still execute it.
+			concFut, err := s.Submit(ctx, Request{Kind: Concentrate, Marked: make([]bool, n)})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			releaseOnce()
+			if _, err := hold.Wait(ctx); err != nil {
+				t.Fatal(err)
+			}
+			for i, p := range reqs {
+				res, err := p.fut.Wait(ctx)
+				switch {
+				case p.badPerm:
+					if err == nil || !strings.Contains(err.Error(), "not a permutation") {
+						t.Fatalf("request %d: err=%v, want permutation error", i, err)
+					}
+				case p.wantErr != nil:
+					if !errors.Is(err, p.wantErr) {
+						t.Fatalf("request %d: err=%v, want %v", i, err, p.wantErr)
+					}
+				default:
+					if err != nil {
+						t.Fatalf("request %d: %v", i, err)
+					}
+					for j := range res.Perm {
+						if res.Perm[j] != p.wantPerm[j] {
+							t.Fatalf("request %d: perm %v want %v", i, res.Perm, p.wantPerm)
+						}
+					}
+				}
+			}
+			if res, err := concFut.Wait(ctx); err != nil || len(res.Perm) != n {
+				t.Fatalf("trailing concentrate: res=%+v err=%v", res, err)
+			}
+			st := s.Stats()
+			if st.Failed != 3 { // two non-permutations + one expired deadline
+				t.Fatalf("failed = %d, want 3", st.Failed)
+			}
+			if st.InFlight != 0 || st.Completed != int64(total)+2 {
+				t.Fatalf("stats after drain: %+v", st)
+			}
+		})
+	}
+}
+
 // TestTrySubmitQueueFull fills the queue behind a deliberately held
 // worker and checks ErrQueueFull backpressure plus blocking-Submit
 // cancellation.

@@ -20,7 +20,6 @@ package wordsort
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -28,6 +27,7 @@ import (
 	"absort/internal/concentrator"
 	"absort/internal/core"
 	"absort/internal/permnet"
+	"absort/internal/planner"
 )
 
 // Engine selects the network that physically routes each pass.
@@ -163,8 +163,16 @@ const sortBatchGrain = 2
 
 // SortBatch sorts many independent key sets through one compiled route
 // plan, distributed across workers goroutines (≤ 0 means GOMAXPROCS) by
-// an atomic work cursor. Results preserve input order and are identical
-// to per-set Sort; result slices are carved out of flat backing arrays.
+// the shared batch executor of internal/planner. Results preserve input
+// order and are identical to per-set Sort; result slices are carved out
+// of flat backing arrays.
+//
+// Batches at least one lane group wide (≥ 64 key sets) switch to the
+// pass-synchronized wide pipeline: all sets advance through each radix
+// pass together, the pass's permutations route through the permuter's
+// 64-lane SWAR engine one plan replay per lane group, and the per-pass
+// gather of keys and permutation entries is split across the workers.
+// Results are bit-for-bit identical either way.
 func (s *Sorter) SortBatch(keySets [][]uint64, workers int) ([][]uint64, [][]int, error) {
 	if len(keySets) == 0 {
 		return nil, nil, nil
@@ -183,48 +191,126 @@ func (s *Sorter) SortBatch(keySets [][]uint64, workers int) ([][]uint64, [][]int
 		outs[i] = flatK[i*s.n : (i+1)*s.n]
 		perms[i] = flatP[i*s.n : (i+1)*s.n]
 	}
-	nw := (len(keySets) + sortBatchGrain - 1) / sortBatchGrain
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > nw {
-		workers = nw
-	}
-	if workers <= 1 {
-		for i, keys := range keySets {
-			if err := s.SortInto(outs[i], perms[i], keys); err != nil {
-				return nil, nil, fmt.Errorf("wordsort: batch set %d: %w", i, err)
-			}
+	if len(keySets) >= permnet.PackedLanes {
+		if err := s.sortBatchWide(outs, perms, keySets, workers); err != nil {
+			return nil, nil, err
 		}
 		return outs, perms, nil
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	var firstErr atomic.Pointer[error]
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				lo := int(next.Add(sortBatchGrain)) - sortBatchGrain
-				if lo >= len(keySets) {
-					return
-				}
-				hi := min(lo+sortBatchGrain, len(keySets))
-				for i := lo; i < hi; i++ {
-					if err := s.SortInto(outs[i], perms[i], keySets[i]); err != nil {
-						e := fmt.Errorf("wordsort: batch set %d: %w", i, err)
-						firstErr.CompareAndSwap(nil, &e)
-					}
-				}
-			}
-		}()
-	}
-	wg.Wait()
+	var firstErr atomic.Pointer[planner.BatchErr]
+	planner.RunBatch(len(keySets), workers, sortBatchGrain, func(i int) bool {
+		if firstErr.Load() != nil {
+			return false // poisoned batch: abort instead of burning workers
+		}
+		if err := s.SortInto(outs[i], perms[i], keySets[i]); err != nil {
+			planner.RecordBatchErr(&firstErr, i, err)
+			return false
+		}
+		return true
+	})
 	if e := firstErr.Load(); e != nil {
-		return nil, nil, *e
+		return nil, nil, fmt.Errorf("wordsort: batch set %d: %w", e.I, e.Err)
 	}
 	return outs, perms, nil
+}
+
+// sortBatchWide is the pass-synchronized batch pipeline: per radix pass,
+// stage 1 ranks every set (stable binary split, one worker item per
+// set), stage 2 routes every set's rank permutation through the fused
+// route plan — full 64-set lane groups in one packed replay each, a
+// remainder below the packed threshold per-set — and stage 3 gathers
+// keys and permutation entries, again one worker item per set, so the
+// per-pass data movement is split across the workers instead of running
+// set-serial. All working buffers are allocated once per batch: the w
+// passes themselves allocate nothing.
+func (s *Sorter) sortBatchWide(outs [][]uint64, perms [][]int, keySets [][]uint64, workers int) error {
+	m, n := len(keySets), s.n
+	plan := s.permute.Compile()
+	dests := make([][]int, m)
+	ps := make([][]int, m)
+	tmpK := make([][]uint64, m)
+	tmpP := make([][]int, m)
+	flatD := make([]int, 2*m*n)
+	flatT := make([]uint64, m*n)
+	flatQ := make([]int, m*n)
+	for i := range dests {
+		dests[i] = flatD[2*i*n : (2*i+1)*n]
+		ps[i] = flatD[(2*i+1)*n : (2*i+2)*n]
+		tmpK[i] = flatT[i*n : (i+1)*n]
+		tmpP[i] = flatQ[i*n : (i+1)*n]
+	}
+	for i, keys := range keySets {
+		copy(outs[i], keys)
+		for j := range perms[i] {
+			perms[i][j] = j
+		}
+	}
+	groups := (m + permnet.PackedLanes - 1) / permnet.PackedLanes
+	var firstErr atomic.Pointer[planner.BatchErr]
+	var bit uint // current radix pass, shared by the stage closures
+	rank := func(i int) bool {
+		d, keys := dests[i], outs[i]
+		zeros := 0
+		for _, k := range keys {
+			if k>>bit&1 == 0 {
+				zeros++
+			}
+		}
+		z, o := 0, zeros
+		for j, k := range keys {
+			if k>>bit&1 == 0 {
+				d[j] = z
+				z++
+			} else {
+				d[j] = o
+				o++
+			}
+		}
+		return true
+	}
+	route := func(g int) bool {
+		if firstErr.Load() != nil {
+			return false // poisoned batch: abort instead of burning workers
+		}
+		lo := g * permnet.PackedLanes
+		hi := min(lo+permnet.PackedLanes, m)
+		if hi-lo < permnet.MinPackedLanes {
+			for i := lo; i < hi; i++ {
+				if err := plan.RouteInto(ps[i], dests[i]); err != nil {
+					planner.RecordBatchErr(&firstErr, i, err)
+					return false
+				}
+			}
+			return true
+		}
+		if err := plan.RoutePacked(ps[lo:hi], dests[lo:hi]); err != nil {
+			planner.RecordBatchErr(&firstErr, lo, err)
+			return false
+		}
+		return true
+	}
+	gather := func(i int) bool {
+		keys, pm, tk, tp := outs[i], perms[i], tmpK[i], tmpP[i]
+		for j, src := range ps[i] {
+			tk[j] = keys[src]
+			tp[j] = pm[src]
+		}
+		copy(keys, tk)
+		copy(pm, tp)
+		return true
+	}
+	for b := 0; b < s.w; b++ {
+		bit = uint(b)
+		planner.RunBatch(m, workers, 1, rank)
+		planner.RunBatch(groups, workers, 1, route)
+		if e := firstErr.Load(); e != nil {
+			// Unreachable — stable-split ranks are permutations by
+			// construction — but kept on the fail-fast path for defense.
+			return fmt.Errorf("wordsort: batch set %d: pass %d: %w", e.I, b, e.Err)
+		}
+		planner.RunBatch(m, workers, 1, gather)
+	}
+	return nil
 }
 
 // SortBy sorts arbitrary records by a uint64 key, stably, routing through

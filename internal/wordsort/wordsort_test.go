@@ -261,6 +261,83 @@ func TestSortIntoAllocFree(t *testing.T) {
 	}
 }
 
+// TestSortBatchWideDifferential drives batches wide enough to take the
+// pass-synchronized packed pipeline — including a ragged final lane
+// group and a remainder below the packed threshold — and checks every
+// set against per-set Sort.
+func TestSortBatchWideDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	for _, eng := range []Engine{concentrator.MuxMerger, concentrator.Fish} {
+		s, err := New(32, 5, eng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, batchLen := range []int{64, 64 + 23, 150} {
+			sets := make([][]uint64, batchLen)
+			for i := range sets {
+				sets[i] = make([]uint64, 32)
+				for j := range sets[i] {
+					sets[i][j] = uint64(rng.Intn(32))
+				}
+			}
+			for _, workers := range []int{1, 4, 0} {
+				keys, perms, err := s.SortBatch(sets, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, set := range sets {
+					wantK, wantP, err := s.Sort(set)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for j := range wantK {
+						if keys[i][j] != wantK[j] || perms[i][j] != wantP[j] {
+							t.Fatalf("eng=%v len=%d workers=%d set %d: batch (%v,%v) != single (%v,%v)",
+								eng, batchLen, workers, i, keys[i], perms[i], wantK, wantP)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSortBatchWideAllocsPerPass pins the wide pipeline's allocation
+// discipline: working buffers are allocated once per batch, so the
+// allocation count must not scale with the key width w (the number of
+// radix passes).
+func TestSortBatchWideAllocsPerPass(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation pin skipped under the race detector: sync.Pool drops a fraction of Puts when instrumented")
+	}
+	rng := rand.New(rand.NewSource(405))
+	sets := make([][]uint64, 64)
+	for i := range sets {
+		sets[i] = make([]uint64, 64)
+		for j := range sets[i] {
+			sets[i][j] = uint64(rng.Intn(64))
+		}
+	}
+	allocs := func(w int) float64 {
+		s, err := New(64, w, concentrator.Fish)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := s.SortBatch(sets, 1); err != nil { // warm the pools
+			t.Fatal(err)
+		}
+		return testing.AllocsPerRun(10, func() {
+			if _, _, err := s.SortBatch(sets, 1); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	a1, a16 := allocs(1), allocs(16)
+	if a16 > a1+4 {
+		t.Errorf("wide batch allocations scale with w: %.1f at w=1, %.1f at w=16", a1, a16)
+	}
+}
+
 // TestSortBatchValidation checks batch-path error handling.
 func TestSortBatchValidation(t *testing.T) {
 	s, err := New(16, 4, concentrator.MuxMerger)
