@@ -5,25 +5,32 @@
 # which also refreshes BENCH_eval.json (ns/vector for the interpreter,
 # compiled, and wide engines at n ∈ {64, 256, 1024}), BENCH_route.json
 # (ns/route for scalar, planned, and planned-parallel routing, the
-# perm-planned-parallel vs perm-packed 64-wide permuter batch paths, the
-# benes-planned compiled Beneš replay baseline, plus ns/pattern for the
-# conc-planned-parallel and conc-packed SWAR batch concentrator paths,
-# all at n ∈ {64, 256, 1024, 4096}), and BENCH_serve.json (ns/request
-# for the streaming service vs the planned-parallel batch pipeline at
-# n ∈ {256, 1024, 4096}).
+# perm-planned-parallel vs perm-packed vs perm-packed256 permuter batch
+# paths, the benes-planned compiled Beneš replay baseline and its
+# benes-packed lane-packed replay, plus ns/pattern for the
+# conc-planned-parallel, conc-packed, and conc-packed256 SWAR batch
+# concentrator paths, all at n ∈ {64, 256, 1024, 4096}), and
+# BENCH_serve.json (ns/request for the streaming service vs the
+# planned-parallel batch pipeline at n ∈ {256, 1024, 4096}).
 #
 # The bench smoke run also enforces the timing floors, including
 # TestPackedSpeedupFloor: the SWAR lane-packed concentrator must hold at
 # least 3× the planned-parallel per-pattern throughput on 64-wide
-# batches at n=4096 — and TestPermPackedSpeedupFloor: the lane-packed
+# batches at n=4096 — TestPermPackedSpeedupFloor: the lane-packed
 # fused permuter must hold at least 2× planned-parallel per-route
-# throughput on the same batch shape. `make bench-packed` /
-# `make bench-permpacked` run just those gates plus their benchmark
-# columns, with full calibration instead of the one-iteration smoke.
+# throughput on the same batch shape — TestBenesPackedSpeedupFloor: the
+# packed Beneš replay must hold at least 3× the planned replay's
+# per-route throughput on 64-wide batches at n=4096 — and
+# TestWidePackedThroughputFloor: 256-lane multi-word groups must match
+# or beat 64-lane groups on both the permuter and the concentrator at
+# n=256 (no regression from widening). `make bench-packed` /
+# `make bench-permpacked` / `make bench-wide` run just those gates plus
+# their benchmark columns, with full calibration instead of the
+# one-iteration smoke.
 
 GO ?= go
 
-.PHONY: ci vet build test race serve-race bench bench-packed bench-permpacked clean
+.PHONY: ci vet build test race serve-race bench bench-packed bench-permpacked bench-wide clean
 
 ci: vet build race bench
 
@@ -44,13 +51,16 @@ serve-race:
 	$(GO) test -race -run 'TestRoutingService' -count=1 .
 
 bench:
-	$(GO) test -run 'TestWideSpeedupFloor|TestRouteSpeedupFloor|TestServeThroughputFloor|TestPackedSpeedupFloor|TestPermPackedSpeedupFloor' -bench 'EvalEngines|RouteEngines|ServeThroughput' -benchtime 1x .
+	$(GO) test -run 'TestWideSpeedupFloor|TestRouteSpeedupFloor|TestServeThroughputFloor|TestPackedSpeedupFloor|TestPermPackedSpeedupFloor|TestBenesPackedSpeedupFloor|TestWidePackedThroughputFloor' -bench 'EvalEngines|RouteEngines|ServeThroughput' -benchtime 1x .
 
 bench-packed:
 	$(GO) test -run 'TestPackedSpeedupFloor$$' -bench 'RouteEngines/conc' -count=1 .
 
 bench-permpacked:
 	$(GO) test -run 'TestPermPackedSpeedupFloor' -bench 'RouteEngines/(perm|benes)' -count=1 .
+
+bench-wide:
+	$(GO) test -run 'TestBenesPackedSpeedupFloor|TestWidePackedThroughputFloor' -bench 'RouteEngines/(perm-packed256|benes|conc-packed256)' -count=1 .
 
 clean:
 	$(GO) clean ./...

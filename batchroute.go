@@ -55,11 +55,22 @@ func (b *BatchPermuter) RouteInto(out []int, dest []int) error {
 
 // RouteBatch routes every assignment concurrently using workers
 // goroutines (≤ 0 means GOMAXPROCS). Results preserve input order.
-// Batches at least PackedLanes wide automatically route 64 assignments
-// per plan replay through the SWAR lane-packed engine; results are
-// bit-for-bit identical to the per-assignment path.
+// Batches at least PackedLanes wide automatically route whole lane
+// groups per plan replay through the SWAR lane-packed engine — widened
+// up to MaxPackedLanes assignments per replay when the batch keeps every
+// worker busy anyway; results are bit-for-bit identical to the
+// per-assignment path.
 func (b *BatchPermuter) RouteBatch(dests [][]int, workers int) ([][]int, error) {
 	return b.plan.RouteBatch(dests, workers)
+}
+
+// RouteBatchWide is RouteBatch with an explicit lane-group width:
+// groupLanes must be a positive multiple of PackedLanes up to
+// MaxPackedLanes. It pins the packed engine's multi-word replay width
+// instead of letting the batch auto-tune it — the knob the wide-packing
+// benchmarks and cmd/permroute -lanes expose.
+func (b *BatchPermuter) RouteBatchWide(dests [][]int, workers, groupLanes int) ([][]int, error) {
+	return b.plan.RouteBatchWide(dests, workers, groupLanes)
 }
 
 // RouteBatchPlanned is RouteBatch pinned to the per-assignment planned
@@ -69,10 +80,10 @@ func (b *BatchPermuter) RouteBatchPlanned(dests [][]int, workers int) ([][]int, 
 	return b.plan.RouteBatchPlanned(dests, workers)
 }
 
-// RoutePacked routes up to PackedLanes destination assignments through
-// one SWAR plan replay, writing the realized permutations into out (one
-// length-n slice per assignment). It is the explicit single-lane-group
-// form of RouteBatch's packed fast path.
+// RoutePacked routes up to MaxPackedLanes destination assignments
+// through one SWAR plan replay, writing the realized permutations into
+// out (one length-n slice per assignment). It is the explicit
+// single-lane-group form of RouteBatch's packed fast path.
 func (b *BatchPermuter) RoutePacked(out [][]int, dests [][]int) error {
 	return b.plan.RoutePacked(out, dests)
 }
@@ -134,23 +145,34 @@ func (b *BatchConcentrator) ConcentrateInto(p []int, marked []bool) (int, error)
 // ConcentrateBatch routes every request pattern concurrently using
 // workers goroutines (≤ 0 means GOMAXPROCS), returning the permutations
 // and request counts in input order. Batches at least PackedLanes wide
-// automatically route 64 patterns per plan replay through the SWAR
-// lane-packed engine (except on EngineRanking, whose stable partition
-// gains nothing from packing); results are bit-for-bit identical to the
-// per-pattern path.
+// automatically route whole lane groups per plan replay through the SWAR
+// lane-packed engine — widened up to MaxPackedLanes patterns per replay
+// when the batch keeps every worker busy anyway (except on
+// EngineRanking, whose stable partition gains nothing from packing);
+// results are bit-for-bit identical to the per-pattern path.
 func (b *BatchConcentrator) ConcentrateBatch(marked [][]bool, workers int) ([][]int, []int, error) {
 	return b.c.ConcentrateBatch(marked, workers)
 }
 
+// ConcentrateBatchWide is ConcentrateBatch with an explicit lane-group
+// width: groupLanes must be a positive multiple of PackedLanes up to
+// MaxPackedLanes — the explicit counterpart of the auto-tuned width, for
+// benchmarking and width-pinned serving.
+func (b *BatchConcentrator) ConcentrateBatchWide(marked [][]bool, workers, groupLanes int) ([][]int, []int, error) {
+	return b.c.ConcentrateBatchWide(marked, workers, groupLanes)
+}
+
 // Packed lane-group widths of the SWAR batch engine (see
-// internal/concentrator): PackedLanes patterns ride one packed plan
-// replay; groups narrower than MinPackedLanes route per-pattern.
+// internal/concentrator): one plane word carries PackedLanes patterns,
+// one replay carries up to MaxPackedLanes of them (multi-word planes),
+// and groups narrower than MinPackedLanes route per-pattern.
 const (
 	PackedLanes    = concentrator.PackedLanes
+	MaxPackedLanes = concentrator.MaxPackedLanes
 	MinPackedLanes = concentrator.MinPackedLanes
 )
 
-// ConcentratePacked routes up to PackedLanes request patterns through
+// ConcentratePacked routes up to MaxPackedLanes request patterns through
 // one SWAR plan replay, writing the permutations into perms and the
 // request counts into counts (all length n, one per pattern). It is the
 // explicit single-lane-group form of ConcentrateBatch's packed fast

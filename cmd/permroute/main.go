@@ -7,10 +7,14 @@
 // With -batch, it switches to the throughput pipeline: the requested
 // number of random permutations is routed through the permuter's compiled
 // route plan across -workers goroutines, and scalar-seed vs planned vs
-// planned-parallel vs packed (64-lane SWAR) routing rates are reported,
-// alongside the compiled Beneš replay baseline (benes-planned).
+// planned-parallel vs packed (SWAR) routing rates are reported, alongside
+// the compiled Beneš replay baseline both planned (benes-planned) and
+// lane-packed (benes-packed). -lanes pins the packed lane-group width — a
+// multiple of 64 up to 1024 — and the report shows the resulting wide-path
+// split (full lane groups vs planned remainder); every packed result is
+// cross-checked bit-for-bit against its planned baseline.
 //
-//	permroute -n 1024 -engine fish -batch 4096 -workers 0
+//	permroute -n 1024 -engine fish -batch 4096 -workers 0 -lanes 256
 //
 // With -serve, it replays a workload file through the streaming routing
 // service (internal/serve): every line is one request submitted with
@@ -56,6 +60,7 @@ func main() {
 		engine   = flag.String("engine", "fish", "fish | muxmerger | prefix")
 		batch    = flag.Int("batch", 0, "batch size: route this many permutations through the compiled plan pipeline")
 		workers  = flag.Int("workers", 0, "batch worker goroutines (0 = GOMAXPROCS)")
+		lanes    = flag.Int("lanes", 4*permnet.PackedLanes, "packed lane-group width for -batch (multiple of 64, up to 1024)")
 		serveArg = flag.String("serve", "", "replay a workload file through the streaming routing service ('rand' generates -batch random permutes)")
 		queue    = flag.Int("queue", 0, "streaming service admission queue depth (0 = 4x workers)")
 	)
@@ -91,8 +96,13 @@ func main() {
 		permnet.BenesCost(*n), permnet.BenesDepth(*n))
 
 	if *batch > 0 {
-		runBatch(rp, rng, *batch, *workers)
-		runConcentrateBatch(*n, eng, rng, *batch, *workers)
+		if *lanes < permnet.PackedLanes || *lanes > permnet.MaxPackedLanes || *lanes%permnet.PackedLanes != 0 {
+			fmt.Fprintf(os.Stderr, "permroute: -lanes %d must be a multiple of %d up to %d\n",
+				*lanes, permnet.PackedLanes, permnet.MaxPackedLanes)
+			os.Exit(1)
+		}
+		runBatch(rp, rng, *batch, *workers, *lanes)
+		runConcentrateBatch(*n, eng, rng, *batch, *workers, *lanes)
 		return
 	}
 
@@ -128,9 +138,10 @@ func main() {
 
 // runBatch drives the compiled routing pipeline: scalar-seed per-request
 // routing vs planned single-route vs planned-parallel batch routing vs
-// the 64-lane SWAR packed engine over the same request set, with the
-// compiled Beneš replay (benes-planned) as the rearrangeable baseline.
-func runBatch(rp *permnet.RadixPermuter, rng *rand.Rand, batch, workers int) {
+// the SWAR packed engine at the pinned lane-group width, with the
+// compiled Beneš replay as the rearrangeable baseline in both its
+// planned and packed forms.
+func runBatch(rp *permnet.RadixPermuter, rng *rand.Rand, batch, workers, lanes int) {
 	n := rp.N()
 	dests := make([][]int, batch)
 	for i := range dests {
@@ -167,8 +178,14 @@ func runBatch(rp *permnet.RadixPermuter, rng *rand.Rand, batch, workers int) {
 	}
 	parallel := time.Since(t0)
 
+	packedRoute := plan.RouteBatch
+	if batch >= permnet.PackedLanes {
+		packedRoute = func(d [][]int, w int) ([][]int, error) {
+			return plan.RouteBatchWide(d, w, lanes)
+		}
+	}
 	t0 = time.Now()
-	routed, err := plan.RouteBatch(dests, workers) // ≥ 64: packed lane groups
+	routed, err := packedRoute(dests, workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "permroute:", err)
 		os.Exit(1)
@@ -181,12 +198,20 @@ func runBatch(rp *permnet.RadixPermuter, rng *rand.Rand, batch, workers int) {
 		os.Exit(1)
 	}
 	t0 = time.Now()
-	routedBenes, err := bp.RouteBatch(dests, workers)
+	routedBenes, err := bp.RouteBatchPlanned(dests, workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "permroute:", err)
 		os.Exit(1)
 	}
 	benes := time.Since(t0)
+
+	t0 = time.Now()
+	routedBenesPacked, err := bp.RouteBatch(dests, workers) // ≥ 64: packed lane groups
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "permroute:", err)
+		os.Exit(1)
+	}
+	benesPacked := time.Since(t0)
 
 	for i, dest := range dests {
 		if !permnet.VerifyRouting(dest, routed[i]) {
@@ -200,6 +225,10 @@ func runBatch(rp *permnet.RadixPermuter, rng *rand.Rand, batch, workers int) {
 		for j := range routed[i] {
 			if routed[i][j] != routedPlanned[i][j] {
 				fmt.Fprintf(os.Stderr, "permroute: request %d: planned and packed permutations differ\n", i)
+				os.Exit(1)
+			}
+			if routedBenesPacked[i][j] != routedBenes[i][j] {
+				fmt.Fprintf(os.Stderr, "permroute: request %d: Beneš planned and packed permutations differ\n", i)
 				os.Exit(1)
 			}
 		}
@@ -216,22 +245,34 @@ func runBatch(rp *permnet.RadixPermuter, rng *rand.Rand, batch, workers int) {
 	fmt.Printf("  planned-parallel %12v/route   %10.0f routes/sec   (%.1f× scalar)\n",
 		perRoute(parallel), rate(parallel), scalar.Seconds()/parallel.Seconds())
 	if batch >= permnet.PackedLanes {
-		fmt.Printf("  packed (SWAR)    %12v/route   %10.0f routes/sec   (%.1f× planned-parallel, %d lanes/replay)\n",
-			perRoute(packed), rate(packed), parallel.Seconds()/packed.Seconds(), permnet.PackedLanes)
+		full, rem := batch/lanes, batch%lanes
+		split := fmt.Sprintf("%d×%d packed", full, lanes)
+		switch {
+		case rem >= permnet.MinPackedLanes:
+			split += fmt.Sprintf(" + %d packed remainder", rem)
+		case rem > 0:
+			split += fmt.Sprintf(" + %d planned remainder", rem)
+		}
+		fmt.Printf("  packed (SWAR)    %12v/route   %10.0f routes/sec   (%.1f× planned-parallel, %s)\n",
+			perRoute(packed), rate(packed), parallel.Seconds()/packed.Seconds(), split)
 	} else {
 		fmt.Printf("  packed engine needs a batch ≥ %d assignments; RouteBatch stayed on the planned path\n",
 			permnet.PackedLanes)
 	}
 	fmt.Printf("  benes-planned    %12v/route   %10.0f routes/sec   (%d switches/route)\n",
 		perRoute(benes), rate(benes), bp.NumSwitches())
+	if batch >= permnet.PackedLanes {
+		fmt.Printf("  benes-packed     %12v/route   %10.0f routes/sec   (%.1f× benes-planned)\n",
+			perRoute(benesPacked), rate(benesPacked), benes.Seconds()/benesPacked.Seconds())
+	}
 	fmt.Printf("  all %d batch routings delivered on both networks\n", batch)
 }
 
 // runConcentrateBatch drives the concentrate batch pipeline over the
-// same request count: per-pattern planned routing vs ConcentrateBatch's
-// SWAR lane-packed engine (64 patterns per plan replay), with a full
-// bit-for-bit cross-check between the two paths.
-func runConcentrateBatch(n int, eng concentrator.Engine, rng *rand.Rand, batch, workers int) {
+// same request count: per-pattern planned routing vs the SWAR lane-packed
+// engine at the pinned lane-group width, with a full bit-for-bit
+// cross-check between the two paths.
+func runConcentrateBatch(n int, eng concentrator.Engine, rng *rand.Rand, batch, workers, lanes int) {
 	c := concentrator.New(n, n, eng, 0)
 	c.Compile()
 	marked := make([][]bool, batch)
@@ -253,8 +294,14 @@ func runConcentrateBatch(n int, eng concentrator.Engine, rng *rand.Rand, batch, 
 	}
 	planned := time.Since(t0)
 
+	concRoute := c.ConcentrateBatch
+	if batch >= concentrator.PackedLanes {
+		concRoute = func(m [][]bool, w int) ([][]int, []int, error) {
+			return c.ConcentrateBatchWide(m, w, lanes)
+		}
+	}
 	t0 = time.Now()
-	packedP, packedR, err := c.ConcentrateBatch(marked, workers)
+	packedP, packedR, err := concRoute(marked, workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "permroute:", err)
 		os.Exit(1)
@@ -279,8 +326,7 @@ func runConcentrateBatch(n int, eng concentrator.Engine, rng *rand.Rand, batch, 
 		planned/time.Duration(batch), rate(planned))
 	if batch >= concentrator.PackedLanes {
 		fmt.Printf("  packed (SWAR)    %12v/pattern  %10.0f patterns/sec   (%.1f× planned, %d lanes/replay)\n",
-			packed/time.Duration(batch), rate(packed), planned.Seconds()/packed.Seconds(),
-			concentrator.PackedLanes)
+			packed/time.Duration(batch), rate(packed), planned.Seconds()/packed.Seconds(), lanes)
 	} else {
 		fmt.Printf("  packed engine needs a batch ≥ %d patterns; ConcentrateBatch stayed on the planned path\n",
 			concentrator.PackedLanes)

@@ -66,17 +66,41 @@ func (p *Plan) RouteBatch(tagsBatch []bitvec.Vector, workers int) ([][]int, erro
 // pattern among those attempted.
 //
 // Batches at least one lane group wide (≥ 64 patterns) automatically
-// switch to the 64-lane SWAR engine: full groups route through
-// ConcentratePacked, one plan replay per 64 patterns, and a remainder
-// narrower than MinPackedLanes falls back to the planned path. The
-// Ranking engine always takes the planned path — its single stable
-// partition gains nothing from lane packing. Results are bit-for-bit
-// identical either way.
+// switch to the SWAR engine: full groups route through
+// ConcentratePacked — one plan replay per group, widened up to
+// planner.WideWords×64 patterns when the batch keeps every worker busy
+// anyway (see planner.AutoWideLanes) — and a remainder narrower than
+// MinPackedLanes falls back to the planned path. The Ranking engine
+// always takes the planned path — its single stable partition gains
+// nothing from lane packing — and a plan whose step stream has no packed
+// form (planner.ErrNotPackable) falls back to planned cleanly. Results
+// are bit-for-bit identical either way.
 func (c *Concentrator) ConcentrateBatch(markedBatch [][]bool, workers int) ([][]int, []int, error) {
 	if len(markedBatch) >= PackedLanes && c.engine != Ranking {
-		return c.concentrateBatchPacked(markedBatch, workers)
+		return c.ConcentrateBatchWide(markedBatch, workers, planner.AutoWideLanes(len(markedBatch), workers))
 	}
 	return c.ConcentrateBatchPlanned(markedBatch, workers)
+}
+
+// ConcentrateBatchWide is ConcentrateBatch with an explicit lane-group
+// width: groupLanes must be a positive multiple of 64 up to
+// MaxPackedLanes. Full groups route through one packed replay each; a
+// remainder narrower than MinPackedLanes routes planned. Plans without a
+// packed form fall back to the planned pipeline for the whole batch.
+func (c *Concentrator) ConcentrateBatchWide(markedBatch [][]bool, workers, groupLanes int) ([][]int, []int, error) {
+	if groupLanes < PackedLanes || groupLanes > MaxPackedLanes || groupLanes%PackedLanes != 0 {
+		return nil, nil, fmt.Errorf("concentrator: ConcentrateBatchWide: group width %d, want a multiple of %d up to %d",
+			groupLanes, PackedLanes, MaxPackedLanes)
+	}
+	if len(markedBatch) == 0 {
+		return nil, nil, nil
+	}
+	if plan, err := c.compileChecked(); err != nil {
+		return nil, nil, err
+	} else if _, err := plan.Packed(); err != nil {
+		return c.ConcentrateBatchPlanned(markedBatch, workers)
+	}
+	return c.concentrateBatchPacked(markedBatch, workers, groupLanes)
 }
 
 // ConcentrateBatchPlanned is the per-request planned batch pipeline:
@@ -108,21 +132,21 @@ func (c *Concentrator) ConcentrateBatchPlanned(markedBatch [][]bool, workers int
 	return out, rs, nil
 }
 
-// concentrateBatchPacked carves the batch into 64-pattern lane groups
-// and routes every full group through one packed plan replay; a final
-// remainder below MinPackedLanes routes per-pattern on the planned path.
-// Groups are distributed across workers exactly as the planned pipeline
-// distributes single patterns.
-func (c *Concentrator) concentrateBatchPacked(markedBatch [][]bool, workers int) ([][]int, []int, error) {
+// concentrateBatchPacked carves the batch into groupLanes-pattern lane
+// groups and routes every full group through one packed plan replay; a
+// final remainder below MinPackedLanes routes per-pattern on the planned
+// path. Groups are distributed across workers exactly as the planned
+// pipeline distributes single patterns.
+func (c *Concentrator) concentrateBatchPacked(markedBatch [][]bool, workers, groupLanes int) ([][]int, []int, error) {
 	out, rs := makeBatchResults(len(markedBatch), c.n)
-	groups := (len(markedBatch) + PackedLanes - 1) / PackedLanes
+	groups := (len(markedBatch) + groupLanes - 1) / groupLanes
 	var firstErr atomic.Pointer[batchErr]
 	runBatch(groups, workers, func(g int) bool {
 		if firstErr.Load() != nil {
 			return false // poisoned batch: abort instead of burning workers
 		}
-		lo := g * PackedLanes
-		hi := min(lo+PackedLanes, len(markedBatch))
+		lo := g * groupLanes
+		hi := min(lo+groupLanes, len(markedBatch))
 		if hi-lo < MinPackedLanes {
 			for i := lo; i < hi; i++ {
 				r, err := c.ConcentrateInto(out[i], markedBatch[i])

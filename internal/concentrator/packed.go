@@ -1,16 +1,17 @@
-// SWAR lane-packed routing: evaluate up to 64 independent tag patterns
-// through one compiled routing plan in a single pass. The bit-plane
-// engine itself — position-major packed planes, masked-XOR swaps under
-// per-lane select masks, carry-save counters, plane-bound analysis, and
-// the two-stage transpose extraction — is the shared packed runner of
-// internal/planner; this file contributes only the concentrator-specific
-// surface: tag-lane packing, the request-count/capacity validation, and
-// the error messages of the batch contract.
+// SWAR lane-packed routing: evaluate up to MaxPackedLanes independent
+// tag patterns through one compiled routing plan in a single pass. The
+// bit-plane engine itself — position-major packed planes, masked-XOR
+// swaps under per-lane select masks, carry-save counters, plane-bound
+// analysis, cache-blocked multi-word lane groups, and the two-stage
+// transpose extraction — is the shared packed runner of internal/planner;
+// this file contributes only the concentrator-specific surface: tag-lane
+// packing, the request-count/capacity validation, and the error messages
+// of the batch contract.
 //
 // Throughput: one packed pass costs roughly live-plane word operations
-// where the scalar plan costs 64 packet-word moves, so wide batches route
-// ≥ 3× faster than the planned-parallel pipeline (see BENCH_route.json
-// and TestPackedSpeedupFloor).
+// where the scalar plan costs 64 packet-word moves per lane word, so wide
+// batches route ≥ 3× faster than the planned-parallel pipeline (see
+// BENCH_route.json and TestPackedSpeedupFloor).
 package concentrator
 
 import (
@@ -20,9 +21,13 @@ import (
 	"absort/internal/planner"
 )
 
-// PackedLanes is the number of independent request patterns a packed
-// plan evaluates per pass: one bit lane of every plane word per pattern.
+// PackedLanes is the number of request patterns one plane word carries:
+// one bit lane of every plane word per pattern.
 const PackedLanes = planner.PackedLanes
+
+// MaxPackedLanes is the widest pattern group one packed pass evaluates:
+// MaxPackedWidth lane words of 64 patterns each.
+const MaxPackedLanes = planner.MaxPackedWidth * planner.PackedLanes
 
 // MinPackedLanes is the batch-width threshold at which the packed engine
 // overtakes per-request planned routing: a packed pass costs about
@@ -35,52 +40,59 @@ const PackedLanes = planner.PackedLanes
 // narrower remainders.
 const MinPackedLanes = planner.MinPackedLanes
 
-// PackedPlan is the 64-lane SWAR evaluation engine of a compiled routing
-// Plan: a thin concentrator-facing wrapper over the planner's shared
-// packed runner. It is immutable after construction and safe for
-// concurrent use: every execution draws its working state from the
-// runner's pool.
+// PackedPlan is the SWAR evaluation surface of a compiled routing Plan:
+// a thin concentrator-facing wrapper over the planner's shared packed
+// runner, selecting the lane-word width per call. It is immutable after
+// construction and safe for concurrent use: every execution draws its
+// working state from the runner's per-width pools.
 type PackedPlan struct {
 	plan *Plan
-	pp   *planner.Packed
 }
 
-// Packed returns the plan's 64-lane SWAR engine, building it on first
+// Packed returns the plan's SWAR engine wrapper, building it on first
 // use and caching it behind an atomic pointer (Plans are immutable, so
-// the packed engine is shared safely).
-func (p *Plan) Packed() *PackedPlan {
+// the packed engine is shared safely). It returns the planner's typed
+// *planner.ErrNotPackable — never a panic — when the lowered step
+// stream has no packed form; callers fall back to planned replay.
+func (p *Plan) Packed() (*PackedPlan, error) {
 	if pp := p.packed.Load(); pp != nil {
-		return pp
+		return pp, nil
 	}
-	pp := &PackedPlan{plan: p, pp: p.prog.Packed()}
+	if _, err := p.prog.Packed(1); err != nil {
+		return nil, err
+	}
+	pp := &PackedPlan{plan: p}
 	if !p.packed.CompareAndSwap(nil, pp) {
-		return p.packed.Load()
+		return p.packed.Load(), nil
 	}
-	return pp
+	return pp, nil
 }
 
 // N returns the input width of the packed plan.
 func (pp *PackedPlan) N() int { return pp.plan.n }
 
-// Lanes returns the number of patterns evaluated per pass (64).
-func (pp *PackedPlan) Lanes() int { return PackedLanes }
+// Lanes returns the widest pattern group one pass evaluates.
+func (pp *PackedPlan) Lanes() int { return MaxPackedLanes }
 
 // Plan returns the scalar plan the packed engine replays.
 func (pp *PackedPlan) Plan() *Plan { return pp.plan }
 
-// PackTagLanes packs up to 64 tag vectors one bit lane each into dst:
-// dst[i] bit l carries tagsBatch[l][i]. dst must have room for the
-// vectors' common length; lanes beyond len(tagsBatch) are zeroed.
+// PackTagLanes packs up to MaxPackedLanes tag vectors one bit lane each
+// into dst, word-major: dst[w*n+i] bit l carries tagsBatch[64w+l][i].
+// dst must have room for ⌈lanes/64⌉ words per tag position; unused lanes
+// of the last word are zeroed.
 func PackTagLanes(dst []uint64, tagsBatch []bitvec.Vector) error {
-	if len(tagsBatch) == 0 || len(tagsBatch) > PackedLanes {
+	if len(tagsBatch) == 0 || len(tagsBatch) > MaxPackedLanes {
 		return fmt.Errorf("concentrator: PackTagLanes: %d lanes, want 1..%d",
-			len(tagsBatch), PackedLanes)
+			len(tagsBatch), MaxPackedLanes)
 	}
 	n := len(tagsBatch[0])
-	if len(dst) < n {
-		return fmt.Errorf("concentrator: PackTagLanes: %d words for %d tags", len(dst), n)
+	words := (len(tagsBatch) + PackedLanes - 1) / PackedLanes
+	if len(dst) < words*n {
+		return fmt.Errorf("concentrator: PackTagLanes: %d words for %d lanes of %d tags",
+			len(dst), len(tagsBatch), n)
 	}
-	for i := range dst[:n] {
+	for i := range dst[:words*n] {
 		dst[i] = 0
 	}
 	for l, tags := range tagsBatch {
@@ -88,29 +100,34 @@ func PackTagLanes(dst []uint64, tagsBatch []bitvec.Vector) error {
 			return fmt.Errorf("concentrator: PackTagLanes: vector %d has %d tags, want %d",
 				l, len(tags), n)
 		}
+		w := l / PackedLanes
+		bit := uint(l % PackedLanes)
 		for i, t := range tags {
-			dst[i] |= uint64(t&1) << uint(l)
+			dst[w*n+i] |= uint64(t&1) << bit
 		}
 	}
 	return nil
 }
 
-// RoutePacked evaluates len(out) tag patterns (1..64) through the plan
-// in one pass. tags is lane-packed: tags[i] bit l is pattern l's tag at
-// input i (bits at lanes ≥ len(out) are ignored). out[l] receives the
-// permutation the network realizes on pattern l, in receives-from form
-// exactly as Plan.Route. It performs no steady-state heap allocations
-// and returns a validated error — never a panic — on malformed input.
+// RoutePacked evaluates len(out) tag patterns (1..MaxPackedLanes)
+// through the plan in one pass. tags is lane-packed word-major: tags
+// word w*n+i bit l is pattern 64w+l's tag at input i (bits at lanes
+// ≥ len(out) are ignored), ⌈len(out)/64⌉ words per input. out[l]
+// receives the permutation the network realizes on pattern l, in
+// receives-from form exactly as Plan.Route. It performs no steady-state
+// heap allocations and returns a validated error — never a panic — on
+// malformed input.
 func (pp *PackedPlan) RoutePacked(out [][]int, tags []uint64) error {
 	n := pp.plan.n
 	lanes := len(out)
-	if lanes == 0 || lanes > PackedLanes {
+	if lanes == 0 || lanes > MaxPackedLanes {
 		return fmt.Errorf("concentrator: Plan(%d).RoutePacked: %d lanes, want 1..%d",
-			n, lanes, PackedLanes)
+			n, lanes, MaxPackedLanes)
 	}
-	if len(tags) != n {
+	words := (lanes + PackedLanes - 1) / PackedLanes
+	if len(tags) != words*n {
 		return fmt.Errorf("concentrator: Plan(%d).RoutePacked: %d tag words, want %d",
-			n, len(tags), n)
+			n, len(tags), words*n)
 	}
 	for l, o := range out {
 		if len(o) != n {
@@ -118,11 +135,15 @@ func (pp *PackedPlan) RoutePacked(out [][]int, tags []uint64) error {
 				n, l, len(o))
 		}
 	}
-	sc := pp.pp.Get()
-	pp.pp.LoadTagWords(sc.Val, tags)
-	pp.pp.Run(sc)
-	pp.pp.Extract(out, sc.Val)
-	pp.pp.Put(sc)
+	eng, err := pp.plan.prog.Packed(words)
+	if err != nil {
+		return err // unreachable after Packed(); kept for defense
+	}
+	sc := eng.Get()
+	eng.LoadTagWords(sc.Val, tags)
+	eng.Run(sc)
+	eng.Extract(out, sc.Val)
+	eng.Put(sc)
 	return nil
 }
 
@@ -141,20 +162,28 @@ func (pp *PackedPlan) RouteLanes(out [][]int, tagsBatch []bitvec.Vector) error {
 				n, l, len(tags))
 		}
 	}
-	sc := pp.pp.Get()
-	words := sc.Tmp[:n] // borrow copy scratch for the packed tag words
-	if err := PackTagLanes(words, tagsBatch); err != nil {
-		pp.pp.Put(sc)
+	words := (len(tagsBatch) + PackedLanes - 1) / PackedLanes
+	if words < 1 {
+		words = 1
+	}
+	eng, err := pp.plan.prog.Packed(words)
+	if err != nil {
+		return err // unreachable after Packed(); kept for defense
+	}
+	sc := eng.Get()
+	tw := sc.Tmp[:words*n] // borrow copy scratch for the packed tag words
+	if err := PackTagLanes(tw, tagsBatch); err != nil {
+		eng.Put(sc)
 		return err
 	}
-	err := pp.RoutePacked(out, words)
-	pp.pp.Put(sc)
+	err = pp.RoutePacked(out, tw)
+	eng.Put(sc)
 	return err
 }
 
-// ConcentratePacked routes up to PackedLanes request patterns through
+// ConcentratePacked routes up to MaxPackedLanes request patterns through
 // the concentrator's compiled plan in one SWAR pass: pattern l's tags
-// occupy bit lane l of every plane word. It writes, pattern by pattern,
+// occupy bit lane l of plane word l/64. It writes, pattern by pattern,
 // the realized permutations into perms and the request counts into
 // counts — exactly the results len(markedBatch) ConcentrateInto calls
 // would produce, at a fraction of the data movement. A malformed or
@@ -171,9 +200,9 @@ func (c *Concentrator) ConcentratePacked(perms [][]int, counts []int, markedBatc
 // returns the global index of the offending pattern alongside the error.
 func (c *Concentrator) concentratePackedAt(perms [][]int, counts []int, markedBatch [][]bool, base int) (int, error) {
 	lanes := len(markedBatch)
-	if lanes == 0 || lanes > PackedLanes {
+	if lanes == 0 || lanes > MaxPackedLanes {
 		return base, fmt.Errorf("concentrator: ConcentratePacked: %d patterns, want 1..%d",
-			lanes, PackedLanes)
+			lanes, MaxPackedLanes)
 	}
 	if len(perms) != lanes || len(counts) != lanes {
 		return base, fmt.Errorf("concentrator: ConcentratePacked: %d permutations and %d counts for %d patterns",
@@ -193,11 +222,15 @@ func (c *Concentrator) concentratePackedAt(perms [][]int, counts []int, markedBa
 				base+l, len(perms[l]), c.n)
 		}
 	}
-	pp := plan.prog.Packed()
-	sc := pp.Get()
-	words := sc.Tmp[:c.n] // borrow copy scratch for the packed tag words
-	for i := range words {
-		words[i] = 0
+	words := (lanes + PackedLanes - 1) / PackedLanes
+	eng, err := plan.prog.Packed(words)
+	if err != nil {
+		return base, err
+	}
+	sc := eng.Get()
+	tw := sc.Tmp[:words*c.n] // borrow copy scratch for the packed tag words
+	for i := range tw {
+		tw[i] = 0
 	}
 	// Unmarked inputs are tagged 1 (exactly as ConcentrateInto); the
 	// request counts double as the capacity check, validated before any
@@ -205,6 +238,9 @@ func (c *Concentrator) concentratePackedAt(perms [][]int, counts []int, markedBa
 	// is branchless: request patterns are adversarial, and a predicted
 	// branch per input would cost more than the whole routing pass.
 	for l, marked := range markedBatch {
+		w := l / PackedLanes
+		bit := uint(l % PackedLanes)
+		row := tw[w*c.n : (w+1)*c.n]
 		r := 0
 		for i, mk := range marked {
 			u := uint64(0)
@@ -212,18 +248,18 @@ func (c *Concentrator) concentratePackedAt(perms [][]int, counts []int, markedBa
 				u = 1
 			}
 			r += int(u)
-			words[i] |= (u ^ 1) << uint(l)
+			row[i] |= (u ^ 1) << bit
 		}
 		if r > c.m {
-			pp.Put(sc)
+			eng.Put(sc)
 			return base + l, fmt.Errorf("concentrator: batch pattern %d: concentrator: %d requests exceed capacity %d",
 				base+l, r, c.m)
 		}
 		counts[l] = r
 	}
-	pp.LoadTagWords(sc.Val, words)
-	pp.Run(sc)
-	pp.Extract(perms, sc.Val)
-	pp.Put(sc)
+	eng.LoadTagWords(sc.Val, tw)
+	eng.Run(sc)
+	eng.Extract(perms, sc.Val)
+	eng.Put(sc)
 	return 0, nil
 }

@@ -23,7 +23,10 @@ func TestRoutePackedDifferential(t *testing.T) {
 	lanesSweep := []int{1, 2, 7, 24, 63, 64}
 	for _, cfg := range planConfigs(64) {
 		p := NewPlan(cfg.n, cfg.engine, cfg.k)
-		pp := p.Packed()
+		pp, err := p.Packed()
+		if err != nil {
+			t.Fatal(err)
+		}
 		for _, lanes := range lanesSweep {
 			batch := make([]bitvec.Vector, lanes)
 			for l := range batch {
@@ -53,7 +56,10 @@ func TestRoutePackedDifferential(t *testing.T) {
 func TestRoutePackedExhaustive(t *testing.T) {
 	for _, cfg := range planConfigs(8) {
 		p := NewPlan(cfg.n, cfg.engine, cfg.k)
-		pp := p.Packed()
+		pp, err := p.Packed()
+		if err != nil {
+			t.Fatal(err)
+		}
 		total := uint64(1) << cfg.n
 		for lo := uint64(0); lo < total; lo += PackedLanes {
 			lanes := int(min64(PackedLanes, total-lo))
@@ -99,7 +105,10 @@ func TestRoutePackedLarge(t *testing.T) {
 		{1024, Fish, 8}, {1024, PrefixAdder, 0},
 	} {
 		p := NewPlan(cfg.n, cfg.engine, cfg.k)
-		pp := p.Packed()
+		pp, err := p.Packed()
+		if err != nil {
+			t.Fatal(err)
+		}
 		tags := make([]uint64, cfg.n)
 		batch := make([]bitvec.Vector, PackedLanes)
 		out := make([][]int, PackedLanes)
@@ -236,15 +245,18 @@ func TestConcentrateBatchRankingStaysPlanned(t *testing.T) {
 func TestPackedErrors(t *testing.T) {
 	n := 16
 	p := NewPlan(n, MuxMerger, 0)
-	pp := p.Packed()
+	pp, err := p.Packed()
+	if err != nil {
+		t.Fatal(err)
+	}
 	good := make([][]int, 1)
 	good[0] = make([]int, n)
 
 	if err := pp.RoutePacked(nil, make([]uint64, n)); err == nil {
 		t.Error("RoutePacked accepted 0 lanes")
 	}
-	if err := pp.RoutePacked(make([][]int, PackedLanes+1), make([]uint64, n)); err == nil {
-		t.Error("RoutePacked accepted 65 lanes")
+	if err := pp.RoutePacked(make([][]int, MaxPackedLanes+1), make([]uint64, n)); err == nil {
+		t.Error("RoutePacked accepted more than MaxPackedLanes lanes")
 	}
 	if err := pp.RoutePacked(good, make([]uint64, n-1)); err == nil {
 		t.Error("RoutePacked accepted short tag words")
@@ -303,7 +315,10 @@ func TestPackedAllocFree(t *testing.T) {
 	}
 	rng := rand.New(rand.NewSource(46))
 	n := 256
-	pp := NewPlan(n, Fish, 4).Packed()
+	pp, err := NewPlan(n, Fish, 4).Packed()
+	if err != nil {
+		t.Fatal(err)
+	}
 	tags := make([]uint64, n)
 	for i := range tags {
 		tags[i] = rng.Uint64()
@@ -345,7 +360,10 @@ func FuzzRoutePacked(f *testing.F) {
 		}
 		rng := rand.New(rand.NewSource(seed))
 		p := NewPlan(n, engine, k)
-		pp := p.Packed()
+		pp, err := p.Packed()
+		if err != nil {
+			t.Fatal(err)
+		}
 		batch := make([]bitvec.Vector, lanes)
 		out := make([][]int, lanes)
 		for l := range batch {

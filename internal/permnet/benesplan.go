@@ -8,11 +8,19 @@
 // pre-order, and one linear replay moves the packets — the batched
 // baseline the radix permuter's fused plans are benchmarked against
 // (benes-planned in BenchmarkRouteEngines and cmd/permroute -batch).
+//
+// Wide batches go further: RoutePacked computes every lane's switch
+// settings with an allocation-free looping pass directly into per-lane
+// setting bitmaps, flattens them into per-switch lane masks
+// (planner.LoadSelBits), and replays the whole network once for up to
+// MaxPackedLanes assignments — the benes-packed engine of the route
+// benchmarks, ≥ 3× the planned replay's batch throughput (see
+// TestBenesPackedSpeedupFloor).
 package permnet
 
 import (
 	"fmt"
-	"sync/atomic"
+	"sync"
 
 	"absort/internal/core"
 	"absort/internal/planner"
@@ -24,8 +32,10 @@ import (
 // concurrent use; every route draws its working state from the program's
 // scratch pool.
 type BenesPlan struct {
-	n    int
-	prog *planner.Program
+	n        int
+	selWords int // per-lane setting-bitmap words: ⌈NumSwitches/64⌉
+	prog     *planner.Program
+	spool    sync.Pool // *benesScratch
 }
 
 // CompileBenes returns the shared Beneš replay program for width n
@@ -42,7 +52,17 @@ func CompileBenes(n int) (*BenesPlan, error) {
 	var b planner.Builder
 	lowerBenes(&b, 0, int32(n))
 	prog := b.Compile(planner.Layout{N: n, FrontPlanes: 1, TagShift: 63, TagPlane: 0})
-	return planner.Shared.Add(key, &BenesPlan{n: n, prog: prog}).(*BenesPlan), nil
+	bp := &BenesPlan{n: n, selWords: (prog.NumSel() + 63) / 64, prog: prog}
+	rows := core.Lg(n)
+	bp.spool.New = func() any {
+		return &benesScratch{
+			inv:   make([]int32, n),
+			color: make([]int8, n),
+			dst:   make([]int32, rows*n),
+			seen:  make([]uint64, n),
+		}
+	}
+	return planner.Shared.Add(key, bp).(*BenesPlan), nil
 }
 
 // lowerBenes emits the switch wiring of a Beneš network over [lo,hi) in
@@ -151,25 +171,235 @@ func (bp *BenesPlan) Route(dest []int) ([]int, error) {
 // Beneš replay concurrently, using workers goroutines (≤ 0 means
 // GOMAXPROCS) on the shared batch executor — the same contract as
 // RoutePlan.RouteBatch, including fail-fast on the earliest malformed
-// request.
+// request and the same packed auto-switch: batches at least one lane
+// group wide route through RoutePacked in planner.AutoWideLanes-wide
+// groups, with sub-MinPackedLanes remainders on the planned path.
+// Results are bit-for-bit identical either way.
 func (bp *BenesPlan) RouteBatch(dests [][]int, workers int) ([][]int, error) {
 	if len(dests) == 0 {
 		return nil, nil
 	}
-	out := makeRouteResults(len(dests), bp.n)
-	var firstErr atomic.Pointer[planner.BatchErr]
-	planner.RunBatch(len(dests), workers, routeGrain, func(i int) bool {
-		if firstErr.Load() != nil {
-			return false // poisoned batch: abort instead of burning workers
-		}
-		if err := bp.RouteInto(out[i], dests[i]); err != nil {
-			planner.RecordBatchErr(&firstErr, i, err)
-			return false
-		}
-		return true
-	})
-	if e := firstErr.Load(); e != nil {
-		return nil, fmt.Errorf("permnet: batch request %d: %w", e.I, e.Err)
+	if len(dests) >= PackedLanes {
+		return bp.RouteBatchWide(dests, workers, planner.AutoWideLanes(len(dests), workers))
 	}
-	return out, nil
+	return bp.RouteBatchPlanned(dests, workers)
+}
+
+// RouteBatchWide is RouteBatch with an explicit lane-group width:
+// groupLanes must be a positive multiple of 64 up to MaxPackedLanes.
+// Full groups route through one packed replay each; a remainder narrower
+// than MinPackedLanes routes planned. A replay program without a packed
+// form falls back to the planned pipeline for the whole batch.
+func (bp *BenesPlan) RouteBatchWide(dests [][]int, workers, groupLanes int) ([][]int, error) {
+	if groupLanes < PackedLanes || groupLanes > MaxPackedLanes || groupLanes%PackedLanes != 0 {
+		return nil, fmt.Errorf("permnet: RouteBatchWide: group width %d, want a multiple of %d up to %d",
+			groupLanes, PackedLanes, MaxPackedLanes)
+	}
+	if len(dests) == 0 {
+		return nil, nil
+	}
+	if _, err := bp.prog.Packed(1); err != nil {
+		return bp.RouteBatchPlanned(dests, workers)
+	}
+	return routeBatchPackedOn(bp.n, dests, workers, groupLanes, bp.RouteInto, bp.routePackedAt)
+}
+
+// RouteBatchPlanned is the per-request planned batch pipeline: every
+// assignment runs the looping algorithm and one scalar replay on pooled
+// scratch. It is the path RouteBatch takes below the packed threshold,
+// and the baseline TestBenesPackedSpeedupFloor measures the packed
+// engine against.
+func (bp *BenesPlan) RouteBatchPlanned(dests [][]int, workers int) ([][]int, error) {
+	return routeBatchPlannedOn(bp.n, dests, workers, bp.RouteInto)
+}
+
+// RoutePacked routes up to MaxPackedLanes destination assignments
+// through the Beneš network in one SWAR replay: per lane, the looping
+// algorithm writes the switch settings straight into a pooled setting
+// bitmap (no per-subnetwork allocation), the bitmaps flatten into
+// per-switch lane masks, and one packed pass moves all lanes' packets at
+// once. out[l] receives exactly what RouteInto(out[l], dests[l]) would
+// produce. A malformed assignment returns a validated error naming the
+// earliest offending request; it never panics.
+func (bp *BenesPlan) RoutePacked(out [][]int, dests [][]int) error {
+	_, err := bp.routePackedAt(out, dests, 0)
+	return err
+}
+
+// routePackedAt is RoutePacked with the assignments' global batch offset
+// (for error messages of grouped batch execution); it returns the global
+// index of the offending request alongside the error.
+func (bp *BenesPlan) routePackedAt(out [][]int, dests [][]int, base int) (int, error) {
+	lanes := len(dests)
+	if lanes == 0 || lanes > MaxPackedLanes {
+		return base, fmt.Errorf("permnet: RoutePacked: %d assignments, want 1..%d",
+			lanes, MaxPackedLanes)
+	}
+	if len(out) != lanes {
+		return base, fmt.Errorf("permnet: RoutePacked: %d outputs for %d assignments",
+			len(out), lanes)
+	}
+	words := (lanes + PackedLanes - 1) / PackedLanes
+	pp, err := bp.prog.Packed(words)
+	if err != nil {
+		return base, err
+	}
+	bs := bp.getScratch(lanes)
+	defer bp.spool.Put(bs)
+	for l, dest := range dests {
+		if len(dest) != bp.n {
+			return base + l, fmt.Errorf("permnet: RouteInto with %d destinations, want %d",
+				len(dest), bp.n)
+		}
+		if len(out[l]) != bp.n {
+			return base + l, fmt.Errorf("permnet: RouteInto into %d outputs, want %d",
+				len(out[l]), bp.n)
+		}
+		if err := bs.checkPerm(dest); err != nil {
+			return base + l, err
+		}
+		for i, d := range dest {
+			bs.dst[i] = int32(d)
+		}
+		lb := bs.sel[l]
+		for i := range lb {
+			lb[i] = 0
+		}
+		bp.routeBenesBits(bs, lb, 0, 0, bp.n, 0)
+	}
+	sc := pp.Get()
+	pp.LoadIndexPlanes(sc.Val)
+	pp.LoadSelBits(sc, bs.sel[:lanes])
+	pp.Run(sc)
+	pp.Extract(out, sc.Val)
+	pp.Put(sc)
+	return 0, nil
+}
+
+// benesScratch is the pooled working state of packed Beneš routing: the
+// looping algorithm's coloring arrays (reused depth-first across the
+// recursion), the per-depth destination rows, the per-lane
+// switch-setting bitmaps, and the epoch-stamped permutation validator —
+// sized once, so steady-state packed routing performs no heap
+// allocation.
+type benesScratch struct {
+	inv   []int32  // inverse-assignment scratch, one shared n-row
+	color []int8   // looping 2-coloring scratch, one shared n-row
+	dst   []int32  // lg n rows of n: row d holds the depth-d subproblems
+	seen  []uint64 // permutation validator, epoch-stamped
+	epoch uint64
+	bits  []uint64   // flat per-lane setting bitmaps, selWords each
+	sel   [][]uint64 // lane views into bits
+}
+
+// getScratch borrows a pooled scratch with setting bitmaps for at least
+// lanes lanes.
+func (bp *BenesPlan) getScratch(lanes int) *benesScratch {
+	bs := bp.spool.Get().(*benesScratch)
+	if len(bs.sel) < lanes {
+		sw := bp.selWords
+		bs.bits = make([]uint64, lanes*sw)
+		bs.sel = make([][]uint64, lanes)
+		for l := range bs.sel {
+			bs.sel[l] = bs.bits[l*sw : (l+1)*sw]
+		}
+	}
+	return bs
+}
+
+// checkPerm is the allocation-free batch form of the package-level
+// permutation validator, stamping visited destinations with a per-call
+// epoch instead of clearing a seen array.
+func (bs *benesScratch) checkPerm(dest []int) error {
+	bs.epoch++
+	for _, d := range dest {
+		if d < 0 || d >= len(dest) || bs.seen[d] == bs.epoch {
+			return fmt.Errorf("permnet: %v is not a permutation", dest)
+		}
+		bs.seen[d] = bs.epoch
+	}
+	return nil
+}
+
+// routeBenesBits runs the looping algorithm over the depth-d subproblem
+// [lo,lo+size) of bs.dst and records the cross settings as set bits of
+// bits, in compile pre-order starting at select slot pos — routeBenes
+// and loadBenesSel fused into one allocation-free pass. The slot layout
+// mirrors lowerBenes exactly: size/2 input-column slots, the upper
+// subnetwork's BenesCost(size/2) slots, the lower's, then the size/2
+// output-column slots. Coloring scratch is shared across the recursion:
+// a parent is fully consumed (its children's subproblems written to the
+// next dst row) before either child runs, and children occupy disjoint
+// halves of the parent's window.
+func (bp *BenesPlan) routeBenesBits(bs *benesScratch, bits []uint64, d, lo, size, pos int) {
+	n := bp.n
+	dest := bs.dst[d*n+lo : d*n+lo+size]
+	if size == 2 {
+		if dest[0] == 1 {
+			bits[pos>>6] |= 1 << uint(pos&63)
+		}
+		return
+	}
+	inv := bs.inv[lo : lo+size]
+	color := bs.color[lo : lo+size]
+	for i, dd := range dest {
+		inv[dd] = int32(i)
+		color[i] = -1
+	}
+	// Looping 2-coloring exactly as routeBenes: color 0 routes through
+	// the upper subnetwork; input-switch partners get opposite colors, as
+	// do inputs destined to the same output switch.
+	for s := 0; s < size; s++ {
+		if color[s] != -1 {
+			continue
+		}
+		i, c := int32(s), int8(0)
+		for {
+			color[i] = c
+			p := inv[dest[i]^1] // input sharing my output switch
+			if color[p] != -1 {
+				break
+			}
+			color[p] = 1 - c
+			q := p ^ 1 // p's input-switch partner
+			if color[q] != -1 {
+				break
+			}
+			i = q // gets color 1 − color[p] = c
+		}
+	}
+	half := size / 2
+	next := bs.dst[(d+1)*n+lo : (d+1)*n+lo+size]
+	sub := BenesCost(half)
+	outPos := pos + half + 2*sub
+	for i := 0; i < half; i++ {
+		// Branchless switch emission: c is input switch i's crossing (the
+		// looping pass colored every input, so c ∈ {0, 1}), and the
+		// crossing bits OR in a 0 rather than branching — the settings
+		// are data-random, so a conditional store would mispredict half
+		// the time.
+		c := int(color[2*i])
+		j := pos + i
+		bits[j>>6] |= uint64(c) << uint(j&63)
+		du := dest[2*i+c]
+		next[i] = du / 2
+		next[half+i] = dest[2*i+1-c] / 2
+		// Output switch du/2 receives the upper subnetwork's packet on its
+		// even leg: cross exactly when that packet wants the odd output.
+		jo := outPos + int(du)/2
+		bits[jo>>6] |= uint64(du&1) << uint(jo&63)
+	}
+	if half == 2 {
+		// Inline the size-2 leaves: each is a single switch crossing
+		// exactly when its first packet wants output 1 (upper child at
+		// slot pos+2, lower at pos+3), and the recursion overhead of the
+		// 2n/4 leaf calls outweighs the work.
+		ju := pos + 2
+		bits[ju>>6] |= uint64(next[0]) << uint(ju&63)
+		jl := pos + 3
+		bits[jl>>6] |= uint64(next[2]) << uint(jl&63)
+		return
+	}
+	bp.routeBenesBits(bs, bits, d+1, lo, half, pos+half)
+	bp.routeBenesBits(bs, bits, d+1, lo+half, half, pos+half+sub)
 }

@@ -1,17 +1,20 @@
 // SWAR lane-packed permutation routing and the batch pipeline riding it:
-// up to 64 independent destination assignments evaluate through one fused
-// route plan in a single pass. The bit-plane engine — lg n destination
-// front planes whose per-level tag plane OpSetTag selects, masked-XOR
-// swaps under per-lane select masks, live-plane analysis, and the
-// two-stage transpose load/extract — is the shared packed runner of
+// up to MaxPackedLanes independent destination assignments evaluate
+// through one fused route plan in a single pass. The bit-plane engine —
+// lg n destination front planes whose per-level tag plane OpSetTag
+// selects, masked-XOR swaps under per-lane select masks, live-plane
+// analysis, cache-blocked multi-word lane groups, and the two-stage
+// transpose load/extract — is the shared packed runner of
 // internal/planner; this file contributes only the permuter-specific
 // surface: per-lane permutation validation, the auto-switch policy of
 // RouteBatch, and the error messages of the batch contract.
 //
 // Throughput: one packed pass costs roughly live-plane word operations
-// (2 lg n − d planes at level d) where the planned path pays 64 packet
-// moves, so wide batches route ≥ 2× faster than the planned-parallel
-// pipeline (see BENCH_route.json and TestPermPackedSpeedupFloor).
+// per lane word (2 lg n − d planes at level d) where the planned path
+// pays 64 packet moves, so wide batches route ≥ 2× faster than the
+// planned-parallel pipeline (see BENCH_route.json and
+// TestPermPackedSpeedupFloor); groups wider than one word additionally
+// amortize the step-decode overhead (TestWidePackedThroughputFloor).
 package permnet
 
 import (
@@ -21,9 +24,13 @@ import (
 	"absort/internal/planner"
 )
 
-// PackedLanes is the number of independent destination assignments a
-// packed route plan evaluates per pass.
+// PackedLanes is the number of destination assignments one plane word
+// carries.
 const PackedLanes = planner.PackedLanes
+
+// MaxPackedLanes is the widest assignment group one packed pass
+// evaluates: MaxPackedWidth lane words of 64 assignments each.
+const MaxPackedLanes = planner.MaxPackedWidth * planner.PackedLanes
 
 // MinPackedLanes is the batch-width threshold at which the packed engine
 // overtakes per-request planned routing; narrower batch remainders fall
@@ -43,18 +50,40 @@ const routeGrain = 4
 // those attempted.
 //
 // Batches at least one lane group wide (≥ 64 assignments) automatically
-// switch to the 64-lane SWAR engine: full groups route through
-// RoutePacked, one fused-plan replay per 64 assignments, and a remainder
-// narrower than MinPackedLanes falls back to the planned path. Results
-// are bit-for-bit identical either way.
+// switch to the SWAR engine: full groups route through RoutePacked, one
+// fused-plan replay per group — widened up to planner.WideWords×64
+// assignments when the batch keeps every worker busy anyway (see
+// planner.AutoWideLanes) — and a remainder narrower than MinPackedLanes
+// falls back to the planned path. Plans whose step stream has no packed
+// form (planner.ErrNotPackable) take the planned path for the whole
+// batch. Results are bit-for-bit identical either way.
 func (p *RoutePlan) RouteBatch(dests [][]int, workers int) ([][]int, error) {
 	if len(dests) == 0 {
 		return nil, nil
 	}
 	if len(dests) >= PackedLanes {
-		return p.routeBatchPacked(dests, workers)
+		return p.RouteBatchWide(dests, workers, planner.AutoWideLanes(len(dests), workers))
 	}
 	return p.RouteBatchPlanned(dests, workers)
+}
+
+// RouteBatchWide is RouteBatch with an explicit lane-group width:
+// groupLanes must be a positive multiple of 64 up to MaxPackedLanes.
+// Full groups route through one packed replay each; a remainder narrower
+// than MinPackedLanes routes planned. Plans without a packed form fall
+// back to the planned pipeline for the whole batch.
+func (p *RoutePlan) RouteBatchWide(dests [][]int, workers, groupLanes int) ([][]int, error) {
+	if groupLanes < PackedLanes || groupLanes > MaxPackedLanes || groupLanes%PackedLanes != 0 {
+		return nil, fmt.Errorf("permnet: RouteBatchWide: group width %d, want a multiple of %d up to %d",
+			groupLanes, PackedLanes, MaxPackedLanes)
+	}
+	if len(dests) == 0 {
+		return nil, nil
+	}
+	if _, err := p.prog.Packed(1); err != nil {
+		return p.RouteBatchPlanned(dests, workers)
+	}
+	return p.routeBatchPacked(dests, workers, groupLanes)
 }
 
 // RouteBatchPlanned is the per-request planned batch pipeline: every
@@ -63,16 +92,33 @@ func (p *RoutePlan) RouteBatch(dests [][]int, workers int) ([][]int, error) {
 // packed threshold, and the baseline the packed engine's throughput
 // floor is measured against.
 func (p *RoutePlan) RouteBatchPlanned(dests [][]int, workers int) ([][]int, error) {
+	return routeBatchPlannedOn(p.n, dests, workers, p.RouteInto)
+}
+
+// routeBatchPacked carves the batch into groupLanes-assignment lane
+// groups and routes every full group through one packed fused-plan
+// replay; a final remainder below MinPackedLanes routes per-request on
+// the planned path. Groups are distributed across workers exactly as the
+// planned pipeline distributes single assignments.
+func (p *RoutePlan) routeBatchPacked(dests [][]int, workers, groupLanes int) ([][]int, error) {
+	return routeBatchPackedOn(p.n, dests, workers, groupLanes, p.RouteInto, p.routePackedAt)
+}
+
+// routeBatchPlannedOn is the shared planned batch body: the fused radix
+// plan and the compiled Beneš replay have the exact same batch contract,
+// differing only in the per-request route.
+func routeBatchPlannedOn(n int, dests [][]int, workers int,
+	route func(out, dest []int) error) ([][]int, error) {
 	if len(dests) == 0 {
 		return nil, nil
 	}
-	out := makeRouteResults(len(dests), p.n)
+	out := makeRouteResults(len(dests), n)
 	var firstErr atomic.Pointer[planner.BatchErr]
 	planner.RunBatch(len(dests), workers, routeGrain, func(i int) bool {
 		if firstErr.Load() != nil {
 			return false // poisoned batch: abort instead of burning workers
 		}
-		if err := p.RouteInto(out[i], dests[i]); err != nil {
+		if err := route(out[i], dests[i]); err != nil {
 			planner.RecordBatchErr(&firstErr, i, err)
 			return false
 		}
@@ -84,31 +130,31 @@ func (p *RoutePlan) RouteBatchPlanned(dests [][]int, workers int) ([][]int, erro
 	return out, nil
 }
 
-// routeBatchPacked carves the batch into 64-assignment lane groups and
-// routes every full group through one packed fused-plan replay; a final
-// remainder below MinPackedLanes routes per-request on the planned path.
-// Groups are distributed across workers exactly as the planned pipeline
-// distributes single assignments.
-func (p *RoutePlan) routeBatchPacked(dests [][]int, workers int) ([][]int, error) {
-	out := makeRouteResults(len(dests), p.n)
-	groups := (len(dests) + PackedLanes - 1) / PackedLanes
+// routeBatchPackedOn is the shared packed batch body: full lane groups go
+// through the plan's packed group route, a remainder below MinPackedLanes
+// through the per-request planned route.
+func routeBatchPackedOn(n int, dests [][]int, workers, groupLanes int,
+	route func(out, dest []int) error,
+	group func(out, dests [][]int, base int) (int, error)) ([][]int, error) {
+	out := makeRouteResults(len(dests), n)
+	groups := (len(dests) + groupLanes - 1) / groupLanes
 	var firstErr atomic.Pointer[planner.BatchErr]
 	planner.RunBatch(groups, workers, 1, func(g int) bool {
 		if firstErr.Load() != nil {
 			return false // poisoned batch: abort instead of burning workers
 		}
-		lo := g * PackedLanes
-		hi := min(lo+PackedLanes, len(dests))
+		lo := g * groupLanes
+		hi := min(lo+groupLanes, len(dests))
 		if hi-lo < MinPackedLanes {
 			for i := lo; i < hi; i++ {
-				if err := p.RouteInto(out[i], dests[i]); err != nil {
+				if err := route(out[i], dests[i]); err != nil {
 					planner.RecordBatchErr(&firstErr, i, err)
 					return false
 				}
 			}
 			return true
 		}
-		if idx, err := p.routePackedAt(out[lo:hi], dests[lo:hi], lo); err != nil {
+		if idx, err := group(out[lo:hi], dests[lo:hi], lo); err != nil {
 			planner.RecordBatchErr(&firstErr, idx, err)
 			return false
 		}
@@ -120,13 +166,13 @@ func (p *RoutePlan) routeBatchPacked(dests [][]int, workers int) ([][]int, error
 	return out, nil
 }
 
-// RoutePacked routes up to PackedLanes destination assignments through
-// the fused plan in one SWAR pass: assignment l's destination bits ride
-// bit lane l of every plane word. It writes, assignment by assignment,
-// the realized permutations into out — exactly the results len(dests)
-// RouteInto calls would produce, at a fraction of the data movement. A
-// malformed assignment returns a validated error naming the earliest
-// offending request before any routing starts; it never panics.
+// RoutePacked routes up to MaxPackedLanes destination assignments
+// through the fused plan in one SWAR pass: assignment l's destination
+// bits ride bit lane l of plane word l/64. It writes, assignment by
+// assignment, the realized permutations into out — exactly the results
+// len(dests) RouteInto calls would produce, at a fraction of the data
+// movement. A malformed assignment returns a validated error naming the
+// earliest offending request before any routing starts; it never panics.
 func (p *RoutePlan) RoutePacked(out [][]int, dests [][]int) error {
 	_, err := p.routePackedAt(out, dests, 0)
 	return err
@@ -137,9 +183,9 @@ func (p *RoutePlan) RoutePacked(out [][]int, dests [][]int) error {
 // index of the offending request alongside the error.
 func (p *RoutePlan) routePackedAt(out [][]int, dests [][]int, base int) (int, error) {
 	lanes := len(dests)
-	if lanes == 0 || lanes > PackedLanes {
+	if lanes == 0 || lanes > MaxPackedLanes {
 		return base, fmt.Errorf("permnet: RoutePacked: %d assignments, want 1..%d",
-			lanes, PackedLanes)
+			lanes, MaxPackedLanes)
 	}
 	if len(out) != lanes {
 		return base, fmt.Errorf("permnet: RoutePacked: %d outputs for %d assignments",
@@ -158,7 +204,11 @@ func (p *RoutePlan) routePackedAt(out [][]int, dests [][]int, base int) (int, er
 			return base + l, err
 		}
 	}
-	pp := p.prog.Packed()
+	words := (lanes + PackedLanes - 1) / PackedLanes
+	pp, err := p.prog.Packed(words)
+	if err != nil {
+		return base, err
+	}
 	sc := pp.Get()
 	pp.LoadDestLanes(sc.Val, dests)
 	pp.Run(sc)

@@ -1,0 +1,233 @@
+package permnet
+
+// Tests for the multi-word wide packing of ISSUE 6: lane groups wider
+// than one 64-lane plane word, through both the fused radix plans and
+// the compiled Beneš replay, plus the zero-allocation steady-state pins
+// for the multi-word scratch.
+
+import (
+	"math/rand"
+	"testing"
+
+	"absort/internal/concentrator"
+	"absort/internal/race"
+)
+
+// wideLaneCounts straddles every word boundary the multi-word engine
+// cares about: one lane short of a word, exact words, one lane over,
+// and a three-word group.
+var wideLaneCounts = []int{63, 64, 65, 127, 128, 129, 192}
+
+// TestRouteWideDifferential checks the multi-word packed permuter
+// against the scalar recursion on every engine at lane counts that
+// straddle the 64-lane word boundaries: each lane's permutation must be
+// bit-for-bit identical to the scalar route of that lane's assignment.
+func TestRouteWideDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	for _, cfg := range planEngines {
+		for _, n := range []int{16, 64} {
+			if cfg.k > n {
+				continue
+			}
+			rp := NewRadixPermuter(n, cfg.engine, cfg.k)
+			plan := rp.Compile()
+			for _, lanes := range wideLaneCounts {
+				dests := make([][]int, lanes)
+				out := make([][]int, lanes)
+				for l := range dests {
+					dests[l] = rng.Perm(n)
+					out[l] = make([]int, n)
+				}
+				if err := plan.RoutePacked(out, dests); err != nil {
+					t.Fatalf("%s n=%d lanes=%d: %v", cfg.name, n, lanes, err)
+				}
+				for l, dest := range dests {
+					want, err := rp.Route(dest)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !permEqual(out[l], want) {
+						t.Fatalf("%s n=%d lanes=%d lane %d dest=%v:\npacked %v\nscalar %v",
+							cfg.name, n, lanes, l, dest, out[l], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBenesPackedDifferential checks the packed Beneš replay — looping
+// and select-mask flattening fused into routeBenesBits — against the
+// per-request RouteInto across the word-boundary lane counts.
+func TestBenesPackedDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for _, n := range []int{2, 16, 64} {
+		bp, err := CompileBenes(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, lanes := range wideLaneCounts {
+			dests := make([][]int, lanes)
+			out := make([][]int, lanes)
+			for l := range dests {
+				dests[l] = rng.Perm(n)
+				out[l] = make([]int, n)
+			}
+			if err := bp.RoutePacked(out, dests); err != nil {
+				t.Fatalf("n=%d lanes=%d: %v", n, lanes, err)
+			}
+			want := make([]int, n)
+			for l, dest := range dests {
+				if err := bp.RouteInto(want, dest); err != nil {
+					t.Fatal(err)
+				}
+				if !permEqual(out[l], want) {
+					t.Fatalf("n=%d lanes=%d lane %d dest=%v:\npacked %v\nplanned %v",
+						n, lanes, l, dest, out[l], want)
+				}
+			}
+		}
+	}
+}
+
+// TestRouteBatchWideWidths pins the explicit-width batch front door:
+// every legal lane-group width routes bit-for-bit identically to the
+// planned pipeline — including ragged final groups and sub-threshold
+// remainders — and illegal widths are rejected with an error up front.
+func TestRouteBatchWideWidths(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	n := 32
+	rp := NewRadixPermuter(n, concentrator.Fish, 0)
+	plan := rp.Compile()
+	bp, err := CompileBenes(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := 300 // 2×128 + 44-lane packed remainder; 4×64 + 44; 1×256 + 44
+	dests := make([][]int, batch)
+	for i := range dests {
+		dests[i] = rng.Perm(n)
+	}
+	want, err := plan.RouteBatchPlanned(dests, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBenes, err := bp.RouteBatchPlanned(dests, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, groupLanes := range []int{64, 128, 256, MaxPackedLanes} {
+		got, err := plan.RouteBatchWide(dests, 2, groupLanes)
+		if err != nil {
+			t.Fatalf("width %d: %v", groupLanes, err)
+		}
+		gotBenes, err := bp.RouteBatchWide(dests, 2, groupLanes)
+		if err != nil {
+			t.Fatalf("benes width %d: %v", groupLanes, err)
+		}
+		for i := range dests {
+			if !permEqual(got[i], want[i]) {
+				t.Fatalf("width %d request %d: wide %v, planned %v", groupLanes, i, got[i], want[i])
+			}
+			if !permEqual(gotBenes[i], wantBenes[i]) {
+				t.Fatalf("benes width %d request %d: wide %v, planned %v",
+					groupLanes, i, gotBenes[i], wantBenes[i])
+			}
+		}
+	}
+	for _, bad := range []int{-64, 0, 1, 63, 65, 96, MaxPackedLanes + 64} {
+		if _, err := plan.RouteBatchWide(dests, 2, bad); err == nil {
+			t.Errorf("RouteBatchWide accepted group width %d", bad)
+		}
+		if _, err := bp.RouteBatchWide(dests, 2, bad); err == nil {
+			t.Errorf("BenesPlan.RouteBatchWide accepted group width %d", bad)
+		}
+	}
+}
+
+// TestBenesPackedErrors walks the validated failures of the packed Beneš
+// entry point: lane-count bounds, length mismatches, and non-permutation
+// assignments must return errors naming the offending request — never
+// panic.
+func TestBenesPackedErrors(t *testing.T) {
+	n := 8
+	bp, err := CompileBenes(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(lanes int) ([][]int, [][]int) {
+		dests := make([][]int, lanes)
+		out := make([][]int, lanes)
+		for l := range dests {
+			dests[l] = make([]int, n)
+			for j := range dests[l] {
+				dests[l][j] = j
+			}
+			out[l] = make([]int, n)
+		}
+		return out, dests
+	}
+	if err := bp.RoutePacked(nil, nil); err == nil {
+		t.Error("RoutePacked accepted zero assignments")
+	}
+	if out, dests := mk(MaxPackedLanes + 1); bp.RoutePacked(out, dests) == nil {
+		t.Error("RoutePacked accepted more than MaxPackedLanes assignments")
+	}
+	out, dests := mk(2)
+	if err := bp.RoutePacked(out[:1], dests); err == nil {
+		t.Error("RoutePacked accepted mismatched output count")
+	}
+	dests[1] = dests[1][:n-1]
+	if err := bp.RoutePacked(out, dests); err == nil {
+		t.Error("RoutePacked accepted a short assignment")
+	}
+	out, dests = mk(2)
+	dests[1][0] = 1 // duplicate destination: not a permutation
+	if err := bp.RoutePacked(out, dests); err == nil {
+		t.Error("RoutePacked accepted a non-permutation assignment")
+	}
+}
+
+// TestWidePackedAllocFree pins the zero steady-state heap allocation
+// guarantee for multi-word lane groups: a 192-lane (three plane words)
+// packed route must not allocate once the scratch pools are warm, on
+// both the fused radix plan and the Beneš replay.
+func TestWidePackedAllocFree(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation pin skipped under the race detector: sync.Pool drops a fraction of Puts when instrumented")
+	}
+	rng := rand.New(rand.NewSource(63))
+	n := 256
+	lanes := 3 * PackedLanes
+	plan := NewRadixPermuter(n, concentrator.Fish, 0).Compile()
+	bp, err := CompileBenes(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dests := make([][]int, lanes)
+	out := make([][]int, lanes)
+	for l := range dests {
+		dests[l] = rng.Perm(n)
+		out[l] = make([]int, n)
+	}
+	if err := plan.RoutePacked(out, dests); err != nil { // warm the pool
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(20, func() {
+		if err := plan.RoutePacked(out, dests); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("wide RoutePacked allocates %.1f per run, want 0", avg)
+	}
+	if err := bp.RoutePacked(out, dests); err != nil { // warm the pool
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(20, func() {
+		if err := bp.RoutePacked(out, dests); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("wide Beneš RoutePacked allocates %.1f per run, want 0", avg)
+	}
+}

@@ -72,6 +72,26 @@ func RunBatch(n, workers, grain int, fn func(i int) bool) {
 	wg.Wait()
 }
 
+// AutoWideLanes picks the lane-group width (a multiple of PackedLanes)
+// for an auto-switched packed batch: groups widen toward WideWords×64
+// lanes only while the batch still splits into at least two groups per
+// worker, so wide multi-word replay never starves the worker pool that
+// parallel batch execution depends on. workers ≤ 0 means GOMAXPROCS.
+func AutoWideLanes(batch, workers int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	words := (batch + PackedLanes - 1) / PackedLanes
+	w := words / (2 * workers)
+	if w < 1 {
+		w = 1
+	}
+	if w > WideWords {
+		w = WideWords
+	}
+	return w * PackedLanes
+}
+
 // BatchErr records the earliest failing request of a batch.
 type BatchErr struct {
 	I   int

@@ -29,7 +29,6 @@ package planner
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 
 	"absort/internal/core"
 )
@@ -120,7 +119,7 @@ type Program struct {
 	steps  []Step
 	nsel   int
 	pool   sync.Pool // *Scratch
-	packed atomic.Pointer[Packed]
+	packed sync.Map  // lane-word width → *Packed, built lazily per width
 }
 
 // Scratch is the per-execution state of a Program: the packed-word

@@ -32,8 +32,8 @@
 // request greedily drains further queued requests of the same kind
 // (never blocking) and, when the drained group is at least
 // MinPackedLanes wide, routes the whole group through one SWAR plan
-// replay (ConcentratePacked / RoutePacked) — up to 64 requests per
-// replay. Results are bit-for-bit identical to the per-request path, and
+// replay (ConcentratePacked / RoutePacked) — up to burstLanes requests
+// per replay, riding the packed engine's multi-word lane planes. Results are bit-for-bit identical to the per-request path, and
 // every drained task still honours its own context, deadline, and (for
 // Concentrate) capacity check individually; a malformed permutation in a
 // Permute burst resolves alone with its own error and never poisons its
@@ -52,11 +52,18 @@ import (
 	"absort/internal/concentrator"
 	"absort/internal/core"
 	"absort/internal/permnet"
+	"absort/internal/planner"
 	"absort/internal/wordsort"
 )
 
 // Engine selects the routing engine backing the service's plan set.
 type Engine = concentrator.Engine
+
+// burstLanes caps a worker's greedy same-kind drain: WideWords lane
+// words of requests ride one multi-word packed replay — the widest group
+// the auto-tuned batch pipelines use — while staying far below the
+// packed engines' MaxPackedLanes hard limit.
+const burstLanes = planner.WideWords * concentrator.PackedLanes
 
 // Service errors.
 var (
@@ -391,13 +398,13 @@ func (s *Service) worker() {
 	var marked [][]bool
 	var dests [][]int
 	if s.packed || s.packedPerm {
-		burst = make([]*task, 0, concentrator.PackedLanes)
+		burst = make([]*task, 0, burstLanes)
 	}
 	if s.packed {
-		marked = make([][]bool, 0, concentrator.PackedLanes)
+		marked = make([][]bool, 0, burstLanes)
 	}
 	if s.packedPerm {
-		dests = make([][]int, 0, permnet.PackedLanes)
+		dests = make([][]int, 0, burstLanes)
 	}
 	for t := range s.queue {
 		if s.testBeforeExec != nil {
@@ -433,7 +440,7 @@ func (s *Service) worker() {
 // claimed, if any, ends the drain and is returned to execute right
 // after the burst.
 func (s *Service) drainKind(kind Kind, burst *[]*task) *task {
-	for len(*burst) < concentrator.PackedLanes {
+	for len(*burst) < burstLanes {
 		select {
 		case nt, ok := <-s.queue:
 			if !ok {

@@ -168,11 +168,18 @@ const sortBatchGrain = 2
 // of flat backing arrays.
 //
 // Batches at least one lane group wide (≥ 64 key sets) switch to the
-// pass-synchronized wide pipeline: all sets advance through each radix
-// pass together, the pass's permutations route through the permuter's
-// 64-lane SWAR engine one plan replay per lane group, and the per-pass
-// gather of keys and permutation entries is split across the workers.
-// Results are bit-for-bit identical either way.
+// packed composition pipeline: the batch splits into lane groups of
+// planner.AutoWideLanes width, and each group runs all w radix passes
+// inside the permuter's SWAR engine without ever leaving bit-plane form —
+// the per-pass rank is the bit-sliced stable-split ladder
+// (planner.SplitFront), the route is one packed plan replay, and the
+// composed permutation accumulates in the engine's index planes across
+// passes (pass ≥ 2 replays with planner.RunFull, since a composed
+// permutation voids the identity-start plane-bound analysis). Only the
+// per-pass tag build and the final key gather touch scalar data. A plan
+// whose step stream has no packed form (planner.ErrNotPackable) falls
+// back to the per-set planned path. Results are bit-for-bit identical
+// either way.
 func (s *Sorter) SortBatch(keySets [][]uint64, workers int) ([][]uint64, [][]int, error) {
 	if len(keySets) == 0 {
 		return nil, nil, nil
@@ -191,7 +198,13 @@ func (s *Sorter) SortBatch(keySets [][]uint64, workers int) ([][]uint64, [][]int
 		outs[i] = flatK[i*s.n : (i+1)*s.n]
 		perms[i] = flatP[i*s.n : (i+1)*s.n]
 	}
-	if len(keySets) >= permnet.PackedLanes {
+	wide := len(keySets) >= permnet.PackedLanes && s.n >= 2
+	if wide {
+		if _, err := s.permute.Compile().Program().Packed(1); err != nil {
+			wide = false
+		}
+	}
+	if wide {
 		if err := s.sortBatchWide(outs, perms, keySets, workers); err != nil {
 			return nil, nil, err
 		}
@@ -214,103 +227,110 @@ func (s *Sorter) SortBatch(keySets [][]uint64, workers int) ([][]uint64, [][]int
 	return outs, perms, nil
 }
 
-// sortBatchWide is the pass-synchronized batch pipeline: per radix pass,
-// stage 1 ranks every set (stable binary split, one worker item per
-// set), stage 2 routes every set's rank permutation through the fused
-// route plan — full 64-set lane groups in one packed replay each, a
-// remainder below the packed threshold per-set — and stage 3 gathers
-// keys and permutation entries, again one worker item per set, so the
-// per-pass data movement is split across the workers instead of running
-// set-serial. All working buffers are allocated once per batch: the w
-// passes themselves allocate nothing.
+// sortBatchWide carves the batch into lane groups and sorts each group
+// end-to-end in the packed engine; a final remainder below the packed
+// threshold sorts per-set on the planned path. Groups are distributed
+// across workers exactly as the planned pipeline distributes single
+// sets. Errors are impossible by construction — key sets were validated
+// up front and stable-split destinations are permutations — so the group
+// body is error-free; the per-set remainder keeps the fail-fast path for
+// defense.
 func (s *Sorter) sortBatchWide(outs [][]uint64, perms [][]int, keySets [][]uint64, workers int) error {
-	m, n := len(keySets), s.n
-	plan := s.permute.Compile()
-	dests := make([][]int, m)
-	ps := make([][]int, m)
-	tmpK := make([][]uint64, m)
-	tmpP := make([][]int, m)
-	flatD := make([]int, 2*m*n)
-	flatT := make([]uint64, m*n)
-	flatQ := make([]int, m*n)
-	for i := range dests {
-		dests[i] = flatD[2*i*n : (2*i+1)*n]
-		ps[i] = flatD[(2*i+1)*n : (2*i+2)*n]
-		tmpK[i] = flatT[i*n : (i+1)*n]
-		tmpP[i] = flatQ[i*n : (i+1)*n]
-	}
-	for i, keys := range keySets {
-		copy(outs[i], keys)
-		for j := range perms[i] {
-			perms[i][j] = j
-		}
-	}
-	groups := (m + permnet.PackedLanes - 1) / permnet.PackedLanes
+	m := len(keySets)
+	prog := s.permute.Compile().Program()
+	groupLanes := planner.AutoWideLanes(m, workers)
+	groups := (m + groupLanes - 1) / groupLanes
 	var firstErr atomic.Pointer[planner.BatchErr]
-	var bit uint // current radix pass, shared by the stage closures
-	rank := func(i int) bool {
-		d, keys := dests[i], outs[i]
-		zeros := 0
-		for _, k := range keys {
-			if k>>bit&1 == 0 {
-				zeros++
-			}
-		}
-		z, o := 0, zeros
-		for j, k := range keys {
-			if k>>bit&1 == 0 {
-				d[j] = z
-				z++
-			} else {
-				d[j] = o
-				o++
-			}
-		}
-		return true
-	}
-	route := func(g int) bool {
+	planner.RunBatch(groups, workers, 1, func(g int) bool {
 		if firstErr.Load() != nil {
 			return false // poisoned batch: abort instead of burning workers
 		}
-		lo := g * permnet.PackedLanes
-		hi := min(lo+permnet.PackedLanes, m)
+		lo := g * groupLanes
+		hi := min(lo+groupLanes, m)
 		if hi-lo < permnet.MinPackedLanes {
 			for i := lo; i < hi; i++ {
-				if err := plan.RouteInto(ps[i], dests[i]); err != nil {
+				if err := s.SortInto(outs[i], perms[i], keySets[i]); err != nil {
 					planner.RecordBatchErr(&firstErr, i, err)
 					return false
 				}
 			}
 			return true
 		}
-		if err := plan.RoutePacked(ps[lo:hi], dests[lo:hi]); err != nil {
+		lanes := hi - lo
+		words := (lanes + permnet.PackedLanes - 1) / permnet.PackedLanes
+		pp, err := prog.Packed(words)
+		if err != nil {
+			// Unreachable: SortBatch probed packability before switching
+			// wide. Kept on the fail-fast path for defense.
 			planner.RecordBatchErr(&firstErr, lo, err)
 			return false
 		}
+		s.sortGroupWide(pp, outs[lo:hi], perms[lo:hi], keySets[lo:hi])
 		return true
-	}
-	gather := func(i int) bool {
-		keys, pm, tk, tp := outs[i], perms[i], tmpK[i], tmpP[i]
-		for j, src := range ps[i] {
-			tk[j] = keys[src]
-			tp[j] = pm[src]
-		}
-		copy(keys, tk)
-		copy(pm, tp)
-		return true
-	}
-	for b := 0; b < s.w; b++ {
-		bit = uint(b)
-		planner.RunBatch(m, workers, 1, rank)
-		planner.RunBatch(groups, workers, 1, route)
-		if e := firstErr.Load(); e != nil {
-			// Unreachable — stable-split ranks are permutations by
-			// construction — but kept on the fail-fast path for defense.
-			return fmt.Errorf("wordsort: batch set %d: pass %d: %w", e.I, b, e.Err)
-		}
-		planner.RunBatch(m, workers, 1, gather)
+	})
+	if e := firstErr.Load(); e != nil {
+		return fmt.Errorf("wordsort: batch set %d: %w", e.I, e.Err)
 	}
 	return nil
+}
+
+// sortGroupWide sorts one lane group of key sets entirely inside the
+// packed engine. The composed permutation of the passes so far rides the
+// engine's index planes from start to finish:
+//
+//   - per pass b, the current key of position j in lane l is
+//     keySets[l][perm_l[j]] — a scalar gather through the extracted
+//     composed permutation — and its bit b becomes the lane's tag word;
+//   - SplitFront bit-slices the stable-split rank of all lanes at once
+//     (the ones-counting prefix ladder, 64 lanes per word operation) and
+//     writes each position's destination into the front planes, leaving
+//     the index planes untouched;
+//   - one packed replay routes the destinations, composing the pass's
+//     permutation onto the index planes (pass 0 starts from the identity
+//     and keeps the plane-bound analysis; later passes run RunFull);
+//   - Extract reads the composed permutation back for the next pass's
+//     gather.
+//
+// After the last pass the index planes are the full receives-from
+// permutation and the keys gather once. One tag buffer per group is the
+// only allocation, so batch allocations do not scale with the key width.
+func (s *Sorter) sortGroupWide(pp *planner.Packed, outs [][]uint64, perms [][]int, keySets [][]uint64) {
+	n := s.n
+	words := pp.Words()
+	tags := make([]uint64, words*n)
+	sc := pp.Get()
+	pp.LoadIndexPlanes(sc.Val)
+	for _, pm := range perms {
+		for j := range pm {
+			pm[j] = j
+		}
+	}
+	for b := 0; b < s.w; b++ {
+		for i := range tags {
+			tags[i] = 0
+		}
+		for l, keys := range keySets {
+			row := tags[(l/permnet.PackedLanes)*n : (l/permnet.PackedLanes+1)*n]
+			bit := uint(l % permnet.PackedLanes)
+			for j, src := range perms[l] {
+				row[j] |= (keys[src] >> uint(b) & 1) << bit
+			}
+		}
+		pp.SplitFront(sc, tags)
+		if b == 0 {
+			pp.Run(sc)
+		} else {
+			pp.RunFull(sc)
+		}
+		pp.Extract(perms, sc.Val)
+	}
+	pp.Put(sc)
+	for l, keys := range keySets {
+		o := outs[l]
+		for j, src := range perms[l] {
+			o[j] = keys[src]
+		}
+	}
 }
 
 // SortBy sorts arbitrary records by a uint64 key, stably, routing through

@@ -13,15 +13,21 @@ package absort_test
 //   - perm-planned-parallel: per-assignment planned batch routing
 //   - perm-packed:           the SWAR lane-packed fused-plan engine,
 //     64 assignments per plan replay
+//   - perm-packed256:        the multi-word wide engine, 256 assignments
+//     (four lane words) per plan replay
 //   - benes-planned:         the compiled Beneš program, looping-routed
 //     switch settings replayed through preset selects
+//   - benes-packed:          the packed Beneš replay, 64 looping-routed
+//     assignments flattened to lane masks per program replay
 //
-// and, for the (n,n)-concentrator on the same engine and sizes, the two
+// and, for the (n,n)-concentrator on the same engine and sizes, the
 // batch routing paths ConcentrateBatch arbitrates between on 64-wide
 // batches:
 //
 //   - conc-planned-parallel: per-pattern planned batch routing
 //   - conc-packed:           the SWAR lane-packed engine, 64 patterns
+//     per plan replay
+//   - conc-packed256:        the multi-word wide engine, 256 patterns
 //     per plan replay
 //
 // Each sub-benchmark reports ns/route via b.ReportMetric; the collected
@@ -160,11 +166,30 @@ func BenchmarkRouteEngines(b *testing.B) {
 			b.ReportMetric(ns, "ns/route")
 			recordRouteBench("perm-packed", n, ns)
 		})
-		b.Run(fmt.Sprintf("benes-planned/n=%d", n), func(b *testing.B) {
-			bp, err := permnet.CompileBenes(n)
-			if err != nil {
-				b.Fatal(err)
+		wideBatch := make([][]int, 4*permnet.PackedLanes)
+		for i := range wideBatch {
+			wideBatch[i] = rng.Perm(n)
+		}
+		b.Run(fmt.Sprintf("perm-packed256/n=%d", n), func(b *testing.B) {
+			// 256-wide batch pinned to 256-lane groups: one multi-word
+			// (four plane words) fused-plan replay for the whole batch.
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := plan.RouteBatchWide(wideBatch, 0, len(wideBatch)); err != nil {
+					b.Fatal(err)
+				}
 			}
+			b.StopTimer()
+			ns := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / float64(len(wideBatch))
+			b.ReportMetric(ns, "ns/route")
+			recordRouteBench("perm-packed256", n, ns)
+		})
+
+		bp, err := permnet.CompileBenes(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("benes-planned/n=%d", n), func(b *testing.B) {
 			out := make([]int, n)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -176,6 +201,21 @@ func BenchmarkRouteEngines(b *testing.B) {
 			ns := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
 			b.ReportMetric(ns, "ns/route")
 			recordRouteBench("benes-planned", n, ns)
+		})
+		b.Run(fmt.Sprintf("benes-packed/n=%d", n), func(b *testing.B) {
+			// 64-wide batch: RouteBatch auto-switches to the packed replay,
+			// flattening 64 looping-routed settings into lane masks and
+			// replaying the Beneš program once for the whole batch.
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := bp.RouteBatch(permBatch, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			ns := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / permnet.PackedLanes
+			b.ReportMetric(ns, "ns/route")
+			recordRouteBench("benes-packed", n, ns)
 		})
 
 		conc := concentrator.New(n, n, concentrator.Fish, 0)
@@ -213,6 +253,28 @@ func BenchmarkRouteEngines(b *testing.B) {
 			ns := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / concentrator.PackedLanes
 			b.ReportMetric(ns, "ns/pattern")
 			recordRouteBench("conc-packed", n, ns)
+		})
+		wideMarked := make([][]bool, 4*concentrator.PackedLanes)
+		for i := range wideMarked {
+			m := make([]bool, n)
+			for j := range m {
+				m[j] = rng.Intn(2) == 0
+			}
+			wideMarked[i] = m
+		}
+		b.Run(fmt.Sprintf("conc-packed256/n=%d", n), func(b *testing.B) {
+			// 256-wide batch pinned to 256-lane groups: one multi-word
+			// plan replay for the whole batch.
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := conc.ConcentrateBatchWide(wideMarked, 0, len(wideMarked)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			ns := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / float64(len(wideMarked))
+			b.ReportMetric(ns, "ns/pattern")
+			recordRouteBench("conc-packed256", n, ns)
 		})
 	}
 }
@@ -394,4 +456,167 @@ func TestPermPackedSpeedupFloor(t *testing.T) {
 		t.Errorf("packed permute speedup %.1f× < 2× floor (planned %.0f ns/route, packed %.0f ns/route)",
 			best, plannedNs, packedNs)
 	}
+}
+
+// TestBenesPackedSpeedupFloor pins the packed Beneš replay's acceptance
+// criterion: on 64-wide batches at n=4096, RouteBatch's packed path —
+// looping-routed switch settings flattened to lane masks and replayed
+// through one program pass — must deliver at least 3× the per-route
+// throughput of the planned replay it rides on. The ratio is taken as
+// the best of three trials so a CI scheduling hiccup in one trial
+// cannot fail the gate.
+func TestBenesPackedSpeedupFloor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing floor skipped in -short mode")
+	}
+	if race.Enabled {
+		t.Skip("timing floor skipped under the race detector: instrumentation " +
+			"penalizes the packed engine's tight word loops far more than the " +
+			"planned path, distorting the ratio")
+	}
+	n := 4096
+	bp, err := permnet.CompileBenes(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1992))
+	dests := make([][]int, permnet.PackedLanes)
+	for i := range dests {
+		dests[i] = rng.Perm(n)
+	}
+	// Warm both paths (packed program compilation, pooled scratch).
+	if _, err := bp.RouteBatchPlanned(dests, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bp.RouteBatch(dests, 0); err != nil {
+		t.Fatal(err)
+	}
+	best := 0.0
+	var plannedNs, packedNs float64
+	for trial := 0; trial < 3; trial++ {
+		planned := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := bp.RouteBatchPlanned(dests, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		packed := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := bp.RouteBatch(dests, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		speedup := float64(planned.NsPerOp()) / float64(packed.NsPerOp())
+		if speedup > best {
+			best = speedup
+			plannedNs = float64(planned.NsPerOp()) / permnet.PackedLanes
+			packedNs = float64(packed.NsPerOp()) / permnet.PackedLanes
+		}
+	}
+	t.Logf("n=%d, %d-wide batch: benes-planned %.0f ns/route, benes-packed %.0f ns/route, speedup %.1f×",
+		n, permnet.PackedLanes, plannedNs, packedNs, best)
+	if best < 3 {
+		t.Errorf("packed Beneš speedup %.1f× < 3× floor (planned %.0f ns/route, packed %.0f ns/route)",
+			best, plannedNs, packedNs)
+	}
+}
+
+// TestWidePackedThroughputFloor pins the multi-word engine's acceptance
+// criterion: at n=256 — where one cache block holds several lane words,
+// so a 256-lane group amortizes step decode across four words — routing
+// a 1024-assignment batch in 256-lane groups must match or beat the
+// same batch in 64-lane groups, on both the fused permuter and the
+// concentrator. Widening never adds per-word work — below the L1 block
+// budget the pass runs flat and amortizes step decode, above it the
+// engine falls back to single-word blocks with identical inner loops —
+// so the structural expectation is parity or better; the ratio is taken
+// as the best of five trials to ride out scheduler noise on a loaded
+// CI box.
+func TestWidePackedThroughputFloor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing floor skipped in -short mode")
+	}
+	if race.Enabled {
+		t.Skip("timing floor skipped under the race detector: instrumentation " +
+			"penalizes the packed engine's tight word loops, distorting the ratio")
+	}
+	n := 256
+	batch := 1024
+	rng := rand.New(rand.NewSource(1992))
+	plan := permnet.NewRadixPermuter(n, concentrator.Fish, 0).Compile()
+	dests := make([][]int, batch)
+	for i := range dests {
+		dests[i] = rng.Perm(n)
+	}
+	conc := concentrator.New(n, n, concentrator.Fish, 0)
+	conc.Compile()
+	marked := make([][]bool, batch)
+	for i := range marked {
+		m := make([]bool, n)
+		for j := range m {
+			m[j] = rng.Intn(2) == 0
+		}
+		marked[i] = m
+	}
+	// Warm both widths (packed program compilation per width, pooled scratch).
+	for _, lanes := range []int{permnet.PackedLanes, 4 * permnet.PackedLanes} {
+		if _, err := plan.RouteBatchWide(dests, 0, lanes); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := conc.ConcentrateBatchWide(marked, 0, lanes); err != nil {
+			t.Fatal(err)
+		}
+	}
+	measure := func(name string, narrow, wide func(b *testing.B)) {
+		best := 0.0
+		var narrowNs, wideNs float64
+		for trial := 0; trial < 5; trial++ {
+			nb := testing.Benchmark(narrow)
+			wb := testing.Benchmark(wide)
+			speedup := float64(nb.NsPerOp()) / float64(wb.NsPerOp())
+			if speedup > best {
+				best = speedup
+				narrowNs = float64(nb.NsPerOp()) / float64(batch)
+				wideNs = float64(wb.NsPerOp()) / float64(batch)
+			}
+		}
+		t.Logf("%s n=%d, %d-wide batch: 64-lane groups %.0f ns/req, 256-lane groups %.0f ns/req, ratio %.2f×",
+			name, n, batch, narrowNs, wideNs, best)
+		if best < 1 {
+			t.Errorf("%s 256-lane groups %.2f× slower than 64-lane groups (64-lane %.0f ns/req, 256-lane %.0f ns/req)",
+				name, 1/best, narrowNs, wideNs)
+		}
+	}
+	measure("permuter",
+		func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := plan.RouteBatchWide(dests, 0, permnet.PackedLanes); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+		func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := plan.RouteBatchWide(dests, 0, 4*permnet.PackedLanes); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	measure("concentrator",
+		func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := conc.ConcentrateBatchWide(marked, 0, concentrator.PackedLanes); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+		func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := conc.ConcentrateBatchWide(marked, 0, 4*concentrator.PackedLanes); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 }
