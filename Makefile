@@ -23,14 +23,18 @@
 # per-route throughput on 64-wide batches at n=4096 — and
 # TestWidePackedThroughputFloor: 256-lane multi-word groups must match
 # or beat 64-lane groups on both the permuter and the concentrator at
-# n=256 (no regression from widening). `make bench-packed` /
-# `make bench-permpacked` / `make bench-wide` run just those gates plus
-# their benchmark columns, with full calibration instead of the
-# one-iteration smoke.
+# n=256 (no regression from widening) — and TestShardedSpeedupFloor:
+# the w-way sharded hierarchical router must hold at least 2× the flat
+# planned-parallel per-route throughput on 16-wide batches at n=65536
+# (BenchmarkRouteEnginesSharded records the route-sharded columns at
+# n ∈ {4096, 16384, 65536}). `make bench-packed` /
+# `make bench-permpacked` / `make bench-wide` / `make bench-shard` run
+# just those gates plus their benchmark columns, with full calibration
+# instead of the one-iteration smoke.
 
 GO ?= go
 
-.PHONY: ci vet build test race serve-race bench bench-packed bench-permpacked bench-wide clean
+.PHONY: ci vet build test race serve-race bench bench-packed bench-permpacked bench-wide bench-shard clean
 
 ci: vet build race bench
 
@@ -51,7 +55,7 @@ serve-race:
 	$(GO) test -race -run 'TestRoutingService' -count=1 .
 
 bench:
-	$(GO) test -run 'TestWideSpeedupFloor|TestRouteSpeedupFloor|TestServeThroughputFloor|TestPackedSpeedupFloor|TestPermPackedSpeedupFloor|TestBenesPackedSpeedupFloor|TestWidePackedThroughputFloor' -bench 'EvalEngines|RouteEngines|ServeThroughput' -benchtime 1x .
+	$(GO) test -run 'TestWideSpeedupFloor|TestRouteSpeedupFloor|TestServeThroughputFloor|TestPackedSpeedupFloor|TestPermPackedSpeedupFloor|TestBenesPackedSpeedupFloor|TestWidePackedThroughputFloor|TestShardedSpeedupFloor' -bench 'EvalEngines|RouteEngines|ServeThroughput' -benchtime 1x .
 
 bench-packed:
 	$(GO) test -run 'TestPackedSpeedupFloor$$' -bench 'RouteEngines/conc' -count=1 .
@@ -61,6 +65,9 @@ bench-permpacked:
 
 bench-wide:
 	$(GO) test -run 'TestBenesPackedSpeedupFloor|TestWidePackedThroughputFloor' -bench 'RouteEngines/(perm-packed256|benes|conc-packed256)' -count=1 .
+
+bench-shard:
+	$(GO) test -run 'TestShardedSpeedupFloor' -bench 'RouteEnginesSharded' -count=1 .
 
 clean:
 	$(GO) clean ./...

@@ -6,6 +6,7 @@ import (
 	"absort/internal/concentrator"
 	"absort/internal/core"
 	"absort/internal/permnet"
+	"absort/internal/planner"
 )
 
 // BatchPermuter routes many permutation requests through one compiled
@@ -18,17 +19,44 @@ import (
 type BatchPermuter struct {
 	rp   *permnet.RadixPermuter
 	plan *permnet.RoutePlan
+	// sharded is engaged at n ≥ ShardedAutoThreshold: requests route
+	// through the w-way sharded decomposition and the flat fused plan is
+	// only compiled if one of the explicit flat-path methods asks for it.
+	sharded *permnet.ShardedRoutePlan
 }
 
 // NewBatchPermuter returns a batch permuter for n-input assignments (n a
 // power of two) whose distribution stages use the given engine
-// (EngineFish gives the O(n lg n) bit-level cost configuration).
+// (EngineFish gives the O(n lg n) bit-level cost configuration). At
+// n ≥ ShardedAutoThreshold, routing auto-engages the sharded plan — w
+// independent n/w sub-programs behind a cross-shard exchange — instead
+// of compiling the flat fused program.
 func NewBatchPermuter(n int, engine Engine) (*BatchPermuter, error) {
 	if n < 2 || n&(n-1) != 0 {
 		return nil, fmt.Errorf("absort: NewBatchPermuter(%d): n must be a power of two ≥ 2", n)
 	}
 	rp := permnet.NewRadixPermuter(n, engine, 0)
-	return &BatchPermuter{rp: rp, plan: rp.Compile()}, nil
+	b := &BatchPermuter{rp: rp}
+	if n >= ShardedAutoThreshold {
+		sharded, err := rp.Sharded(0)
+		if err != nil {
+			return nil, fmt.Errorf("absort: NewBatchPermuter(%d): %w", n, err)
+		}
+		b.sharded = sharded
+	} else {
+		b.plan = rp.Compile()
+	}
+	return b, nil
+}
+
+// flatPlan returns the flat fused route plan, compiling it on first use
+// (the auto-sharded constructor skips it; RadixPermuter.Compile caches
+// behind an atomic pointer, so concurrent calls stay race-free).
+func (b *BatchPermuter) flatPlan() *permnet.RoutePlan {
+	if b.plan != nil {
+		return b.plan
+	}
+	return b.rp.Compile()
 }
 
 // N returns the network width.
@@ -41,16 +69,64 @@ func (b *BatchPermuter) Engine() Engine { return b.rp.Engine() }
 // and the cost/time models).
 func (b *BatchPermuter) Permuter() *RadixPermuter { return b.rp }
 
-// Route computes, through the compiled plan, the permutation p realizing
-// "input i goes to output dest[i]" (receives-from form: out[j] = in[p[j]]).
+// Route computes, through the compiled plan (sharded above the
+// auto-engage threshold), the permutation p realizing "input i goes to
+// output dest[i]" (receives-from form: out[j] = in[p[j]]).
 func (b *BatchPermuter) Route(dest []int) ([]int, error) {
+	if b.sharded != nil {
+		return b.sharded.Route(dest)
+	}
 	return b.plan.Route(dest)
 }
 
 // RouteInto is Route writing into a caller-provided slice — zero
 // steady-state heap allocations.
 func (b *BatchPermuter) RouteInto(out []int, dest []int) error {
+	if b.sharded != nil {
+		return b.sharded.RouteInto(out, dest)
+	}
 	return b.plan.RouteInto(out, dest)
+}
+
+// Sharded reports whether requests auto-route through the sharded plan
+// (n ≥ ShardedAutoThreshold); Shards returns its shard count, 0 when
+// flat.
+func (b *BatchPermuter) Sharded() bool {
+	return b.sharded != nil
+}
+
+// Shards returns the engaged shard count, 0 when routing flat.
+func (b *BatchPermuter) Shards() int {
+	if b.sharded == nil {
+		return 0
+	}
+	return b.sharded.Shards()
+}
+
+// RouteSharded routes dest through the w-way sharded plan regardless of
+// the auto-engage threshold: the cross-shard exchange fans packets into
+// w windows of n/w, and one shared sub-program finishes every window —
+// as w SWAR lanes of a single packed replay when w is at least the
+// packed break-even. shards ≤ 0 selects the default decomposition
+// (permnet.DefaultShards); otherwise it must be a power of two with
+// 2 ≤ shards ≤ n/2. Results are bit-for-bit identical to Route.
+func (b *BatchPermuter) RouteSharded(dest []int, shards int) ([]int, error) {
+	sp, err := b.rp.Sharded(shards)
+	if err != nil {
+		return nil, err
+	}
+	return sp.Route(dest)
+}
+
+// RouteShardedBatch is RouteSharded over a batch of assignments, workers
+// goroutines wide (≤ 0 means GOMAXPROCS): full groups of requests ride
+// one wide packed sub-replay each (g·w lanes).
+func (b *BatchPermuter) RouteShardedBatch(dests [][]int, workers, shards int) ([][]int, error) {
+	sp, err := b.rp.Sharded(shards)
+	if err != nil {
+		return nil, err
+	}
+	return sp.RouteBatch(dests, workers)
 }
 
 // RouteBatch routes every assignment concurrently using workers
@@ -61,6 +137,9 @@ func (b *BatchPermuter) RouteInto(out []int, dest []int) error {
 // worker busy anyway; results are bit-for-bit identical to the
 // per-assignment path.
 func (b *BatchPermuter) RouteBatch(dests [][]int, workers int) ([][]int, error) {
+	if b.sharded != nil {
+		return b.sharded.RouteBatch(dests, workers)
+	}
 	return b.plan.RouteBatch(dests, workers)
 }
 
@@ -70,14 +149,14 @@ func (b *BatchPermuter) RouteBatch(dests [][]int, workers int) ([][]int, error) 
 // instead of letting the batch auto-tune it — the knob the wide-packing
 // benchmarks and cmd/permroute -lanes expose.
 func (b *BatchPermuter) RouteBatchWide(dests [][]int, workers, groupLanes int) ([][]int, error) {
-	return b.plan.RouteBatchWide(dests, workers, groupLanes)
+	return b.flatPlan().RouteBatchWide(dests, workers, groupLanes)
 }
 
 // RouteBatchPlanned is RouteBatch pinned to the per-assignment planned
 // path — the baseline the packed engine's throughput is measured
 // against. Results are identical to RouteBatch.
 func (b *BatchPermuter) RouteBatchPlanned(dests [][]int, workers int) ([][]int, error) {
-	return b.plan.RouteBatchPlanned(dests, workers)
+	return b.flatPlan().RouteBatchPlanned(dests, workers)
 }
 
 // RoutePacked routes up to MaxPackedLanes destination assignments
@@ -85,7 +164,7 @@ func (b *BatchPermuter) RouteBatchPlanned(dests [][]int, workers int) ([][]int, 
 // out (one length-n slice per assignment). It is the explicit
 // single-lane-group form of RouteBatch's packed fast path.
 func (b *BatchPermuter) RoutePacked(out [][]int, dests [][]int) error {
-	return b.plan.RoutePacked(out, dests)
+	return b.flatPlan().RoutePacked(out, dests)
 }
 
 // BatchConcentrator routes many concentration requests through one
@@ -171,6 +250,24 @@ const (
 	MaxPackedLanes = concentrator.MaxPackedLanes
 	MinPackedLanes = concentrator.MinPackedLanes
 )
+
+// ShardedAutoThreshold is the network width at or above which the
+// permuting front doors (BatchPermuter, RoutingService, WordSorter)
+// route through the sharded decomposition by default instead of
+// compiling a flat fused plan; see permnet.ShardedAutoThreshold.
+const ShardedAutoThreshold = permnet.ShardedAutoThreshold
+
+// DefaultShards returns the shard count the auto-engaged sharded plan
+// uses for an n-input network.
+func DefaultShards(n int) int { return permnet.DefaultShards(n) }
+
+// PlanCacheStats is a snapshot of the process-wide compiled-plan cache's
+// traffic counters (hits, misses, evictions) — the signal a serving
+// layer watches to size SharedCacheCap against its plan working set.
+type PlanCacheStats = planner.CacheStats
+
+// SharedPlanCacheStats snapshots the process-wide plan cache counters.
+func SharedPlanCacheStats() PlanCacheStats { return planner.Shared.Stats() }
 
 // ConcentratePacked routes up to MaxPackedLanes request patterns through
 // one SWAR plan replay, writing the permutations into perms and the

@@ -12,9 +12,13 @@
 // lane-packed (benes-packed). -lanes pins the packed lane-group width — a
 // multiple of 64 up to 1024 — and the report shows the resulting wide-path
 // split (full lane groups vs planned remainder); every packed result is
-// cross-checked bit-for-bit against its planned baseline.
+// cross-checked bit-for-bit against its planned baseline. -shards adds a
+// route-sharded row: the batch is re-routed through the w-way sharded
+// hierarchical plan (0 = auto, engaged at n ≥ 65536; otherwise a power of
+// two in [2, n/2]) and cross-checked bit-for-bit against the planned path.
 //
 //	permroute -n 1024 -engine fish -batch 4096 -workers 0 -lanes 256
+//	permroute -n 65536 -engine muxmerger -batch 256 -shards 64
 //
 // With -serve, it replays a workload file through the streaming routing
 // service (internal/serve): every line is one request submitted with
@@ -61,12 +65,23 @@ func main() {
 		batch    = flag.Int("batch", 0, "batch size: route this many permutations through the compiled plan pipeline")
 		workers  = flag.Int("workers", 0, "batch worker goroutines (0 = GOMAXPROCS)")
 		lanes    = flag.Int("lanes", 4*permnet.PackedLanes, "packed lane-group width for -batch (multiple of 64, up to 1024)")
+		shards   = flag.Int("shards", 0, "sharded routing comparison for -batch: 0 = auto (engaged at n >= 65536), else a power of two in [2, n/2]")
 		serveArg = flag.String("serve", "", "replay a workload file through the streaming routing service ('rand' generates -batch random permutes)")
 		queue    = flag.Int("queue", 0, "streaming service admission queue depth (0 = 4x workers)")
 	)
 	flag.Parse()
-	if !core.IsPow2(*n) {
-		fmt.Fprintf(os.Stderr, "permroute: n=%d is not a power of two\n", *n)
+	if *n < 2 || !core.IsPow2(*n) {
+		fmt.Fprintf(os.Stderr, "permroute: -n %d must be a power of two >= 2\n", *n)
+		os.Exit(1)
+	}
+	if *lanes < permnet.PackedLanes || *lanes > permnet.MaxPackedLanes || *lanes%permnet.PackedLanes != 0 {
+		fmt.Fprintf(os.Stderr, "permroute: -lanes %d must be a multiple of %d up to %d\n",
+			*lanes, permnet.PackedLanes, permnet.MaxPackedLanes)
+		os.Exit(1)
+	}
+	if *shards != 0 && (*shards < 2 || *shards > *n/2 || !core.IsPow2(*shards)) {
+		fmt.Fprintf(os.Stderr, "permroute: -shards %d must be 0 (auto) or a power of two in [2, n/2 = %d]\n",
+			*shards, *n/2)
 		os.Exit(1)
 	}
 	var eng concentrator.Engine
@@ -96,12 +111,11 @@ func main() {
 		permnet.BenesCost(*n), permnet.BenesDepth(*n))
 
 	if *batch > 0 {
-		if *lanes < permnet.PackedLanes || *lanes > permnet.MaxPackedLanes || *lanes%permnet.PackedLanes != 0 {
-			fmt.Fprintf(os.Stderr, "permroute: -lanes %d must be a multiple of %d up to %d\n",
-				*lanes, permnet.PackedLanes, permnet.MaxPackedLanes)
-			os.Exit(1)
+		w := *shards
+		if w == 0 && *n >= permnet.ShardedAutoThreshold {
+			w = permnet.DefaultShards(*n)
 		}
-		runBatch(rp, rng, *batch, *workers, *lanes)
+		runBatch(rp, rng, *batch, *workers, *lanes, w)
 		runConcentrateBatch(*n, eng, rng, *batch, *workers, *lanes)
 		return
 	}
@@ -140,8 +154,10 @@ func main() {
 // routing vs planned single-route vs planned-parallel batch routing vs
 // the SWAR packed engine at the pinned lane-group width, with the
 // compiled Beneš replay as the rearrangeable baseline in both its
-// planned and packed forms.
-func runBatch(rp *permnet.RadixPermuter, rng *rand.Rand, batch, workers, lanes int) {
+// planned and packed forms. With shards > 0 the batch is additionally
+// routed through the w-way sharded hierarchical plan and cross-checked
+// bit-for-bit against the planned result.
+func runBatch(rp *permnet.RadixPermuter, rng *rand.Rand, batch, workers, lanes, shards int) {
 	n := rp.N()
 	dests := make([][]int, batch)
 	for i := range dests {
@@ -192,6 +208,24 @@ func runBatch(rp *permnet.RadixPermuter, rng *rand.Rand, batch, workers, lanes i
 	}
 	packed := time.Since(t0)
 
+	var sharded time.Duration
+	var routedSharded [][]int
+	var shardPlan *permnet.ShardedRoutePlan
+	if shards > 0 {
+		shardPlan, err = rp.Sharded(shards)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "permroute:", err)
+			os.Exit(1)
+		}
+		t0 = time.Now()
+		routedSharded, err = shardPlan.RouteBatch(dests, workers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "permroute:", err)
+			os.Exit(1)
+		}
+		sharded = time.Since(t0)
+	}
+
 	bp, err := permnet.CompileBenes(n)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "permroute:", err)
@@ -231,6 +265,10 @@ func runBatch(rp *permnet.RadixPermuter, rng *rand.Rand, batch, workers, lanes i
 				fmt.Fprintf(os.Stderr, "permroute: request %d: Beneš planned and packed permutations differ\n", i)
 				os.Exit(1)
 			}
+			if routedSharded != nil && routedSharded[i][j] != routedPlanned[i][j] {
+				fmt.Fprintf(os.Stderr, "permroute: request %d: planned and sharded permutations differ\n", i)
+				os.Exit(1)
+			}
 		}
 	}
 	rate := func(d time.Duration) float64 {
@@ -258,6 +296,15 @@ func runBatch(rp *permnet.RadixPermuter, rng *rand.Rand, batch, workers, lanes i
 	} else {
 		fmt.Printf("  packed engine needs a batch ≥ %d assignments; RouteBatch stayed on the planned path\n",
 			permnet.PackedLanes)
+	}
+	if shardPlan != nil {
+		mode := "scalar sub-replay"
+		if shardPlan.Packed() {
+			mode = "packed sub-replay"
+		}
+		fmt.Printf("  route-sharded    %12v/route   %10.0f routes/sec   (%.1f× planned-parallel, %d×%d shards, %s)\n",
+			perRoute(sharded), rate(sharded), parallel.Seconds()/sharded.Seconds(),
+			shardPlan.Shards(), shardPlan.ShardWidth(), mode)
 	}
 	fmt.Printf("  benes-planned    %12v/route   %10.0f routes/sec   (%d switches/route)\n",
 		perRoute(benes), rate(benes), bp.NumSwitches())

@@ -14,10 +14,19 @@ import (
 // Cache is a small mutex-guarded LRU keyed by K. The zero Cache is not
 // usable; construct with NewCache.
 type Cache[K comparable, V any] struct {
-	mu  sync.Mutex
-	cap int
-	ll  *list.List // of *cacheEntry[K, V], front = most recently used
-	m   map[K]*list.Element
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // of *cacheEntry[K, V], front = most recently used
+	m     map[K]*list.Element
+	stats CacheStats
+}
+
+// CacheStats is a point-in-time snapshot of a Cache's traffic counters.
+// Hits and Misses count Get lookups (an Add that finds an earlier racing
+// insert does not count as a hit); Evictions counts entries dropped by
+// the capacity bound, not entries still resident.
+type CacheStats struct {
+	Hits, Misses, Evictions uint64
 }
 
 type cacheEntry[K comparable, V any] struct {
@@ -39,9 +48,11 @@ func (c *Cache[K, V]) Get(key K) (V, bool) {
 	defer c.mu.Unlock()
 	el, ok := c.m[key]
 	if !ok {
+		c.stats.Misses++
 		var zero V
 		return zero, false
 	}
+	c.stats.Hits++
 	c.ll.MoveToFront(el)
 	return el.Value.(*cacheEntry[K, V]).val, true
 }
@@ -68,6 +79,14 @@ func (c *Cache[K, V]) Len() int {
 	return c.ll.Len()
 }
 
+// Stats returns a snapshot of the cache's hit/miss/eviction counters.
+// The snapshot is internally consistent (taken under the cache mutex).
+func (c *Cache[K, V]) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
 // SetCap rebounds the cache (test hook), evicting down to the new
 // capacity, and returns the previous bound.
 func (c *Cache[K, V]) SetCap(capacity int) int {
@@ -89,6 +108,7 @@ func (c *Cache[K, V]) evict() {
 		last := c.ll.Back()
 		c.ll.Remove(last)
 		delete(c.m, last.Value.(*cacheEntry[K, V]).key)
+		c.stats.Evictions++
 	}
 }
 
@@ -102,16 +122,26 @@ const (
 	KindPermuter
 	// KindBenes keys an n-input Beneš replay program (engine/k unused).
 	KindBenes
+	// KindShardCross keys the (n, w)-shard cross-exchange program of a
+	// sharded route plan (engine/k unused — the exchange is engine-
+	// independent, so every engine's sharded plan shares one program).
+	KindShardCross
+	// KindSharded keys an (n, engine, w) sharded route plan.
+	KindSharded
 )
 
 // PlanKey identifies one compiled plan in the shared cache. Engine is the
 // client's routing-engine discriminant (concentrator.Engine values); K is
-// the fish group count, 0 where inapplicable.
+// the fish group count, 0 where inapplicable; Shards is the shard count
+// of sharded plans, 0 for flat ones — so the w shards of one sharded plan
+// all resolve their common n/w sub-program to the same flat KindPermuter
+// entry.
 type PlanKey struct {
 	Kind   PlanKind
 	N      int
 	Engine int8
 	K      int
+	Shards int
 }
 
 // SharedCacheCap bounds the process-wide plan cache: a k-sweep or an

@@ -1,0 +1,102 @@
+package planner
+
+// Tests for the shared LRU's eviction order and traffic counters under
+// mixed-kind keys: entries of different PlanKinds share one recency
+// list, so a burst of one kind can evict another kind's cold entries —
+// exactly the shape of the shared process-wide cache once sharded plans
+// (KindSharded, KindShardCross) joined the flat kinds.
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestCacheEvictionOrderMixedKinds walks a scripted access sequence over
+// keys of five different kinds and pins the LRU order, the LoadOrStore
+// contract, and the exact stats counts it must produce.
+func TestCacheEvictionOrderMixedKinds(t *testing.T) {
+	lru := NewCache[PlanKey, int](3)
+	keyA := PlanKey{Kind: KindConcentrator, N: 8}
+	keyB := PlanKey{Kind: KindPermuter, N: 8}
+	keyC := PlanKey{Kind: KindBenes, N: 8}
+	keyD := PlanKey{Kind: KindShardCross, N: 8, Shards: 2}
+	keyE := PlanKey{Kind: KindSharded, N: 8, Shards: 2}
+
+	lru.Add(keyA, 1)
+	lru.Add(keyB, 2)
+	lru.Add(keyC, 3) // order: C B A
+	if v, ok := lru.Get(keyA); !ok || v != 1 {
+		t.Fatal("keyA missing after three inserts")
+	} // order: A C B
+	lru.Add(keyD, 4) // evicts B — the only untouched entry
+	if _, ok := lru.Get(keyB); ok {
+		t.Error("least recently used entry (other kind) survived eviction")
+	}
+	// LoadOrStore: re-adding C keeps the original and refreshes recency.
+	if got := lru.Add(keyC, 33); got != 3 {
+		t.Errorf("re-add replaced an existing entry: got %d", got)
+	} // order: C D A
+	lru.Add(keyE, 5) // evicts A
+	if _, ok := lru.Get(keyA); ok {
+		t.Error("stale entry outlived a refreshed one")
+	}
+	for _, k := range []PlanKey{keyD, keyC, keyE} {
+		if _, ok := lru.Get(k); !ok {
+			t.Errorf("recent entry %+v evicted", k)
+		}
+	}
+	if lru.Len() != 3 {
+		t.Errorf("len = %d, want 3", lru.Len())
+	}
+	st := lru.Stats()
+	if st.Hits != 4 || st.Misses != 2 || st.Evictions != 2 {
+		t.Errorf("stats = %+v, want {Hits:4 Misses:2 Evictions:2}", st)
+	}
+}
+
+// TestCacheStatsConcurrent hammers one cache from many goroutines with
+// a key window (mixed kinds) wider than the capacity, then checks the
+// counter invariants: every Get is counted exactly once, the bound
+// holds, and the over-wide window forced evictions. Run with -race to
+// exercise the locking.
+func TestCacheStatsConcurrent(t *testing.T) {
+	lru := NewCache[PlanKey, int](4)
+	keys := []PlanKey{
+		{Kind: KindConcentrator, N: 16},
+		{Kind: KindConcentrator, N: 32},
+		{Kind: KindPermuter, N: 16},
+		{Kind: KindPermuter, N: 32, K: 2},
+		{Kind: KindBenes, N: 64},
+		{Kind: KindShardCross, N: 64, Shards: 4},
+		{Kind: KindSharded, N: 64, Shards: 4},
+		{Kind: KindSharded, N: 64, Shards: 8},
+	}
+	const workers, ops = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				k := keys[(i+w)%len(keys)]
+				if _, ok := lru.Get(k); !ok {
+					lru.Add(k, i)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if lru.Len() > 4 {
+		t.Fatalf("cache grew to %d entries past its bound of 4", lru.Len())
+	}
+	st := lru.Stats()
+	if got := st.Hits + st.Misses; got != workers*ops {
+		t.Errorf("Hits+Misses = %d, want %d (one Get per op)", got, workers*ops)
+	}
+	if st.Evictions == 0 {
+		t.Error("an 8-key window over a 4-entry cache produced no evictions")
+	}
+	if st.Misses < uint64(len(keys)-4) {
+		t.Errorf("Misses = %d, below the cold-start floor", st.Misses)
+	}
+}

@@ -190,6 +190,13 @@ type Service struct {
 	conc *concentrator.Concentrator
 	word *wordsort.Sorter
 
+	// sharded replaces perm at n ≥ permnet.ShardedAutoThreshold: permute
+	// requests route through the sharded decomposition (w SWAR shard
+	// lanes per request, groups of requests per wide replay in a burst
+	// drain) and the flat fused program — Θ(n lg n) steps at those widths
+	// — is never compiled. perm is nil exactly when sharded is non-nil.
+	sharded *permnet.ShardedRoutePlan
+
 	// packed enables the concentrate burst fast path: drained groups of
 	// queued Concentrate requests ride one SWAR plan replay. Disabled for
 	// the Ranking engine (its single stable partition gains nothing from
@@ -261,13 +268,21 @@ func New(cfg Config) (*Service, error) {
 	conc.Compile()
 	s := &Service{
 		cfg:        cfg,
-		perm:       permnet.NewRadixPermuter(cfg.N, cfg.Engine, cfg.K).Compile(),
 		conc:       conc,
 		word:       word,
 		packed:     cfg.Engine != concentrator.Ranking && cfg.N > 1,
 		packedPerm: cfg.N > 1,
 		queue:      make(chan *task, cfg.QueueDepth),
 		quit:       make(chan struct{}),
+	}
+	if cfg.N >= permnet.ShardedAutoThreshold {
+		sharded, err := permnet.ShardedPlanFor(cfg.N, cfg.Engine, 0)
+		if err != nil {
+			return nil, fmt.Errorf("serve: New: %w", err)
+		}
+		s.sharded = sharded
+	} else {
+		s.perm = permnet.NewRadixPermuter(cfg.N, cfg.Engine, cfg.K).Compile()
 	}
 	s.workers.Add(cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
@@ -563,7 +578,15 @@ func (s *Service) execPermuteBurst(burst []*task, dests [][]int) {
 		perms[i] = flat[i*n : (i+1)*n]
 		dests = append(dests, t.req.Dest)
 	}
-	if err := s.perm.RoutePacked(perms, dests); err != nil {
+	err := error(nil)
+	if s.sharded != nil {
+		// Shard-parallel drain: the burst routes in groups of requests per
+		// wide replay, each request spanning its w shard lanes.
+		err = s.sharded.RoutePacked(perms, dests)
+	} else {
+		err = s.perm.RoutePacked(perms, dests)
+	}
+	if err != nil {
 		// Reachable: a destination assignment that is not a permutation
 		// fails the packed replay before any routing starts. Resolve every
 		// task on the scalar path so each Future gets its own result or its
@@ -632,6 +655,12 @@ func (s *Service) route(req Request) (Result, error) {
 	switch req.Kind {
 	case Permute:
 		out := make([]int, s.cfg.N)
+		if s.sharded != nil {
+			if err := s.sharded.RouteInto(out, req.Dest); err != nil {
+				return Result{}, err
+			}
+			return Result{Perm: out}, nil
+		}
 		if err := s.perm.RouteInto(out, req.Dest); err != nil {
 			return Result{}, err
 		}

@@ -37,7 +37,8 @@ type Engine = concentrator.Engine
 type Sorter struct {
 	n, w    int
 	permute *permnet.RadixPermuter
-	pool    sync.Pool // *sortScratch
+	sharded *permnet.ShardedRoutePlan // non-nil at n ≥ permnet.ShardedAutoThreshold
+	pool    sync.Pool                 // *sortScratch
 }
 
 // sortScratch is the pooled per-Sort working state: one set for all w
@@ -61,6 +62,17 @@ func New(n, w int, engine Engine) (*Sorter, error) {
 		return nil, fmt.Errorf("wordsort: key width %d out of range [1,64]", w)
 	}
 	s := &Sorter{n: n, w: w, permute: permnet.NewRadixPermuter(n, engine, 0)}
+	if n >= permnet.ShardedAutoThreshold {
+		// Huge networks route every pass through the sharded plan: the
+		// flat fused program's Θ(n lg n) step stream is never compiled,
+		// and each pass replays w SWAR shard lanes instead of one
+		// sequential pass (see internal/permnet/sharded.go).
+		sp, err := s.permute.Sharded(0)
+		if err != nil {
+			return nil, fmt.Errorf("wordsort: %w", err)
+		}
+		s.sharded = sp
+	}
 	s.pool.New = func() any {
 		return &sortScratch{
 			tags: make(bitvec.Vector, n),
@@ -144,7 +156,7 @@ func (s *Sorter) SortInto(out []uint64, perm []int, keys []uint64) error {
 			sc.tags[i] = bitvec.Bit((k >> uint(b)) & 1)
 		}
 		stableSplitDestInto(sc.dest, sc.tags)
-		if err := s.permute.RouteInto(sc.p, sc.dest); err != nil {
+		if err := s.routePass(sc.p, sc.dest); err != nil {
 			return fmt.Errorf("wordsort: pass %d: %w", b, err)
 		}
 		for j, i := range sc.p {
@@ -155,6 +167,15 @@ func (s *Sorter) SortInto(out []uint64, perm []int, keys []uint64) error {
 		copy(perm, sc.perm)
 	}
 	return nil
+}
+
+// routePass routes one radix pass's stable-split destinations: through
+// the sharded plan on huge networks, the flat compiled plan otherwise.
+func (s *Sorter) routePass(p []int, dest []int) error {
+	if s.sharded != nil {
+		return s.sharded.RouteInto(p, dest)
+	}
+	return s.permute.RouteInto(p, dest)
 }
 
 // sortBatchGrain is the number of key sets a batch worker claims per
@@ -198,7 +219,10 @@ func (s *Sorter) SortBatch(keySets [][]uint64, workers int) ([][]uint64, [][]int
 		outs[i] = flatK[i*s.n : (i+1)*s.n]
 		perms[i] = flatP[i*s.n : (i+1)*s.n]
 	}
-	wide := len(keySets) >= permnet.PackedLanes && s.n >= 2
+	// Huge networks never take the whole-n wide path: it would compile
+	// the flat fused program sharding exists to avoid, and each sharded
+	// SortInto already replays packed shard lanes internally.
+	wide := s.sharded == nil && len(keySets) >= permnet.PackedLanes && s.n >= 2
 	if wide {
 		if _, err := s.permute.Compile().Program().Packed(1); err != nil {
 			wide = false

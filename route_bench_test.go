@@ -279,6 +279,63 @@ func BenchmarkRouteEngines(b *testing.B) {
 	}
 }
 
+// BenchmarkRouteEnginesSharded measures the sharded hierarchical router
+// against the flat planned-parallel batch pipeline at the huge widths
+// the sharded layer exists for (n ∈ {4096, 16384, 65536}, fish engine,
+// 64 shards — the packed sub-replay width):
+//
+//   - planned-parallel: the flat fused plan's batch pipeline (the path
+//     the sharded router replaces; recorded here for 16384/65536 where
+//     BenchmarkRouteEngines does not reach)
+//   - route-sharded:    the w-way sharded plan — rank-lowered cross-shard
+//     exchange, then one lane-packed n/w sub-replay carrying all w
+//     shards of each request
+//
+// Results land in BENCH_route.json as route-sharded columns alongside
+// the flat paths.
+func BenchmarkRouteEnginesSharded(b *testing.B) {
+	rng := rand.New(rand.NewSource(1992))
+	for _, n := range []int{4096, 16384, 65536} {
+		plan := permnet.NewRadixPermuter(n, concentrator.Fish, 0).Compile()
+		sp, err := permnet.ShardedPlanFor(n, concentrator.Fish, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dests := make([][]int, routeBenchBatch)
+		for i := range dests {
+			dests[i] = rng.Perm(n)
+		}
+		if n > 4096 {
+			// BenchmarkRouteEngines stops at 4096; record the flat
+			// baseline at the sharded sizes for the speedup column.
+			b.Run(fmt.Sprintf("planned-parallel/n=%d", n), func(b *testing.B) {
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := plan.RouteBatchPlanned(dests, 0); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				ns := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / routeBenchBatch
+				b.ReportMetric(ns, "ns/route")
+				recordRouteBench("planned-parallel", n, ns)
+			})
+		}
+		b.Run(fmt.Sprintf("route-sharded/n=%d", n), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sp.RouteBatch(dests, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			ns := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / routeBenchBatch
+			b.ReportMetric(ns, "ns/route")
+			recordRouteBench("route-sharded", n, ns)
+		})
+	}
+}
+
 // TestRouteSpeedupFloor pins the acceptance criterion: the compiled route
 // plan must deliver at least 5× the scalar router's per-route throughput on
 // the n=4096 fish permuter. Measured inline (not via the benchmark harness)
@@ -520,6 +577,89 @@ func TestBenesPackedSpeedupFloor(t *testing.T) {
 	if best < 3 {
 		t.Errorf("packed Beneš speedup %.1f× < 3× floor (planned %.0f ns/route, packed %.0f ns/route)",
 			best, plannedNs, packedNs)
+	}
+}
+
+// TestShardedSpeedupFloor pins the sharded router's acceptance
+// criterion (ISSUE 7): on 16-wide batches at n=65536 (fish engine,
+// auto shard count → 64), the sharded hierarchical plan must deliver
+// at least 2× the per-route throughput of the flat planned-parallel
+// batch pipeline it replaces at huge widths. The win is structural on
+// any core count: the cross-shard exchange runs lg w of the lg n
+// levels as O(n) stable ranks, and the remaining lg(n/w) levels ride
+// one lane-packed sub-replay carrying all 64 shards at once instead
+// of 16 full-width flat replays. The ratio is taken as the best of
+// three trials so a CI scheduling hiccup in one trial cannot fail the
+// gate; the measured margin is ~4×.
+func TestShardedSpeedupFloor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing floor skipped in -short mode")
+	}
+	if race.Enabled {
+		t.Skip("timing floor skipped under the race detector: instrumentation " +
+			"penalizes the packed sub-replay's tight word loops far more than " +
+			"the planned path, distorting the ratio")
+	}
+	n := 65536
+	plan := permnet.NewRadixPermuter(n, concentrator.Fish, 0).Compile()
+	sp, err := permnet.ShardedPlanFor(n, concentrator.Fish, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sp.Packed() {
+		t.Fatalf("auto shard count %d did not engage the packed sub-replay", sp.Shards())
+	}
+	rng := rand.New(rand.NewSource(1992))
+	dests := make([][]int, routeBenchBatch)
+	for i := range dests {
+		dests[i] = rng.Perm(n)
+	}
+	// Warm both paths (plan + packed sub-program compilation, pooled
+	// scratch) and cross-check them bit-for-bit before timing.
+	want, err := plan.RouteBatchPlanned(dests, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sp.RouteBatch(dests, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("request %d: sharded route differs from flat at output %d", i, j)
+			}
+		}
+	}
+	best := 0.0
+	var plannedNs, shardedNs float64
+	for trial := 0; trial < 3; trial++ {
+		planned := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := plan.RouteBatchPlanned(dests, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		sharded := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sp.RouteBatch(dests, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		speedup := float64(planned.NsPerOp()) / float64(sharded.NsPerOp())
+		if speedup > best {
+			best = speedup
+			plannedNs = float64(planned.NsPerOp()) / routeBenchBatch
+			shardedNs = float64(sharded.NsPerOp()) / routeBenchBatch
+		}
+	}
+	t.Logf("n=%d, %d-wide batch, %d shards: planned-parallel %.0f ns/route, sharded %.0f ns/route, speedup %.1f×",
+		n, routeBenchBatch, sp.Shards(), plannedNs, shardedNs, best)
+	if best < 2 {
+		t.Errorf("sharded route speedup %.1f× < 2× floor (planned-parallel %.0f ns/route, sharded %.0f ns/route)",
+			best, plannedNs, shardedNs)
 	}
 }
 
