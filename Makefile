@@ -27,16 +27,22 @@
 # the w-way sharded hierarchical router must hold at least 2× the flat
 # planned-parallel per-route throughput on 16-wide batches at n=65536
 # (BenchmarkRouteEnginesSharded records the route-sharded columns at
-# n ∈ {4096, 16384, 65536}). `make bench-packed` /
-# `make bench-permpacked` / `make bench-wide` / `make bench-shard` run
-# just those gates plus their benchmark columns, with full calibration
-# instead of the one-iteration smoke.
+# n ∈ {4096, 16384, 65536}) — and TestFaultCheckerOverheadFloor: the
+# default sampled lanewise response checker (1/64) must cost ≤ 5% over
+# the unchecked serving baseline at n=1024 (BenchmarkServeFault records
+# the check-off / check-1/64 / check-all / recovery columns into
+# BENCH_fault.json). `make bench-packed` / `make bench-permpacked` /
+# `make bench-wide` / `make bench-shard` / `make bench-fault` run just
+# those gates plus their benchmark columns, with full calibration
+# instead of the one-iteration smoke. `make chaos` runs the
+# race-enabled fault drill: stuck-at faults wedged into a live service
+# under concurrent load, every admitted future must resolve correctly.
 
 GO ?= go
 
-.PHONY: ci vet build test race serve-race bench bench-packed bench-permpacked bench-wide bench-shard clean
+.PHONY: ci vet build test race serve-race bench bench-packed bench-permpacked bench-wide bench-shard bench-fault chaos clean
 
-ci: vet build race bench
+ci: vet build race chaos bench
 
 vet:
 	$(GO) vet ./...
@@ -55,7 +61,7 @@ serve-race:
 	$(GO) test -race -run 'TestRoutingService' -count=1 .
 
 bench:
-	$(GO) test -run 'TestWideSpeedupFloor|TestRouteSpeedupFloor|TestServeThroughputFloor|TestPackedSpeedupFloor|TestPermPackedSpeedupFloor|TestBenesPackedSpeedupFloor|TestWidePackedThroughputFloor|TestShardedSpeedupFloor' -bench 'EvalEngines|RouteEngines|ServeThroughput' -benchtime 1x .
+	$(GO) test -run 'TestWideSpeedupFloor|TestRouteSpeedupFloor|TestServeThroughputFloor|TestPackedSpeedupFloor|TestPermPackedSpeedupFloor|TestBenesPackedSpeedupFloor|TestWidePackedThroughputFloor|TestShardedSpeedupFloor|TestFaultCheckerOverheadFloor' -bench 'EvalEngines|RouteEngines|ServeThroughput|ServeFault' -benchtime 1x .
 
 bench-packed:
 	$(GO) test -run 'TestPackedSpeedupFloor$$' -bench 'RouteEngines/conc' -count=1 .
@@ -68,6 +74,13 @@ bench-wide:
 
 bench-shard:
 	$(GO) test -run 'TestShardedSpeedupFloor' -bench 'RouteEnginesSharded' -count=1 .
+
+bench-fault:
+	$(GO) test -run 'TestFaultCheckerOverheadFloor' -bench 'ServeFault' -count=1 .
+
+chaos:
+	$(GO) test -race -run 'TestChaosRecovery' -count=1 ./internal/serve
+	$(GO) test -race -run 'TestChaosDrill|TestRoutingServiceFaultPublic' -count=1 .
 
 clean:
 	$(GO) clean ./...

@@ -35,6 +35,16 @@
 //
 //	permroute -n 1024 -engine fish -serve workload.txt -workers 8 -queue 64
 //	permroute -n 4096 -engine fish -serve rand -batch 512
+//
+// With -chaos, it runs a fault drill through the streaming service:
+// -batch mixed requests flow through the service with every response
+// verified, stuck-at faults are wedged into the live permute and
+// concentrate plans mid-stream, and the report shows the fault counters
+// (detected / recompiled / replayed) plus the time from each injection
+// to the recompile that recovered from it. Every request must still
+// resolve with a verified result.
+//
+//	permroute -n 256 -engine fish -chaos -batch 512
 package main
 
 import (
@@ -68,6 +78,7 @@ func main() {
 		shards   = flag.Int("shards", 0, "sharded routing comparison for -batch: 0 = auto (engaged at n >= 65536), else a power of two in [2, n/2]")
 		serveArg = flag.String("serve", "", "replay a workload file through the streaming routing service ('rand' generates -batch random permutes)")
 		queue    = flag.Int("queue", 0, "streaming service admission queue depth (0 = 4x workers)")
+		chaos    = flag.Bool("chaos", false, "fault drill: wedge stuck-at faults into the live service mid-stream and report time-to-recovery")
 	)
 	flag.Parse()
 	if *n < 2 || !core.IsPow2(*n) {
@@ -99,6 +110,10 @@ func main() {
 	}
 
 	rng := rand.New(rand.NewSource(*seed))
+	if *chaos {
+		runChaos(*n, eng, rng, *batch, *workers, *queue)
+		return
+	}
 	if *serveArg != "" {
 		runServe(*n, eng, rng, *serveArg, *batch, *workers, *queue)
 		return
@@ -432,6 +447,103 @@ func runServe(n int, eng concentrator.Engine, rng *rand.Rand, src string, batch,
 	fmt.Printf("  latency: mean %v   p50 ≤ %v   p99 ≤ %v\n",
 		st.MeanLatency(), st.ApproxQuantile(0.50), st.ApproxQuantile(0.99))
 	fmt.Printf("  all %d requests resolved\n", len(reqs))
+}
+
+// runChaos drives the fault drill: a stream of mixed requests through
+// the streaming service with every response verified, a stuck-at fault
+// wedged into the live permute plan a quarter of the way through and
+// into the live concentrate plan halfway through, and time-to-recovery
+// measured from each injection to the recompile that cleared it.
+func runChaos(n int, eng concentrator.Engine, rng *rand.Rand, batch, workers, queue int) {
+	if batch <= 0 {
+		batch = 256
+	}
+	svc, err := serve.New(serve.Config{
+		N: n, Engine: eng, Workers: workers, QueueDepth: queue,
+		CheckFraction: 1, // drill mode: verify every response
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "permroute:", err)
+		os.Exit(1)
+	}
+	defer svc.Close()
+	fmt.Printf("chaos drill: %d requests, n=%d, engine=%s, workers=%d, every response checked\n",
+		batch, n, eng, svc.Workers())
+
+	type injection struct {
+		at    int
+		fault serve.WireFault
+		label string
+	}
+	injections := []injection{
+		{batch / 4, serve.WireFault{Kind: serve.Permute, Pos: 1, Bit: core.Lg(n) - 1, Stuck: 1},
+			"permute dest-bit stuck-at-1"},
+		{batch / 2, serve.WireFault{Kind: serve.Concentrate, Pos: 0, Stuck: 0},
+			"concentrate tag stuck-at-0"},
+	}
+	ctx := context.Background()
+	var injected time.Time
+	var pendingLabel string
+	lastRecompiled := int64(0)
+	t0 := time.Now()
+	for i := 0; i < batch; i++ {
+		for _, inj := range injections {
+			if i == inj.at {
+				if err := svc.InjectFault(inj.fault); err != nil {
+					fmt.Fprintln(os.Stderr, "permroute:", err)
+					os.Exit(1)
+				}
+				injected, pendingLabel = time.Now(), inj.label
+				fmt.Printf("  request %4d: injected %s\n", i, inj.label)
+			}
+		}
+		var req serve.Request
+		switch i % 2 {
+		case 0:
+			req = serve.Request{Kind: serve.Permute, Dest: rng.Perm(n)}
+		default:
+			marked := make([]bool, n)
+			for j := range marked {
+				marked[j] = rng.Intn(2) == 0
+			}
+			req = serve.Request{Kind: serve.Concentrate, Marked: marked}
+		}
+		fut, err := svc.Submit(ctx, req)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "permroute: request %d: %v\n", i, err)
+			os.Exit(1)
+		}
+		res, err := fut.Wait(ctx)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "permroute: request %d: %v\n", i, err)
+			os.Exit(1)
+		}
+		if req.Kind == serve.Permute && !permnet.VerifyRouting(req.Dest, res.Perm) {
+			fmt.Fprintf(os.Stderr, "permroute: request %d: wrong result escaped the service\n", i)
+			os.Exit(1)
+		}
+		if fs := svc.FaultStats(); fs.Recompiled > lastRecompiled {
+			lastRecompiled = fs.Recompiled
+			if pendingLabel != "" {
+				fmt.Printf("  request %4d: recovered from %s in %v (recompile #%d)\n",
+					i, pendingLabel, time.Since(injected), fs.Recompiled)
+				pendingLabel = ""
+			}
+		}
+	}
+	elapsed := time.Since(t0)
+
+	fs := svc.FaultStats()
+	eng2, _ := svc.ActiveEngine(serve.Permute)
+	fmt.Printf("  fault stats: %d checked, %d detected, %d recompiled, %d replayed, %d degraded\n",
+		fs.Checked, fs.Detected, fs.Recompiled, fs.Replayed, fs.Degraded)
+	fmt.Printf("  active permute engine after drill: %s   degraded concentrate: %v\n", eng2, svc.Degraded())
+	fmt.Printf("  wall time %v   %.0f requests/sec   all %d requests resolved correctly\n",
+		elapsed, float64(batch)/elapsed.Seconds(), batch)
+	if fs.Detected == 0 || fs.Recompiled == 0 {
+		fmt.Fprintln(os.Stderr, "permroute: chaos drill never exercised recovery")
+		os.Exit(1)
+	}
 }
 
 // loadWorkload parses the workload source: "rand" generates count random

@@ -1,0 +1,62 @@
+// Stuck-at fault injection for compiled concentrator plans: the
+// chaos-drill counterpart of ConcentrateInto, wedging wires of the packed
+// packet word during the replay (see internal/planner/fault.go for the
+// force-mask model).
+package concentrator
+
+import (
+	"fmt"
+
+	"absort/internal/planner"
+)
+
+// TagFault returns the force mask wedging the routing-tag wire (TagBit) of
+// the packet held at network position pos to v. In the concentrator's
+// packet layout a 0 tag means "requesting" and a 1 tag "idle", so a
+// stuck-at-1 tag wire makes marked packets at that position route as idle
+// and vice versa. The payload/origin-index bits below TagBit ride through
+// untouched: outputs remain a structurally valid permutation that violates
+// the concentration invariant — marked inputs leak out of the leading
+// block — which is what a response-side ones-conservation check catches.
+func TagFault(pos int, v uint8) planner.StuckFault {
+	return planner.StuckBit(pos, tagShift, v)
+}
+
+// ConcentrateIntoStuck is ConcentrateInto with stuck-at force masks active
+// on the replay. Input validation (lengths, capacity) is identical to
+// ConcentrateInto; the OUTPUT is not validated — a wedged tag wire
+// routinely scatters marked inputs outside the leading block, and callers
+// (the serving layer's lanewise checker, fault drills) detect that
+// downstream. Not a hot path.
+func (c *Concentrator) ConcentrateIntoStuck(p []int, marked []bool, faults []planner.StuckFault) (int, error) {
+	if len(marked) != c.n {
+		return 0, fmt.Errorf("concentrator: %d requests for %d inputs", len(marked), c.n)
+	}
+	if len(p) != c.n {
+		return 0, fmt.Errorf("concentrator: permutation buffer of %d for %d inputs", len(p), c.n)
+	}
+	plan, err := c.compileChecked()
+	if err != nil {
+		return 0, err
+	}
+	vals := make([]uint64, c.n)
+	r := 0
+	for i, m := range marked {
+		if m {
+			r++
+			vals[i] = uint64(i)
+		} else {
+			vals[i] = TagBit | uint64(i)
+		}
+	}
+	if r > c.m {
+		return 0, fmt.Errorf("concentrator: %d requests exceed capacity %d", r, c.m)
+	}
+	if err := plan.prog.RunStuck(vals, faults); err != nil {
+		return 0, fmt.Errorf("concentrator: ConcentrateIntoStuck: %w", err)
+	}
+	for j, v := range vals {
+		p[j] = int(v &^ TagBit)
+	}
+	return r, nil
+}

@@ -1,0 +1,105 @@
+package concentrator
+
+import (
+	"math/rand"
+	"testing"
+
+	"absort/internal/planner"
+)
+
+var faultEngines = []Engine{MuxMerger, PrefixAdder, Fish, Ranking}
+
+func TestConcentrateIntoStuckNilMatchesClean(t *testing.T) {
+	const n = 16
+	rng := rand.New(rand.NewSource(21))
+	for _, eng := range faultEngines {
+		c := New(n, n, eng, 0)
+		marked := make([]bool, n)
+		for i := range marked {
+			marked[i] = rng.Intn(2) == 0
+		}
+		clean := make([]int, n)
+		faulty := make([]int, n)
+		rc, err := c.ConcentrateInto(clean, marked)
+		if err != nil {
+			t.Fatalf("%v: ConcentrateInto: %v", eng, err)
+		}
+		rf, err := c.ConcentrateIntoStuck(faulty, marked, nil)
+		if err != nil {
+			t.Fatalf("%v: ConcentrateIntoStuck: %v", eng, err)
+		}
+		if rc != rf {
+			t.Fatalf("%v: counts diverge: %d vs %d", eng, rf, rc)
+		}
+		for j := range clean {
+			if clean[j] != faulty[j] {
+				t.Fatalf("%v: ConcentrateIntoStuck(nil) diverges at %d: %v vs %v", eng, j, faulty, clean)
+			}
+		}
+	}
+}
+
+// TestConcentrateIntoStuckMisroutes pins that a stuck-at-0 tag wire pulls
+// unmarked inputs into the leading output block (the concentration
+// invariant breaks) while the payload indices stay a valid permutation.
+// Stuck-at-0 rather than stuck-at-1: the Ranking engine's single stable
+// partition is immune to one stuck-at-1 tag at the load — the displaced
+// marked packet is the first "idle" packet and lands exactly at the
+// leading block's boundary slot — whereas a forced "requesting" tag
+// inflates the zeros count and provably breaks the block.
+func TestConcentrateIntoStuckMisroutes(t *testing.T) {
+	const n = 16
+	for _, eng := range faultEngines {
+		rng := rand.New(rand.NewSource(34))
+		c := New(n, n, eng, 0)
+		faults := []planner.StuckFault{TagFault(0, 0)}
+		out := make([]int, n)
+		misroutes := 0
+		for trial := 0; trial < 24; trial++ {
+			marked := make([]bool, n)
+			for i := range marked {
+				marked[i] = rng.Intn(2) == 0
+			}
+			r, err := c.ConcentrateIntoStuck(out, marked, faults)
+			if err != nil {
+				t.Fatalf("%v: ConcentrateIntoStuck: %v", eng, err)
+			}
+			seen := make([]bool, n)
+			concentrated := true
+			for j, i := range out {
+				if i < 0 || i >= n || seen[i] {
+					t.Fatalf("%v: wedged tag wire corrupted payload: out=%v", eng, out)
+				}
+				seen[i] = true
+				if marked[i] != (j < r) {
+					concentrated = false
+				}
+			}
+			if !concentrated {
+				misroutes++
+			}
+		}
+		if misroutes == 0 {
+			t.Fatalf("%v: stuck-at-0 tag wire never misrouted in 24 trials", eng)
+		}
+	}
+}
+
+func TestConcentrateIntoStuckValidation(t *testing.T) {
+	c := New(8, 4, MuxMerger, 0)
+	out := make([]int, 8)
+	if _, err := c.ConcentrateIntoStuck(out, make([]bool, 3), nil); err == nil {
+		t.Fatal("accepted short marked")
+	}
+	if _, err := c.ConcentrateIntoStuck(out[:3], make([]bool, 8), nil); err == nil {
+		t.Fatal("accepted short out")
+	}
+	over := []bool{true, true, true, true, true, false, false, false}
+	if _, err := c.ConcentrateIntoStuck(out, over, nil); err == nil {
+		t.Fatal("accepted over-capacity pattern")
+	}
+	if _, err := c.ConcentrateIntoStuck(out, make([]bool, 8),
+		[]planner.StuckFault{{Pos: -2}}); err == nil {
+		t.Fatal("accepted out-of-range fault position")
+	}
+}

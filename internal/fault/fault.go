@@ -46,11 +46,23 @@ func (r DeadComparatorReport) ToleranceRatio() float64 {
 	return float64(r.Tolerated) / float64(r.Comparators)
 }
 
+// DefaultDeadComparatorSamples is the probe count substituted when a
+// sampled analysis is requested with a non-positive sample budget. An
+// empty probe list would declare every fault tolerated (the loop over
+// probes is vacuous), reporting ToleranceRatio 1.0 for networks that
+// tolerate nothing — so the sample count is clamped instead.
+const DefaultDeadComparatorSamples = 64
+
 // AnalyzeDeadComparators runs single-dead-comparator analysis over all
 // 2^n inputs (n ≤ 20) when exhaustive is true, or over the given number of
-// random samples otherwise, parallelized over faults.
+// random samples otherwise, parallelized over faults. A non-positive
+// samples in sampled mode is clamped to DefaultDeadComparatorSamples,
+// so the report is never vacuously optimistic.
 func AnalyzeDeadComparators(nw *cmpnet.Network, exhaustive bool, samples int, seed int64) DeadComparatorReport {
 	n := nw.N()
+	if !exhaustive && samples <= 0 {
+		samples = DefaultDeadComparatorSamples
+	}
 	var probes []bitvec.Vector
 	if exhaustive {
 		bitvec.All(n, func(v bitvec.Vector) bool {

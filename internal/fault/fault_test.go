@@ -66,6 +66,25 @@ func TestDeadComparatorSampled(t *testing.T) {
 	}
 }
 
+// TestDeadComparatorSampledZeroBudget pins the clamp: sampled mode with
+// samples <= 0 used to build an empty probe list, declaring every fault
+// tolerated (ToleranceRatio 1.0) even for Batcher's minimal network,
+// where every comparator is essential. The clamped default budget must
+// still find real faults.
+func TestDeadComparatorSampledZeroBudget(t *testing.T) {
+	nw := cmpnet.OddEvenMergeSort(8)
+	for _, samples := range []int{0, -5} {
+		r := AnalyzeDeadComparators(nw, false, samples, 1)
+		if r.Tolerated >= r.Comparators {
+			t.Errorf("samples=%d: vacuous report %d/%d tolerated (ratio %.2f)",
+				samples, r.Tolerated, r.Comparators, r.ToleranceRatio())
+		}
+		if r.WorstDisplacement == 0 {
+			t.Errorf("samples=%d: no displacement recorded", samples)
+		}
+	}
+}
+
 // TestToleranceRatioEmpty covers the degenerate accessor.
 func TestToleranceRatioEmpty(t *testing.T) {
 	if (DeadComparatorReport{}).ToleranceRatio() != 1 {

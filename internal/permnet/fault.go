@@ -1,0 +1,51 @@
+// Stuck-at fault injection for the fused permuter plan: the chaos-drill
+// counterpart of RouteInto, wedging wires of the packed packet word during
+// the replay (see internal/planner/fault.go for the force-mask model).
+package permnet
+
+import (
+	"fmt"
+
+	"absort/internal/planner"
+)
+
+// DestBitFault returns the force mask wedging destination-address bit
+// `bit` (0 = least significant, lg n − 1 = the bit the top level consumes)
+// of the packet held at network position pos to v. The fault is pure
+// control plane: the origin index rides below localShift untouched, so a
+// wedged wire misroutes packets while the outputs remain a structurally
+// valid permutation — semantically wrong, which is exactly what a
+// response-side realization check has to catch.
+func DestBitFault(pos, bit int, v uint8) planner.StuckFault {
+	return planner.StuckBit(pos, uint(localShift+bit), v)
+}
+
+// RouteIntoStuck is RouteInto with stuck-at force masks active on the
+// replay. Input validation is identical to RouteInto; the OUTPUT is not
+// validated — a wedged wire routinely produces a permutation that fails to
+// realize dest, and callers (the serving layer's lanewise checker, fault
+// drills) detect that downstream. Not a hot path.
+func (p *RoutePlan) RouteIntoStuck(out []int, dest []int, faults []planner.StuckFault) error {
+	if len(dest) != p.n {
+		return fmt.Errorf("permnet: RouteInto with %d destinations, want %d",
+			len(dest), p.n)
+	}
+	if len(out) != p.n {
+		return fmt.Errorf("permnet: RouteInto into %d outputs, want %d",
+			len(out), p.n)
+	}
+	if err := p.validate(dest); err != nil {
+		return err
+	}
+	vals := make([]uint64, p.n)
+	for i, d := range dest {
+		vals[i] = uint64(d)<<localShift | uint64(i)
+	}
+	if err := p.prog.RunStuck(vals, faults); err != nil {
+		return fmt.Errorf("permnet: RouteIntoStuck: %w", err)
+	}
+	for j, v := range vals {
+		out[j] = int(v & idxMask)
+	}
+	return nil
+}

@@ -387,28 +387,48 @@ func (p *ShardedRoutePlan) routeShardedAt(out [][]int, dests [][]int, base int) 
 	return base, err
 }
 
-// RoutePacked routes a group of destination assignments through the
-// sharded plan on the caller's goroutine — the sharded counterpart of
-// RoutePlan.RoutePacked, used by burst drains that already own a worker.
-// Groups wider than one packed replay (gbMax requests) chunk
-// sequentially; below the packed break-even every request routes on the
-// scalar composition. A malformed assignment returns its validated error
-// before that group routes.
+// RoutePacked routes up to MaxPackedLanes destination assignments
+// through the sharded plan on the caller's goroutine — the sharded
+// counterpart of RoutePlan.RoutePacked, used by burst drains that
+// already own a worker. Groups wider than one packed replay (gbMax
+// requests) chunk sequentially; below the packed break-even every
+// request routes on the scalar composition. The validation contract
+// matches the flat plan's RoutePacked exactly (same checks, order, and
+// messages; see DESIGN §13): a malformed assignment returns a validated
+// error naming the earliest offending request before any routing starts.
 func (p *ShardedRoutePlan) RoutePacked(out [][]int, dests [][]int) error {
-	if len(out) != len(dests) {
+	lanes := len(dests)
+	if lanes == 0 || lanes > MaxPackedLanes {
+		return fmt.Errorf("permnet: RoutePacked: %d assignments, want 1..%d",
+			lanes, MaxPackedLanes)
+	}
+	if len(out) != lanes {
 		return fmt.Errorf("permnet: RoutePacked: %d outputs for %d assignments",
-			len(out), len(dests))
+			len(out), lanes)
+	}
+	for l, dest := range dests {
+		if len(dest) != p.n {
+			return fmt.Errorf("permnet: RouteInto with %d destinations, want %d",
+				len(dest), p.n)
+		}
+		if len(out[l]) != p.n {
+			return fmt.Errorf("permnet: RouteInto into %d outputs, want %d",
+				len(out[l]), p.n)
+		}
+		if err := p.validate(dest); err != nil {
+			return err
+		}
 	}
 	if !p.Packed() {
 		for i := range dests {
-			if err := p.RouteInto(out[i], dests[i]); err != nil {
+			if err := p.routeScalar(out[i], dests[i]); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	for lo := 0; lo < len(dests); lo += p.gbMax {
-		hi := min(lo+p.gbMax, len(dests))
+	for lo := 0; lo < lanes; lo += p.gbMax {
+		hi := min(lo+p.gbMax, lanes)
 		if _, err := p.routeShardedAt(out[lo:hi], dests[lo:hi], lo); err != nil {
 			return err
 		}

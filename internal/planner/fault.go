@@ -1,0 +1,67 @@
+// Stuck-at fault injection for compiled routing plans. The netlist engine
+// lowers a stuck-at wire to a pair of per-wire force masks applied at every
+// driving site (internal/netlist/compile_stuck.go); the plan-level
+// counterpart wedges bits of the packed packet word held at a fixed network
+// position:
+//
+//	vals[Pos] = vals[Pos]&And | Or
+//
+// applied to the input load and after every step of the replay — whatever a
+// data movement drives onto a faulty position, the wedged wire overrides
+// it. Because the plan runners move whole packet words, wedging a control
+// bit (a destination-address bit, a concentrator tag) corrupts routing
+// decisions while the payload/origin-index bits ride through intact: the
+// network keeps producing structurally valid outputs that are semantically
+// wrong, exactly the misroutes a lanewise response checker has to catch.
+package planner
+
+import "fmt"
+
+// StuckFault wedges packet-word bits at one network position for the whole
+// replay: whenever the fault set is applied, vals[Pos] = vals[Pos]&And | Or.
+// A stuck-at-0 bit clears it from And; a stuck-at-1 bit sets it in Or (the
+// netlist lowering's convention). The zero value of the mask pair (And: 0,
+// Or: 0) wedges the entire word to zero — use StuckBit for single-wire
+// faults.
+type StuckFault struct {
+	Pos int    // network position whose packet word is wedged
+	And uint64 // AND mask: 0-bits are stuck-at-0
+	Or  uint64 // OR mask: 1-bits are stuck-at-1
+}
+
+// StuckBit returns the fault wedging bit `bit` of position pos's packet
+// word to v (0 or 1), leaving every other bit of the word intact.
+func StuckBit(pos int, bit uint, v uint8) StuckFault {
+	f := StuckFault{Pos: pos, And: ^uint64(0)}
+	if v&1 == 0 {
+		f.And = ^(uint64(1) << bit)
+	} else {
+		f.Or = uint64(1) << bit
+	}
+	return f
+}
+
+// applyStuck forces every faulty position's packet word.
+func applyStuck(vals []uint64, faults []StuckFault) {
+	for _, f := range faults {
+		vals[f.Pos] = vals[f.Pos]&f.And | f.Or
+	}
+}
+
+// RunStuck is Run with stuck-at force masks active: the faulty counterpart
+// of the clean scalar replay, for chaos injection and fault drills — not a
+// hot path, so malformed input is a validated error rather than a panic.
+func (p *Program) RunStuck(vals []uint64, faults []StuckFault) error {
+	if len(vals) != p.layout.N {
+		return fmt.Errorf("planner: Program(%d).RunStuck over %d values", p.layout.N, len(vals))
+	}
+	for _, f := range faults {
+		if f.Pos < 0 || f.Pos >= p.layout.N {
+			return fmt.Errorf("planner: RunStuck fault at position %d, want 0..%d", f.Pos, p.layout.N-1)
+		}
+	}
+	sc := p.pool.Get().(*Scratch)
+	p.run(vals, sc.tmp, sc.sel, faults)
+	p.pool.Put(sc)
+	return nil
+}

@@ -1,0 +1,105 @@
+package planner
+
+import "testing"
+
+// rankProg compiles the single-step stable-partition program with the
+// concentrator's packet layout: tag in bit 63, origin index in the low bits.
+func rankProg(n int) *Program {
+	var b Builder
+	b.Rank(0, int32(n))
+	return b.Compile(Layout{N: n, FrontPlanes: 1, TagShift: 63, TagPlane: 0})
+}
+
+func packTagged(tags []uint8) []uint64 {
+	vals := make([]uint64, len(tags))
+	for i, t := range tags {
+		vals[i] = uint64(t&1)<<63 | uint64(i)
+	}
+	return vals
+}
+
+func permLow(vals []uint64) []int {
+	p := make([]int, len(vals))
+	for j, v := range vals {
+		p[j] = int(v &^ (uint64(1) << 63))
+	}
+	return p
+}
+
+func TestStuckBitMasks(t *testing.T) {
+	f0 := StuckBit(3, 5, 0)
+	if f0.Pos != 3 || f0.And != ^(uint64(1)<<5) || f0.Or != 0 {
+		t.Fatalf("StuckBit(3,5,0) = %+v", f0)
+	}
+	f1 := StuckBit(3, 5, 1)
+	if f1.Pos != 3 || f1.And != ^uint64(0) || f1.Or != uint64(1)<<5 {
+		t.Fatalf("StuckBit(3,5,1) = %+v", f1)
+	}
+}
+
+// TestRunStuckMisroutesRank pins the force-mask semantics on the one-step
+// stable partition: wedging position 0's tag to 1 makes the packet loaded
+// there partition as a one, while its origin-index bits ride through
+// untouched — a control-plane misroute with intact payload.
+func TestRunStuckMisroutesRank(t *testing.T) {
+	const n = 8
+	p := rankProg(n)
+	tags := []uint8{0, 1, 0, 1, 0, 1, 0, 1}
+
+	clean := packTagged(tags)
+	p.Run(clean)
+	wantClean := []int{0, 2, 4, 6, 1, 3, 5, 7}
+	for j, w := range wantClean {
+		if permLow(clean)[j] != w {
+			t.Fatalf("clean rank perm = %v, want %v", permLow(clean), wantClean)
+		}
+	}
+
+	faulty := packTagged(tags)
+	if err := p.RunStuck(faulty, []StuckFault{StuckBit(0, 63, 1)}); err != nil {
+		t.Fatalf("RunStuck: %v", err)
+	}
+	// Effective tags [1,1,0,1,0,1,0,1]: zeros {2,4,6} first, ones
+	// {0,1,3,5,7} after, stable within each class.
+	want := []int{2, 4, 6, 0, 1, 3, 5, 7}
+	got := permLow(faulty)
+	for j, w := range want {
+		if got[j] != w {
+			t.Fatalf("faulty rank perm = %v, want %v", got, want)
+		}
+	}
+	// The post-step application wedges the output word at position 0 too.
+	if faulty[0]>>63&1 != 1 {
+		t.Fatalf("position 0 output tag = %d, want wedged 1", faulty[0]>>63&1)
+	}
+}
+
+func TestRunStuckEmptyFaultsMatchesRun(t *testing.T) {
+	const n = 8
+	p := rankProg(n)
+	tags := []uint8{1, 0, 1, 1, 0, 0, 1, 0}
+	a := packTagged(tags)
+	b := packTagged(tags)
+	p.Run(a)
+	if err := p.RunStuck(b, nil); err != nil {
+		t.Fatalf("RunStuck(nil faults): %v", err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("RunStuck(nil) diverges from Run at %d: %x vs %x", i, b[i], a[i])
+		}
+	}
+}
+
+func TestRunStuckValidation(t *testing.T) {
+	p := rankProg(8)
+	if err := p.RunStuck(make([]uint64, 4), nil); err == nil {
+		t.Fatal("RunStuck accepted short vals")
+	}
+	if err := p.RunStuck(make([]uint64, 8), []StuckFault{{Pos: 8}}); err == nil {
+		t.Fatal("RunStuck accepted out-of-range fault position")
+	}
+	if err := p.RunStuck(make([]uint64, 8), []StuckFault{{Pos: -1}}); err == nil {
+		t.Fatal("RunStuck accepted negative fault position")
+	}
+}

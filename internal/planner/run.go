@@ -17,7 +17,7 @@ func (p *Program) Run(vals []uint64) {
 		panic(fmt.Sprintf("planner: Program(%d).Run over %d values", p.layout.N, len(vals)))
 	}
 	sc := p.pool.Get().(*Scratch)
-	p.run(vals, sc.tmp, sc.sel)
+	p.run(vals, sc.tmp, sc.sel, nil)
 	p.pool.Put(sc)
 }
 
@@ -25,7 +25,7 @@ func (p *Program) Run(vals []uint64) {
 // copy scratch and select buffer — the entry for clients that packed
 // their request into a borrowed Scratch.
 func (p *Program) RunScratch(sc *Scratch) {
-	p.run(sc.Val, sc.tmp, sc.sel)
+	p.run(sc.Val, sc.tmp, sc.sel, nil)
 }
 
 // RunSel executes the program in place over vals with a caller-provided
@@ -42,13 +42,20 @@ func (p *Program) RunSel(vals []uint64, sel []uint8) {
 			p.layout.N, len(sel), p.nsel))
 	}
 	sc := p.pool.Get().(*Scratch)
-	p.run(vals, sc.tmp, sel) // tmp from the pool; sel from the caller
+	p.run(vals, sc.tmp, sel, nil) // tmp from the pool; sel from the caller
 	p.pool.Put(sc)
 }
 
 // run walks the step stream over the packed working array vals, using tmp
-// for copy scratch and sel for select record/replay.
-func (p *Program) run(vals []uint64, tmp []uint64, sel []uint8) {
+// for copy scratch and sel for select record/replay. A non-empty faults
+// list wedges packet-word bits at fixed network positions — applied to the
+// input load and again after every step, mirroring the netlist engine's
+// stuck-at force masks (a stuck wire overrides whatever the step drove
+// onto it). The clean path pays one slice-length test per step.
+func (p *Program) run(vals []uint64, tmp []uint64, sel []uint8, faults []StuckFault) {
+	if len(faults) != 0 {
+		applyStuck(vals, faults)
+	}
 	sh := p.layout.TagShift
 	m := int32(0) // running ones count for the active patch-up chain
 	for _, st := range p.steps {
@@ -191,6 +198,9 @@ func (p *Program) run(vals []uint64, tmp []uint64, sel []uint8) {
 			}
 		default:
 			panic(fmt.Sprintf("planner: run: unknown op %d", st.Op))
+		}
+		if len(faults) != 0 {
+			applyStuck(vals, faults)
 		}
 	}
 }

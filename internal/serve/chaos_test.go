@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"absort/internal/concentrator"
+	"absort/internal/core"
+)
+
+// TestChaosRecovery is the end-to-end fault drill, designed to run under
+// -race: a service takes concurrent mixed load from several submitters
+// while stuck-at faults are wedged into the live permute and concentrate
+// plans mid-stream. Every admitted Future must resolve with a correct,
+// verified result — zero dropped, zero wrong — and the fault machinery
+// must show detection and recompile activity.
+func TestChaosRecovery(t *testing.T) {
+	for _, engine := range []Engine{
+		concentrator.MuxMerger, concentrator.PrefixAdder, concentrator.Fish, concentrator.Ranking,
+	} {
+		engine := engine
+		t.Run(engine.String(), func(t *testing.T) {
+			t.Parallel()
+			const (
+				n          = 64
+				submitters = 4
+				perSub     = 40
+			)
+			s := newTestService(t, Config{
+				N: n, Engine: engine, Workers: 3, QueueDepth: 16, WordBits: 8,
+				CheckFraction: 1, // every response verified: no misroute escapes
+			})
+			check := s.checker
+
+			type outcome struct {
+				req Request
+				res Result
+				err error
+			}
+			results := make(chan outcome, submitters*perSub)
+			var wg sync.WaitGroup
+			for sub := 0; sub < submitters; sub++ {
+				wg.Add(1)
+				go func(sub int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(100*sub + 1)))
+					for i := 0; i < perSub; i++ {
+						var req Request
+						switch i % 3 {
+						case 0:
+							req = Request{Kind: Permute, Dest: rng.Perm(n)}
+						case 1:
+							marked := make([]bool, n)
+							for j := range marked {
+								marked[j] = rng.Intn(2) == 0
+							}
+							req = Request{Kind: Concentrate, Marked: marked}
+						default:
+							keys := make([]uint64, n)
+							for j := range keys {
+								keys[j] = uint64(rng.Intn(256))
+							}
+							req = Request{Kind: SortWords, Keys: keys}
+						}
+						fut, err := s.Submit(context.Background(), req)
+						if err != nil {
+							results <- outcome{req: req, err: err}
+							continue
+						}
+						res, err := fut.Wait(context.Background())
+						results <- outcome{req: req, res: res, err: err}
+
+						// Mid-stream, wedge wires into the live instances:
+						// one submitter faults the permuter, another the
+						// concentrator. Position 1 / stuck-at-0 choices dodge
+						// the Ranking engine's provable fault immunities (a
+						// stable partition absorbs a stuck-at-1 at a window's
+						// first position).
+						if i == perSub/4 {
+							switch sub {
+							case 0:
+								if err := s.InjectFault(WireFault{
+									Kind: Permute, Pos: 1, Bit: core.Lg(n) - 1, Stuck: 1,
+								}); err != nil {
+									t.Errorf("InjectFault(Permute): %v", err)
+								}
+							case 1:
+								if err := s.InjectFault(WireFault{
+									Kind: Concentrate, Pos: 0, Stuck: 0,
+								}); err != nil {
+									t.Errorf("InjectFault(Concentrate): %v", err)
+								}
+							}
+						}
+					}
+				}(sub)
+			}
+			wg.Wait()
+			close(results)
+
+			completed := 0
+			for o := range results {
+				if o.err != nil {
+					t.Fatalf("admitted request resolved with error: %v", o.err)
+				}
+				completed++
+				var verr error
+				switch o.req.Kind {
+				case Permute:
+					verr = check.CheckPermute(o.req.Dest, o.res.Perm)
+				case Concentrate:
+					verr = check.CheckConcentrate(o.req.Marked, o.res.Perm, o.res.Count)
+				case SortWords:
+					verr = check.CheckSortWords(o.req.Keys, o.res.Keys, o.res.Perm)
+				}
+				if verr != nil {
+					t.Fatalf("wrong result escaped the service: %v", verr)
+				}
+			}
+			if completed != submitters*perSub {
+				t.Fatalf("resolved %d of %d admitted requests", completed, submitters*perSub)
+			}
+			fs := s.FaultStats()
+			if fs.Detected < 1 || fs.Recompiled < 1 || fs.Replayed < 1 {
+				t.Fatalf("chaos drill never exercised recovery: %+v", fs)
+			}
+		})
+	}
+}

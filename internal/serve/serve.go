@@ -39,6 +39,16 @@
 // Permute burst resolves alone with its own error and never poisons its
 // burst neighbours. The Ranking engine's Concentrate requests always
 // take the per-request path, exactly as ConcentrateBatch does.
+//
+// The service additionally carries the paper's hardware fault model into
+// the serving regime (see fault.go): each request kind routes through a
+// swappable plan INSTANCE (one "hardware copy" of the compiled plan),
+// InjectFault wedges wires of an instance under live traffic, a sampled
+// lanewise checker verifies responses against the routing invariants, and
+// a detected misroute quarantines the instance and recompiles around the
+// fault — onto spare capacity, across engines, or (for the concentrator)
+// degrading onto the permuter — replaying the failed requests so no
+// admitted Future ever resolves with a wrong result.
 package serve
 
 import (
@@ -47,12 +57,14 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"absort/internal/concentrator"
 	"absort/internal/core"
 	"absort/internal/permnet"
 	"absort/internal/planner"
+	"absort/internal/verify"
 	"absort/internal/wordsort"
 )
 
@@ -95,6 +107,21 @@ type Config struct {
 	Workers int
 	// QueueDepth bounds the admission queue (≤ 0 means 4 × Workers).
 	QueueDepth int
+	// CheckFraction is the fraction of successful responses verified by
+	// the lanewise misroute checker (permutation realization for Permute,
+	// ones-conservation for Concentrate, sortedness for SortWords). 0
+	// selects the default 1/64 sampling; values ≥ 1 check every response;
+	// negative disables checking (and with it fault detection and
+	// recovery). Independent of the sampling rate, every response routed
+	// by a plan instance that has already failed one check is verified
+	// until recovery replaces the instance.
+	CheckFraction float64
+	// Spares is the number of same-engine spare plan instances recovery
+	// may allocate per request kind before quarantining the engine and
+	// falling back to the next one. 0 selects the default (1); negative
+	// means no spares — the first detected fault on a kind fails over to
+	// another engine immediately.
+	Spares int
 }
 
 // Kind selects what a Request asks the plan set to route.
@@ -185,17 +212,36 @@ type task struct {
 // front of a long-lived worker pool replaying one compiled plan set. It
 // is safe for concurrent use.
 type Service struct {
-	cfg  Config
-	perm *permnet.RoutePlan
-	conc *concentrator.Concentrator
+	cfg Config
+
+	// word is the initial word sorter of the plan set, kept for
+	// introspection; routing always goes through the per-kind plan
+	// instances below.
 	word *wordsort.Sorter
 
-	// sharded replaces perm at n ≥ permnet.ShardedAutoThreshold: permute
-	// requests route through the sharded decomposition (w SWAR shard
-	// lanes per request, groups of requests per wide replay in a burst
-	// drain) and the flat fused program — Θ(n lg n) steps at those widths
-	// — is never compiled. perm is nil exactly when sharded is non-nil.
-	sharded *permnet.ShardedRoutePlan
+	// inst holds the plan instance currently serving each request kind
+	// (indexed by Kind). An instance is one "hardware copy" of the
+	// compiled plan: fault injection wedges wires of the current
+	// instance, and recovery swaps in a replacement — the quarantined
+	// copy (with its faults) is simply never routed through again. For
+	// Permute at n ≥ permnet.ShardedAutoThreshold the instance carries
+	// the sharded decomposition and the flat fused program — Θ(n lg n)
+	// steps at those widths — is never compiled.
+	inst [3]atomic.Pointer[planInstance]
+
+	// checker verifies sampled responses; checkStride is the sampling
+	// stride derived from Config.CheckFraction (0 disabled, 1 every
+	// response, k one in k via checkCtr).
+	checker     *verify.LaneChecker
+	checkStride uint64
+	checkCtr    atomic.Uint64
+
+	// faultMu serializes recovery (instance replacement); recov tracks
+	// per-kind spare usage and quarantined engines; spares is the
+	// resolved Config.Spares.
+	faultMu sync.Mutex
+	recov   [3]recoveryState
+	spares  int
 
 	// packed enables the concentrate burst fast path: drained groups of
 	// queued Concentrate requests ride one SWAR plan replay. Disabled for
@@ -267,23 +313,34 @@ func New(cfg Config) (*Service, error) {
 	conc := concentrator.New(cfg.N, cfg.M, cfg.Engine, cfg.K)
 	conc.Compile()
 	s := &Service{
-		cfg:        cfg,
-		conc:       conc,
-		word:       word,
-		packed:     cfg.Engine != concentrator.Ranking && cfg.N > 1,
-		packedPerm: cfg.N > 1,
-		queue:      make(chan *task, cfg.QueueDepth),
-		quit:       make(chan struct{}),
+		cfg:         cfg,
+		word:        word,
+		checker:     verify.NewLaneChecker(cfg.N),
+		checkStride: strideFor(cfg.CheckFraction),
+		spares:      cfg.Spares,
+		packed:      cfg.Engine != concentrator.Ranking && cfg.N > 1,
+		packedPerm:  cfg.N > 1,
+		queue:       make(chan *task, cfg.QueueDepth),
+		quit:        make(chan struct{}),
 	}
+	if s.spares == 0 {
+		s.spares = 1
+	} else if s.spares < 0 {
+		s.spares = 0
+	}
+	permInst := &planInstance{engine: cfg.Engine}
 	if cfg.N >= permnet.ShardedAutoThreshold {
 		sharded, err := permnet.ShardedPlanFor(cfg.N, cfg.Engine, 0)
 		if err != nil {
 			return nil, fmt.Errorf("serve: New: %w", err)
 		}
-		s.sharded = sharded
+		permInst.sharded = sharded
 	} else {
-		s.perm = permnet.NewRadixPermuter(cfg.N, cfg.Engine, cfg.K).Compile()
+		permInst.perm = permnet.NewRadixPermuter(cfg.N, cfg.Engine, cfg.K).Compile()
 	}
+	s.inst[Permute].Store(permInst)
+	s.inst[Concentrate].Store(&planInstance{engine: cfg.Engine, conc: conc})
+	s.inst[SortWords].Store(&planInstance{engine: cfg.Engine, word: word})
 	s.workers.Add(cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
 		go s.worker()
@@ -478,13 +535,19 @@ func (s *Service) drainKind(kind Kind, burst *[]*task) *task {
 // execConcentrateBurst resolves a drained group of Concentrate tasks.
 // Groups at least MinPackedLanes wide route through one packed plan
 // replay; narrower groups take the per-request path (the packing
-// overhead would not pay for itself). Each task is still pre-checked
-// individually — cancellation, deadline, and concentrator capacity — so
-// one dead or over-capacity request resolves alone with its own error
-// and never poisons its burst neighbours; the pre-checked failures take
-// the same scalar path exec would, producing identical error messages.
+// overhead would not pay for itself), as does any group whose current
+// plan instance cannot ride the packed replay — injected faults force
+// the scalar faulty path, a recovery fallback onto the Ranking engine
+// gains nothing from lane packing, and degraded (permuter-backed)
+// service has no concentrator plan at all. Each task is still
+// pre-checked individually — cancellation, deadline, and concentrator
+// capacity — so one dead or over-capacity request resolves alone with
+// its own error and never poisons its burst neighbours; the pre-checked
+// failures take the same scalar path exec would, producing identical
+// error messages.
 func (s *Service) execConcentrateBurst(burst []*task, marked [][]bool) {
-	if len(burst) < concentrator.MinPackedLanes {
+	inst := s.loadInst(Concentrate)
+	if len(burst) < concentrator.MinPackedLanes || !inst.packable(Concentrate) {
 		for _, t := range burst {
 			s.exec(t)
 		}
@@ -506,8 +569,7 @@ func (s *Service) execConcentrateBurst(burst []*task, marked [][]bool) {
 	}
 	if len(live) < concentrator.MinPackedLanes {
 		for _, t := range live {
-			res, err := s.route(t.req)
-			s.resolve(t, res, err)
+			s.execRouted(t)
 		}
 		return
 	}
@@ -520,33 +582,35 @@ func (s *Service) execConcentrateBurst(burst []*task, marked [][]bool) {
 		perms[i] = flat[i*n : (i+1)*n]
 		marked = append(marked, t.req.Marked)
 	}
-	if err := s.conc.ConcentratePacked(perms, counts, marked); err != nil {
+	if err := inst.conc.ConcentratePacked(perms, counts, marked); err != nil {
 		// Unreachable after the per-task pre-checks, but kept as a
 		// defensive fallback: resolve every task on the scalar path so
 		// each Future still gets its own result or error.
 		for _, t := range live {
-			res, rerr := s.route(t.req)
-			s.resolve(t, res, rerr)
+			s.execRouted(t)
 		}
 		return
 	}
 	for i, t := range live {
-		s.resolve(t, Result{Perm: perms[i], Count: counts[i]}, nil)
+		s.finish(t, inst, Result{Perm: perms[i], Count: counts[i]}, nil)
 	}
 }
 
 // execPermuteBurst resolves a drained group of Permute tasks. Groups at
 // least MinPackedLanes wide route through one packed fused-plan replay;
 // narrower groups take the per-request path (the packing overhead would
-// not pay for itself). Each task is still pre-checked individually —
-// cancellation and deadline — so a dead request resolves alone with its
-// own error. Unlike the concentrate burst, the packed-group fallback IS
-// reachable: admission validates only lengths, so a non-permutation
-// destination assignment surfaces inside RoutePacked — the group then
-// re-routes per-request so each task gets its own canonical result or
-// error and a bad request never poisons its burst neighbours.
+// not pay for itself), as does any group whose current plan instance has
+// injected faults (the scalar faulty replay applies them). Each task is
+// still pre-checked individually — cancellation and deadline — so a dead
+// request resolves alone with its own error. Unlike the concentrate
+// burst, the packed-group fallback IS reachable: admission validates
+// only lengths, so a non-permutation destination assignment surfaces
+// inside RoutePacked — the group then re-routes per-request so each task
+// gets its own canonical result or error and a bad request never poisons
+// its burst neighbours.
 func (s *Service) execPermuteBurst(burst []*task, dests [][]int) {
-	if len(burst) < permnet.MinPackedLanes {
+	inst := s.loadInst(Permute)
+	if len(burst) < permnet.MinPackedLanes || !inst.packable(Permute) {
 		for _, t := range burst {
 			s.exec(t)
 		}
@@ -565,8 +629,7 @@ func (s *Service) execPermuteBurst(burst []*task, dests [][]int) {
 	}
 	if len(live) < permnet.MinPackedLanes {
 		for _, t := range live {
-			res, err := s.route(t.req)
-			s.resolve(t, res, err)
+			s.execRouted(t)
 		}
 		return
 	}
@@ -579,12 +642,12 @@ func (s *Service) execPermuteBurst(burst []*task, dests [][]int) {
 		dests = append(dests, t.req.Dest)
 	}
 	err := error(nil)
-	if s.sharded != nil {
+	if inst.sharded != nil {
 		// Shard-parallel drain: the burst routes in groups of requests per
 		// wide replay, each request spanning its w shard lanes.
-		err = s.sharded.RoutePacked(perms, dests)
+		err = inst.sharded.RoutePacked(perms, dests)
 	} else {
-		err = s.perm.RoutePacked(perms, dests)
+		err = inst.perm.RoutePacked(perms, dests)
 	}
 	if err != nil {
 		// Reachable: a destination assignment that is not a permutation
@@ -592,13 +655,12 @@ func (s *Service) execPermuteBurst(burst []*task, dests [][]int) {
 		// task on the scalar path so each Future gets its own result or its
 		// own canonical validation error.
 		for _, t := range live {
-			res, rerr := s.route(t.req)
-			s.resolve(t, res, rerr)
+			s.execRouted(t)
 		}
 		return
 	}
 	for i, t := range live {
-		s.resolve(t, Result{Perm: perms[i]}, nil)
+		s.finish(t, inst, Result{Perm: perms[i]}, nil)
 	}
 }
 
@@ -621,17 +683,23 @@ func (s *Service) overCapacity(marked []bool) bool {
 // exec resolves one task: cancellation and deadline are honoured before
 // any routing work is spent on the request.
 func (s *Service) exec(t *task) {
-	var res Result
-	var err error
 	switch {
 	case t.ctx.Err() != nil:
-		err = t.ctx.Err()
+		s.resolve(t, Result{}, t.ctx.Err())
 	case !t.req.Deadline.IsZero() && !time.Now().Before(t.req.Deadline):
-		err = ErrDeadlineExceeded
+		s.resolve(t, Result{}, ErrDeadlineExceeded)
 	default:
-		res, err = s.route(t.req)
+		s.execRouted(t)
 	}
-	s.resolve(t, res, err)
+}
+
+// execRouted routes one pre-checked task on the current plan instance of
+// its kind, runs the sampled lanewise response check, and resolves it —
+// the common tail of the scalar path and the burst fallbacks.
+func (s *Service) execRouted(t *task) {
+	inst := s.loadInst(t.req.Kind)
+	res, err := s.routeOn(inst, t.req)
+	s.finish(t, inst, res, err)
 }
 
 // resolve publishes a task's outcome exactly once and records it in the
@@ -647,27 +715,51 @@ func (s *Service) resolve(t *task, res Result, err error) {
 	s.stats.observe(time.Since(t.submitted))
 }
 
-// route replays the request through the matching compiled plan. Lengths
-// were validated at admission; the plans re-validate semantic properties
-// (permutation validity, concentrator capacity) and return errors — no
-// routing path here can panic on malformed input.
+// route replays the request through the current plan instance of its
+// kind; see routeOn.
 func (s *Service) route(req Request) (Result, error) {
+	return s.routeOn(s.loadInst(req.Kind), req)
+}
+
+// routeOn replays the request through one plan instance. Lengths were
+// validated at admission; the plans re-validate semantic properties
+// (permutation validity, concentrator capacity) and return errors — no
+// routing path here can panic on malformed input. An instance with
+// injected faults routes through the scalar faulty replay (the wedged
+// wires apply); a degraded concentrator instance routes through the
+// permuter instead.
+func (s *Service) routeOn(inst *planInstance, req Request) (Result, error) {
 	switch req.Kind {
 	case Permute:
 		out := make([]int, s.cfg.N)
-		if s.sharded != nil {
-			if err := s.sharded.RouteInto(out, req.Dest); err != nil {
+		if inst.sharded != nil {
+			if err := inst.sharded.RouteInto(out, req.Dest); err != nil {
 				return Result{}, err
 			}
 			return Result{Perm: out}, nil
 		}
-		if err := s.perm.RouteInto(out, req.Dest); err != nil {
+		if f := inst.faultList(); f != nil {
+			if err := inst.perm.RouteIntoStuck(out, req.Dest, f); err != nil {
+				return Result{}, err
+			}
+			return Result{Perm: out}, nil
+		}
+		if err := inst.perm.RouteInto(out, req.Dest); err != nil {
 			return Result{}, err
 		}
 		return Result{Perm: out}, nil
 	case Concentrate:
+		if inst.degraded {
+			return s.concentrateDegraded(req.Marked)
+		}
 		out := make([]int, s.cfg.N)
-		r, err := s.conc.ConcentrateInto(out, req.Marked)
+		var r int
+		var err error
+		if f := inst.faultList(); f != nil {
+			r, err = inst.conc.ConcentrateIntoStuck(out, req.Marked, f)
+		} else {
+			r, err = inst.conc.ConcentrateInto(out, req.Marked)
+		}
 		if err != nil {
 			return Result{}, err
 		}
@@ -675,7 +767,7 @@ func (s *Service) route(req Request) (Result, error) {
 	case SortWords:
 		keys := make([]uint64, s.cfg.N)
 		perm := make([]int, s.cfg.N)
-		if err := s.word.SortInto(keys, perm, req.Keys); err != nil {
+		if err := inst.word.SortInto(keys, perm, req.Keys); err != nil {
 			return Result{}, err
 		}
 		return Result{Perm: perm, Keys: keys}, nil

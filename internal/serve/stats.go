@@ -23,7 +23,15 @@ type statsCounters struct {
 	rejected  atomic.Int64
 	failed    atomic.Int64
 	inFlight  atomic.Int64
-	latency   [histBuckets]atomic.Int64
+
+	// Fault-tolerance counters (see fault.go).
+	checked         atomic.Int64
+	faultDetected   atomic.Int64
+	faultRecompiled atomic.Int64
+	faultReplayed   atomic.Int64
+	faultDegraded   atomic.Int64
+
+	latency  [histBuckets]atomic.Int64
 	latSumNs  atomic.Int64
 	latMaxNs  atomic.Int64
 }
@@ -100,6 +108,32 @@ func (s *Service) Stats() Stats {
 		st.Latency[i] = s.stats.latency[i].Load()
 	}
 	return st
+}
+
+// FaultStats is a point-in-time snapshot of the service's
+// fault-tolerance counters (see fault.go for the detection and recovery
+// machinery).
+type FaultStats struct {
+	// Checked counts responses run through the lanewise checker
+	// (including replays re-verified during recovery); Detected counts
+	// responses that failed verification; Recompiled counts plan-instance
+	// swaps performed by recovery; Replayed counts requests re-executed
+	// on a replacement instance; Degraded counts Concentrate requests
+	// served through the permuter after every concentrator engine was
+	// quarantined.
+	Checked, Detected, Recompiled, Replayed, Degraded int64
+}
+
+// FaultStats snapshots the fault-tolerance counters. Like Stats, each
+// field is atomically read but the snapshot is not a single atomic cut.
+func (s *Service) FaultStats() FaultStats {
+	return FaultStats{
+		Checked:    s.stats.checked.Load(),
+		Detected:   s.stats.faultDetected.Load(),
+		Recompiled: s.stats.faultRecompiled.Load(),
+		Replayed:   s.stats.faultReplayed.Load(),
+		Degraded:   s.stats.faultDegraded.Load(),
+	}
 }
 
 // LatencyCount returns the number of recorded completions.

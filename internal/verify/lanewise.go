@@ -1,0 +1,150 @@
+// Lanewise runtime response checks: the hot-path counterpart of the
+// offline verifiers, cheap enough to run on a sampled fraction of live
+// serving responses. Each check is one O(n) pass over a routed result with
+// the bookkeeping held in bit-sliced planes — a pooled seen bitmap (one
+// bit per network position, the same vertical layout the wide sweep in
+// wide.go uses for its plane counters) — so a clean response costs a few
+// word operations per element and zero steady-state heap allocations.
+//
+// The invariants mirror the offline suite: permutation validity plus
+// realization (dest[p[j]] == j) for permuters, ones-conservation /
+// tag-sortedness (exactly the marked inputs occupy the leading block) for
+// concentrators, and nondecreasing keys plus permutation realization for
+// word sorts. A stuck-at fault in a routing plan moves whole packet words,
+// so its misroutes always surface as one of these violations.
+package verify
+
+import (
+	"fmt"
+	"sync"
+)
+
+// LaneChecker verifies routed responses for one network width n. It is
+// safe for concurrent use; every check draws its seen planes from an
+// internal pool.
+type LaneChecker struct {
+	n    int
+	pool sync.Pool // *laneScratch
+}
+
+// laneScratch is the pooled bit-sliced bookkeeping of one check: a seen
+// plane with one bit per network position.
+type laneScratch struct {
+	seen []uint64
+}
+
+// NewLaneChecker returns a checker for width-n responses.
+func NewLaneChecker(n int) *LaneChecker {
+	if n < 1 {
+		panic(fmt.Sprintf("verify: NewLaneChecker(%d)", n))
+	}
+	words := (n + 63) / 64
+	c := &LaneChecker{n: n}
+	c.pool.New = func() any {
+		return &laneScratch{seen: make([]uint64, words)}
+	}
+	return c
+}
+
+// N returns the network width the checker verifies.
+func (c *LaneChecker) N() int { return c.n }
+
+// get returns a cleared seen plane from the pool.
+func (c *LaneChecker) get() *laneScratch {
+	sc := c.pool.Get().(*laneScratch)
+	for i := range sc.seen {
+		sc.seen[i] = 0
+	}
+	return sc
+}
+
+// mark sets position i's seen bit, reporting whether it was already set
+// (a duplicated payload — the routing fabric dropped or cloned a packet).
+func (sc *laneScratch) mark(i int) bool {
+	w, b := i>>6, uint(i&63)
+	dup := sc.seen[w]>>b&1 != 0
+	sc.seen[w] |= 1 << b
+	return dup
+}
+
+// CheckPermute verifies that out is a valid permutation realizing the
+// assignment dest (out in receives-from form: output j holds input
+// out[j], so realization demands dest[out[j]] == j).
+func (c *LaneChecker) CheckPermute(dest, out []int) error {
+	if len(dest) != c.n || len(out) != c.n {
+		return fmt.Errorf("verify: lanewise: %d destinations / %d outputs for width %d",
+			len(dest), len(out), c.n)
+	}
+	sc := c.get()
+	defer c.pool.Put(sc)
+	for j, i := range out {
+		if i < 0 || i >= c.n {
+			return fmt.Errorf("verify: lanewise: output %d holds invalid input %d", j, i)
+		}
+		if sc.mark(i) {
+			return fmt.Errorf("verify: lanewise: input %d delivered more than once (output %d)", i, j)
+		}
+		if dest[i] != j {
+			return fmt.Errorf("verify: lanewise: output %d holds input %d destined for %d", j, i, dest[i])
+		}
+	}
+	return nil
+}
+
+// CheckConcentrate verifies ones-conservation for a concentrator response:
+// out is a valid permutation and exactly the marked inputs occupy outputs
+// 0..count-1 (given validity, the leading-block iff test subsumes the
+// count comparison — if count disagrees with the number of marks, some
+// position must violate it).
+func (c *LaneChecker) CheckConcentrate(marked []bool, out []int, count int) error {
+	if len(marked) != c.n || len(out) != c.n {
+		return fmt.Errorf("verify: lanewise: %d marks / %d outputs for width %d",
+			len(marked), len(out), c.n)
+	}
+	if count < 0 || count > c.n {
+		return fmt.Errorf("verify: lanewise: concentrated count %d for width %d", count, c.n)
+	}
+	sc := c.get()
+	defer c.pool.Put(sc)
+	for j, i := range out {
+		if i < 0 || i >= c.n {
+			return fmt.Errorf("verify: lanewise: output %d holds invalid input %d", j, i)
+		}
+		if sc.mark(i) {
+			return fmt.Errorf("verify: lanewise: input %d delivered more than once (output %d)", i, j)
+		}
+		if marked[i] != (j < count) {
+			if marked[i] {
+				return fmt.Errorf("verify: lanewise: marked input %d leaked to output %d (count %d)", i, j, count)
+			}
+			return fmt.Errorf("verify: lanewise: idle input %d inside leading block at output %d (count %d)", i, j, count)
+		}
+	}
+	return nil
+}
+
+// CheckSortWords verifies a word-sort response: sorted is nondecreasing
+// and perm is a valid permutation realizing it (sorted[j] == keys[perm[j]]).
+func (c *LaneChecker) CheckSortWords(keys, sorted []uint64, perm []int) error {
+	if len(keys) != c.n || len(sorted) != c.n || len(perm) != c.n {
+		return fmt.Errorf("verify: lanewise: %d keys / %d sorted / %d perm for width %d",
+			len(keys), len(sorted), len(perm), c.n)
+	}
+	sc := c.get()
+	defer c.pool.Put(sc)
+	for j, i := range perm {
+		if i < 0 || i >= c.n {
+			return fmt.Errorf("verify: lanewise: output %d holds invalid input %d", j, i)
+		}
+		if sc.mark(i) {
+			return fmt.Errorf("verify: lanewise: input %d delivered more than once (output %d)", i, j)
+		}
+		if sorted[j] != keys[i] {
+			return fmt.Errorf("verify: lanewise: output %d holds %#x, input %d carried %#x", j, sorted[j], i, keys[i])
+		}
+		if j > 0 && sorted[j-1] > sorted[j] {
+			return fmt.Errorf("verify: lanewise: keys out of order at output %d: %#x > %#x", j, sorted[j-1], sorted[j])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckPermute(t *testing.T) {
+	c := NewLaneChecker(4)
+	dest := []int{2, 0, 3, 1}
+	out := []int{1, 3, 0, 2} // realizes dest: dest[out[j]] == j
+	if err := c.CheckPermute(dest, out); err != nil {
+		t.Fatalf("clean permute flagged: %v", err)
+	}
+	cases := []struct {
+		out  []int
+		want string
+	}{
+		{[]int{1, 3, 0}, "outputs for width"},
+		{[]int{1, 3, 0, 4}, "invalid input"},
+		{[]int{1, 3, 0, 0}, "more than once"},
+		{[]int{3, 1, 0, 2}, "destined for"},
+	}
+	for _, tc := range cases {
+		err := c.CheckPermute(dest, tc.out)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("CheckPermute(%v) = %v, want %q", tc.out, err, tc.want)
+		}
+	}
+}
+
+func TestCheckConcentrate(t *testing.T) {
+	c := NewLaneChecker(4)
+	marked := []bool{true, false, true, false}
+	if err := c.CheckConcentrate(marked, []int{0, 2, 1, 3}, 2); err != nil {
+		t.Fatalf("clean concentrate flagged: %v", err)
+	}
+	if err := c.CheckConcentrate(marked, []int{2, 0, 3, 1}, 2); err != nil {
+		t.Fatalf("clean concentrate (reordered block) flagged: %v", err)
+	}
+	cases := []struct {
+		out   []int
+		count int
+		want  string
+	}{
+		{[]int{0, 2, 1}, 2, "outputs for width"},
+		{[]int{0, 2, 1, 3}, -1, "concentrated count"},
+		{[]int{0, 2, 1, 3}, 5, "concentrated count"},
+		{[]int{0, 4, 1, 3}, 2, "invalid input"},
+		{[]int{0, 0, 1, 3}, 2, "more than once"},
+		{[]int{0, 1, 2, 3}, 2, "idle input"},
+		{[]int{0, 2, 1, 3}, 1, "marked input"},
+		// Wrong count with consistent marks: pigeonhole forces a violation.
+		{[]int{0, 2, 1, 3}, 3, "idle input"},
+	}
+	for _, tc := range cases {
+		err := c.CheckConcentrate(marked, tc.out, tc.count)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("CheckConcentrate(%v, %d) = %v, want %q", tc.out, tc.count, err, tc.want)
+		}
+	}
+}
+
+func TestCheckSortWords(t *testing.T) {
+	c := NewLaneChecker(4)
+	keys := []uint64{30, 10, 40, 20}
+	sorted := []uint64{10, 20, 30, 40}
+	perm := []int{1, 3, 0, 2}
+	if err := c.CheckSortWords(keys, sorted, perm); err != nil {
+		t.Fatalf("clean sort flagged: %v", err)
+	}
+	if err := c.CheckSortWords(keys, sorted, []int{1, 3, 0}); err == nil {
+		t.Fatal("short perm accepted")
+	}
+	if err := c.CheckSortWords(keys, sorted, []int{1, 3, 0, 4}); err == nil {
+		t.Fatal("invalid index accepted")
+	}
+	if err := c.CheckSortWords(keys, sorted, []int{1, 3, 0, 0}); err == nil {
+		t.Fatal("duplicated index accepted")
+	}
+	if err := c.CheckSortWords(keys, []uint64{10, 20, 30, 41}, perm); err == nil {
+		t.Fatal("corrupted payload accepted")
+	}
+	if err := c.CheckSortWords(keys, []uint64{20, 10, 30, 40}, []int{3, 1, 0, 2}); err == nil {
+		t.Fatal("out-of-order keys accepted")
+	}
+}
+
+func TestLaneCheckerAllocFree(t *testing.T) {
+	c := NewLaneChecker(256)
+	dest := make([]int, 256)
+	out := make([]int, 256)
+	for i := range dest {
+		dest[i] = i
+		out[i] = i
+	}
+	// Warm the pool, then pin zero steady-state allocations.
+	if err := c.CheckPermute(dest, out); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := c.CheckPermute(dest, out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("CheckPermute allocates %v per run", allocs)
+	}
+}

@@ -33,13 +33,17 @@ type Result struct {
 
 // Options configure a verification sweep.
 type Options struct {
-	// Workers is the parallelism degree; 0 means GOMAXPROCS.
+	// Workers is the parallelism degree; any value ≤ 0 means GOMAXPROCS.
 	Workers int
 	// Minimize shrinks a found counterexample by greedily clearing 1-bits
 	// and shortening runs while the failure persists.
 	Minimize bool
 }
 
+// workers resolves the parallelism degree: ≤ 0 (unset or nonsensical)
+// clamps to GOMAXPROCS, mirroring the sample-count clamps of the
+// sampled verifiers — a negative configuration never silently weakens
+// or deadlocks a sweep.
 func (o Options) workers() int {
 	if o.Workers > 0 {
 		return o.Workers
@@ -107,8 +111,13 @@ func SortsAllBinary(n int, sorter BitSorter, opts Options) Result {
 
 // SortsSampled checks the sorter on `samples` random n-bit inputs plus the
 // standard adversarial family (all-zeros, all-ones, alternating, sorted,
-// reverse-sorted, single-bit), in parallel.
+// reverse-sorted, single-bit), in parallel. A non-positive samples clamps
+// to 0: the deterministic adversarial family always runs, so the sweep is
+// never vacuous.
 func SortsSampled(n int, sorter BitSorter, samples int, seed int64, opts Options) Result {
+	if samples < 0 {
+		samples = 0
+	}
 	inputs := make(chan bitvec.Vector, 64)
 	go func() {
 		defer close(inputs)
@@ -279,12 +288,36 @@ func RearrangeableExhaustive(n int, route Permuter) (bool, []int, error) {
 	return false, bad, badErr
 }
 
-// RearrangeableSampled checks `samples` random permutations in parallel.
+// RearrangeableSampled checks `samples` random permutations in parallel,
+// always preceded by a deterministic adversarial family (identity,
+// reversal, adjacent transpositions, rotation by one — mirroring
+// SortsSampled's fixed probes). A non-positive samples clamps to 0 and
+// the family still runs, so the sweep never returns a vacuous pass.
 func RearrangeableSampled(n int, route Permuter, samples int, seed int64, opts Options) (bool, []int, error) {
+	if samples < 0 {
+		samples = 0
+	}
 	type job struct{ dest []int }
 	jobs := make(chan job, 32)
 	go func() {
 		defer close(jobs)
+		ident := make([]int, n)
+		rev := make([]int, n)
+		rot := make([]int, n)
+		swap := make([]int, n)
+		for i := 0; i < n; i++ {
+			ident[i] = i
+			rev[i] = n - 1 - i
+			rot[i] = (i + 1) % n
+			swap[i] = i ^ 1
+			if swap[i] >= n {
+				swap[i] = i // odd n: last line fixed
+			}
+		}
+		jobs <- job{dest: ident}
+		jobs <- job{dest: rev}
+		jobs <- job{dest: rot}
+		jobs <- job{dest: swap}
 		rng := rand.New(rand.NewSource(seed))
 		for i := 0; i < samples; i++ {
 			jobs <- job{dest: rng.Perm(n)}
@@ -318,6 +351,10 @@ func RearrangeableSampled(n int, route Permuter, samples int, seed int64, opts O
 						bad, badErr = j.dest, err
 					}
 					mu.Unlock()
+					for range jobs {
+						// Drain so the producer goroutine never blocks on a
+						// full channel after an early failure.
+					}
 					return
 				}
 			}

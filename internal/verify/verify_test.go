@@ -176,6 +176,42 @@ func TestRearrangeableSampled(t *testing.T) {
 	}
 }
 
+// TestSampledNeverVacuous pins the sample-count clamps: a sweep asked
+// for zero (or negative) random samples still runs its deterministic
+// adversarial family, so a broken implementation is detected rather
+// than vacuously certified. RearrangeableSampled used to enqueue no
+// probes at all and return (true, nil, nil).
+func TestSampledNeverVacuous(t *testing.T) {
+	brokenSorter := func(v bitvec.Vector) bitvec.Vector {
+		return v.Clone() // never sorts anything
+	}
+	brokenRouter := func(dest []int) ([]int, error) {
+		p := make([]int, len(dest)) // routes everything to output 0's source
+		return p, nil
+	}
+	for _, samples := range []int{0, -3} {
+		if res := SortsSampled(16, brokenSorter, samples, 1, Options{}); res.OK {
+			t.Errorf("SortsSampled(samples=%d) certified a broken sorter", samples)
+		}
+		ok, bad, err := RearrangeableSampled(16, brokenRouter, samples, 1, Options{Workers: -2})
+		if ok {
+			t.Errorf("RearrangeableSampled(samples=%d) certified a broken router", samples)
+		}
+		if ok == false && bad == nil && err == nil {
+			t.Errorf("RearrangeableSampled(samples=%d) failed without a counterexample", samples)
+		}
+	}
+	// The clamped sweeps still certify correct implementations.
+	good := core.NewMuxMergerSorter(16).Sort
+	if res := SortsSampled(16, good, 0, 1, Options{}); !res.OK || res.Checked == 0 {
+		t.Errorf("SortsSampled(samples=0) on a correct sorter: %+v", res)
+	}
+	radix := permnet.NewRadixPermuter(16, concentrator.MuxMerger, 0)
+	if ok, bad, err := RearrangeableSampled(16, radix.Route, 0, 1, Options{}); !ok {
+		t.Errorf("RearrangeableSampled(samples=0) on a correct permuter failed on %v: %v", bad, err)
+	}
+}
+
 // TestCmpnetThroughVerify certifies the comparator networks through the
 // toolkit as well (same zero-one principle, parallel sweep).
 func TestCmpnetThroughVerify(t *testing.T) {

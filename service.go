@@ -87,3 +87,23 @@ func SubmitWithDeadline(ctx context.Context, s *RoutingService, req ServeRequest
 	req.Deadline = deadline
 	return s.Submit(ctx, req)
 }
+
+// ServeWireFault describes one wire to wedge (stuck-at-0/1) into a
+// running RoutingService's current plan instance — the fault-injection
+// knob of the fault-tolerant serving layer. Inject it with
+// (*RoutingService).InjectFault; the service's sampled lanewise checker
+// detects the resulting misroutes, recompiles around the fault
+// (same-engine spares, then the engine fallback rotation, then degraded
+// permuter-backed concentration), and replays the affected requests, so
+// admitted Futures still resolve with verified results. See
+// internal/serve's fault machinery and (*RoutingService).FaultStats.
+type ServeWireFault = serve.WireFault
+
+// ServeFaultStats is a snapshot of a RoutingService's fault-tolerance
+// counters (responses checked, misroutes detected, plans recompiled,
+// requests replayed, degraded concentrations served).
+type ServeFaultStats = serve.FaultStats
+
+// ErrServeFaultUnrecovered resolves a Future whose response failed
+// verification on every recovery attempt.
+var ErrServeFaultUnrecovered = serve.ErrFaultUnrecovered

@@ -133,3 +133,45 @@ func TestRoutingServiceMalformedNoPanic(t *testing.T) {
 		t.Errorf("expired deadline resolved with %v, want ErrServeDeadline", err)
 	}
 }
+
+// TestRoutingServiceFaultPublic drives the public fault-injection knob:
+// a wire wedged into the live permuter misroutes, the checker catches
+// it, and every submitted request still resolves correctly.
+func TestRoutingServiceFaultPublic(t *testing.T) {
+	const n = 16
+	svc, err := absort.NewRoutingService(absort.ServeConfig{
+		N: n, Engine: absort.EngineMuxMerger, Workers: 2, WordBits: 8,
+		CheckFraction: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ctx := context.Background()
+	if err := svc.InjectFault(absort.ServeWireFault{
+		Kind: absort.ServePermute, Pos: 1, Bit: 3, Stuck: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 8; trial++ {
+		dest := rng.Perm(n)
+		fut, err := svc.Submit(ctx, absort.PermuteRequest(dest))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := fut.Wait(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, i := range res.Perm {
+			if dest[i] != j {
+				t.Fatalf("trial %d: output %d holds input %d destined for %d", trial, j, i, dest[i])
+			}
+		}
+	}
+	var fs absort.ServeFaultStats = svc.FaultStats()
+	if fs.Detected < 1 || fs.Recompiled < 1 {
+		t.Fatalf("fault stats after injected fault: %+v", fs)
+	}
+}
