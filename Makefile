@@ -11,7 +11,11 @@
 # conc-planned-parallel, conc-packed, and conc-packed256 SWAR batch
 # concentrator paths, all at n ∈ {64, 256, 1024, 4096}), and
 # BENCH_serve.json (ns/request for the streaming service vs the
-# planned-parallel batch pipeline at n ∈ {256, 1024, 4096}).
+# planned-parallel batch pipeline at n ∈ {256, 1024, 4096}), and
+# BENCH_frontdoor.json (the multi-tenant wire trajectory:
+# TestFrontdoorThroughputFloor appends a ci-floor record from the
+# 4-tenant × 16-connection verified workload, gated at ≥ 200 reqs/sec;
+# `permroute -loadgen` appends loadgen records to the same file).
 #
 # The bench smoke run also enforces the timing floors, including
 # TestPackedSpeedupFloor: the SWAR lane-packed concentrator must hold at
@@ -32,15 +36,16 @@
 # the unchecked serving baseline at n=1024 (BenchmarkServeFault records
 # the check-off / check-1/64 / check-all / recovery columns into
 # BENCH_fault.json). `make bench-packed` / `make bench-permpacked` /
-# `make bench-wide` / `make bench-shard` / `make bench-fault` run just
-# those gates plus their benchmark columns, with full calibration
+# `make bench-wide` / `make bench-shard` / `make bench-fault` /
+# `make bench-frontdoor` run just those gates plus their benchmark
+# columns, with full calibration
 # instead of the one-iteration smoke. `make chaos` runs the
 # race-enabled fault drill: stuck-at faults wedged into a live service
 # under concurrent load, every admitted future must resolve correctly.
 
 GO ?= go
 
-.PHONY: ci vet build test race serve-race bench bench-packed bench-permpacked bench-wide bench-shard bench-fault chaos clean
+.PHONY: ci vet build test race serve-race bench bench-packed bench-permpacked bench-wide bench-shard bench-fault bench-frontdoor chaos clean
 
 ci: vet build race chaos bench
 
@@ -57,11 +62,11 @@ race:
 	$(GO) test -race ./...
 
 serve-race:
-	$(GO) test -race ./internal/serve -run . -count=1
+	$(GO) test -race ./internal/serve ./internal/frontdoor -run . -count=1
 	$(GO) test -race -run 'TestRoutingService' -count=1 .
 
 bench:
-	$(GO) test -run 'TestWideSpeedupFloor|TestRouteSpeedupFloor|TestServeThroughputFloor|TestPackedSpeedupFloor|TestPermPackedSpeedupFloor|TestBenesPackedSpeedupFloor|TestWidePackedThroughputFloor|TestShardedSpeedupFloor|TestFaultCheckerOverheadFloor' -bench 'EvalEngines|RouteEngines|ServeThroughput|ServeFault' -benchtime 1x .
+	$(GO) test -run 'TestWideSpeedupFloor|TestRouteSpeedupFloor|TestServeThroughputFloor|TestPackedSpeedupFloor|TestPermPackedSpeedupFloor|TestBenesPackedSpeedupFloor|TestWidePackedThroughputFloor|TestShardedSpeedupFloor|TestFaultCheckerOverheadFloor|TestFrontdoorThroughputFloor' -bench 'EvalEngines|RouteEngines|ServeThroughput|ServeFault' -benchtime 1x .
 
 bench-packed:
 	$(GO) test -run 'TestPackedSpeedupFloor$$' -bench 'RouteEngines/conc' -count=1 .
@@ -77,6 +82,9 @@ bench-shard:
 
 bench-fault:
 	$(GO) test -run 'TestFaultCheckerOverheadFloor' -bench 'ServeFault' -count=1 .
+
+bench-frontdoor:
+	$(GO) test -run 'TestFrontdoorThroughputFloor' -bench 'FrontdoorWire' -count=1 .
 
 chaos:
 	$(GO) test -race -run 'TestChaosRecovery' -count=1 ./internal/serve

@@ -45,6 +45,29 @@
 // resolve with a verified result.
 //
 //	permroute -n 256 -engine fish -chaos -batch 512
+//
+// With -listen, it serves the multi-tenant routing front door
+// (internal/frontdoor) over TCP: clients register tenants and stream
+// permute/concentrate/sortwords requests over the length-prefixed
+// binary wire protocol, scheduled fairly across tenants by deficit
+// round-robin. -workers sizes the dispatcher pool and -queue the
+// default per-tenant ingress depth. The server runs until SIGINT or
+// SIGTERM, then drains gracefully.
+//
+//	permroute -listen 127.0.0.1:7420 -workers 8 -queue 64
+//
+// With -loadgen, it drives a front-door server with a mixed verified
+// workload: -tenants tenant plan sets of varying width and engine
+// (seeded from -n and -engine), -conns concurrent connections
+// round-robined across them, -reqs requests per connection. Every
+// response is verified client-side, fail-fast busy responses are
+// retried, and the run appends a record to BENCH_frontdoor.json (or
+// -out). A wrong or dropped response exits nonzero.
+//
+//	permroute -loadgen 127.0.0.1:7420 -tenants 4 -conns 16 -reqs 200
+//
+// The mode flags -serve, -chaos, -listen, and -loadgen are mutually
+// exclusive; conflicting combinations fail fast with a usage message.
 package main
 
 import (
@@ -79,8 +102,19 @@ func main() {
 		serveArg = flag.String("serve", "", "replay a workload file through the streaming routing service ('rand' generates -batch random permutes)")
 		queue    = flag.Int("queue", 0, "streaming service admission queue depth (0 = 4x workers)")
 		chaos    = flag.Bool("chaos", false, "fault drill: wedge stuck-at faults into the live service mid-stream and report time-to-recovery")
+		listen   = flag.String("listen", "", "serve the multi-tenant front door over TCP on this address")
+		loadgen  = flag.String("loadgen", "", "drive a front-door server at this address with a mixed verified workload")
+		tenants  = flag.Int("tenants", 4, "loadgen: tenant plan sets to register")
+		conns    = flag.Int("conns", 16, "loadgen: concurrent connections")
+		reqs     = flag.Int("reqs", 200, "loadgen: requests per connection")
+		out      = flag.String("out", "BENCH_frontdoor.json", "loadgen: benchmark trajectory file")
 	)
 	flag.Parse()
+	if conflict := conflictingModes(*serveArg, *chaos, *listen, *loadgen); len(conflict) > 1 {
+		fmt.Fprintf(os.Stderr, "permroute: %s are mutually exclusive; pick one mode\n",
+			strings.Join(conflict, ", "))
+		os.Exit(2)
+	}
 	if *n < 2 || !core.IsPow2(*n) {
 		fmt.Fprintf(os.Stderr, "permroute: -n %d must be a power of two >= 2\n", *n)
 		os.Exit(1)
@@ -116,6 +150,14 @@ func main() {
 	}
 	if *serveArg != "" {
 		runServe(*n, eng, rng, *serveArg, *batch, *workers, *queue)
+		return
+	}
+	if *listen != "" {
+		runListen(*listen, *workers, *queue)
+		return
+	}
+	if *loadgen != "" {
+		runLoadgen(*loadgen, *n, eng, *seed, *tenants, *conns, *reqs, *out)
 		return
 	}
 	rp := permnet.NewRadixPermuter(*n, eng, 0)

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestConflictingModes pins the mode-flag matrix: zero or one selected
+// mode is fine, any two or more are reported together — the historical
+// behaviour silently preferred whichever mode dispatched first, which
+// hid operator typos like `-serve :9000 -listen :9001`.
+func TestConflictingModes(t *testing.T) {
+	cases := []struct {
+		name    string
+		serve   string
+		chaos   bool
+		listen  string
+		loadgen string
+		want    []string
+	}{
+		{name: "none"},
+		{name: "serve only", serve: ":9000", want: []string{"-serve"}},
+		{name: "chaos only", chaos: true, want: []string{"-chaos"}},
+		{name: "listen only", listen: ":9001", want: []string{"-listen"}},
+		{name: "loadgen only", loadgen: "127.0.0.1:9001", want: []string{"-loadgen"}},
+		{name: "serve+chaos", serve: ":9000", chaos: true, want: []string{"-serve", "-chaos"}},
+		{name: "serve+listen", serve: ":9000", listen: ":9001", want: []string{"-serve", "-listen"}},
+		{name: "chaos+loadgen", chaos: true, loadgen: ":9001", want: []string{"-chaos", "-loadgen"}},
+		{name: "listen+loadgen", listen: ":9001", loadgen: ":9001", want: []string{"-listen", "-loadgen"}},
+		{
+			name: "all four", serve: ":9000", chaos: true, listen: ":9001", loadgen: ":9002",
+			want: []string{"-serve", "-chaos", "-listen", "-loadgen"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := conflictingModes(tc.serve, tc.chaos, tc.listen, tc.loadgen)
+			if len(got) == 0 && len(tc.want) == 0 {
+				return
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("conflictingModes = %v, want %v", got, tc.want)
+			}
+			if len(got) > 1 == (len(tc.want) <= 1) {
+				t.Fatalf("conflict detection disagrees: got %v", got)
+			}
+		})
+	}
+}
+
+// TestLoadgenSpecShapes pins the derived tenant shapes: widths alternate
+// n and 2n, engines cycle, so a default loadgen run exercises
+// heterogeneous plan sets.
+func TestLoadgenSpecShapes(t *testing.T) {
+	seen := map[int]bool{}
+	for i := 0; i < 4; i++ {
+		spec := loadgenSpec(64, 0, i)
+		if spec.N != 64 && spec.N != 128 {
+			t.Fatalf("tenant %d width %d, want 64 or 128", i, spec.N)
+		}
+		seen[spec.N] = true
+	}
+	if !seen[64] || !seen[128] {
+		t.Fatalf("widths not heterogeneous: %v", seen)
+	}
+}

@@ -1,0 +1,104 @@
+package frontdoor
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+func roundTrip(t *testing.T, in *frame) *frame {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, in); err != nil {
+		t.Fatalf("writeFrame: %v", err)
+	}
+	var out frame
+	if err := readFrame(bufio.NewReader(&buf), &out); err != nil {
+		t.Fatalf("readFrame: %v", err)
+	}
+	return &out
+}
+
+// TestFrameRoundTrip pins the frame encoding for every kind and status.
+func TestFrameRoundTrip(t *testing.T) {
+	cases := []*frame{
+		{reqID: 1, kind: kindPermute, tenant: "alpha", n: 4, words: []uint64{3, 2, 1, 0}},
+		{reqID: 1 << 60, kind: kindConcentrate, tenant: "β-tenant", n: 128, words: []uint64{^uint64(0), 5}},
+		{reqID: 7, kind: kindSortWords, tenant: "s", n: 2, words: []uint64{9, 3}},
+		{reqID: 8, kind: kindRegister, tenant: "r", n: 64, words: []uint64{1, 0, 64, 64, 2}},
+		{reqID: 9, kind: kindPermute, tenant: "e", n: 4, status: statusError, errMsg: "no such thing"},
+		{reqID: 10, kind: kindSortWords, tenant: "b", n: 4, status: statusBusy, errMsg: "queue full"},
+		{reqID: 11, kind: kindRegister, tenant: "", n: 1, words: []uint64{}}, // empty tenant + payload
+	}
+	for _, in := range cases {
+		out := roundTrip(t, in)
+		if out.reqID != in.reqID || out.kind != in.kind || out.status != in.status ||
+			out.tenant != in.tenant || out.n != in.n || out.errMsg != in.errMsg {
+			t.Errorf("round trip header: got %+v, want %+v", out, in)
+		}
+		if len(out.words) != len(in.words) {
+			t.Errorf("kind %d: %d words, want %d", in.kind, len(out.words), len(in.words))
+			continue
+		}
+		for i := range in.words {
+			if out.words[i] != in.words[i] {
+				t.Errorf("kind %d word %d: %d, want %d", in.kind, i, out.words[i], in.words[i])
+			}
+		}
+		if out.words != nil {
+			putWords(out.words)
+		}
+	}
+}
+
+// TestFrameRejectsMalformed pins the decoder's bounds checks: an
+// oversized or undersized length prefix, a tenant length overrunning
+// the body, a non-word-aligned payload, and a truncated body all fail
+// without allocating the claimed size.
+func TestFrameRejectsMalformed(t *testing.T) {
+	mk := func(bodyLen uint32, body []byte) *bufio.Reader {
+		var buf bytes.Buffer
+		var lp [4]byte
+		binary.LittleEndian.PutUint32(lp[:], bodyLen)
+		buf.Write(lp[:])
+		buf.Write(body)
+		return bufio.NewReader(&buf)
+	}
+	var f frame
+	if err := readFrame(mk(MaxFrameBytes+1, nil), &f); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("oversized body: %v", err)
+	}
+	if err := readFrame(mk(4, make([]byte, 4)), &f); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("undersized body: %v", err)
+	}
+	// tenantLen = 100 in a 16-byte body.
+	body := make([]byte, bodyHeaderBytes)
+	binary.LittleEndian.PutUint16(body[10:12], 100)
+	if err := readFrame(mk(uint32(len(body)), body), &f); err == nil || !strings.Contains(err.Error(), "overruns") {
+		t.Errorf("tenant overrun: %v", err)
+	}
+	// 3 payload bytes: not word-aligned.
+	body = make([]byte, bodyHeaderBytes+3)
+	if err := readFrame(mk(uint32(len(body)), body), &f); err == nil || !strings.Contains(err.Error(), "word-aligned") {
+		t.Errorf("unaligned payload: %v", err)
+	}
+	// Claimed 32 bytes, only 20 present.
+	if err := readFrame(mk(32, make([]byte, 20)), &f); err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Errorf("truncated body: %v", err)
+	}
+}
+
+// TestWriteFrameRejectsOversized pins the encoder-side caps.
+func TestWriteFrameRejectsOversized(t *testing.T) {
+	var buf bytes.Buffer
+	f := frame{kind: kindSortWords, tenant: "t", n: 1, words: make([]uint64, MaxFrameBytes/8+1)}
+	if err := writeFrame(&buf, &f); err == nil {
+		t.Error("oversized payload accepted")
+	}
+	f = frame{kind: kindRegister, tenant: strings.Repeat("x", 0x10000), n: 1}
+	if err := writeFrame(&buf, &f); err == nil {
+		t.Error("oversized tenant id accepted")
+	}
+}

@@ -33,7 +33,12 @@
 // (never blocking) and, when the drained group is at least
 // MinPackedLanes wide, routes the whole group through one SWAR plan
 // replay (ConcentratePacked / RoutePacked) — up to burstLanes requests
-// per replay, riding the packed engine's multi-word lane planes. Results are bit-for-bit identical to the per-request path, and
+// per replay, riding the packed engine's multi-word lane planes. The
+// drain is fair across kinds: an other-kind request that ends a drain
+// executes before the burst's wide replay, and a sustained single-kind
+// stream has its burst width capped after maxConsecBursts consecutive
+// full-width bursts, so no kind is starved past its deadline by another
+// kind's packing. Results are bit-for-bit identical to the per-request path, and
 // every drained task still honours its own context, deadline, and (for
 // Concentrate) capacity check individually; a malformed permutation in a
 // Permute burst resolves alone with its own error and never poisons its
@@ -76,6 +81,19 @@ type Engine = concentrator.Engine
 // the auto-tuned batch pipelines use — while staying far below the
 // packed engines' MaxPackedLanes hard limit.
 const burstLanes = planner.WideWords * concentrator.PackedLanes
+
+// maxConsecBursts bounds how many consecutive FULL-WIDTH same-kind
+// bursts one worker may run before its drain is capped at a single lane
+// word (concentrator.PackedLanes): under a sustained single-kind stream
+// the greedy drain would otherwise claim burstLanes-deep stretches of
+// the queue back to back, and a request of another kind — claimed as the
+// drain's tail or waiting right behind the claimed stretch — would keep
+// paying a full wide-replay latency per cycle, long enough to blow its
+// deadline. Capped bursts still ride the packed replay (PackedLanes ≥
+// MinPackedLanes), so the fairness bound costs only the widening, not
+// the packing. The streak resets whenever another kind actually runs or
+// the queue goes idle.
+const maxConsecBursts = 4
 
 // Service errors.
 var (
@@ -187,11 +205,27 @@ func (f *Future) Done() <-chan struct{} { return f.done }
 
 // Wait blocks until the Future resolves or ctx is done, returning the
 // result or the first error (routing error, cancellation, or ctx error).
+// Resolution wins every race with cancellation: a ctx that is canceled
+// after (or concurrently with) the resolution still returns the result,
+// so concurrent Wait callers on a resolved Future all observe the same
+// (Result, error) pair regardless of their contexts.
 func (f *Future) Wait(ctx context.Context) (Result, error) {
 	select {
 	case <-f.done:
 		return f.res, f.err
+	default:
+	}
+	select {
+	case <-f.done:
+		return f.res, f.err
 	case <-ctx.Done():
+		// Both channels may have been ready and select picks arbitrarily:
+		// re-check so an already-resolved Future never reports ctx.Err().
+		select {
+		case <-f.done:
+			return f.res, f.err
+		default:
+		}
 		return Result{}, ctx.Err()
 	}
 }
@@ -270,6 +304,11 @@ type Service struct {
 	// burst) before the task executes; it lets tests hold workers busy
 	// deterministically.
 	testBeforeExec func()
+	// testOnBurst, when set (tests only), runs in the worker after a
+	// drained group's tail (if any) has executed and before the group's
+	// replay, reporting the burst kind and width; it lets tests pin the
+	// drain-fairness behaviour deterministically.
+	testOnBurst func(kind Kind, size int)
 }
 
 // New validates cfg, compiles the plan set, and starts the worker pool.
@@ -421,13 +460,23 @@ func (s *Service) submit(ctx context.Context, req Request, block bool) (*Future,
 		fut:       &Future{done: make(chan struct{})},
 		submitted: time.Now(),
 	}
+	// Count the admission BEFORE the queue send: a worker can take the
+	// task and resolve it (incrementing Completed) the instant it lands
+	// on the channel, so Submitted must already cover it or a torn Stats
+	// snapshot can observe Submitted < Completed + InFlight. A send that
+	// fails rolls the count back — the transient in between is a phantom
+	// admission (Submitted one high), which the invariant tolerates,
+	// never a missing one, which it would not.
+	s.stats.submitted.Add(1)
 	if block {
 		select {
 		case s.queue <- t:
 		case <-ctx.Done():
+			s.stats.submitted.Add(-1)
 			s.stats.rejected.Add(1)
 			return nil, ctx.Err()
 		case <-s.quit:
+			s.stats.submitted.Add(-1)
 			s.stats.rejected.Add(1)
 			return nil, ErrClosed
 		}
@@ -435,12 +484,11 @@ func (s *Service) submit(ctx context.Context, req Request, block bool) (*Future,
 		select {
 		case s.queue <- t:
 		default:
+			s.stats.submitted.Add(-1)
 			s.stats.rejected.Add(1)
 			return nil, ErrQueueFull
 		}
 	}
-	s.stats.submitted.Add(1)
-	s.stats.inFlight.Add(1)
 	return t.fut, nil
 }
 
@@ -463,7 +511,13 @@ func (s *Service) Close() {
 // worker drains the admission queue until it is closed and empty. With
 // the matching packed fast path enabled, a Concentrate or Permute task
 // triggers a greedy non-blocking drain of further queued tasks of the
-// same kind so the group rides one SWAR plan replay.
+// same kind so the group rides one SWAR plan replay. Two fairness rules
+// keep a sustained single-kind stream from starving the other kinds:
+// the drain's other-kind tail executes BEFORE the burst's packed replay
+// (one scalar route delays the burst; a wide replay could expire the
+// tail's deadline), and after maxConsecBursts consecutive full-width
+// same-kind bursts the drain is capped at one lane word so other-kind
+// arrivals surface within PackedLanes tasks instead of burstLanes.
 func (s *Service) worker() {
 	defer s.workers.Done()
 	var burst []*task
@@ -478,41 +532,66 @@ func (s *Service) worker() {
 	if s.packedPerm {
 		dests = make([][]int, 0, burstLanes)
 	}
+	lastKind := Kind(255) // kind of the previous burst; 255 = no streak
+	consec := 0           // consecutive same-kind bursts, full width or capped
 	for t := range s.queue {
 		if s.testBeforeExec != nil {
 			s.testBeforeExec()
 		}
+		var kind Kind
 		switch {
 		case s.packed && t.req.Kind == Concentrate:
-			burst = append(burst[:0], t)
-			tail := s.drainKind(Concentrate, &burst)
-			s.execConcentrateBurst(burst, marked)
-			if tail != nil {
-				s.exec(tail)
-			}
+			kind = Concentrate
 		case s.packedPerm && t.req.Kind == Permute:
-			burst = append(burst[:0], t)
-			tail := s.drainKind(Permute, &burst)
-			s.execPermuteBurst(burst, dests)
-			if tail != nil {
-				s.exec(tail)
-			}
+			kind = Permute
 		default:
 			s.exec(t)
+			lastKind, consec = Kind(255), 0 // another kind ran: streak over
+			continue
+		}
+		limit := burstLanes
+		if kind == lastKind && consec >= maxConsecBursts {
+			limit = concentrator.PackedLanes
+		}
+		burst = append(burst[:0], t)
+		tail := s.drainKind(kind, &burst, limit)
+		if tail != nil {
+			// Age/deadline protection: the tail is the lone other-kind
+			// request this worker claimed — run it before the wide replay
+			// it is not part of, not after.
+			s.exec(tail)
+		}
+		if s.testOnBurst != nil {
+			s.testOnBurst(kind, len(burst))
+		}
+		if kind == Concentrate {
+			s.execConcentrateBurst(burst, marked)
+		} else {
+			s.execPermuteBurst(burst, dests)
+		}
+		switch {
+		case tail != nil || len(burst) < limit:
+			// Another kind ran, or the queue went idle mid-drain: no
+			// sustained single-kind pressure, reset the streak.
+			lastKind, consec = Kind(255), 0
+		case kind == lastKind:
+			consec++
+		default:
+			lastKind, consec = kind, 1
 		}
 	}
 }
 
 // drainKind greedily claims further queued tasks of the same kind up to
-// one full lane group, never blocking: under a request burst the queue
-// is hot and the claimed group rides one packed plan replay; on an idle
-// queue the select falls through immediately and the single task routes
-// on the per-request path. Claim order matches queue order, so FIFO
-// ordering within the worker is preserved. The first other-kind task
-// claimed, if any, ends the drain and is returned to execute right
-// after the burst.
-func (s *Service) drainKind(kind Kind, burst *[]*task) *task {
-	for len(*burst) < burstLanes {
+// limit, never blocking: under a request burst the queue is hot and the
+// claimed group rides one packed plan replay; on an idle queue the
+// select falls through immediately and the single task routes on the
+// per-request path. Claim order matches queue order, so burst tasks
+// execute in FIFO order. The first other-kind task claimed, if any, ends
+// the drain and is returned — the worker executes it BEFORE the burst's
+// packed replay (see worker), the one deliberate FIFO inversion.
+func (s *Service) drainKind(kind Kind, burst *[]*task, limit int) *task {
+	for len(*burst) < limit {
 		select {
 		case nt, ok := <-s.queue:
 			if !ok {
@@ -707,7 +786,6 @@ func (s *Service) execRouted(t *task) {
 func (s *Service) resolve(t *task, res Result, err error) {
 	t.fut.res, t.fut.err = res, err
 	close(t.fut.done)
-	s.stats.inFlight.Add(-1)
 	s.stats.completed.Add(1)
 	if err != nil {
 		s.stats.failed.Add(1)

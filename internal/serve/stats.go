@@ -16,13 +16,16 @@ import (
 // in [2^(i-1), 2^i) nanoseconds, so 48 buckets span beyond three days.
 const histBuckets = 48
 
-// statsCounters is the service's internal mutable state.
+// statsCounters is the service's internal mutable state. There is no
+// in-flight counter: InFlight is derived in Stats from the two monotone
+// counters submitted and completed, because a third independently
+// updated counter can tear against them in a snapshot (the historical
+// Submitted < Completed + InFlight bug).
 type statsCounters struct {
 	submitted atomic.Int64
 	completed atomic.Int64
 	rejected  atomic.Int64
 	failed    atomic.Int64
-	inFlight  atomic.Int64
 
 	// Fault-tolerance counters (see fault.go).
 	checked         atomic.Int64
@@ -32,8 +35,8 @@ type statsCounters struct {
 	faultDegraded   atomic.Int64
 
 	latency  [histBuckets]atomic.Int64
-	latSumNs  atomic.Int64
-	latMaxNs  atomic.Int64
+	latSumNs atomic.Int64
+	latMaxNs atomic.Int64
 }
 
 // observe records one completion latency.
@@ -66,8 +69,11 @@ type Stats struct {
 	// Submit/TrySubmit calls that returned an error (malformed request,
 	// queue full, cancelled, closed); Failed counts Futures resolved with
 	// an error; InFlight is the number of admitted, not-yet-resolved
-	// requests (Submitted − Completed at a single instant; never
-	// negative in a snapshot).
+	// requests. Every snapshot satisfies
+	//
+	//	Submitted ≥ Completed + InFlight   and   InFlight ≥ 0
+	//
+	// even when taken mid-resolve under concurrent load.
 	Submitted, Completed, Rejected, Failed, InFlight int64
 	// Latency[0] counts completions that resolved within the clock's
 	// resolution (exactly 0 ns); Latency[i] for i ≥ 1 counts completions
@@ -82,30 +88,32 @@ type Stats struct {
 
 // Stats snapshots the service counters. Each field is atomically read,
 // but the snapshot as a whole is not a single atomic cut: a completion
-// landing mid-snapshot can make cross-field identities (for example
-// Submitted = Completed + InFlight, or LatencyCount = Completed) off by
-// the number of in-progress updates. Every field is monotone except
-// InFlight, so successive snapshots never see a counter move backwards.
+// landing mid-snapshot can make loose cross-field identities (for
+// example LatencyCount = Completed) off by the number of in-progress
+// updates. The documented invariant Submitted ≥ Completed + InFlight,
+// however, holds in EVERY snapshot, torn or not: Completed (monotone)
+// is loaded first and Submitted (monotone, and incremented before the
+// matching queue send — see submit) last, so any resolution landing
+// mid-snapshot can only raise Submitted relative to the Completed
+// already read; InFlight is then derived from those same two loads
+// instead of being a third counter that could tear against them, and
+// clamped against the one transient that remains (a rolled-back
+// admission between the two loads).
 func (s *Service) Stats() Stats {
 	st := Stats{
-		Submitted:    s.stats.submitted.Load(),
 		Completed:    s.stats.completed.Load(),
 		Rejected:     s.stats.rejected.Load(),
 		Failed:       s.stats.failed.Load(),
-		InFlight:     s.stats.inFlight.Load(),
 		LatencySumNs: s.stats.latSumNs.Load(),
 		LatencyMaxNs: s.stats.latMaxNs.Load(),
 	}
-	// inFlight is incremented by the submitter after the queue send and
-	// decremented by the resolver, so a worker racing ahead of its
-	// submitter can drive the internal counter transiently negative.
-	// That transient is an artifact of the update order, not a real
-	// state — clamp it out of the snapshot.
-	if st.InFlight < 0 {
-		st.InFlight = 0
-	}
 	for i := range st.Latency {
 		st.Latency[i] = s.stats.latency[i].Load()
+	}
+	st.Submitted = s.stats.submitted.Load()
+	st.InFlight = st.Submitted - st.Completed
+	if st.InFlight < 0 {
+		st.InFlight = 0
 	}
 	return st
 }

@@ -98,15 +98,19 @@ func TestApproxQuantileClamp(t *testing.T) {
 	}
 }
 
-// TestStatsInFlightClamp checks Stats never reports the transient
-// negative in-flight count the submit/resolve update order can produce.
+// TestStatsInFlightClamp checks the derived in-flight count: Submitted −
+// Completed, clamped so the rolled-back-admission transient (Completed
+// momentarily ahead of Submitted between the snapshot's two loads) never
+// surfaces as a negative value.
 func TestStatsInFlightClamp(t *testing.T) {
 	s := &Service{}
-	s.stats.inFlight.Store(-2)
+	s.stats.submitted.Store(2)
+	s.stats.completed.Store(4)
 	if got := s.Stats().InFlight; got != 0 {
 		t.Fatalf("InFlight = %d, want clamped 0", got)
 	}
-	s.stats.inFlight.Store(3)
+	s.stats.submitted.Store(5)
+	s.stats.completed.Store(2)
 	if got := s.Stats().InFlight; got != 3 {
 		t.Fatalf("InFlight = %d, want 3", got)
 	}
