@@ -35,19 +35,39 @@
 # default sampled lanewise response checker (1/64) must cost ≤ 5% over
 # the unchecked serving baseline at n=1024 (BenchmarkServeFault records
 # the check-off / check-1/64 / check-all / recovery columns into
-# BENCH_fault.json). `make bench-packed` / `make bench-permpacked` /
+# BENCH_fault.json) — and TestZooSpeedupFloor: the constant-periodic
+# zoo engine's packed path must at least match planned-parallel
+# per-pattern throughput on 64-wide batches at n=4096
+# (BenchmarkZooEngines records the network-zoo engine matrix into
+# BENCH_zoo.json). `make bench-packed` / `make bench-permpacked` /
 # `make bench-wide` / `make bench-shard` / `make bench-fault` /
-# `make bench-frontdoor` run just those gates plus their benchmark
-# columns, with full calibration
+# `make bench-frontdoor` / `make bench-zoo` run just those gates plus
+# their benchmark columns, with full calibration
 # instead of the one-iteration smoke. `make chaos` runs the
 # race-enabled fault drill: stuck-at faults wedged into a live service
 # under concurrent load, every admitted future must resolve correctly.
+# `make lint` greps for engine switches that bypass the planner
+# registry; `make ci` runs it between vet and build.
 
 GO ?= go
 
-.PHONY: ci vet build test race serve-race bench bench-packed bench-permpacked bench-wide bench-shard bench-fault bench-frontdoor chaos clean
+.PHONY: ci vet lint build test race serve-race bench bench-packed bench-permpacked bench-wide bench-shard bench-fault bench-frontdoor bench-zoo chaos clean
 
-ci: vet build race chaos bench
+ci: vet lint build race chaos bench
+
+# lint fails if any switch/case over engine identities survives outside
+# the registry (internal/planner): engine dispatch must go through
+# planner.Lookup / EngineSpec so newly registered engines reach every
+# layer. Test files are exempt (they pin specific engines on purpose).
+lint:
+	@matches=$$(grep -rn --include='*.go' --exclude='*_test.go' \
+		-E 'switch [a-zA-Z_.]*[Ee]ngine|case (concentrator|planner)\.(MuxMerger|PrefixAdder|Fish|Ranking)\b' \
+		. | grep -v 'internal/planner/' || true); \
+	if [ -n "$$matches" ]; then \
+		echo "$$matches"; \
+		echo 'lint: engine switch outside the planner registry — dispatch through planner.Lookup instead'; \
+		exit 1; \
+	fi
 
 vet:
 	$(GO) vet ./...
@@ -66,7 +86,7 @@ serve-race:
 	$(GO) test -race -run 'TestRoutingService' -count=1 .
 
 bench:
-	$(GO) test -run 'TestWideSpeedupFloor|TestRouteSpeedupFloor|TestServeThroughputFloor|TestPackedSpeedupFloor|TestPermPackedSpeedupFloor|TestBenesPackedSpeedupFloor|TestWidePackedThroughputFloor|TestShardedSpeedupFloor|TestFaultCheckerOverheadFloor|TestFrontdoorThroughputFloor' -bench 'EvalEngines|RouteEngines|ServeThroughput|ServeFault' -benchtime 1x .
+	$(GO) test -run 'TestWideSpeedupFloor|TestRouteSpeedupFloor|TestServeThroughputFloor|TestPackedSpeedupFloor|TestPermPackedSpeedupFloor|TestBenesPackedSpeedupFloor|TestWidePackedThroughputFloor|TestShardedSpeedupFloor|TestFaultCheckerOverheadFloor|TestFrontdoorThroughputFloor|TestZooSpeedupFloor' -bench 'EvalEngines|RouteEngines|ServeThroughput|ServeFault|ZooEngines' -benchtime 1x .
 
 bench-packed:
 	$(GO) test -run 'TestPackedSpeedupFloor$$' -bench 'RouteEngines/conc' -count=1 .
@@ -85,6 +105,9 @@ bench-fault:
 
 bench-frontdoor:
 	$(GO) test -run 'TestFrontdoorThroughputFloor' -bench 'FrontdoorWire' -count=1 .
+
+bench-zoo:
+	$(GO) test -run 'TestZooSpeedupFloor' -bench 'ZooEngines' -count=1 .
 
 chaos:
 	$(GO) test -race -run 'TestChaosRecovery' -count=1 ./internal/serve

@@ -26,11 +26,15 @@
 package absort
 
 import (
+	"fmt"
+
 	"absort/internal/bitvec"
+	"absort/internal/cmpnet"
 	"absort/internal/concentrator"
 	"absort/internal/core"
 	"absort/internal/fishhw"
 	"absort/internal/permnet"
+	"absort/internal/planner"
 	"absort/internal/prefixadd"
 	"absort/internal/wordsort"
 )
@@ -95,7 +99,12 @@ func FishK(n int) int {
 }
 
 // Engine selects the sorting network that routes a concentrator or
-// permuter.
+// permuter. Engines live in an open registry (internal/planner): the
+// paper's four below, the comparator-network zoo of internal/cmpnet
+// (Batcher's odd-even merge and bitonic sorters, the balanced and
+// constant-periodic networks, the Green/van Voorhis 16-input kernel and
+// the fish sorter built on it), and any network registered at runtime
+// through RegisterEdgeListEngine.
 type Engine = concentrator.Engine
 
 // Routing engines.
@@ -109,6 +118,46 @@ const (
 	// EngineRanking is the stable ranking-tree baseline of [11], [13].
 	EngineRanking = concentrator.Ranking
 )
+
+// EngineByName resolves a registered engine by its registry name
+// ("fish", "oem", "periodic", …); EngineNames lists them all.
+func EngineByName(name string) (Engine, bool) { return planner.EngineByName(name) }
+
+// EngineNames returns every registered engine name, sorted.
+func EngineNames() []string { return planner.EngineNames() }
+
+// RegisterEdgeListEngine registers a comparator network given purely as
+// an edge list — network(n) returns the comparator pairs for width n, in
+// sequence order — as a routing engine under the given name. The network
+// is lowered through the generic comparator-network→IR path
+// (internal/cmpnet), with comparators stage-parallelized by earliest
+// fit, so the new engine immediately rides the entire compiled stack:
+// scalar and 64-lane packed replay, wide and batch pipelines, stuck-at
+// fault injection, the serving layer's recompile-around rotation, and
+// the bench matrix. minN and maxN bound the widths the engine accepts
+// (0 = unbounded); a width-locked kernel sets both to its size. The
+// returned Engine value is accepted everywhere an Engine is.
+func RegisterEdgeListEngine(name string, minN, maxN int, network func(n int) [][2]int) (Engine, error) {
+	if network == nil {
+		return 0, fmt.Errorf("absort: RegisterEdgeListEngine %q: nil network", name)
+	}
+	return planner.Register(planner.EngineSpec{
+		Name: name,
+		Sort: func(b *planner.Builder, lo, hi int32, _ int) {
+			n := int(hi - lo)
+			if n == 1 {
+				return
+			}
+			nw, err := cmpnet.FromComparators(n, name, network(n))
+			if err != nil {
+				panic(fmt.Sprintf("absort: edge-list engine %q: %v", name, err))
+			}
+			nw.LowerTo(b, lo)
+		},
+		MinN: minN,
+		MaxN: maxN,
+	})
+}
 
 // Concentrator is an (n,m)-concentrator; see Section IV.
 type Concentrator = concentrator.Concentrator

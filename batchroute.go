@@ -35,6 +35,15 @@ func NewBatchPermuter(n int, engine Engine) (*BatchPermuter, error) {
 	if n < 2 || n&(n-1) != 0 {
 		return nil, fmt.Errorf("absort: NewBatchPermuter(%d): n must be a power of two ≥ 2", n)
 	}
+	if _, ok := planner.Lookup(engine); !ok {
+		return nil, fmt.Errorf("absort: NewBatchPermuter(%d): unknown engine %v", n, engine)
+	}
+	if !planner.CanRoute(engine, n) || !planner.CanRoute(engine, 2) {
+		// The radix levels halve the window from n down to 2, so a
+		// width-locked kernel engine cannot back the permuter.
+		return nil, fmt.Errorf("absort: NewBatchPermuter(%d): engine %v cannot route the permuter's level widths 2..%d",
+			n, engine, n)
+	}
 	rp := permnet.NewRadixPermuter(n, engine, 0)
 	b := &BatchPermuter{rp: rp}
 	if n >= ShardedAutoThreshold {
@@ -189,6 +198,12 @@ func NewBatchConcentrator(n, m int, engine Engine, k int) (*BatchConcentrator, e
 	}
 	if engine == EngineFish && k > 0 && (!core.IsPow2(k) || k > n || (n > 1 && k < 2)) {
 		return nil, fmt.Errorf("absort: NewBatchConcentrator(%d, %d): fish group count k=%d must be a power of two with 2 ≤ k ≤ n", n, m, k)
+	}
+	if _, ok := planner.Lookup(engine); !ok {
+		return nil, fmt.Errorf("absort: NewBatchConcentrator(%d, %d): unknown engine %v", n, m, engine)
+	}
+	if !planner.CanRoute(engine, n) {
+		return nil, fmt.Errorf("absort: NewBatchConcentrator(%d, %d): engine %v cannot route width %d", n, m, engine, n)
 	}
 	c := concentrator.New(n, m, engine, k)
 	c.Compile()

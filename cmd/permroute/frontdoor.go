@@ -18,6 +18,7 @@ import (
 
 	"absort/internal/concentrator"
 	"absort/internal/frontdoor"
+	"absort/internal/planner"
 )
 
 // conflictingModes returns the names of the exclusive mode flags that
@@ -68,12 +69,21 @@ func runListen(addr string, workers, queue int) {
 		st.Tenants, st.Submitted, st.Completed, st.Failed, st.Rejected, st.Evictions)
 }
 
-// loadgenSpec derives tenant i's shape: widths alternate n and 2n,
-// engines cycle the three packable engines, so the server multiplexes
-// genuinely heterogeneous plan sets.
+// loadgenSpec derives tenant i's shape: widths alternate n and 2n, and
+// engines cycle the configured engine followed by every other registry
+// engine that can back a full plan set at the tenant's width (packed-
+// profitable, all level widths routable), so the server multiplexes
+// genuinely heterogeneous plan sets and newly registered engines join
+// the cycle automatically.
 func loadgenSpec(n int, eng concentrator.Engine, i int) frontdoor.TenantSpec {
 	width := n << (i % 2)
-	engines := []concentrator.Engine{eng, concentrator.MuxMerger, concentrator.PrefixAdder, concentrator.Fish}
+	engines := []concentrator.Engine{eng}
+	for _, e := range planner.Engines() {
+		if e != eng && planner.CanRoute(e, width) && planner.CanRoute(e, 2) &&
+			planner.PackedProfitable(e) {
+			engines = append(engines, e)
+		}
+	}
 	return frontdoor.TenantSpec{N: width, Engine: engines[i%len(engines)]}
 }
 

@@ -86,15 +86,30 @@ import (
 	"absort/internal/concentrator"
 	"absort/internal/core"
 	"absort/internal/permnet"
+	"absort/internal/planner"
 	"absort/internal/serve"
 )
+
+// engineByName resolves a -engine flag value through the planner
+// registry — any registered engine name works, including engines the
+// zoo (internal/cmpnet) or a client registers — plus the command's
+// historical aliases.
+func engineByName(name string) (concentrator.Engine, bool) {
+	switch name {
+	case "muxmerger":
+		return concentrator.MuxMerger, true
+	case "prefix":
+		return concentrator.PrefixAdder, true
+	}
+	return planner.EngineByName(name)
+}
 
 func main() {
 	var (
 		n        = flag.Int("n", 64, "network width (power of two)")
 		trials   = flag.Int("trials", 3, "random permutations to route")
 		seed     = flag.Int64("seed", 1, "random seed")
-		engine   = flag.String("engine", "fish", "fish | muxmerger | prefix")
+		engine   = flag.String("engine", "fish", "routing engine: "+strings.Join(planner.EngineNames(), " | "))
 		batch    = flag.Int("batch", 0, "batch size: route this many permutations through the compiled plan pipeline")
 		workers  = flag.Int("workers", 0, "batch worker goroutines (0 = GOMAXPROCS)")
 		lanes    = flag.Int("lanes", 4*permnet.PackedLanes, "packed lane-group width for -batch (multiple of 64, up to 1024)")
@@ -129,18 +144,20 @@ func main() {
 			*shards, *n/2)
 		os.Exit(1)
 	}
-	var eng concentrator.Engine
-	var kind analysis.RadixPermuterKind
-	switch *engine {
-	case "fish":
-		eng, kind = concentrator.Fish, analysis.RadixFish
-	case "muxmerger":
-		eng, kind = concentrator.MuxMerger, analysis.RadixMuxMerger
-	case "prefix":
-		eng, kind = concentrator.PrefixAdder, analysis.RadixMuxMerger
-	default:
-		fmt.Fprintf(os.Stderr, "permroute: unknown engine %q\n", *engine)
+	eng, ok := engineByName(*engine)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "permroute: unknown engine %q (registered: %s)\n",
+			*engine, strings.Join(planner.EngineNames(), ", "))
 		os.Exit(1)
+	}
+	if !planner.CanRoute(eng, *n) || !planner.CanRoute(eng, 2) {
+		fmt.Fprintf(os.Stderr, "permroute: engine %s cannot route the permuter's level widths 2..%d\n",
+			eng, *n)
+		os.Exit(1)
+	}
+	kind := analysis.RadixMuxMerger
+	if eng == concentrator.Fish {
+		kind = analysis.RadixFish
 	}
 
 	rng := rand.New(rand.NewSource(*seed))

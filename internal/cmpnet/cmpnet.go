@@ -23,6 +23,23 @@ import (
 // minimum and line J the maximum.
 type Comparator struct{ I, J int }
 
+// LineError is the typed construction-validation error: an out-of-range,
+// duplicated, or self-compared line in a stage, wiring, or embedding.
+// The chaining construction methods (AddStage, AddWiring, Embed) panic
+// with *LineError on misuse; FromComparators recovers it and returns it
+// as an ordinary error for callers building networks from untrusted edge
+// lists.
+type LineError struct {
+	Network string // network name
+	Method  string // constructing method
+	Line    int    // offending line index (or wiring length)
+	Reason  string
+}
+
+func (e *LineError) Error() string {
+	return fmt.Sprintf("cmpnet %q: %s: line %d: %s", e.Network, e.Method, e.Line, e.Reason)
+}
+
 // op is one element of a network: either a parallel comparator stage or a
 // fixed wiring connection.
 type op struct {
@@ -52,18 +69,27 @@ func (nw *Network) N() int { return nw.n }
 func (nw *Network) Name() string { return nw.name }
 
 // AddStage appends a parallel comparator stage. The comparators must touch
-// disjoint lines within the stage.
+// disjoint lines within the stage; violations panic with *LineError.
 func (nw *Network) AddStage(cmps ...Comparator) *Network {
 	touched := make(map[int]bool, 2*len(cmps))
 	for _, c := range cmps {
-		if c.I < 0 || c.I >= nw.n || c.J < 0 || c.J >= nw.n || c.I == c.J {
-			panic(fmt.Sprintf("cmpnet %q: invalid comparator %+v on %d lines",
-				nw.name, c, nw.n))
+		for _, l := range [2]int{c.I, c.J} {
+			if l < 0 || l >= nw.n {
+				panic(&LineError{Network: nw.name, Method: "AddStage", Line: l,
+					Reason: fmt.Sprintf("out of range on %d lines (comparator %+v)", nw.n, c)})
+			}
 		}
-		if touched[c.I] || touched[c.J] {
-			panic(fmt.Sprintf("cmpnet %q: stage touches line twice: %+v", nw.name, c))
+		if c.I == c.J {
+			panic(&LineError{Network: nw.name, Method: "AddStage", Line: c.I,
+				Reason: "comparator compares a line with itself"})
 		}
-		touched[c.I], touched[c.J] = true, true
+		for _, l := range [2]int{c.I, c.J} {
+			if touched[l] {
+				panic(&LineError{Network: nw.name, Method: "AddStage", Line: l,
+					Reason: fmt.Sprintf("touched twice within one stage (comparator %+v)", c)})
+			}
+			touched[l] = true
+		}
 	}
 	nw.ops = append(nw.ops, op{cmps: append([]Comparator(nil), cmps...)})
 	return nw
@@ -81,11 +107,25 @@ func (nw *Network) AddComparators(cmps ...Comparator) *Network {
 	return nw
 }
 
-// AddWiring appends a fixed wiring connection (cost and depth free).
+// AddWiring appends a fixed wiring connection (cost and depth free). A
+// wiring of the wrong length, or with out-of-range or duplicated
+// sources, panics with *LineError.
 func (nw *Network) AddWiring(p wiring.Perm) *Network {
-	if len(p) != nw.n || !p.Valid() {
-		panic(fmt.Sprintf("cmpnet %q: invalid wiring of length %d on %d lines",
-			nw.name, len(p), nw.n))
+	if len(p) != nw.n {
+		panic(&LineError{Network: nw.name, Method: "AddWiring", Line: len(p),
+			Reason: fmt.Sprintf("wiring length %d, want %d", len(p), nw.n)})
+	}
+	seen := make([]bool, nw.n)
+	for _, src := range p {
+		if src < 0 || src >= nw.n {
+			panic(&LineError{Network: nw.name, Method: "AddWiring", Line: src,
+				Reason: fmt.Sprintf("source out of range on %d lines", nw.n)})
+		}
+		if seen[src] {
+			panic(&LineError{Network: nw.name, Method: "AddWiring", Line: src,
+				Reason: "source line wired twice"})
+		}
+		seen[src] = true
 	}
 	nw.ops = append(nw.ops, op{wire: append(wiring.Perm(nil), p...)})
 	return nw
@@ -93,11 +133,24 @@ func (nw *Network) AddWiring(p wiring.Perm) *Network {
 
 // Embed appends a copy of sub with its lines mapped through lines: sub's
 // line i becomes lines[i]. Wiring stages inside sub are extended with the
-// identity outside the embedded lines.
+// identity outside the embedded lines. A line list of the wrong length,
+// or with out-of-range or duplicated entries, panics with *LineError.
 func (nw *Network) Embed(sub *Network, lines []int) *Network {
 	if len(lines) != sub.n {
-		panic(fmt.Sprintf("cmpnet %q: Embed %q with %d lines, want %d",
-			nw.name, sub.name, len(lines), sub.n))
+		panic(&LineError{Network: nw.name, Method: "Embed", Line: len(lines),
+			Reason: fmt.Sprintf("embedding %q with %d lines, want %d", sub.name, len(lines), sub.n)})
+	}
+	seen := make(map[int]bool, len(lines))
+	for _, l := range lines {
+		if l < 0 || l >= nw.n {
+			panic(&LineError{Network: nw.name, Method: "Embed", Line: l,
+				Reason: fmt.Sprintf("embedded line out of range on %d lines", nw.n)})
+		}
+		if seen[l] {
+			panic(&LineError{Network: nw.name, Method: "Embed", Line: l,
+				Reason: "embedded line used twice"})
+		}
+		seen[l] = true
 	}
 	for _, o := range sub.ops {
 		if o.wire != nil {

@@ -1,0 +1,89 @@
+// Optimal and near-optimal small-n sorting kernels: the recursion base
+// cases the network zoo swaps into the adaptive sorters. Every network
+// here is certified exhaustively by the zero-one principle in the tests
+// (SortsAllBinary over all 2^n binary inputs).
+package cmpnet
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// gvv16Stages is the Green / van Voorhis 16-input sorting network: 60
+// comparators in 10 parallel stages — the best known comparator count
+// for 16 inputs (the information-theoretic lower bound arguments and
+// Sergeev's analysis say 60 is optimal among known constructions; cf.
+// Knuth vol. 3 §5.3.4). Four merge-exchange-style stages, then Green's
+// irregular tail.
+var gvv16Stages = [][][2]int{
+	{{0, 1}, {2, 3}, {4, 5}, {6, 7}, {8, 9}, {10, 11}, {12, 13}, {14, 15}},
+	{{0, 2}, {1, 3}, {4, 6}, {5, 7}, {8, 10}, {9, 11}, {12, 14}, {13, 15}},
+	{{0, 4}, {1, 5}, {2, 6}, {3, 7}, {8, 12}, {9, 13}, {10, 14}, {11, 15}},
+	{{0, 8}, {1, 9}, {2, 10}, {3, 11}, {4, 12}, {5, 13}, {6, 14}, {7, 15}},
+	{{5, 10}, {6, 9}, {3, 12}, {13, 14}, {7, 11}, {1, 2}, {4, 8}},
+	{{1, 4}, {7, 13}, {2, 8}, {11, 14}},
+	{{2, 4}, {5, 6}, {9, 10}, {11, 13}, {3, 8}, {7, 12}},
+	{{6, 8}, {10, 12}, {3, 5}, {7, 9}},
+	{{3, 4}, {5, 6}, {7, 8}, {9, 10}, {11, 12}},
+	{{6, 7}, {8, 9}},
+}
+
+// GreenVanVoorhis16 returns the 60-comparator, depth-10 Green / van
+// Voorhis 16-input sorting network.
+func GreenVanVoorhis16() *Network {
+	nw := New(16, "gvv-16")
+	for _, st := range gvv16Stages {
+		cmps := make([]Comparator, len(st))
+		for i, p := range st {
+			cmps[i] = Comparator{I: p[0], J: p[1]}
+		}
+		nw.AddStage(cmps...)
+	}
+	return nw
+}
+
+// MergeExchangeSort returns Batcher's merge-exchange sorting network for
+// arbitrary n (Knuth vol. 3, Algorithm 5.2.2M) — the generalization of
+// odd-even merge sort to non-power-of-two widths. Cost is within a few
+// comparators of the best known networks at 17 ≤ n ≤ 20 (the
+// Ehlers/Müller optima — 71, 77, 85, 91 — are drop-in import targets
+// once their edge lists are carried in; see SmallSort).
+func MergeExchangeSort(n int) *Network {
+	nw := New(n, fmt.Sprintf("merge-exchange-%d", n))
+	if n < 2 {
+		return nw
+	}
+	t := bits.Len(uint(n - 1)) // ⌈lg n⌉
+	for p := 1 << (t - 1); p > 0; p >>= 1 {
+		q := 1 << (t - 1)
+		r := 0
+		d := p
+		for {
+			var cmps []Comparator
+			for i := 0; i+d < n; i++ {
+				if i&p == r {
+					cmps = append(cmps, Comparator{I: i, J: i + d})
+				}
+			}
+			nw.AddStage(cmps...)
+			if q == p {
+				break
+			}
+			d = q - p
+			q >>= 1
+			r = p
+		}
+	}
+	return nw
+}
+
+// SmallSort returns the best sorting network this package carries for n
+// inputs: Green/van Voorhis at 16, Batcher's merge-exchange otherwise
+// (which handles arbitrary n, in particular the 17–20 widths whose
+// published optima are not yet imported as edge lists).
+func SmallSort(n int) *Network {
+	if n == 16 {
+		return GreenVanVoorhis16()
+	}
+	return MergeExchangeSort(n)
+}

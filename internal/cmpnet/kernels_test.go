@@ -1,0 +1,49 @@
+package cmpnet
+
+import "testing"
+
+// TestGreenVanVoorhis16Certified exhaustively certifies the GvV 16-input
+// network by the zero-one principle (all 2^16 binary inputs) and pins
+// its published cost and depth.
+func TestGreenVanVoorhis16Certified(t *testing.T) {
+	nw := GreenVanVoorhis16()
+	if got := nw.Cost(); got != 60 {
+		t.Fatalf("GvV-16 cost = %d, want 60", got)
+	}
+	if got := nw.Depth(); got != 10 {
+		t.Fatalf("GvV-16 depth = %d, want 10", got)
+	}
+	if !nw.SortsAllBinary() {
+		t.Fatal("GvV-16 fails the zero-one principle")
+	}
+}
+
+// TestMergeExchangeCertified exhaustively certifies Batcher's
+// merge-exchange network at every width up to 20 — in particular the
+// non-power-of-two 17–20 widths SmallSort serves.
+func TestMergeExchangeCertified(t *testing.T) {
+	hi := 20
+	if testing.Short() {
+		hi = 12
+	}
+	for n := 1; n <= hi; n++ {
+		nw := MergeExchangeSort(n)
+		if !nw.SortsAllBinary() {
+			t.Fatalf("merge-exchange-%d fails the zero-one principle", n)
+		}
+	}
+}
+
+// TestSmallSortCertified certifies the SmallSort dispatch across the
+// base-kernel range and pins the 16-wide case to the GvV network.
+func TestSmallSortCertified(t *testing.T) {
+	for n := 1; n <= 20; n++ {
+		nw := SmallSort(n)
+		if n == 16 && nw.Cost() != 60 {
+			t.Fatalf("SmallSort(16) cost = %d, want the 60-comparator GvV network", nw.Cost())
+		}
+		if n <= 16 && !nw.SortsAllBinary() {
+			t.Fatalf("SmallSort(%d) fails the zero-one principle", n)
+		}
+	}
+}

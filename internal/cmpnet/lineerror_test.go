@@ -1,0 +1,139 @@
+package cmpnet
+
+// Table tests for the typed construction-validation errors: every
+// misuse of the chaining construction methods (AddStage, AddWiring,
+// Embed) must panic with a *LineError carrying the offending method,
+// line, and reason — and FromComparators must surface the same error
+// as an ordinary return for edge lists arriving as data.
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"absort/internal/wiring"
+)
+
+// mustLineError runs fn, which must panic with *LineError, and returns it.
+func mustLineError(t *testing.T, name string, fn func()) *LineError {
+	t.Helper()
+	var le *LineError
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+			var ok bool
+			if le, ok = r.(*LineError); !ok {
+				t.Fatalf("%s: panicked with %T (%v), want *LineError", name, r, r)
+			}
+		}()
+		fn()
+	}()
+	return le
+}
+
+func TestLineErrorTable(t *testing.T) {
+	sub := New(2, "sub").AddStage(Comparator{I: 0, J: 1})
+	cases := []struct {
+		name       string
+		fn         func()
+		method     string
+		line       int
+		wantReason string
+	}{
+		{"AddStage/low-out-of-range",
+			func() { New(4, "t").AddStage(Comparator{I: -1, J: 2}) },
+			"AddStage", -1, "out of range"},
+		{"AddStage/high-out-of-range",
+			func() { New(4, "t").AddStage(Comparator{I: 0, J: 4}) },
+			"AddStage", 4, "out of range"},
+		{"AddStage/self-compare",
+			func() { New(4, "t").AddStage(Comparator{I: 2, J: 2}) },
+			"AddStage", 2, "compares a line with itself"},
+		{"AddStage/line-touched-twice",
+			func() { New(4, "t").AddStage(Comparator{I: 0, J: 1}, Comparator{I: 1, J: 2}) },
+			"AddStage", 1, "touched twice"},
+		{"AddWiring/wrong-length",
+			func() { New(4, "t").AddWiring(wiring.Perm{0, 1}) },
+			"AddWiring", 2, "wiring length 2, want 4"},
+		{"AddWiring/source-out-of-range",
+			func() { New(4, "t").AddWiring(wiring.Perm{0, 1, 2, 7}) },
+			"AddWiring", 7, "source out of range"},
+		{"AddWiring/source-wired-twice",
+			func() { New(4, "t").AddWiring(wiring.Perm{0, 1, 1, 3}) },
+			"AddWiring", 1, "source line wired twice"},
+		{"Embed/wrong-length",
+			func() { New(4, "t").Embed(sub, []int{0, 1, 2}) },
+			"Embed", 3, "want 2"},
+		{"Embed/line-out-of-range",
+			func() { New(4, "t").Embed(sub, []int{0, 4}) },
+			"Embed", 4, "out of range"},
+		{"Embed/line-used-twice",
+			func() { New(4, "t").Embed(sub, []int{3, 3}) },
+			"Embed", 3, "used twice"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			le := mustLineError(t, tc.name, tc.fn)
+			if le.Network != "t" {
+				t.Errorf("Network = %q, want %q", le.Network, "t")
+			}
+			if le.Method != tc.method {
+				t.Errorf("Method = %q, want %q", le.Method, tc.method)
+			}
+			if le.Line != tc.line {
+				t.Errorf("Line = %d, want %d", le.Line, tc.line)
+			}
+			if !strings.Contains(le.Reason, tc.wantReason) {
+				t.Errorf("Reason = %q, want it to contain %q", le.Reason, tc.wantReason)
+			}
+			want := `cmpnet "t": ` + tc.method + ":"
+			if msg := le.Error(); !strings.HasPrefix(msg, want) || !strings.Contains(msg, tc.wantReason) {
+				t.Errorf("Error() = %q, want prefix %q containing %q", msg, want, tc.wantReason)
+			}
+		})
+	}
+}
+
+// TestFromComparatorsErrors pins that edge lists arriving as data get
+// the typed error back as a return value, never a panic.
+func TestFromComparatorsErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		n     int
+		pairs [][2]int
+		line  int
+	}{
+		{"out-of-range", 4, [][2]int{{0, 1}, {2, 4}}, 4},
+		{"negative", 4, [][2]int{{-1, 1}}, -1},
+		{"self-compare", 4, [][2]int{{2, 2}}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			nw, err := FromComparators(tc.n, "edges", tc.pairs)
+			if nw != nil || err == nil {
+				t.Fatalf("FromComparators = %v, %v; want nil network and error", nw, err)
+			}
+			var le *LineError
+			if !errors.As(err, &le) {
+				t.Fatalf("error %T (%v) is not *LineError", err, err)
+			}
+			if le.Network != "edges" || le.Method != "AddStage" || le.Line != tc.line {
+				t.Errorf("LineError = %+v, want Network=edges Method=AddStage Line=%d", le, tc.line)
+			}
+		})
+	}
+	if _, err := FromComparators(0, "edges", nil); err == nil {
+		t.Fatal("FromComparators(0) succeeded")
+	}
+	// A valid edge list builds the network it denotes.
+	nw, err := FromComparators(4, "valid", [][2]int{{0, 1}, {2, 3}, {0, 2}, {1, 3}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.Cost() != 5 || !nw.SortsAllBinary() {
+		t.Fatalf("valid edge list: cost %d, sorts=%v", nw.Cost(), nw.SortsAllBinary())
+	}
+}

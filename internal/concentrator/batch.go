@@ -70,13 +70,14 @@ func (p *Plan) RouteBatch(tagsBatch []bitvec.Vector, workers int) ([][]int, erro
 // ConcentratePacked — one plan replay per group, widened up to
 // planner.WideWords×64 patterns when the batch keeps every worker busy
 // anyway (see planner.AutoWideLanes) — and a remainder narrower than
-// MinPackedLanes falls back to the planned path. The Ranking engine
-// always takes the planned path — its single stable partition gains
-// nothing from lane packing — and a plan whose step stream has no packed
-// form (planner.ErrNotPackable) falls back to planned cleanly. Results
-// are bit-for-bit identical either way.
+// MinPackedLanes falls back to the planned path. Engines the registry
+// marks packed-unprofitable (the Ranking baseline: its single stable
+// partition gains nothing from lane packing) always take the planned
+// path, and a plan whose step stream has no packed form
+// (planner.ErrNotPackable) falls back to planned cleanly. Results are
+// bit-for-bit identical either way.
 func (c *Concentrator) ConcentrateBatch(markedBatch [][]bool, workers int) ([][]int, []int, error) {
-	if len(markedBatch) >= PackedLanes && c.engine != Ranking {
+	if len(markedBatch) >= PackedLanes && planner.PackedProfitable(c.engine) {
 		return c.ConcentrateBatchWide(markedBatch, workers, planner.AutoWideLanes(len(markedBatch), workers))
 	}
 	return c.ConcentrateBatchPlanned(markedBatch, workers)

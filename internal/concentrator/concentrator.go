@@ -17,6 +17,7 @@ import (
 
 	"absort/internal/bitvec"
 	"absort/internal/core"
+	"absort/internal/planner"
 	"absort/internal/swapper"
 )
 
@@ -42,36 +43,28 @@ func permOf(it []item) []int {
 	return p
 }
 
-// Engine selects which of the paper's sorting networks routes the packets.
-type Engine int
+// Engine selects which registered sorting network routes the packets. It
+// is the planner registry's engine handle: the paper's four networks are
+// registered by the planner itself, the comparator-network zoo by
+// internal/cmpnet (imported below for its routing entry points, which
+// also triggers those registrations), and clients may register more
+// through planner.Register.
+type Engine = planner.Engine
 
-// Engines.
+// The paper's engines, re-exported from the registry under their
+// historical names and values.
 const (
 	// MuxMerger routes through Network 2: O(n lg n) cost, circuit-switched.
-	MuxMerger Engine = iota
+	MuxMerger = planner.MuxMerger
 	// PrefixAdder routes through Network 1: O(n lg n) cost, circuit-switched.
-	PrefixAdder
+	PrefixAdder = planner.PrefixAdder
 	// Fish routes through Network 3: O(n) cost, time-multiplexed
 	// (packet-switched); requires a group count k.
-	Fish
+	Fish = planner.Fish
 	// Ranking is the stable ranking-tree baseline of [11], [13]:
 	// O(n lg² n) bit-level cost, order-preserving.
-	Ranking
+	Ranking = planner.Ranking
 )
-
-func (e Engine) String() string {
-	switch e {
-	case MuxMerger:
-		return "mux-merger"
-	case PrefixAdder:
-		return "prefix-adder"
-	case Fish:
-		return "fish"
-	case Ranking:
-		return "ranking"
-	}
-	return fmt.Sprintf("Engine(%d)", int(e))
-}
 
 // RouteMuxMerger returns the permutation (receives-from form: out[j] =
 // in[p[j]]) realized by the mux-merger binary sorter on the given tags.
@@ -273,27 +266,32 @@ type Concentrator struct {
 	plan   planPtr // lazily compiled routing plan (see plan.go)
 }
 
-// New returns an (n,m)-concentrator using the given engine. For the Fish
-// engine, k is the group count; k ≤ 0 selects the paper's k = lg n choice
-// rounded to the model's power-of-two requirement (the same default the
-// radix permuter applies per level). Other engines ignore k. New panics
-// on malformed constructor arguments (the usual constructor contract);
-// every routing method on the returned Concentrator reports malformed
-// requests through validated error returns instead.
+// New returns an (n,m)-concentrator using the given engine. For engines
+// with a tuning parameter (the fish family's group count), k ≤ 0 selects
+// the engine's default (the paper's k = lg n choice rounded to the
+// model's power-of-two requirement); parameterless engines ignore k. New
+// panics on malformed constructor arguments (the usual constructor
+// contract); every routing method on the returned Concentrator reports
+// malformed requests through validated error returns instead.
 func New(n, m int, engine Engine, k int) *Concentrator {
 	if !core.IsPow2(n) || m <= 0 || m > n {
 		panic(fmt.Sprintf("concentrator: New(%d, %d)", n, m))
 	}
-	switch engine {
-	case MuxMerger, PrefixAdder, Ranking:
-	case Fish:
-		if k <= 0 {
-			k = fishGroups(n)
-		} else if n > 1 && (!core.IsPow2(k) || k < 2 || k > n) {
-			panic(fmt.Sprintf("concentrator: New(%d, %d, fish, k=%d)", n, m, k))
-		}
-	default:
+	spec, ok := planner.Lookup(engine)
+	if !ok {
 		panic(fmt.Sprintf("concentrator: New: unknown engine %v", engine))
+	}
+	if !planner.CanRoute(engine, n) {
+		panic(fmt.Sprintf("concentrator: New: engine %v cannot route width %d", engine, n))
+	}
+	if spec.CheckK == nil {
+		k = 0
+	} else {
+		kk, err := spec.CheckK(n, k)
+		if err != nil {
+			panic(fmt.Sprintf("concentrator: New(%d, %d, %v, k=%d): %v", n, m, engine, k, err))
+		}
+		k = kk
 	}
 	return &Concentrator{n: n, m: m, engine: engine, k: k}
 }
@@ -328,18 +326,52 @@ func (c *Concentrator) Plan(marked []bool) ([]int, int, error) {
 	if r > c.m {
 		return nil, 0, fmt.Errorf("concentrator: %d requests exceed capacity %d", r, c.m)
 	}
-	var p []int
-	switch c.engine {
-	case MuxMerger:
-		p = RouteMuxMerger(tags)
-	case PrefixAdder:
-		p = RoutePrefix(tags)
-	case Fish:
-		p = RouteFish(tags, c.k)
-	case Ranking:
-		p = RouteRanking(tags)
-	default:
-		return nil, 0, fmt.Errorf("concentrator: unknown engine %v", c.engine)
+	p, err := RouteTags(c.engine, tags, c.k)
+	if err != nil {
+		return nil, 0, err
 	}
 	return p, r, nil
+}
+
+// scalarRoutes maps the paper's engines to their item-replay reference
+// routes — the seed implementations every compiled path differentials
+// against. Registry engines without an entry route through their
+// compiled plan's scalar replay instead (for a network lowered from an
+// edge list, the compiled program IS the reference).
+var scalarRoutes = map[Engine]func(tags bitvec.Vector, k int) []int{
+	MuxMerger:   func(tags bitvec.Vector, _ int) []int { return RouteMuxMerger(tags) },
+	PrefixAdder: func(tags bitvec.Vector, _ int) []int { return RoutePrefix(tags) },
+	Fish:        func(tags bitvec.Vector, k int) []int { return RouteFish(tags, k) },
+	Ranking:     func(tags bitvec.Vector, _ int) []int { return RouteRanking(tags) },
+}
+
+// RouteTags routes a tag vector through any registered engine, returning
+// the realized permutation (receives-from form). k ≤ 0 selects the
+// engine's default tuning parameter. The paper's engines dispatch to
+// their scalar reference replays; zoo engines run their compiled plan.
+func RouteTags(engine Engine, tags bitvec.Vector, k int) ([]int, error) {
+	n := len(tags)
+	if !core.IsPow2(n) {
+		return nil, fmt.Errorf("concentrator: RouteTags on %d tags: not a power of two", n)
+	}
+	spec, ok := planner.Lookup(engine)
+	if !ok {
+		return nil, fmt.Errorf("concentrator: unknown engine %v", engine)
+	}
+	if !planner.CanRoute(engine, n) {
+		return nil, fmt.Errorf("concentrator: engine %v cannot route width %d", engine, n)
+	}
+	if spec.CheckK == nil {
+		k = 0
+	} else {
+		kk, err := spec.CheckK(n, k)
+		if err != nil {
+			return nil, fmt.Errorf("concentrator: %v", err)
+		}
+		k = kk
+	}
+	if route, ok := scalarRoutes[engine]; ok {
+		return route(tags, k), nil
+	}
+	return PlanFor(n, engine, k).Route(tags)
 }

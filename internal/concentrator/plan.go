@@ -41,40 +41,49 @@ type Plan struct {
 	packed atomic.Pointer[PackedPlan] // lazily built 64-lane SWAR wrapper
 }
 
-// NewPlan compiles the routing plan for an n-input concentrating sort over
-// the given engine. For the Fish engine, k is the group count; other
-// engines ignore it. The same argument validation as the scalar Route*
-// functions applies.
+// NewPlan compiles the routing plan for an n-input concentrating sort
+// over any registered engine: the engine's Sort lowering runs over the
+// whole width — except constant-periodic engines, whose single period
+// compiles once and replays Periods(n) times through Layout.Repeat (the
+// fused level-replay). For engines with a tuning parameter, k ≤ 0
+// selects the engine's default; parameterless engines ignore it.
+// Malformed arguments panic, matching the scalar Route* functions.
 func NewPlan(n int, engine Engine, k int) *Plan {
 	if !core.IsPow2(n) {
 		panic(fmt.Sprintf("concentrator: NewPlan(%d): n not a power of two", n))
 	}
-	var b planner.Builder
-	switch engine {
-	case MuxMerger:
-		b.MMSort(0, int32(n))
-	case PrefixAdder:
-		b.PrefixSort(0, int32(n))
-	case Fish:
-		if n == 1 {
-			break // a 1-input network is a wire: empty program
-		}
-		if !core.IsPow2(k) || k < 2 || k > n {
-			panic(fmt.Sprintf("concentrator: NewPlan(%d, fish, k=%d)", n, k))
-		}
-		b.FishSort(0, int32(n), int32(k))
-	case Ranking:
-		b.Rank(0, int32(n))
-	default:
+	spec, ok := planner.Lookup(engine)
+	if !ok {
 		panic(fmt.Sprintf("concentrator: NewPlan: unknown engine %v", engine))
 	}
-	prog := b.Compile(planner.Layout{
+	if !planner.CanRoute(engine, n) {
+		panic(fmt.Sprintf("concentrator: NewPlan(%d, %v): engine cannot route width %d", n, engine, n))
+	}
+	if spec.CheckK == nil {
+		k = 0
+	} else {
+		kk, err := spec.CheckK(n, k)
+		if err != nil {
+			panic(fmt.Sprintf("concentrator: NewPlan(%d, %v, k=%d): %v", n, engine, k, err))
+		}
+		k = kk
+	}
+	var b planner.Builder
+	layout := planner.Layout{
 		N:           n,
 		FrontPlanes: 1,
 		TagShift:    tagShift,
 		TagPlane:    0,
-	})
-	return &Plan{n: n, engine: engine, k: k, prog: prog}
+	}
+	if spec.Period != nil {
+		if n > 1 {
+			spec.Period(&b, 0, int32(n))
+			layout.Repeat = spec.Periods(n)
+		}
+	} else {
+		spec.Sort(&b, 0, int32(n), k)
+	}
+	return &Plan{n: n, engine: engine, k: k, prog: b.Compile(layout)}
 }
 
 // N returns the input width of the plan.
@@ -143,13 +152,13 @@ func (p *Plan) RouteVals(vals []uint64) {
 }
 
 // PlanFor returns the shared compiled plan for (n, engine, k), lowering it
-// on first use. Non-fish engines normalize k to 0 so equivalent requests
-// share one entry. The backing store is the process-wide bounded LRU of
-// internal/planner: a cold (n, engine, k) beyond the capacity recompiles
-// rather than growing memory, and evicted plans stay valid for existing
-// holders (plans are immutable).
+// on first use. Parameterless engines normalize k to 0 so equivalent
+// requests share one entry. The backing store is the process-wide bounded
+// LRU of internal/planner: a cold (n, engine, k) beyond the capacity
+// recompiles rather than growing memory, and evicted plans stay valid for
+// existing holders (plans are immutable).
 func PlanFor(n int, engine Engine, k int) *Plan {
-	if engine != Fish {
+	if spec, ok := planner.Lookup(engine); !ok || spec.CheckK == nil {
 		k = 0
 	}
 	key := planner.PlanKey{Kind: planner.KindConcentrator, N: n, Engine: int8(engine), K: k}
@@ -188,15 +197,17 @@ func (c *Concentrator) compileChecked() (*Plan, error) {
 	if !core.IsPow2(c.n) {
 		return nil, fmt.Errorf("concentrator: n=%d is not a positive power of two", c.n)
 	}
-	switch c.engine {
-	case MuxMerger, PrefixAdder, Ranking:
-	case Fish:
-		if c.n > 1 && (!core.IsPow2(c.k) || c.k < 2 || c.k > c.n) {
-			return nil, fmt.Errorf("concentrator: fish group count k=%d must be a power of two with 2 ≤ k ≤ n=%d",
-				c.k, c.n)
-		}
-	default:
+	spec, ok := planner.Lookup(c.engine)
+	if !ok {
 		return nil, fmt.Errorf("concentrator: unknown engine %v", c.engine)
+	}
+	if !planner.CanRoute(c.engine, c.n) {
+		return nil, fmt.Errorf("concentrator: engine %v cannot route width %d", c.engine, c.n)
+	}
+	if spec.CheckK != nil && c.k > 0 {
+		if _, err := spec.CheckK(c.n, c.k); err != nil {
+			return nil, fmt.Errorf("concentrator: %v", err)
+		}
 	}
 	p := PlanFor(c.n, c.engine, c.k)
 	if !c.plan.CompareAndSwap(nil, p) {

@@ -49,6 +49,7 @@ import (
 
 	"absort/internal/concentrator"
 	"absort/internal/core"
+	"absort/internal/planner"
 	"absort/internal/serve"
 )
 
@@ -335,15 +336,21 @@ func validateSpec(spec TenantSpec) error {
 	if !core.IsPow2(spec.N) {
 		return fmt.Errorf("frontdoor: Register: n=%d is not a positive power of two", spec.N)
 	}
-	switch spec.Engine {
-	case concentrator.MuxMerger, concentrator.PrefixAdder, concentrator.Fish, concentrator.Ranking:
-	default:
+	eSpec, ok := planner.Lookup(spec.Engine)
+	if !ok {
 		return fmt.Errorf("frontdoor: Register: unknown engine %v", spec.Engine)
 	}
-	if spec.Engine == concentrator.Fish && spec.K > 0 &&
-		(!core.IsPow2(spec.K) || spec.K > spec.N || (spec.N > 1 && spec.K < 2)) {
-		return fmt.Errorf("frontdoor: Register: fish group count k=%d must be a power of two with 2 ≤ k ≤ n=%d",
-			spec.K, spec.N)
+	if !planner.CanRoute(spec.Engine, spec.N) {
+		return fmt.Errorf("frontdoor: Register: engine %v cannot route width %d", spec.Engine, spec.N)
+	}
+	if spec.N >= 2 && !planner.CanRoute(spec.Engine, 2) {
+		return fmt.Errorf("frontdoor: Register: engine %v cannot route the permuter's level widths 2..%d",
+			spec.Engine, spec.N)
+	}
+	if eSpec.CheckK != nil && spec.K > 0 {
+		if _, err := eSpec.CheckK(spec.N, spec.K); err != nil {
+			return fmt.Errorf("frontdoor: Register: %v", err)
+		}
 	}
 	if spec.M > spec.N {
 		return fmt.Errorf("frontdoor: Register: concentrator capacity m=%d exceeds n=%d", spec.M, spec.N)

@@ -76,11 +76,12 @@ func (r *RadixPermuter) Compile() *RoutePlan {
 }
 
 // planFor returns the shared fused route plan for (n, engine, k),
-// lowering it on first use. Non-fish engines and the k ≤ 0 "paper
-// default" normalize k to 0 so equivalent requests share one entry. The
-// backing store is the process-wide bounded LRU of internal/planner.
+// lowering it on first use. Parameterless engines and the k ≤ 0
+// "engine default" normalize k to 0 so equivalent requests share one
+// entry. The backing store is the process-wide bounded LRU of
+// internal/planner.
 func planFor(n int, engine concentrator.Engine, k int) *RoutePlan {
-	if engine != concentrator.Fish || k <= 0 {
+	if spec, ok := planner.Lookup(engine); !ok || spec.CheckK == nil || k <= 0 {
 		k = 0
 	}
 	key := planner.PlanKey{Kind: planner.KindPermuter, N: n, Engine: int8(engine), K: k}
@@ -96,45 +97,38 @@ func planFor(n int, engine concentrator.Engine, k int) *RoutePlan {
 
 // newRoutePlan lowers the whole n-input radix permuter over the given
 // engine into one fused program, mirroring routeLevel's engine selection
-// exactly: the Fish engine uses k at the top level when k > 0, the
-// paper's k = lg s group count deeper (and at the top when k ≤ 0), and a
-// mux-merger at the s = 2 base. Before each level below the top an
-// OpSetTag retargets the tag read to the destination bit that level
-// consumes — the only inter-level "work" in the program.
+// exactly: the registered Sort lowering runs over every window, with the
+// configured k applied only at the top level (deeper levels pass k = 0,
+// which each parameterized engine resolves to its own per-level default
+// — the fish family's paper k = lg s choice). Before each level below
+// the top an OpSetTag retargets the tag read to the destination bit that
+// level consumes — the only inter-level "work" in the program.
 func newRoutePlan(n int, engine concentrator.Engine, k int) *RoutePlan {
 	if !core.IsPow2(n) {
 		panic(fmt.Sprintf("permnet: newRoutePlan(%d)", n))
+	}
+	spec, ok := planner.Lookup(engine)
+	if !ok {
+		panic(fmt.Sprintf("permnet: unknown engine %v", engine))
 	}
 	lgn := core.Lg(n)
 	var b planner.Builder
 	d := 0
 	for s := n; s >= 2; s /= 2 {
+		if !planner.CanRoute(engine, s) {
+			panic(fmt.Sprintf("permnet: engine %v cannot route level width %d of a %d-input permuter",
+				engine, s, n))
+		}
 		bit := lgn - 1 - d // destination bit this level consumes
 		if d > 0 {
 			b.SetTag(uint(localShift+bit), int32(bit))
 		}
 		for lo := 0; lo < n; lo += s {
-			lo32, hi32 := int32(lo), int32(lo+s)
-			switch engine {
-			case concentrator.MuxMerger:
-				b.MMSort(lo32, hi32)
-			case concentrator.PrefixAdder:
-				b.PrefixSort(lo32, hi32)
-			case concentrator.Ranking:
-				b.Rank(lo32, hi32)
-			case concentrator.Fish:
-				if s == 2 {
-					b.MMSort(lo32, hi32)
-				} else {
-					kk := k
-					if s < n || kk <= 0 {
-						kk = fishK(s)
-					}
-					b.FishSort(lo32, hi32, int32(kk))
-				}
-			default:
-				panic(fmt.Sprintf("permnet: unknown engine %v", engine))
+			kk := 0
+			if s == n {
+				kk = k
 			}
+			spec.Sort(&b, int32(lo), int32(lo+s), kk)
 		}
 		d++
 	}

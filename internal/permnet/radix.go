@@ -94,27 +94,7 @@ func (r *RadixPermuter) routeLevel(idx, local []int) {
 			tags[j] = 1
 		}
 	}
-	var p []int
-	switch r.engine {
-	case concentrator.MuxMerger:
-		p = concentrator.RouteMuxMerger(tags)
-	case concentrator.PrefixAdder:
-		p = concentrator.RoutePrefix(tags)
-	case concentrator.Fish:
-		k := r.k
-		if s < r.n || k <= 0 {
-			k = fishK(s)
-		}
-		if s == 2 {
-			p = concentrator.RouteMuxMerger(tags)
-		} else {
-			p = concentrator.RouteFish(tags, k)
-		}
-	case concentrator.Ranking:
-		p = concentrator.RouteRanking(tags)
-	default:
-		panic(fmt.Sprintf("permnet: unknown engine %v", r.engine))
-	}
+	p := r.routeWindow(tags)
 	newIdx := make([]int, s)
 	newLocal := make([]int, s)
 	for j, x := range p {
@@ -128,6 +108,25 @@ func (r *RadixPermuter) routeLevel(idx, local []int) {
 	}
 	r.routeLevel(idx[:s/2], local[:s/2])
 	r.routeLevel(idx[s/2:], local[s/2:])
+}
+
+// routeWindow routes one level window's tags through the permuter's
+// engine via the registry dispatch: the configured k applies only at the
+// top level (full-width windows); deeper windows pass k = 0, which each
+// parameterized engine resolves to its own per-level default — the fish
+// family's paper k = lg s choice. An engine that cannot route the window
+// is a constructor-contract violation and panics, matching the historical
+// unknown-engine behavior.
+func (r *RadixPermuter) routeWindow(tags bitvec.Vector) []int {
+	k := 0
+	if len(tags) == r.n {
+		k = r.k
+	}
+	p, err := concentrator.RouteTags(r.engine, tags, k)
+	if err != nil {
+		panic(fmt.Sprintf("permnet: %v", err))
+	}
+	return p
 }
 
 // RouteBatcher routes a permutation by sorting destination addresses
@@ -208,23 +207,7 @@ func (r *RadixPermuter) routeLevelParallel(idx, local []int) {
 			tags[j] = 1
 		}
 	}
-	var p []int
-	switch r.engine {
-	case concentrator.MuxMerger:
-		p = concentrator.RouteMuxMerger(tags)
-	case concentrator.PrefixAdder:
-		p = concentrator.RoutePrefix(tags)
-	case concentrator.Fish:
-		k := r.k
-		if s < r.n || k <= 0 {
-			k = fishK(s)
-		}
-		p = concentrator.RouteFish(tags, k)
-	case concentrator.Ranking:
-		p = concentrator.RouteRanking(tags)
-	default:
-		panic(fmt.Sprintf("permnet: unknown engine %v", r.engine))
-	}
+	p := r.routeWindow(tags)
 	newIdx := make([]int, s)
 	newLocal := make([]int, s)
 	for j, x := range p {

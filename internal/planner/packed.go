@@ -156,7 +156,8 @@ func (p *Program) packable() error {
 		switch st.Op {
 		case OpCmpSwap, OpFourIn, OpFourOut, OpShuffleCount, OpEndsSwap,
 			OpCondIn, OpCondOut, OpFishSplit, OpFishClean, OpRank,
-			OpSetTag, OpShuffle, OpUnshuffle, OpSelSwap:
+			OpSetTag, OpShuffle, OpUnshuffle, OpSelSwap, OpCmpPair,
+			OpPermute:
 		default:
 			return &ErrNotPackable{Op: st.Op}
 		}
@@ -243,24 +244,43 @@ func (pp *Packed) planeBounds() {
 		olo[i] = int32(i)
 		ohi[i] = int32(i + 1)
 	}
-	pp.wFront = make([]int16, len(p.steps))
-	pp.wIdx = make([]int16, len(p.steps))
-	fl := int16(p.layout.TagPlane + 1)
-	for si, st := range p.steps {
-		if st.Op == OpSetTag {
-			fl = int16(st.Aux + 1)
-			continue // moves no data; bounds stay zero
+	// One bounds entry per executed step: Repeat replays widen the arrays
+	// so each pass gets its own bounds — the origin intervals keep growing
+	// across passes while the front-plane tracker re-arms per pass,
+	// matching the scalar runner's per-pass tag-register reset.
+	reps := p.Repeats()
+	pp.wFront = make([]int16, len(p.steps)*reps)
+	pp.wIdx = make([]int16, len(p.steps)*reps)
+	for r := 0; r < reps; r++ {
+		base := r * len(p.steps)
+		fl := int16(p.layout.TagPlane + 1)
+		for si, st := range p.steps {
+			if st.Op == OpSetTag {
+				fl = int16(st.Aux + 1)
+				continue // moves no data; bounds stay zero
+			}
+			var uLo, uHi int32
+			if st.Op == OpCmpPair {
+				// The pair's two positions are arbitrary, not a window:
+				// union exactly those two origin intervals.
+				a, b := st.Lo, st.Hi
+				uLo = min(olo[a], olo[b])
+				uHi = max(ohi[a], ohi[b])
+				olo[a], ohi[a] = uLo, uHi
+				olo[b], ohi[b] = uLo, uHi
+			} else {
+				uLo, uHi = olo[st.Lo], ohi[st.Lo]
+				for i := st.Lo + 1; i < st.Hi; i++ {
+					uLo = min(uLo, olo[i])
+					uHi = max(uHi, ohi[i])
+				}
+				for i := st.Lo; i < st.Hi; i++ {
+					olo[i], ohi[i] = uLo, uHi
+				}
+			}
+			pp.wFront[base+si] = fl
+			pp.wIdx[base+si] = int16(min(int32(bits.Len32(uint32(uLo^(uHi-1)))), int32(pp.I)))
 		}
-		uLo, uHi := olo[st.Lo], ohi[st.Lo]
-		for i := st.Lo + 1; i < st.Hi; i++ {
-			uLo = min(uLo, olo[i])
-			uHi = max(uHi, ohi[i])
-		}
-		for i := st.Lo; i < st.Hi; i++ {
-			olo[i], ohi[i] = uLo, uHi
-		}
-		pp.wFront[si] = fl
-		pp.wIdx[si] = int16(min(int32(bits.Len32(uint32(uLo^(uHi-1)))), int32(pp.I)))
 	}
 }
 
@@ -617,6 +637,15 @@ func (pp *Packed) RunFull(sc *PackedScratch) {
 // The packability scan behind Program.Packed guarantees every opcode has
 // a case here, so the switch needs no failure arm.
 func (pp *Packed) runBlock(sc *PackedScratch, blk int, fullIdx bool) {
+	for r, reps := 0, pp.prog.Repeats(); r < reps; r++ {
+		pp.runBlockPass(sc, blk, fullIdx, r*len(pp.prog.steps))
+	}
+}
+
+// runBlockPass replays the step stream once over one cache block; bbase
+// offsets into the per-executed-step plane bounds (pass r of a Repeat
+// program owns bounds [r·len(steps), (r+1)·len(steps))).
+func (pp *Packed) runBlockPass(sc *PackedScratch, blk int, fullIdx bool, bbase int) {
 	P, bw := pp.P, pp.bw
 	PW := P * bw
 	n := pp.prog.layout.N
@@ -628,8 +657,8 @@ func (pp *Packed) runBlock(sc *PackedScratch, blk int, fullIdx bool) {
 	for si, st := range pp.prog.steps {
 		lo, hi := int(st.Lo), int(st.Hi)
 		s := hi - lo
-		wf := int(pp.wFront[si])
-		wi := int(pp.wIdx[si])
+		wf := int(pp.wFront[bbase+si])
+		wi := int(pp.wIdx[bbase+si])
 		if fullIdx {
 			wi = pp.I
 		}
@@ -794,7 +823,57 @@ func (pp *Packed) runBlock(sc *PackedScratch, blk int, fullIdx bool) {
 			// same masked-XOR swap every tag-driven op uses.
 			pb := int(st.Aux)*pp.wpad + gw
 			pp.maskedSwap(bval, lo, lo+1, 1, sc.psel[pb:pb+bw], wf, wi)
+		case OpCmpPair:
+			// Arbitrary-pair compare-exchange: lo and hi are both
+			// positions. Same masked single-position swap as OpCmpSwap.
+			xo, yo := lo*PW, hi*PW
+			if bw == 1 {
+				if m := bval[xo+tp] &^ bval[yo+tp]; m != 0 {
+					m1[0] = m
+					pp.swapPos(bval[xo:xo+PW], bval[yo:yo+PW], m1, wf, wi)
+				}
+				break
+			}
+			any := uint64(0)
+			for w := 0; w < bw; w++ {
+				mw := bval[xo+tp*bw+w] &^ bval[yo+tp*bw+w]
+				m1[w] = mw
+				any |= mw
+			}
+			if any != 0 {
+				pp.swapPos(bval[xo:xo+PW], bval[yo:yo+PW], m1, wf, wi)
+			}
+		case OpPermute:
+			pp.permute(bval, btmp, lo, hi, pp.prog.perms[st.Aux:int(st.Aux)+s], wf, wi)
 		}
+	}
+}
+
+// permute applies a fixed receives-from permutation to the live planes of
+// [lo,hi): position lo+j receives position lo+π[j]. Like shuffle, dead
+// planes are window-constant, so copying only live planes preserves them.
+func (pp *Packed) permute(bval, btmp []uint64, lo, hi int, pm []int32, wf, wi int) {
+	P, F, bw := pp.P, pp.F, pp.bw
+	PW := P * bw
+	s := hi - lo
+	w1 := wf
+	if wf == F {
+		w1 = F + wi
+		wi = 0
+	}
+	if w1+wi+4 >= P { // same copy-overhead tradeoff as maskedSwap
+		copy(btmp[:s*PW], bval[lo*PW:hi*PW])
+		for j := 0; j < s; j++ {
+			src := int(pm[j])
+			copy(bval[(lo+j)*PW:(lo+j+1)*PW], btmp[src*PW:(src+1)*PW])
+		}
+		return
+	}
+	for i := 0; i < s; i++ {
+		copyLive(btmp[i*PW:], bval[(lo+i)*PW:], w1, F, wi, bw)
+	}
+	for j := 0; j < s; j++ {
+		copyLive(bval[(lo+j)*PW:], btmp[int(pm[j])*PW:], w1, F, wi, bw)
 	}
 }
 

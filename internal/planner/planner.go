@@ -83,6 +83,17 @@ const (
 	// preset select byte at aux is nonzero — a Beneš 2×2 switch whose
 	// setting was computed by the looping algorithm, not by tag data.
 	OpSelSwap
+	// OpCmpPair compare-swaps the arbitrary position pair (Lo, Hi): the
+	// pair exchanges exactly when the tag order is (1, 0), leaving the
+	// smaller tag at Lo. Unlike every other op, Hi names a position, not a
+	// window bound — this is the generic comparator-network lowering's
+	// primitive, one step per stage-parallel comparator.
+	OpCmpPair
+	// OpPermute applies a fixed receives-from permutation to [lo,hi):
+	// vals'[lo+j] = vals[lo+π[j]], where π is the program's permutation
+	// table slice [Aux, Aux+s) — the lowered form of a comparator
+	// network's inter-stage wirings, composed into one final scatter.
+	OpPermute
 )
 
 // Step is one lowered routing operation: an opcode, the window [Lo,Hi) it
@@ -109,6 +120,12 @@ type Layout struct {
 	// TagPlane is the packed bit plane of the routing tag before the
 	// first OpSetTag (0 for single-tag programs).
 	TagPlane int
+	// Repeat replays the whole step stream this many times per execution
+	// (values < 1 mean once). Constant-periodic engines compile one
+	// period and set Repeat to the period count, so the packed engine
+	// re-runs one short resident instruction stream instead of carrying
+	// an unrolled program — the fused level-replay packaging.
+	Repeat int
 }
 
 // Program is a compiled routing program. It is immutable after
@@ -118,6 +135,7 @@ type Program struct {
 	layout Layout
 	steps  []Step
 	nsel   int
+	perms  []int32 // flat OpPermute table storage, indexed by Step.Aux
 	pool   sync.Pool // *Scratch
 	packed sync.Map  // lane-word width → *Packed, built lazily per width
 }
@@ -143,6 +161,7 @@ func (sc *Scratch) Sel() []uint8 { return sc.sel }
 type Builder struct {
 	steps []Step
 	nsel  int
+	perms []int32 // flat OpPermute table storage
 }
 
 // Emit appends one raw step.
@@ -230,25 +249,39 @@ func (b *Builder) patchUp(lo, hi int32) {
 // groups: middle-bit block split, clean-block sort of the upper half, the
 // recursive merge of the lower half, and a final mux-merge of the window.
 func (b *Builder) FishKMerge(lo, hi, k int32) {
+	b.FishKMergeBase(lo, hi, k, (*Builder).MMSort)
+}
+
+// FishKMergeBase is FishKMerge with a pluggable base-case sorter: when
+// the recursion bottoms out at a k-wide window, base lowers the final
+// sort instead of the mux-merger — how optimal small-n kernels slot into
+// the fish recursion.
+func (b *Builder) FishKMergeBase(lo, hi, k int32, base func(*Builder, int32, int32)) {
 	s := hi - lo
 	if s == k {
-		b.MMSort(lo, hi)
+		base(b, lo, hi)
 		return
 	}
 	b.Emit(OpFishSplit, lo, hi, k)
 	b.Emit(OpFishClean, lo, lo+s/2, k)
-	b.FishKMerge(lo+s/2, hi, k)
+	b.FishKMergeBase(lo+s/2, hi, k, base)
 	b.MMMerge(lo, hi)
 }
 
 // FishSort lowers the full fish binary sorter over [lo,hi): k group
 // mux-merger sorts followed by the time-multiplexed k-group merge.
 func (b *Builder) FishSort(lo, hi, k int32) {
+	b.FishSortBase(lo, hi, k, (*Builder).MMSort)
+}
+
+// FishSortBase is FishSort with a pluggable group sorter: base lowers
+// each of the k initial group sorts and the merge's base case.
+func (b *Builder) FishSortBase(lo, hi, k int32, base func(*Builder, int32, int32)) {
 	g := (hi - lo) / k
 	for t := int32(0); t < k; t++ {
-		b.MMSort(lo+t*g, lo+(t+1)*g)
+		base(b, lo+t*g, lo+(t+1)*g)
 	}
-	b.FishKMerge(lo, hi, k)
+	b.FishKMergeBase(lo, hi, k, base)
 }
 
 // Rank lowers the ranking engine's single stable partition over [lo,hi).
@@ -266,6 +299,43 @@ func (b *Builder) SelSwap(lo, sel int32) {
 func (b *Builder) Shuffle(lo, hi int32)   { b.Emit(OpShuffle, lo, hi, 0) }
 func (b *Builder) Unshuffle(lo, hi int32) { b.Emit(OpUnshuffle, lo, hi, 0) }
 
+// CmpPair emits one tag-driven compare-exchange of the arbitrary
+// position pair (i, j): the smaller tag lands at i.
+func (b *Builder) CmpPair(i, j int32) {
+	if i == j {
+		panic(fmt.Sprintf("planner: CmpPair: self-comparison at position %d", i))
+	}
+	b.Emit(OpCmpPair, i, j, 0)
+}
+
+// Permute emits the fixed receives-from permutation π of [lo,hi):
+// vals'[lo+j] = vals[lo+π[j]]. Identity permutations are elided; an
+// invalid π (wrong length, out-of-range or duplicate entries) is a
+// lowering bug and panics.
+func (b *Builder) Permute(lo, hi int32, perm []int32) {
+	s := hi - lo
+	if int32(len(perm)) != s {
+		panic(fmt.Sprintf("planner: Permute over [%d,%d) with %d entries", lo, hi, len(perm)))
+	}
+	identity := true
+	seen := make([]bool, s)
+	for j, src := range perm {
+		if src < 0 || src >= s || seen[src] {
+			panic(fmt.Sprintf("planner: Permute over [%d,%d): invalid source %d at %d", lo, hi, src, j))
+		}
+		seen[src] = true
+		if int32(j) != src {
+			identity = false
+		}
+	}
+	if identity {
+		return
+	}
+	aux := int32(len(b.perms))
+	b.perms = append(b.perms, perm...)
+	b.Emit(OpPermute, lo, hi, aux)
+}
+
 // Compile freezes the builder's step stream into an executable Program
 // with the given layout. The builder must not be reused afterwards.
 func (b *Builder) Compile(layout Layout) *Program {
@@ -275,7 +345,7 @@ func (b *Builder) Compile(layout Layout) *Program {
 	if layout.FrontPlanes < 1 {
 		layout.FrontPlanes = 1
 	}
-	p := &Program{layout: layout, steps: b.steps, nsel: b.nsel}
+	p := &Program{layout: layout, steps: b.steps, nsel: b.nsel, perms: b.perms}
 	n := layout.N
 	p.pool.New = func() any {
 		return &Scratch{
@@ -295,6 +365,15 @@ func (p *Program) NumSteps() int { return len(p.steps) }
 
 // NumSel returns the number of select-replay slots one execution needs.
 func (p *Program) NumSel() int { return p.nsel }
+
+// Repeats returns how many times the step stream replays per execution
+// (Layout.Repeat, minimum 1).
+func (p *Program) Repeats() int {
+	if p.layout.Repeat > 1 {
+		return p.layout.Repeat
+	}
+	return 1
+}
 
 // Layout returns the program's packet-word / bit-plane layout.
 func (p *Program) Layout() Layout { return p.layout }

@@ -56,6 +56,14 @@ func (p *Program) run(vals []uint64, tmp []uint64, sel []uint8, faults []StuckFa
 	if len(faults) != 0 {
 		applyStuck(vals, faults)
 	}
+	for r, reps := 0, p.Repeats(); r < reps; r++ {
+		p.runOnce(vals, tmp, sel, faults)
+	}
+}
+
+// runOnce walks the step stream exactly once; run replays it Layout.Repeat
+// times with the tag registers re-armed per pass.
+func (p *Program) runOnce(vals []uint64, tmp []uint64, sel []uint8, faults []StuckFault) {
 	sh := p.layout.TagShift
 	m := int32(0) // running ones count for the active patch-up chain
 	for _, st := range p.steps {
@@ -195,6 +203,17 @@ func (p *Program) run(vals []uint64, tmp []uint64, sel []uint8, faults []StuckFa
 		case OpSelSwap:
 			if sel[st.Aux] != 0 {
 				vals[lo], vals[lo+1] = vals[lo+1], vals[lo]
+			}
+		case OpCmpPair:
+			// lo and hi are both positions here (hi not a window bound).
+			if a, b := vals[lo], vals[hi]; a>>sh&1 > b>>sh&1 {
+				vals[lo], vals[hi] = b, a
+			}
+		case OpPermute:
+			pm := p.perms[st.Aux : st.Aux+s]
+			copy(tmp[lo:hi], vals[lo:hi])
+			for j := int32(0); j < s; j++ {
+				vals[lo+j] = tmp[lo+pm[j]]
 			}
 		default:
 			panic(fmt.Sprintf("planner: run: unknown op %d", st.Op))

@@ -51,13 +51,26 @@ const defaultCheckStride = 64
 // replacement misroutes too.
 const maxRecoverAttempts = 6
 
-// engineFallbackOrder is the rotation recovery walks when an engine is
-// quarantined (the current engine is skipped).
-var engineFallbackOrder = []Engine{
-	concentrator.MuxMerger,
-	concentrator.PrefixAdder,
-	concentrator.Fish,
-	concentrator.Ranking,
+// rotationFor computes the engine rotation recovery walks for one
+// request kind when an engine is quarantined: every registered engine
+// capable of the kind's plan shape at width n, in registration order
+// (planner.EnginesFor), so engines registered after the paper's four —
+// the comparator-network zoo, or a client's edge-list engine — rotate in
+// automatically. Concentrate needs only width n itself; Permute and
+// SortWords recurse through every level width n, n/2, …, 2, so a
+// width-locked small-n kernel (MinN = MaxN) never rotates into them.
+func rotationFor(kind Kind, n int) []Engine {
+	es := planner.EnginesFor(n)
+	if kind == Concentrate || n < 2 {
+		return es
+	}
+	rot := es[:0]
+	for _, e := range es {
+		if planner.CanRoute(e, 2) {
+			rot = append(rot, e)
+		}
+	}
+	return rot
 }
 
 // planInstance is one hardware copy of a request kind's compiled plan.
@@ -111,16 +124,17 @@ func (pi *planInstance) addFault(f planner.StuckFault) {
 
 // packable reports whether a burst may ride the packed replay on this
 // instance: injected faults force the scalar faulty path, a degraded
-// concentrator has no plan, and the Ranking engine's single stable
-// partition gains nothing from lane packing (the same exclusion
-// ConcentrateBatch applies).
+// concentrator has no plan, and engines the registry marks
+// packed-unprofitable (the Ranking baseline's single stable partition
+// gains nothing from lane packing) take the per-request path — the same
+// exclusion ConcentrateBatch applies.
 func (pi *planInstance) packable(kind Kind) bool {
 	if pi.faults.Load() != nil {
 		return false
 	}
 	switch kind {
 	case Concentrate:
-		return pi.conc != nil && pi.engine != concentrator.Ranking
+		return pi.conc != nil && planner.PackedProfitable(pi.engine)
 	case Permute:
 		return pi.perm != nil || pi.sharded != nil
 	}
@@ -128,10 +142,20 @@ func (pi *planInstance) packable(kind Kind) bool {
 }
 
 // recoveryState is the per-kind bookkeeping of recovery decisions,
-// guarded by Service.faultMu.
+// guarded by Service.faultMu. The quarantine set is a map because the
+// registry is open-world: engines registered at runtime must be
+// quarantinable too.
 type recoveryState struct {
 	sparesUsed  int
-	quarantined [4]bool // indexed by Engine
+	quarantined map[Engine]bool
+}
+
+// quarantine marks e quarantined, lazily allocating the set.
+func (rc *recoveryState) quarantine(e Engine) {
+	if rc.quarantined == nil {
+		rc.quarantined = make(map[Engine]bool)
+	}
+	rc.quarantined[e] = true
 }
 
 // WireFault describes one wire to wedge into a running service's current
@@ -324,9 +348,9 @@ func (s *Service) recoverFrom(kind Kind, bad *planInstance) {
 }
 
 // replacementLocked picks the recovery target for a quarantined copy:
-// same-engine spare capacity while spares remain, then the engine
-// fallback rotation, then — for Concentrate — degraded permuter-backed
-// service. Permute and SortWords cannot degrade, so an exhausted
+// same-engine spare capacity while spares remain, then the kind's
+// capability-filtered registry rotation (see rotationFor), then — for
+// Concentrate — degraded permuter-backed service. Permute and SortWords cannot degrade, so an exhausted
 // rotation resets the quarantine set and starts over on the configured
 // engine (the pathological every-engine-faulty case). Caller holds
 // faultMu.
@@ -338,14 +362,14 @@ func (s *Service) replacementLocked(kind Kind, bad *planInstance) *planInstance 
 			return inst
 		}
 	}
-	rc.quarantined[int(bad.engine)] = true
-	for _, e := range engineFallbackOrder {
-		if rc.quarantined[int(e)] {
+	rc.quarantine(bad.engine)
+	for _, e := range s.rotation[kind] {
+		if rc.quarantined[e] {
 			continue
 		}
 		inst, err := s.newInstanceLocked(kind, e)
 		if err != nil {
-			rc.quarantined[int(e)] = true
+			rc.quarantine(e)
 			continue
 		}
 		rc.sparesUsed = 0
@@ -354,7 +378,7 @@ func (s *Service) replacementLocked(kind Kind, bad *planInstance) *planInstance 
 	if kind == Concentrate {
 		return &planInstance{engine: bad.engine, degraded: true}
 	}
-	rc.quarantined = [4]bool{}
+	rc.quarantined = nil
 	rc.sparesUsed = 0
 	inst, err := s.newInstanceLocked(kind, s.cfg.Engine)
 	if err != nil {

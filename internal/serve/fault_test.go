@@ -8,6 +8,7 @@ import (
 
 	"absort/internal/concentrator"
 	"absort/internal/core"
+	"absort/internal/planner"
 )
 
 // submitWait submits one request and waits for its result.
@@ -150,9 +151,9 @@ func TestRecoveryEngineFallback(t *testing.T) {
 
 // TestConcentrateDegradedService drives the concentrator through its
 // full fallback chain — the test hook re-wedges every replacement
-// instance, so spares and all four engines quarantine — and pins that
-// requests are then served correctly through the permuter (degraded
-// mode) with the degraded counter advancing.
+// instance, so spares and every engine in the registry rotation
+// quarantine — and pins that requests are then served correctly through
+// the permuter (degraded mode) with the degraded counter advancing.
 func TestConcentrateDegradedService(t *testing.T) {
 	const n = 16
 	s := newTestService(t, Config{
@@ -169,9 +170,14 @@ func TestConcentrateDegradedService(t *testing.T) {
 	s.testBeforeExec = rewedge
 	rewedge()
 	rng := rand.New(rand.NewSource(11))
-	for trial := 0; trial < 12; trial++ {
+	// The stuck-at-0 tag wire only misroutes patterns with input 0
+	// unmarked, so pin marked[0] = false: every trial then detects and
+	// quarantines one engine, and the open-world rotation (the registry
+	// can grow) exhausts within NumEngines trials plus slack.
+	trials := planner.NumEngines() + 2
+	for trial := 0; trial < trials; trial++ {
 		marked := make([]bool, n)
-		for j := range marked {
+		for j := 1; j < n; j++ {
 			marked[j] = rng.Intn(2) == 0
 		}
 		res, err := submitWait(t, s, Request{Kind: Concentrate, Marked: marked})

@@ -272,10 +272,13 @@ type Service struct {
 
 	// faultMu serializes recovery (instance replacement); recov tracks
 	// per-kind spare usage and quarantined engines; spares is the
-	// resolved Config.Spares.
-	faultMu sync.Mutex
-	recov   [3]recoveryState
-	spares  int
+	// resolved Config.Spares; rotation is the per-kind engine fallback
+	// order, derived from the planner registry at New (capability-
+	// filtered, registration order — see rotationFor).
+	faultMu  sync.Mutex
+	recov    [3]recoveryState
+	spares   int
+	rotation [3][]Engine
 
 	// packed enables the concentrate burst fast path: drained groups of
 	// queued Concentrate requests ride one SWAR plan replay. Disabled for
@@ -316,15 +319,23 @@ func New(cfg Config) (*Service, error) {
 	if !core.IsPow2(cfg.N) {
 		return nil, fmt.Errorf("serve: New: n=%d is not a positive power of two", cfg.N)
 	}
-	switch cfg.Engine {
-	case concentrator.MuxMerger, concentrator.PrefixAdder, concentrator.Fish, concentrator.Ranking:
-	default:
+	spec, ok := planner.Lookup(cfg.Engine)
+	if !ok {
 		return nil, fmt.Errorf("serve: New: unknown engine %v", cfg.Engine)
 	}
-	if cfg.Engine == concentrator.Fish && cfg.K > 0 &&
-		(!core.IsPow2(cfg.K) || cfg.K > cfg.N || (cfg.N > 1 && cfg.K < 2)) {
-		return nil, fmt.Errorf("serve: New: fish group count k=%d must be a power of two with 2 ≤ k ≤ n=%d",
-			cfg.K, cfg.N)
+	if !planner.CanRoute(cfg.Engine, cfg.N) {
+		return nil, fmt.Errorf("serve: New: engine %v cannot route width %d", cfg.Engine, cfg.N)
+	}
+	if cfg.N >= 2 && !planner.CanRoute(cfg.Engine, 2) {
+		// The permuter and word-sorter plans recurse through every level
+		// width n, n/2, …, 2, so a width-locked kernel cannot back them.
+		return nil, fmt.Errorf("serve: New: engine %v cannot route the permuter's level widths 2..%d",
+			cfg.Engine, cfg.N)
+	}
+	if spec.CheckK != nil && cfg.K > 0 {
+		if _, err := spec.CheckK(cfg.N, cfg.K); err != nil {
+			return nil, fmt.Errorf("serve: New: %v", err)
+		}
 	}
 	if cfg.M <= 0 {
 		cfg.M = cfg.N
@@ -357,7 +368,7 @@ func New(cfg Config) (*Service, error) {
 		checker:     verify.NewLaneChecker(cfg.N),
 		checkStride: strideFor(cfg.CheckFraction),
 		spares:      cfg.Spares,
-		packed:      cfg.Engine != concentrator.Ranking && cfg.N > 1,
+		packed:      planner.PackedProfitable(cfg.Engine) && cfg.N > 1,
 		packedPerm:  cfg.N > 1,
 		queue:       make(chan *task, cfg.QueueDepth),
 		quit:        make(chan struct{}),
@@ -380,6 +391,9 @@ func New(cfg Config) (*Service, error) {
 	s.inst[Permute].Store(permInst)
 	s.inst[Concentrate].Store(&planInstance{engine: cfg.Engine, conc: conc})
 	s.inst[SortWords].Store(&planInstance{engine: cfg.Engine, word: word})
+	for kind := range s.rotation {
+		s.rotation[kind] = rotationFor(Kind(kind), cfg.N)
+	}
 	s.workers.Add(cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
 		go s.worker()

@@ -61,6 +61,14 @@ func New(n, w int, engine Engine) (*Sorter, error) {
 	if w < 1 || w > 64 {
 		return nil, fmt.Errorf("wordsort: key width %d out of range [1,64]", w)
 	}
+	if _, ok := planner.Lookup(engine); !ok {
+		return nil, fmt.Errorf("wordsort: unknown engine %v", engine)
+	}
+	if n >= 2 && (!planner.CanRoute(engine, n) || !planner.CanRoute(engine, 2)) {
+		// Every radix pass routes through permuter levels of width
+		// n, n/2, …, 2; a width-locked kernel engine cannot back them.
+		return nil, fmt.Errorf("wordsort: engine %v cannot route the permuter's level widths 2..%d", engine, n)
+	}
 	s := &Sorter{n: n, w: w, permute: permnet.NewRadixPermuter(n, engine, 0)}
 	if n >= permnet.ShardedAutoThreshold {
 		// Huge networks route every pass through the sharded plan: the
